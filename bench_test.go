@@ -1,0 +1,338 @@
+package fpisa
+
+// One benchmark per paper table/figure (DESIGN.md §4) plus ablations on
+// the design choices. The benchmarks measure the regeneration cost of each
+// artifact and, via ReportMetric, surface the artifact's headline number so
+// `go test -bench . -benchmem` doubles as a summary of the reproduction.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpisa/internal/banzai"
+	"fpisa/internal/core"
+	"fpisa/internal/gradients"
+	"fpisa/internal/payload"
+	"fpisa/internal/perfmodel"
+	"fpisa/internal/pisa"
+	"fpisa/internal/query"
+	"fpisa/internal/tcam"
+	"fpisa/internal/train"
+)
+
+// BenchmarkTable1_ALUSynthesis regenerates the synthesis cost model.
+func BenchmarkTable1_ALUSynthesis(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		rs := banzai.Table1()
+		area = rs[len(rs)-1].AreaUM2
+	}
+	b.ReportMetric(area, "FPU-um2")
+}
+
+// BenchmarkTable3_ResourceUtilization compiles the FPISA-A program for the
+// base architecture and reports the headline VLIW pressure.
+func BenchmarkTable3_ResourceUtilization(b *testing.B) {
+	var maxVliw float64
+	for i := 0; i < b.N; i++ {
+		pa, err := core.NewPipelineAggregator(core.DefaultFP32(core.ModeApprox), 1, 256, pisa.BaseArch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range pa.Utilization().Rows() {
+			if r.Resource == "VLIW instruction slots" {
+				maxVliw = r.MaxStagePct
+			}
+		}
+	}
+	b.ReportMetric(maxVliw, "maxVLIW-%")
+}
+
+// BenchmarkFigure6_EndiannessConversion measures the FP32 payload byte-swap
+// kernel — the per-core cost Fig. 6 quantifies.
+func BenchmarkFigure6_EndiannessConversion(b *testing.B) {
+	buf := make([]byte, 1<<16)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload.SwapBytes32(buf)
+	}
+	elemsPerSec := float64(b.N) * float64(len(buf)/4) / b.Elapsed().Seconds()
+	b.ReportMetric(elemsPerSec/1e9, "Gconv/s")
+	b.ReportMetric(payload.DesiredRatePerSec(100, 4)/1e9, "needed-G/s")
+}
+
+// BenchmarkFigure6_FP16 measures the FP16 swap kernel (the worst gap).
+func BenchmarkFigure6_FP16(b *testing.B) {
+	buf := make([]byte, 1<<16)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload.SwapBytes16(buf)
+	}
+	elemsPerSec := float64(b.N) * float64(len(buf)/2) / b.Elapsed().Seconds()
+	b.ReportMetric(float64(payload.CoresForLineRate(100, 2, elemsPerSec)), "cores-for-100G")
+}
+
+// BenchmarkFigure7_GradientRatioDistribution regenerates the max/min ratio
+// histogram and reports the below-2^7 fraction.
+func BenchmarkFigure7_GradientRatioDistribution(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		g := gradients.NewGenerator(gradients.VGG19, 42)
+		h := gradients.RatioHistogram(g.WorkerGradients(8, 10000))
+		frac = h.FractionBelow(7)
+	}
+	b.ReportMetric(frac*100, "pct-under-2^7")
+}
+
+// BenchmarkFigure8_ErrorDistribution regenerates the FPISA-A error
+// histogram and reports the overwrite-error share.
+func BenchmarkFigure8_ErrorDistribution(b *testing.B) {
+	g := gradients.NewGenerator(gradients.VGG19, 42)
+	ws := g.WorkerGradients(8, 10000)
+	var share float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := gradients.ErrorDistribution(core.DefaultFP32(core.ModeApprox), ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = rep.OverwriteShare
+	}
+	b.ReportMetric(share*100, "overwrite-%")
+}
+
+// BenchmarkFigure9_Convergence runs a reduced-epoch training pair and
+// reports the accuracy gap between default and FPISA-A aggregation.
+func BenchmarkFigure9_Convergence(b *testing.B) {
+	trainSet, testSet := train.SyntheticDataset(512, 256, 12, 4, 3)
+	cfg := train.DefaultSGD()
+	cfg.Epochs = 6
+	arch := train.Fig9Architectures()[1]
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		exact, err := train.Run(arch, trainSet, testSet, cfg, train.ExactReducer{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fp, err := train.Run(arch, trainSet, testSet, cfg, train.FPISAReducer{Cfg: core.DefaultFP32(core.ModeApprox)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = exact.Final - fp.Final
+		if gap < 0 {
+			gap = -gap
+		}
+	}
+	b.ReportMetric(gap*100, "accuracy-gap-pct")
+}
+
+// BenchmarkFigure10_Goodput evaluates the goodput model over both sweeps.
+func BenchmarkFigure10_Goodput(b *testing.B) {
+	r := perfmodel.DefaultRates()
+	var got float64
+	for i := 0; i < b.N; i++ {
+		_ = perfmodel.Fig10Left(r, 10)
+		_ = perfmodel.Fig10Right(r, perfmodel.Fig10Sizes())
+		got = r.Goodput(perfmodel.FPISACPUOpt, 1, 16<<10)
+	}
+	b.ReportMetric(got, "opt-1core-Gbps")
+}
+
+// BenchmarkFigure11_TrainingSpeedup evaluates the end-to-end model.
+func BenchmarkFigure11_TrainingSpeedup(b *testing.B) {
+	var dl float64
+	for i := 0; i < b.N; i++ {
+		for _, s := range perfmodel.Fig11(2) {
+			if s.Model == "DeepLight" {
+				dl = s.SpeedupPct
+			}
+		}
+	}
+	b.ReportMetric(dl, "DeepLight-2core-pct")
+}
+
+// BenchmarkFigure13_Queries runs all five queries through both plans.
+func BenchmarkFigure13_Queries(b *testing.B) {
+	e := query.NewEngine(query.Generate(query.DefaultScale(), 2, 7))
+	var speedup float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range query.Queries() {
+			_, bc := e.RunBaseline(q)
+			_, sc, err := e.RunSwitch(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedup = bc.BaselineSeconds(2) / sc.SwitchSeconds(2)
+		}
+	}
+	b.ReportMetric(speedup, "last-speedup-x")
+}
+
+// BenchmarkAppendixA_AdvancedOps exercises the lookup-table float ops.
+func BenchmarkAppendixA_AdvancedOps(b *testing.B) {
+	lt, _ := core.NewLog2Table(10)
+	st, _ := core.NewSqrtTable(10)
+	mt, _ := core.NewMulTable(8)
+	x := float32(3.7)
+	var sink float32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += lt.Log2(x) + st.Sqrt(x) + mt.Mul(x, x) + core.MulExponentAdd(x, x)
+	}
+	_ = sink
+}
+
+// --- Core micro-benchmarks and ablations --------------------------------
+
+// BenchmarkCoreAdd measures the software model's per-addition cost.
+func BenchmarkCoreAdd(b *testing.B) {
+	for _, mode := range []core.Mode{core.ModeApprox, core.ModeFull} {
+		b.Run(mode.String(), func(b *testing.B) {
+			acc := core.MustNewAccumulator(core.DefaultFP32(mode), 1)
+			vals := make([]float32, 1024)
+			rng := rand.New(rand.NewSource(1))
+			for i := range vals {
+				vals[i] = float32(rng.NormFloat64())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.AddBits(0, uint32(i)&0x3F000000|0x3F800000)
+				_ = vals
+			}
+		})
+	}
+}
+
+// BenchmarkPipelinePacket measures the simulated switch's per-packet cost.
+func BenchmarkPipelinePacket(b *testing.B) {
+	pa, err := core.NewPipelineAggregator(core.DefaultFP32(core.ModeApprox), 1, 16, pisa.BaseArch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pa.Add(i&15, []float32{1.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGuardBits quantifies read-out error vs guard bits — the
+// Appendix A.1 rounding design choice.
+func BenchmarkAblationGuardBits(b *testing.B) {
+	g := gradients.NewGenerator(gradients.VGG19, 42)
+	ws := g.WorkerGradients(8, 2000)
+	for _, guard := range []int{0, 2, 4} {
+		cfg := core.Config{Format: core.DefaultFP32(core.ModeApprox).Format,
+			RegWidth: 32, GuardBits: guard, Mode: core.ModeApprox}
+		if guard > 0 {
+			cfg.Rounding = core.RoundNearestEven
+		}
+		b.Run(map[int]string{0: "g0-trunc", 2: "g2-rne", 4: "g4-rne"}[guard], func(b *testing.B) {
+			var med float64
+			for i := 0; i < b.N; i++ {
+				rep, err := gradients.ErrorDistribution(cfg, ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+				med = rep.MedianError
+			}
+			b.ReportMetric(med*1e9, "median-err-1e-9")
+		})
+	}
+}
+
+// BenchmarkAblationLPMvsDirectCLZ compares the Fig. 5 table-based
+// count-leading-zeros against a direct instruction — the hardware gap
+// FPISA works around.
+func BenchmarkAblationLPMvsDirectCLZ(b *testing.B) {
+	clz := tcam.MustNewCLZ(32)
+	b.Run("lpm-table", func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			s += clz.Count(uint64(uint32(i)*2654435761 + 1))
+		}
+		_ = s
+	})
+	b.Run("direct", func(b *testing.B) {
+		var s int
+		for i := 0; i < b.N; i++ {
+			s += leadingZeros32(uint32(i)*2654435761 + 1)
+		}
+		_ = s
+	})
+}
+
+func leadingZeros32(x uint32) int {
+	n := 0
+	for x&0x80000000 == 0 && n < 32 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// BenchmarkAblationQuantizeVsCopy contrasts SwitchML's per-element host
+// work with FPISA's — the root cause of the Fig. 10 core-count gap.
+func BenchmarkAblationQuantizeVsCopy(b *testing.B) {
+	src := make([]float32, 4096)
+	rng := rand.New(rand.NewSource(2))
+	for i := range src {
+		src[i] = float32(rng.NormFloat64())
+	}
+	wire := make([]byte, 4*len(src))
+	scale := payload.ScaleExpFor(payload.MaxBiasedExp(src), 8)
+
+	b.Run("switchml-quantize", func(b *testing.B) {
+		b.SetBytes(int64(len(wire)))
+		for i := 0; i < b.N; i++ {
+			if err := payload.QuantizeToWire(wire, src, scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fpisa-serialize", func(b *testing.B) {
+		b.SetBytes(int64(len(wire)))
+		for i := 0; i < b.N; i++ {
+			if err := payload.FloatsToWire(wire, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fpisa-opt-copy", func(b *testing.B) {
+		b.SetBytes(int64(len(wire)))
+		for i := 0; i < b.N; i++ {
+			if err := payload.CopyWire(wire, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationModulesPerPipeline measures multi-module packet
+// processing on the extended architecture (§4.2's throughput unlock).
+func BenchmarkAblationModulesPerPipeline(b *testing.B) {
+	for _, modules := range []int{1, 3} {
+		arch := pisa.ExtendedArch()
+		b.Run(map[int]string{1: "1-module", 3: "3-modules"}[modules], func(b *testing.B) {
+			pa, err := core.NewPipelineAggregator(core.DefaultFP32(core.ModeApprox), modules, 16, arch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vals := make([]float32, modules)
+			for i := range vals {
+				vals[i] = 1.25
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pa.Add(i&15, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(modules)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+		})
+	}
+}

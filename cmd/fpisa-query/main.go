@@ -1,0 +1,61 @@
+// Command fpisa-query runs one of the five evaluated database queries
+// (paper Table 2) against generated data, with both execution plans, and
+// prints the results side by side:
+//
+//	fpisa-query -query "Top-N" -workers 2 -scale 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fpisa/internal/query"
+)
+
+func main() {
+	name := flag.String("query", "Top-N", `query name (see "fpisa-bench -exp table2")`)
+	workers := flag.Int("workers", 2, "worker partitions")
+	scale := flag.Int("scale", 1, "dataset scale multiplier")
+	rows := flag.Int("rows", 10, "result rows to print")
+	flag.Parse()
+
+	q, err := query.QueryByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := query.DefaultScale()
+	sc.UserVisits *= *scale
+	sc.Rankings *= *scale
+	sc.LineItems *= *scale
+	sc.Orders *= *scale
+	sc.Customers *= *scale
+
+	e := query.NewEngine(query.Generate(sc, *workers, 7))
+	base, bCost := e.RunBaseline(q)
+	accel, sCost, err := e.RunSwitch(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s — %s via %s\n\n", q.Desc.Name, q.Desc.FPOp, q.Desc.Method)
+	fmt.Printf("%-12s %18s %18s\n", "key", "baseline", "FPISA")
+	n := min(*rows, len(base.Entries))
+	for i := 0; i < n; i++ {
+		var av float64
+		if i < len(accel.Entries) {
+			av = accel.Entries[i].Val
+		}
+		fmt.Printf("%-12d %18.6f %18.6f\n", base.Entries[i].Key, base.Entries[i].Val, av)
+	}
+	fmt.Printf("\nrows to master: baseline %d, FPISA %d\n", bCost.RowsToMaster, sCost.RowsToMaster)
+	b, s := bCost.BaselineSeconds(*workers), sCost.SwitchSeconds(*workers)
+	fmt.Printf("modeled time:   baseline %.2fs, FPISA %.2fs (%.2fx)\n", b, s, b/s)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

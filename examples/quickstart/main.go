@@ -1,0 +1,42 @@
+// Quickstart: aggregate floating-point values exactly the way a
+// programmable switch running FPISA would — first with the software model,
+// then on the simulated PISA pipeline with real packets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fpisa"
+)
+
+func main() {
+	// One-shot: sum values through a single FPISA-A slot.
+	sum, err := fpisa.Sum(fpisa.ModeApprox, []float32{3.0, 1.0, -0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FPISA-A sum(3, 1, -0.5) = %g\n", sum)
+
+	// The paper's Fig. 4 walkthrough on the simulated switch pipeline.
+	sw, err := fpisa.NewSwitchSim(fpisa.ModeApprox, 1, 8, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw.Add(0, []float32{3.0})
+	running, _ := sw.Add(0, []float32{1.0})
+	fmt.Printf("pipeline 3.0 + 1.0 = %g (renormalized by the egress LPM table)\n", running[0])
+
+	// FPISA-A's documented approximation: exponent gaps beyond the 7-bit
+	// headroom overwrite the accumulator; full FPISA (with the paper's
+	// hardware extensions) computes exactly.
+	a, _ := fpisa.Sum(fpisa.ModeApprox, []float32{1, 1024})
+	f, _ := fpisa.Sum(fpisa.ModeFull, []float32{1, 1024})
+	fmt.Printf("1 + 1024: FPISA-A = %g (overwrite), FPISA = %g (exact)\n", a, f)
+
+	// Resource cost on existing hardware — the paper's Table 3.
+	fmt.Println("\nCompiled resource utilization (base Tofino-like switch):")
+	fmt.Print(sw.Utilization())
+	fmt.Printf("parallel modules per pipeline: base=%d, with §4.2 extensions=%d\n",
+		fpisa.MaxModules(false), fpisa.MaxModules(true))
+}

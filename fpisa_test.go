@@ -1,0 +1,135 @@
+package fpisa
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSumModes(t *testing.T) {
+	vals := []float32{1.5, 2.25, -0.75, 4}
+	for _, mode := range []Mode{ModeApprox, ModeFull} {
+		got, err := Sum(mode, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 7 {
+			t.Errorf("%v: Sum = %g, want 7", mode, got)
+		}
+	}
+}
+
+func TestAggregatorLifecycle(t *testing.T) {
+	a, err := NewAggregator(ModeApprox, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	a.Add(1, 10)
+	a.Add(1, 20)
+	if got := a.Read(1); got != 30 {
+		t.Errorf("Read = %g", got)
+	}
+	if got := a.ReadReset(1); got != 30 {
+		t.Errorf("ReadReset = %g", got)
+	}
+	if got := a.Read(1); got != 0 {
+		t.Errorf("after reset = %g", got)
+	}
+	if a.Overflowed(1) {
+		t.Error("spurious overflow")
+	}
+}
+
+func TestAggregatorFP16(t *testing.T) {
+	a, err := NewAggregatorFP16(ModeApprox, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Add(0, 1.5)
+	a.Add(0, 0.25)
+	if got := a.Read(0); got != 1.75 {
+		t.Errorf("FP16 sum = %g", got)
+	}
+}
+
+func TestCompareKeyOrdering(t *testing.T) {
+	if CompareKey(-2) >= CompareKey(1) {
+		t.Error("CompareKey not ordered")
+	}
+	if CompareKey(1) >= CompareKey(2) {
+		t.Error("CompareKey not ordered")
+	}
+}
+
+func TestSwitchSimEndToEnd(t *testing.T) {
+	s, err := NewSwitchSim(ModeApprox, 1, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(0, []float32{3}); err != nil {
+		t.Fatal(err)
+	}
+	sums, err := s.Add(0, []float32{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 4 {
+		t.Errorf("pipeline 3+1 = %g", sums[0])
+	}
+	if vals, _ := s.ReadReset(0); vals[0] != 4 {
+		t.Errorf("ReadReset = %g", vals[0])
+	}
+	if vals, _ := s.Read(0); vals[0] != 0 {
+		t.Errorf("after reset = %g", vals[0])
+	}
+	if u := s.Utilization(); u == "" {
+		t.Error("empty utilization report")
+	}
+}
+
+func TestModuleCapacityClaims(t *testing.T) {
+	if MaxModules(false) != 1 {
+		t.Errorf("base hardware fits %d modules, paper says 1", MaxModules(false))
+	}
+	if MaxModules(true) < 2 {
+		t.Errorf("extended hardware fits %d modules, paper says several", MaxModules(true))
+	}
+	// Full FPISA needs the extensions.
+	if _, err := NewSwitchSim(ModeFull, 1, 4, false); err == nil {
+		t.Error("full FPISA compiled without extensions")
+	}
+	if _, err := NewSwitchSim(ModeFull, 1, 4, true); err != nil {
+		t.Errorf("full FPISA on extended arch: %v", err)
+	}
+}
+
+func TestModeDivergenceOnWideRatios(t *testing.T) {
+	// The public API exposes the §4.3 semantics difference.
+	wide := []float32{1, 1024}
+	approx, _ := Sum(ModeApprox, wide)
+	full, _ := Sum(ModeFull, wide)
+	if approx != 1024 {
+		t.Errorf("FPISA-A overwrite result = %g, want 1024", approx)
+	}
+	if full != 1025 {
+		t.Errorf("FPISA exact result = %g, want 1025", full)
+	}
+}
+
+func TestSumLargeVectorAccuracy(t *testing.T) {
+	vals := make([]float32, 100)
+	var exact float64
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i))) * 0.01
+		exact += float64(vals[i])
+	}
+	got, err := Sum(ModeFull, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(got)-exact) > 1e-6 {
+		t.Errorf("Sum = %g, exact %g", got, exact)
+	}
+}

@@ -1,0 +1,308 @@
+// Package aggservice is the FPISA in-network aggregation service: the
+// "SwitchML enhanced with FPISA" system of paper §5. Workers stream raw
+// FP32 gradient chunks to the switch in a single round; the switch
+// aggregates them with the FPISA pipeline program (internal/core) and
+// broadcasts each chunk's sum when the last worker's packet arrives.
+//
+// Compared to the SwitchML baseline (internal/switchml) there is no
+// quantization, no scaling-factor round and no host-side format conversion
+// — exactly the §5.2.3 protocol difference that frees worker CPU cores.
+//
+// Slot management follows SwitchML's self-clocked pool with two banks:
+// chunk c uses slot (c mod pool) + pool·((c/pool) mod 1), a worker sends
+// chunk c only after receiving the result of chunk c−pool, and duplicate
+// packets for completed chunks are answered from a per-slot result cache —
+// which makes the protocol robust to packet loss in either direction.
+package aggservice
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"fpisa/internal/core"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+// Message types.
+const (
+	MsgAdd    = 0 // worker → switch: chunk values
+	MsgResult = 1 // switch → workers: aggregated chunk
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Workers is the number of participating workers.
+	Workers int
+	// Pool is the number of in-flight chunks (slot pool per bank).
+	Pool int
+	// Modules is the number of vector elements per packet (compiled FPISA
+	// modules).
+	Modules int
+	// Mode selects FPISA or FPISA-A.
+	Mode core.Mode
+	// Arch is the switch architecture.
+	Arch pisa.Arch
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("aggservice: workers %d", c.Workers)
+	}
+	if c.Pool < 1 {
+		return fmt.Errorf("aggservice: pool %d", c.Pool)
+	}
+	if c.Modules < 1 {
+		return fmt.Errorf("aggservice: modules %d", c.Modules)
+	}
+	return nil
+}
+
+// wire format: add = [type(1) chunk(4) values(4*M)]
+//
+//	result = [type(1) chunk(4) values(4*M) overflow(1)]
+const hdrBytes = 5
+
+func addBytes(modules int) int    { return hdrBytes + 4*modules }
+func resultBytes(modules int) int { return hdrBytes + 4*modules + 1 }
+
+// EncodeAdd builds a worker ADD packet.
+func EncodeAdd(chunk uint32, vals []float32) []byte {
+	pkt := make([]byte, addBytes(len(vals)))
+	pkt[0] = MsgAdd
+	binary.BigEndian.PutUint32(pkt[1:], chunk)
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(pkt[hdrBytes+4*i:], math.Float32bits(v))
+	}
+	return pkt
+}
+
+// DecodeResult parses a RESULT packet.
+func DecodeResult(pkt []byte, modules int) (chunk uint32, vals []float32, overflow bool, err error) {
+	if len(pkt) < resultBytes(modules) || pkt[0] != MsgResult {
+		return 0, nil, false, fmt.Errorf("aggservice: bad result packet")
+	}
+	chunk = binary.BigEndian.Uint32(pkt[1:])
+	vals = make([]float32, modules)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
+	}
+	overflow = pkt[hdrBytes+4*modules] != 0
+	return chunk, vals, overflow, nil
+}
+
+// Switch is the service's switch side: the FPISA pipeline plus the slot-
+// pool protocol state (the seen-bitmap and result cache a production P4
+// program holds in additional registers).
+type Switch struct {
+	cfg  Config
+	pa   *core.PipelineAggregator
+	mu   sync.Mutex
+	slot []slotState
+	// Stats
+	adds, dups, completions uint64
+}
+
+type slotState struct {
+	chunk  int64 // bound chunk id, -1 when free
+	seen   []bool
+	nSeen  int
+	cached []byte // RESULT packet, nil until complete
+}
+
+// NewSwitch compiles the FPISA program and initializes the pool.
+func NewSwitch(cfg Config) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pa, err := core.NewPipelineAggregator(core.DefaultFP32(cfg.Mode), cfg.Modules, 2*cfg.Pool, cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	s := &Switch{cfg: cfg, pa: pa, slot: make([]slotState, 2*cfg.Pool)}
+	for i := range s.slot {
+		s.slot[i].chunk = -1
+		s.slot[i].seen = make([]bool, cfg.Workers)
+	}
+	return s, nil
+}
+
+// Utilization exposes the compiled pipeline's resource report.
+func (s *Switch) Utilization() pisa.Utilization { return s.pa.Utilization() }
+
+// slotOf maps a chunk to its pool slot (two banks, SwitchML-style).
+func (s *Switch) slotOf(chunk uint32) int {
+	pool := uint32(s.cfg.Pool)
+	return int(chunk%pool + pool*(chunk/pool%2))
+}
+
+// Handle implements transport.Handler.
+func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
+	if len(pkt) < addBytes(s.cfg.Modules) || pkt[0] != MsgAdd || worker >= s.cfg.Workers {
+		return nil
+	}
+	chunk := binary.BigEndian.Uint32(pkt[1:])
+	vals := make([]float32, s.cfg.Modules)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si := s.slotOf(chunk)
+	st := &s.slot[si]
+
+	switch {
+	case int64(chunk) < st.chunk:
+		// Stale retransmit for a chunk every worker already completed
+		// (guaranteed by the self-clocked window); ignore.
+		return nil
+	case int64(chunk) > st.chunk:
+		// First packet of a new chunk resets the slot (pool versioning).
+		s.pa.ReadReset(si)
+		st.chunk = int64(chunk)
+		for i := range st.seen {
+			st.seen[i] = false
+		}
+		st.nSeen = 0
+		st.cached = nil
+	}
+
+	if st.seen[worker] {
+		s.dups++
+		if st.cached != nil {
+			// The worker missed the broadcast; replay the result.
+			return []transport.Delivery{{Worker: worker, Packet: st.cached}}
+		}
+		return nil // duplicate while aggregation is in progress
+	}
+	st.seen[worker] = true
+	st.nSeen++
+	s.adds++
+
+	res, err := s.pa.Add(si, vals)
+	if err != nil {
+		return nil
+	}
+	if st.nSeen < s.cfg.Workers {
+		return nil
+	}
+
+	// Last worker: the running sums are the final aggregation.
+	s.completions++
+	out := make([]byte, resultBytes(s.cfg.Modules))
+	out[0] = MsgResult
+	binary.BigEndian.PutUint32(out[1:], chunk)
+	var anyOvf byte
+	for i, v := range res.Values {
+		binary.BigEndian.PutUint32(out[hdrBytes+4*i:], math.Float32bits(v))
+		if res.Overflow[i] {
+			anyOvf = 1
+		}
+	}
+	out[hdrBytes+4*s.cfg.Modules] = anyOvf
+	st.cached = out
+	return []transport.Delivery{{Broadcast: true, Packet: out}}
+}
+
+// Stats returns protocol counters.
+func (s *Switch) Stats() (adds, dups, completions uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adds, s.dups, s.completions
+}
+
+// Worker is the host side: it reduces a gradient vector through the switch.
+type Worker struct {
+	ID      int
+	Fabric  transport.Fabric
+	Cfg     Config
+	Timeout time.Duration
+	// Retries bounds retransmission attempts per window stall.
+	Retries int
+	// SentPackets counts transmissions (including retransmits).
+	SentPackets uint64
+}
+
+// Reduce aggregates vec with the other workers and returns the summed
+// vector. All workers must call Reduce with equal-length vectors.
+func (w *Worker) Reduce(vec []float32) ([]float32, error) {
+	modules := w.Cfg.Modules
+	pool := w.Cfg.Pool
+	timeout := w.Timeout
+	if timeout == 0 {
+		timeout = 200 * time.Millisecond
+	}
+	retries := w.Retries
+	if retries == 0 {
+		retries = 50
+	}
+
+	nChunks := (len(vec) + modules - 1) / modules
+	out := make([]float32, len(vec))
+	done := make([]bool, nChunks)
+	sent := make([]bool, nChunks)
+	nDone := 0
+
+	chunkVals := func(c int) []float32 {
+		vals := make([]float32, modules)
+		copy(vals, vec[c*modules:min(len(vec), (c+1)*modules)])
+		return vals
+	}
+	canSend := func(c int) bool {
+		return c < nChunks && !sent[c] && (c-pool < 0 || done[c-pool])
+	}
+	send := func(c int) error {
+		w.SentPackets++
+		return w.Fabric.Send(w.ID, EncodeAdd(uint32(c), chunkVals(c)))
+	}
+
+	stalls := 0
+	for nDone < nChunks {
+		// Fill the self-clocked window.
+		for c := 0; c < nChunks; c++ {
+			if canSend(c) {
+				if err := send(c); err != nil {
+					return nil, err
+				}
+				sent[c] = true
+			}
+		}
+		pkt, err := w.Fabric.Recv(w.ID, timeout)
+		if err == transport.ErrTimeout {
+			stalls++
+			if stalls > retries {
+				return nil, fmt.Errorf("aggservice: worker %d gave up after %d stalls", w.ID, stalls)
+			}
+			// Retransmit every outstanding chunk.
+			for c := 0; c < nChunks; c++ {
+				if sent[c] && !done[c] {
+					if err := send(c); err != nil {
+						return nil, err
+					}
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		chunk, vals, _, err := DecodeResult(pkt, modules)
+		if err != nil {
+			continue // not for us
+		}
+		c := int(chunk)
+		if c >= nChunks || done[c] {
+			continue
+		}
+		stalls = 0
+		done[c] = true
+		nDone++
+		copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fpisa/internal/pisa"
+)
+
+// PipelineAggregator drives the FPISA program on a simulated switch with
+// real packets: the executable counterpart of the Accumulator software
+// model. Each packet carries one value per compiled module, all addressed
+// to the same slot index.
+type PipelineAggregator struct {
+	sw  *pisa.Switch
+	lay Layout
+}
+
+// NewPipelineAggregator builds, compiles and instantiates the FPISA program.
+func NewPipelineAggregator(cfg Config, modules, slots int, arch pisa.Arch) (*PipelineAggregator, error) {
+	prog, lay, err := BuildProgram(cfg, modules, slots, arch)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := pisa.New(prog, arch)
+	if err != nil {
+		return nil, fmt.Errorf("core: FPISA program failed to compile: %w", err)
+	}
+	return &PipelineAggregator{sw: sw, lay: lay}, nil
+}
+
+// Layout returns the compiled layout.
+func (pa *PipelineAggregator) Layout() Layout { return pa.lay }
+
+// Switch exposes the underlying simulated switch (registers, counters).
+func (pa *PipelineAggregator) Switch() *pisa.Switch { return pa.sw }
+
+// Utilization returns the compiled resource report (paper Table 3).
+func (pa *PipelineAggregator) Utilization() pisa.Utilization { return pa.sw.Utilization() }
+
+// Result is one pipeline operation's response.
+type Result struct {
+	// Values holds the per-module renormalized FP32 results: for Add the
+	// running sums after the addition, for Read/ReadReset the stored sums.
+	Values []float32
+	// Overflow holds the per-module sticky overflow flags (§3.3).
+	Overflow []bool
+	// Count is the slot's add counter (after the operation).
+	Count uint32
+}
+
+// Packet builds a raw FPISA packet; exported for transports and daemons.
+func (pa *PipelineAggregator) Packet(op byte, idx uint32, vals []float32) ([]byte, error) {
+	if len(vals) > pa.lay.Modules {
+		return nil, fmt.Errorf("core: %d values exceed %d modules", len(vals), pa.lay.Modules)
+	}
+	pkt := make([]byte, pa.lay.PacketBytes)
+	pkt[pktOffOp] = op
+	binary.BigEndian.PutUint32(pkt[pktOffIdx:], idx)
+	for k, v := range vals {
+		binary.BigEndian.PutUint32(pkt[pktOffValues+pktPerModule*k:], math.Float32bits(v))
+	}
+	return pkt, nil
+}
+
+// ParseResponse decodes a response packet.
+func (pa *PipelineAggregator) ParseResponse(pkt []byte) (Result, error) {
+	if len(pkt) < pa.lay.PacketBytes {
+		return Result{}, fmt.Errorf("core: short response: %d < %d", len(pkt), pa.lay.PacketBytes)
+	}
+	r := Result{
+		Values:   make([]float32, pa.lay.Modules),
+		Overflow: make([]bool, pa.lay.Modules),
+		Count:    binary.BigEndian.Uint32(pkt[pktOffCnt:]),
+	}
+	for k := 0; k < pa.lay.Modules; k++ {
+		off := pktOffValues + pktPerModule*k
+		r.Values[k] = math.Float32frombits(binary.BigEndian.Uint32(pkt[off:]))
+		r.Overflow[k] = pkt[off+4] != 0
+	}
+	return r, nil
+}
+
+func (pa *PipelineAggregator) do(op byte, idx int, vals []float32) (Result, error) {
+	if idx < 0 || idx >= pa.lay.Slots {
+		return Result{}, fmt.Errorf("core: slot %d out of range %d", idx, pa.lay.Slots)
+	}
+	pkt, err := pa.Packet(op, uint32(idx), vals)
+	if err != nil {
+		return Result{}, err
+	}
+	out, err := pa.sw.Process(1, pkt)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(out) != 1 {
+		return Result{}, fmt.Errorf("core: expected 1 response packet, got %d", len(out))
+	}
+	return pa.ParseResponse(out[0].Packet)
+}
+
+// Add accumulates one value per module into the slot and returns the
+// running sums.
+func (pa *PipelineAggregator) Add(idx int, vals []float32) (Result, error) {
+	return pa.do(PktAdd, idx, vals)
+}
+
+// Read returns the slot's renormalized sums without modifying state.
+func (pa *PipelineAggregator) Read(idx int) (Result, error) {
+	return pa.do(PktRead, idx, nil)
+}
+
+// ReadReset returns the sums and zeroes the slot and its counters.
+func (pa *PipelineAggregator) ReadReset(idx int) (Result, error) {
+	return pa.do(PktReadReset, idx, nil)
+}

@@ -1,0 +1,99 @@
+// Package fpnum provides the floating-point number kernel used throughout the
+// FPISA reproduction: format descriptors, bit-level pack/unpack for FP16,
+// bfloat16, FP32 and FP64, monotonic ordering keys, ULP distances and exact
+// reference summation algorithms.
+//
+// Everything in this package is host-side arithmetic. The switch-side
+// representation (decoupled exponent + signed mantissa) lives in
+// internal/core; it consumes the decompositions defined here.
+package fpnum
+
+import "fmt"
+
+// Format describes an IEEE-754-style binary floating point format with a sign
+// bit, ExpBits exponent bits and ManBits stored (fraction) mantissa bits.
+type Format struct {
+	// Name is a short human-readable identifier such as "FP32".
+	Name string
+	// Bits is the total storage width in bits.
+	Bits int
+	// ExpBits is the number of exponent bits.
+	ExpBits int
+	// ManBits is the number of stored fraction bits (excluding the
+	// implicit leading 1 of normal numbers).
+	ManBits int
+}
+
+// Predefined formats. BF16 is bfloat16 (truncated FP32); the others are the
+// IEEE 754 binary16/32/64 interchange formats.
+var (
+	FP16 = Format{Name: "FP16", Bits: 16, ExpBits: 5, ManBits: 10}
+	BF16 = Format{Name: "BF16", Bits: 16, ExpBits: 8, ManBits: 7}
+	FP32 = Format{Name: "FP32", Bits: 32, ExpBits: 8, ManBits: 23}
+	FP64 = Format{Name: "FP64", Bits: 64, ExpBits: 11, ManBits: 52}
+)
+
+// Bias returns the exponent bias (2^(ExpBits-1) - 1).
+func (f Format) Bias() int { return 1<<(f.ExpBits-1) - 1 }
+
+// MaxBiasedExp returns the largest finite biased exponent value
+// (all-ones is reserved for Inf/NaN).
+func (f Format) MaxBiasedExp() int { return 1<<f.ExpBits - 2 }
+
+// ExpMask returns the biased-exponent field mask (right-aligned).
+func (f Format) ExpMask() uint64 { return 1<<f.ExpBits - 1 }
+
+// ManMask returns the fraction field mask (right-aligned).
+func (f Format) ManMask() uint64 { return 1<<f.ManBits - 1 }
+
+// Bytes returns the storage width in bytes.
+func (f Format) Bytes() int { return f.Bits / 8 }
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	return fmt.Sprintf("%s(e%dm%d)", f.Name, f.ExpBits, f.ManBits)
+}
+
+// Valid reports whether the format is internally consistent.
+func (f Format) Valid() bool {
+	return f.Bits == 1+f.ExpBits+f.ManBits && f.ExpBits >= 2 && f.ManBits >= 1 && f.Bits%8 == 0
+}
+
+// Split extracts (sign, biasedExp, fraction) from a packed value of this
+// format, right-aligned in bits.
+func (f Format) Split(bits uint64) (sign uint64, exp uint64, frac uint64) {
+	sign = bits >> (f.Bits - 1) & 1
+	exp = bits >> f.ManBits & f.ExpMask()
+	frac = bits & f.ManMask()
+	return sign, exp, frac
+}
+
+// Join packs (sign, biasedExp, fraction) into a value of this format.
+// Out-of-range fields are masked to width.
+func (f Format) Join(sign, exp, frac uint64) uint64 {
+	return (sign&1)<<(f.Bits-1) | (exp&f.ExpMask())<<f.ManBits | frac&f.ManMask()
+}
+
+// IsNaNBits reports whether the packed value encodes a NaN.
+func (f Format) IsNaNBits(bits uint64) bool {
+	_, e, m := f.Split(bits)
+	return e == f.ExpMask() && m != 0
+}
+
+// IsInfBits reports whether the packed value encodes ±Inf.
+func (f Format) IsInfBits(bits uint64) bool {
+	_, e, m := f.Split(bits)
+	return e == f.ExpMask() && m == 0
+}
+
+// IsZeroBits reports whether the packed value encodes ±0.
+func (f Format) IsZeroBits(bits uint64) bool {
+	_, e, m := f.Split(bits)
+	return e == 0 && m == 0
+}
+
+// IsSubnormalBits reports whether the packed value encodes a subnormal.
+func (f Format) IsSubnormalBits(bits uint64) bool {
+	_, e, m := f.Split(bits)
+	return e == 0 && m != 0
+}

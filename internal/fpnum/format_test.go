@@ -1,0 +1,144 @@
+package fpnum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFormatConstantsValid(t *testing.T) {
+	for _, f := range []Format{FP16, BF16, FP32, FP64} {
+		if !f.Valid() {
+			t.Errorf("%v: invalid format definition", f)
+		}
+	}
+}
+
+func TestFormatBias(t *testing.T) {
+	cases := []struct {
+		f    Format
+		bias int
+	}{
+		{FP16, 15}, {BF16, 127}, {FP32, 127}, {FP64, 1023},
+	}
+	for _, c := range cases {
+		if got := c.f.Bias(); got != c.bias {
+			t.Errorf("%s.Bias() = %d, want %d", c.f.Name, got, c.bias)
+		}
+	}
+}
+
+func TestFormatMaxBiasedExp(t *testing.T) {
+	if got := FP32.MaxBiasedExp(); got != 254 {
+		t.Errorf("FP32.MaxBiasedExp() = %d, want 254", got)
+	}
+	if got := FP16.MaxBiasedExp(); got != 30 {
+		t.Errorf("FP16.MaxBiasedExp() = %d, want 30", got)
+	}
+}
+
+func TestFormatSplitJoinRoundTrip(t *testing.T) {
+	values := []uint64{0, 1, 0x3F800000, 0x80000000, 0x7F800001, 0xFFFFFFFF}
+	for _, v := range values {
+		s, e, m := FP32.Split(v)
+		if got := FP32.Join(s, e, m); got != v&0xFFFFFFFF {
+			t.Errorf("Join(Split(%#x)) = %#x", v, got)
+		}
+	}
+}
+
+func TestFormatSplitKnownValue(t *testing.T) {
+	// 1.0f == 0x3F800000: sign 0, exp 127, frac 0.
+	s, e, m := FP32.Split(uint64(math.Float32bits(1.0)))
+	if s != 0 || e != 127 || m != 0 {
+		t.Errorf("Split(1.0) = (%d,%d,%d), want (0,127,0)", s, e, m)
+	}
+	// -3.0f: sign 1, exp 128, frac 0x400000.
+	s, e, m = FP32.Split(uint64(math.Float32bits(-3.0)))
+	if s != 1 || e != 128 || m != 0x400000 {
+		t.Errorf("Split(-3.0) = (%d,%d,%#x)", s, e, m)
+	}
+}
+
+func TestFormatClassifiers(t *testing.T) {
+	nan := uint64(math.Float32bits(float32(math.NaN())))
+	inf := uint64(math.Float32bits(float32(math.Inf(1))))
+	zero := uint64(math.Float32bits(0))
+	negZero := uint64(math.Float32bits(float32(math.Copysign(0, -1))))
+	sub := uint64(1) // smallest positive subnormal
+
+	if !FP32.IsNaNBits(nan) || FP32.IsNaNBits(inf) || FP32.IsNaNBits(zero) {
+		t.Error("IsNaNBits misclassified")
+	}
+	if !FP32.IsInfBits(inf) || FP32.IsInfBits(nan) {
+		t.Error("IsInfBits misclassified")
+	}
+	if !FP32.IsZeroBits(zero) || !FP32.IsZeroBits(negZero) || FP32.IsZeroBits(sub) {
+		t.Error("IsZeroBits misclassified")
+	}
+	if !FP32.IsSubnormalBits(sub) || FP32.IsSubnormalBits(zero) {
+		t.Error("IsSubnormalBits misclassified")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	if FP16.Bytes() != 2 || FP32.Bytes() != 4 || FP64.Bytes() != 8 {
+		t.Error("Bytes() wrong")
+	}
+}
+
+func TestDecomposeCompose32RoundTrip(t *testing.T) {
+	values := []float32{0, 1, -1, 0.5, -0.5, 3.0, 1e-38, 1e38, 1.5e-45,
+		float32(math.Inf(1)), float32(math.Inf(-1))}
+	for _, v := range values {
+		p := Decompose32(v)
+		if got := Compose32(p); math.Float32bits(got) != math.Float32bits(v) {
+			t.Errorf("Compose32(Decompose32(%g)) = %g", v, got)
+		}
+	}
+}
+
+func TestExplicitMantissa(t *testing.T) {
+	// 1.0 has explicit mantissa 1<<23.
+	if m := Decompose32(1.0).ExplicitMantissa(); m != 1<<23 {
+		t.Errorf("ExplicitMantissa(1.0) = %#x, want %#x", m, 1<<23)
+	}
+	// 3.0 = 1.5 * 2^1 -> mantissa 0b11 << 22.
+	if m := Decompose32(3.0).ExplicitMantissa(); m != 3<<22 {
+		t.Errorf("ExplicitMantissa(3.0) = %#x, want %#x", m, 3<<22)
+	}
+	// Subnormals carry no implicit 1.
+	sub := math.Float32frombits(1)
+	if m := Decompose32(sub).ExplicitMantissa(); m != 1 {
+		t.Errorf("ExplicitMantissa(subnormal) = %#x, want 1", m)
+	}
+}
+
+func TestSignedMantissa(t *testing.T) {
+	if m := Decompose32(1.0).SignedMantissa(0); m != 1<<23 {
+		t.Errorf("SignedMantissa(1.0) = %d", m)
+	}
+	if m := Decompose32(-1.0).SignedMantissa(0); m != -(1 << 23) {
+		t.Errorf("SignedMantissa(-1.0) = %d", m)
+	}
+	if m := Decompose32(1.0).SignedMantissa(3); m != 1<<26 {
+		t.Errorf("SignedMantissa(1.0, guard=3) = %d, want %d", m, 1<<26)
+	}
+}
+
+func TestParts32Classifiers(t *testing.T) {
+	if !Decompose32(0).IsZero() {
+		t.Error("0 not classified as zero")
+	}
+	if !Decompose32(float32(math.NaN())).IsNaN() {
+		t.Error("NaN not classified")
+	}
+	if !Decompose32(float32(math.Inf(-1))).IsInf() {
+		t.Error("-Inf not classified")
+	}
+	if !Decompose32(math.Float32frombits(7)).IsSubnormal() {
+		t.Error("subnormal not classified")
+	}
+	if Decompose32(1.5).IsZero() || Decompose32(1.5).IsNaN() || Decompose32(1.5).IsInf() {
+		t.Error("1.5 misclassified")
+	}
+}

@@ -1,0 +1,82 @@
+package fpnum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSumsEmptyAndSingle(t *testing.T) {
+	if NaiveSum32(nil) != 0 || KahanSum32(nil) != 0 || PairwiseSum32(nil) != 0 {
+		t.Error("empty sums not zero")
+	}
+	one := []float32{42}
+	if NaiveSum32(one) != 42 || KahanSum32(one) != 42 || PairwiseSum32(one) != 42 {
+		t.Error("single-element sums wrong")
+	}
+	if Sum64of32(one) != 42 {
+		t.Error("Sum64of32 single wrong")
+	}
+}
+
+func TestKahanBeatsNaive(t *testing.T) {
+	// Classic cancellation workload: 1 followed by many tiny values that
+	// naive FP32 accumulation drops entirely.
+	xs := make([]float32, 1+100000)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-8
+	}
+	exact := 1 + 1e-8*100000
+	naiveErr := math.Abs(float64(NaiveSum32(xs)) - exact)
+	kahanErr := math.Abs(float64(KahanSum32(xs)) - exact)
+	if kahanErr > naiveErr {
+		t.Errorf("kahan error %g > naive error %g", kahanErr, naiveErr)
+	}
+	if kahanErr > 1e-7 {
+		t.Errorf("kahan error %g unexpectedly large", kahanErr)
+	}
+}
+
+func TestPairwiseMatchesExactOnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float32, 4097) // odd, non-power-of-two length
+	for i := range xs {
+		xs[i] = float32(rng.NormFloat64())
+	}
+	exact := Sum64of32(xs)
+	got := float64(PairwiseSum32(xs))
+	if math.Abs(got-exact) > 1e-3*math.Abs(exact)+1e-3 {
+		t.Errorf("pairwise %g vs exact %g", got, exact)
+	}
+}
+
+func TestNeumaierSum64Exactish(t *testing.T) {
+	xs := []float64{1e16, 1, -1e16} // naive float64 loses the 1
+	if got := NeumaierSum64(xs); got != 1 {
+		t.Errorf("NeumaierSum64 = %g, want 1", got)
+	}
+}
+
+func TestSum64of32MatchesIntegerSums(t *testing.T) {
+	xs := make([]float32, 1000)
+	var want float64
+	for i := range xs {
+		xs[i] = float32(i)
+		want += float64(i)
+	}
+	if got := Sum64of32(xs); got != want {
+		t.Errorf("Sum64of32 = %g, want %g", got, want)
+	}
+}
+
+func TestSumsNegativeCancellation(t *testing.T) {
+	xs := []float32{5, -5, 3, -3, 1.5, -1.5}
+	for name, f := range map[string]func([]float32) float32{
+		"naive": NaiveSum32, "kahan": KahanSum32, "pairwise": PairwiseSum32,
+	} {
+		if got := f(xs); got != 0 {
+			t.Errorf("%s = %g, want 0", name, got)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package pisa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// checkDependencies assigns stages to auto-placed tables and validates the
+// PISA dataflow constraints:
+//
+//   - A field read in stage s must be produced by the parser, the
+//     architecture, or a table in an earlier stage of the same gress (any
+//     ingress stage for egress readers): data dependencies never flow
+//     backward (§2.3).
+//   - Two tables in the same gress and stage may not write the same field.
+//   - All stateful ops on a register must execute in the register's stage,
+//     and at most one table may access a given register (one stateful
+//     access per register per packet).
+func (c *compiled) checkDependencies() error {
+	// Parser- and architecture-written fields.
+	parserWritten := make(map[fieldID]bool)
+	for _, e := range c.parser {
+		parserWritten[e.field] = true
+	}
+	for _, e := range c.parserBits {
+		parserWritten[e.field] = true
+	}
+	for _, b := range builtinFields {
+		id, _ := c.ft.lookup(b.Name)
+		parserWritten[id] = true
+	}
+
+	// All tables in declaration order.
+	all := c.declared
+
+	// Register access uniqueness.
+	regUser := make(map[string]string)
+	for _, t := range all {
+		for _, a := range t.actions {
+			if a.stateful == nil {
+				continue
+			}
+			name := a.stateful.reg.decl.Name
+			if u, ok := regUser[name]; ok && u != t.decl.Name {
+				return fmt.Errorf("pisa: register %q accessed by tables %q and %q; a register supports one stateful access per packet",
+					name, u, t.decl.Name)
+			}
+			regUser[name] = t.decl.Name
+		}
+	}
+
+	// Split by gress, preserving declaration order.
+	var ingress, egress []*cTable
+	for _, t := range all {
+		if t.decl.Egress {
+			egress = append(egress, t)
+		} else {
+			ingress = append(ingress, t)
+		}
+	}
+
+	assign := func(tables []*cTable, stages int, gressName string) ([][]*cTable, error) {
+		// writersAt[f] = stages (same gress) that write field f.
+		writersAt := make(map[fieldID][]int)
+		out := make([][]*cTable, stages)
+
+		for _, t := range tables {
+			reads, writes := c.tableIO(t)
+
+			// Required stage from stateful register binding.
+			regStage := -1
+			for _, a := range t.actions {
+				if a.stateful != nil {
+					rs := a.stateful.reg.decl.Stage
+					if regStage != -1 && regStage != rs {
+						return nil, fmt.Errorf("pisa: table %q: actions bind registers in different stages", t.decl.Name)
+					}
+					regStage = rs
+				}
+			}
+
+			// Earliest legal stage from read dependencies.
+			min := 0
+			for f := range reads {
+				for _, ws := range writersAt[f] {
+					if ws+1 > min {
+						min = ws + 1
+					}
+				}
+			}
+
+			stage := t.stage
+			switch {
+			case stage == -1 && regStage != -1:
+				stage = regStage
+			case stage == -1:
+				stage = min
+			}
+			if regStage != -1 && stage != regStage {
+				return nil, fmt.Errorf("pisa: table %q: declared stage %d but register %s lives in stage %d",
+					t.decl.Name, stage, regUserName(t), regStage)
+			}
+			if stage < min {
+				return nil, fmt.Errorf("pisa: %s table %q: placed in stage %d but reads fields produced in stage %d; dependencies cannot flow backward",
+					gressName, t.decl.Name, stage, min-1)
+			}
+			if stage >= stages {
+				return nil, fmt.Errorf("pisa: %s table %q: needs stage %d but the pipeline has %d stages",
+					gressName, t.decl.Name, stage, stages)
+			}
+			t.stage = stage
+			out[stage] = append(out[stage], t)
+			for f := range writes {
+				writersAt[f] = append(writersAt[f], stage)
+			}
+		}
+
+		// Cross-check reads against all writers (declaration order above
+		// only sees earlier-declared writers; catch later-declared ones
+		// writing at later stages is fine, equal-or-later at same stage or
+		// earlier-stage reads of later writers are violations only if the
+		// reader's stage <= writer's stage — re-validate globally).
+		for _, t := range tables {
+			reads, _ := c.tableIO(t)
+			for f := range reads {
+				if parserWritten[f] {
+					continue
+				}
+				if gressName == "egress" && c.writtenInIngress(f) {
+					continue
+				}
+				ok := false
+				for _, ws := range writersAt[f] {
+					if ws < t.stage {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					if len(writersAt[f]) > 0 {
+						return nil, fmt.Errorf("pisa: %s table %q (stage %d): reads field %q produced in stage %d; dependencies cannot flow backward",
+							gressName, t.decl.Name, t.stage, c.ft.name(f), writersAt[f][0])
+					}
+					return nil, fmt.Errorf("pisa: %s table %q (stage %d): reads field %q that nothing produces",
+						gressName, t.decl.Name, t.stage, c.ft.name(f))
+				}
+			}
+		}
+
+		// Same-stage write conflicts across tables.
+		for s := 0; s < stages; s++ {
+			owner := make(map[fieldID]string)
+			for _, t := range out[s] {
+				_, writes := c.tableIO(t)
+				ws := make([]fieldID, 0, len(writes))
+				for f := range writes {
+					ws = append(ws, f)
+				}
+				sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+				for _, f := range ws {
+					if o, dup := owner[f]; dup {
+						return nil, fmt.Errorf("pisa: %s stage %d: tables %q and %q both write field %q",
+							gressName, s, o, t.decl.Name, c.ft.name(f))
+					}
+					owner[f] = t.decl.Name
+				}
+			}
+		}
+		return out, nil
+	}
+
+	var err error
+	if c.ingress, err = assign(ingress, c.arch.IngressStages, "ingress"); err != nil {
+		return err
+	}
+	if c.egress, err = assign(egress, c.arch.EgressStages, "egress"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func regUserName(t *cTable) string {
+	for _, a := range t.actions {
+		if a.stateful != nil {
+			return a.stateful.reg.decl.Name
+		}
+	}
+	return "?"
+}
+
+// writtenInIngress reports whether any ingress table writes field f.
+func (c *compiled) writtenInIngress(f fieldID) bool {
+	for _, st := range c.ingress {
+		for _, t := range st {
+			_, writes := c.tableIO(t)
+			if writes[f] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tableIO returns the set of fields a table reads (keys, operands,
+// predicates, stateful inputs) and writes (instruction dsts, stateful
+// outputs).
+func (c *compiled) tableIO(t *cTable) (reads, writes map[fieldID]bool) {
+	reads = make(map[fieldID]bool)
+	writes = make(map[fieldID]bool)
+	for _, k := range t.keyIDs {
+		reads[k] = true
+	}
+	for _, a := range t.actions {
+		for _, ci := range a.instrs {
+			for _, r := range actionInstrReads(ci) {
+				reads[r] = true
+			}
+			writes[ci.dst] = true
+		}
+		if s := a.stateful; s != nil {
+			reads[s.index] = true
+			if s.hasIn {
+				reads[s.in] = true
+			}
+			if s.hasShift {
+				reads[s.shift] = true
+			}
+			if s.cond.Kind == CondPhv {
+				reads[s.condField] = true
+			}
+			if s.output != OutNone {
+				writes[s.outField] = true
+			}
+			if s.hasOvField {
+				writes[s.ovField] = true
+			}
+		}
+	}
+	return reads, writes
+}

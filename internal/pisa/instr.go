@@ -1,0 +1,292 @@
+package pisa
+
+import "fmt"
+
+// Opcode enumerates the operations of the stateless VLIW ALUs. These mirror
+// the integer operations PISA match-action stages provide (§2.1): moves,
+// add/subtract, bitwise logic, shifts and comparisons. There is deliberately
+// no count-leading-zeros and no multiply — the paper's point is that FP must
+// be built from exactly this set.
+type Opcode int
+
+const (
+	// OpMov sets Dst = A.
+	OpMov Opcode = iota
+	// OpAdd sets Dst = A + B (wrapping at container width).
+	OpAdd
+	// OpSub sets Dst = A - B.
+	OpSub
+	// OpAnd, OpOr, OpXor are bitwise logic.
+	OpAnd
+	OpOr
+	OpXor
+	// OpNot sets Dst = ^A.
+	OpNot
+	// OpShl shifts A left by B bits. A field-typed B requires the
+	// VariableShift feature (§4.2); otherwise B must be an immediate.
+	OpShl
+	// OpShrL is a logical right shift, same B rules as OpShl.
+	OpShrL
+	// OpShrA is an arithmetic right shift (sign bit of the container
+	// width replicates), same B rules as OpShl.
+	OpShrA
+	// OpMin/OpMax are unsigned minimum/maximum.
+	OpMin
+	OpMax
+	// OpMinS/OpMaxS are signed minimum/maximum.
+	OpMinS
+	OpMaxS
+	// Comparison ops set Dst to 1 or 0.
+	OpEq
+	OpNe
+	OpLtU // unsigned A < B
+	OpLtS // signed A < B
+	OpGeU // unsigned A >= B
+	OpGeS // signed A >= B
+	// OpCsel sets Dst = (Pred != 0) ? A : B. This is the single-write
+	// conditional-select hardware provides in place of two predicated
+	// writes to the same container.
+	OpCsel
+)
+
+var opNames = map[Opcode]string{
+	OpMov: "mov", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpNot: "not", OpShl: "shl", OpShrL: "shrl", OpShrA: "shra",
+	OpMin: "min", OpMax: "max", OpMinS: "mins", OpMaxS: "maxs",
+	OpEq: "eq", OpNe: "ne", OpLtU: "ltu", OpLtS: "lts", OpGeU: "geu",
+	OpGeS: "ges", OpCsel: "csel",
+}
+
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Operand is an instruction source: a PHV field (when Field is non-empty),
+// an action-data parameter (when IsParam — the per-entry arguments standard
+// P4 actions take), or a 32-bit immediate.
+type Operand struct {
+	Field    string
+	Imm      uint32
+	IsParam  bool
+	ParamIdx int
+}
+
+// F makes a field operand.
+func F(name string) Operand { return Operand{Field: name} }
+
+// Imm makes an immediate operand.
+func Imm(v uint32) Operand { return Operand{Imm: v} }
+
+// ImmS makes an immediate operand from a signed value (two's complement).
+func ImmS(v int32) Operand { return Operand{Imm: uint32(v)} }
+
+// P makes an action-data operand: the value comes from the matched entry's
+// Params[idx]. Action data lets one action implementation serve many
+// entries (one VLIW slot), but hardware shifters cannot take it as a
+// distance — that is the §4.1 limitation the VariableShift extension fixes.
+func P(idx int) Operand { return Operand{IsParam: true, ParamIdx: idx} }
+
+// Instr is one VLIW instruction. All instructions within an action execute
+// in parallel against the PHV as it stood at stage entry; the compiler
+// rejects intra-action read-after-write dependencies to keep the sequential
+// simulator faithful to that model.
+type Instr struct {
+	Op  Opcode
+	Dst string
+	A   Operand
+	B   Operand
+	// Pred optionally predicates the instruction (or selects for OpCsel):
+	// the instruction takes effect only when (PHV[Pred] != 0) != PredNeg.
+	Pred    string
+	PredNeg bool
+}
+
+func (in Instr) String() string {
+	s := fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.A.debug(), in.B.debug())
+	if in.Pred != "" {
+		neg := ""
+		if in.PredNeg {
+			neg = "!"
+		}
+		s += fmt.Sprintf(" if %s%s", neg, in.Pred)
+	}
+	return s
+}
+
+func (o Operand) debug() string {
+	if o.Field != "" {
+		return o.Field
+	}
+	if o.IsParam {
+		return fmt.Sprintf("$%d", o.ParamIdx)
+	}
+	return fmt.Sprintf("#%d", int32(o.Imm))
+}
+
+// operand source kinds after compilation.
+type srcKind uint8
+
+const (
+	srcImm srcKind = iota
+	srcField
+	srcParam
+)
+
+type cOperand struct {
+	kind  srcKind
+	field fieldID
+	imm   uint32
+	param int
+}
+
+func (o cOperand) value(in *Phv, params []uint32) uint32 {
+	switch o.kind {
+	case srcField:
+		return in.get(o.field)
+	case srcParam:
+		return params[o.param]
+	default:
+		return o.imm
+	}
+}
+
+func (o cOperand) signedValue(in *Phv, params []uint32) int32 {
+	if o.kind == srcField {
+		return in.getSigned(o.field)
+	}
+	return int32(o.value(in, params))
+}
+
+// compiled instruction with resolved field IDs.
+type cInstr struct {
+	op       Opcode
+	dst      fieldID
+	dstWidth int
+	a, b     cOperand
+	pred     fieldID
+	hasPred  bool
+	predNeg  bool
+}
+
+// eval computes the instruction result against the stage-entry PHV snapshot
+// and the matched entry's action data, and reports whether the write should
+// take effect.
+func (ci *cInstr) eval(in *Phv, params []uint32) (val uint32, write bool) {
+	predVal := true
+	if ci.hasPred {
+		predVal = (in.get(ci.pred) != 0) != ci.predNeg
+	}
+	if ci.op != OpCsel && ci.hasPred && !predVal {
+		return 0, false
+	}
+
+	a := ci.a.value(in, params)
+	b := ci.b.value(in, params)
+
+	switch ci.op {
+	case OpMov:
+		val = a
+	case OpAdd:
+		val = a + b
+	case OpSub:
+		val = a - b
+	case OpAnd:
+		val = a & b
+	case OpOr:
+		val = a | b
+	case OpXor:
+		val = a ^ b
+	case OpNot:
+		val = ^a
+	case OpShl:
+		val = shl32(a, b)
+	case OpShrL:
+		val = shrl32(a, b)
+	case OpShrA:
+		val = uint32(shra32(ci.a.signedValue(in, params), b))
+	case OpMin:
+		val = minU(a, b)
+	case OpMax:
+		val = maxU(a, b)
+	case OpMinS:
+		sa, sb := ci.a.signedValue(in, params), ci.b.signedValue(in, params)
+		if sa < sb {
+			val = uint32(sa)
+		} else {
+			val = uint32(sb)
+		}
+	case OpMaxS:
+		sa, sb := ci.a.signedValue(in, params), ci.b.signedValue(in, params)
+		if sa > sb {
+			val = uint32(sa)
+		} else {
+			val = uint32(sb)
+		}
+	case OpEq:
+		val = boolBit(a == b)
+	case OpNe:
+		val = boolBit(a != b)
+	case OpLtU:
+		val = boolBit(a < b)
+	case OpLtS:
+		val = boolBit(ci.a.signedValue(in, params) < ci.b.signedValue(in, params))
+	case OpGeU:
+		val = boolBit(a >= b)
+	case OpGeS:
+		val = boolBit(ci.a.signedValue(in, params) >= ci.b.signedValue(in, params))
+	case OpCsel:
+		if predVal {
+			val = a
+		} else {
+			val = b
+		}
+	default:
+		panic(fmt.Sprintf("pisa: unknown opcode %v", ci.op))
+	}
+	return val, true
+}
+
+func shl32(v, by uint32) uint32 {
+	if by >= 32 {
+		return 0
+	}
+	return v << by
+}
+
+func shrl32(v, by uint32) uint32 {
+	if by >= 32 {
+		return 0
+	}
+	return v >> by
+}
+
+func shra32(v int32, by uint32) int32 {
+	if by >= 31 {
+		by = 31
+	}
+	return v >> by
+}
+
+func minU(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,856 @@
+package pisa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// mustSwitch compiles a program or fails the test.
+func mustSwitch(t *testing.T, prog Program, arch Arch) *Switch {
+	t.Helper()
+	sw, err := New(prog, arch)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return sw
+}
+
+// forwardProg returns a minimal program: parse a 32-bit value, add an
+// immediate, forward to port 5.
+func forwardProg(addend uint32) Program {
+	return Program{
+		Name:   "forward",
+		Fields: []FieldDecl{{Name: "val", Width: 32}},
+		Parser: []ExtractDecl{{Field: "val", Offset: 0, Bytes: 4}},
+		Tables: []TableDecl{{
+			Name: "fwd", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{
+				Name: "go",
+				Instrs: []Instr{
+					{Op: OpAdd, Dst: "val", A: F("val"), B: Imm(addend)},
+					{Op: OpMov, Dst: FieldEgressPort, A: Imm(5)},
+				},
+			}},
+			Default: "go",
+		}},
+	}
+}
+
+func TestForwardAndModify(t *testing.T) {
+	sw := mustSwitch(t, forwardProg(1), BaseArch())
+	pkt := []byte{0, 0, 0, 41}
+	out, err := sw.Process(1, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Port != 5 {
+		t.Fatalf("out = %+v", out)
+	}
+	if got := binary.BigEndian.Uint32(out[0].Packet); got != 42 {
+		t.Errorf("val = %d, want 42", got)
+	}
+	if c := sw.Counters(); c.Received != 1 || c.Emitted != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// aluCase runs a single-op program and returns the deparsed dst value.
+func aluCase(t *testing.T, op Opcode, a, b uint32, bImm bool, arch Arch) uint32 {
+	t.Helper()
+	var bOp Operand
+	if bImm {
+		bOp = Imm(b)
+	} else {
+		bOp = F("b")
+	}
+	prog := Program{
+		Fields: []FieldDecl{{Name: "a", Width: 32}, {Name: "b", Width: 32}, {Name: "dst", Width: 32}},
+		Parser: []ExtractDecl{
+			{Field: "a", Offset: 0, Bytes: 4},
+			{Field: "b", Offset: 4, Bytes: 4},
+			{Field: "dst", Offset: 8, Bytes: 4},
+		},
+		Tables: []TableDecl{{
+			Name: "alu", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "run", Instrs: []Instr{
+				{Op: op, Dst: "dst", A: F("a"), B: bOp},
+			}}},
+			Default: "run",
+		}},
+	}
+	sw := mustSwitch(t, prog, arch)
+	pkt := make([]byte, 12)
+	binary.BigEndian.PutUint32(pkt[0:], a)
+	binary.BigEndian.PutUint32(pkt[4:], b)
+	out, err := sw.Process(0, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.BigEndian.Uint32(out[0].Packet[8:])
+}
+
+func TestALUSemantics(t *testing.T) {
+	base := BaseArch()
+	cases := []struct {
+		name string
+		op   Opcode
+		a, b uint32
+		want uint32
+	}{
+		{"add", OpAdd, 3, 4, 7},
+		{"add-wrap", OpAdd, 0xFFFFFFFF, 2, 1},
+		{"sub", OpSub, 10, 3, 7},
+		{"sub-borrow", OpSub, 0, 1, 0xFFFFFFFF},
+		{"and", OpAnd, 0xFF00FF00, 0x0FF00FF0, 0x0F000F00},
+		{"or", OpOr, 0xF0, 0x0F, 0xFF},
+		{"xor", OpXor, 0xFF, 0x0F, 0xF0},
+		{"min", OpMin, 3, 9, 3},
+		{"max", OpMax, 3, 9, 9},
+		{"minS", OpMinS, 0xFFFFFFFF /* -1 */, 1, 0xFFFFFFFF},
+		{"maxS", OpMaxS, 0xFFFFFFFF /* -1 */, 1, 1},
+		{"eq-true", OpEq, 7, 7, 1},
+		{"eq-false", OpEq, 7, 8, 0},
+		{"ne", OpNe, 7, 8, 1},
+		{"ltu", OpLtU, 1, 0xFFFFFFFF, 1},
+		{"lts", OpLtS, 0xFFFFFFFF, 1, 1}, // -1 < 1 signed
+		{"geu", OpGeU, 0xFFFFFFFF, 1, 1},
+		{"ges", OpGeS, 1, 0xFFFFFFFF, 1}, // 1 >= -1 signed
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := aluCase(t, c.op, c.a, c.b, false, base); got != c.want {
+				t.Errorf("%s(%#x,%#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestShiftImmediates(t *testing.T) {
+	base := BaseArch()
+	if got := aluCase(t, OpShl, 1, 4, true, base); got != 16 {
+		t.Errorf("shl = %d", got)
+	}
+	if got := aluCase(t, OpShrL, 0x80000000, 31, true, base); got != 1 {
+		t.Errorf("shrl = %#x", got)
+	}
+	// Arithmetic shift replicates the sign bit.
+	if got := aluCase(t, OpShrA, 0x80000000, 31, true, base); got != 0xFFFFFFFF {
+		t.Errorf("shra = %#x", got)
+	}
+	// Shift >= 32 clamps (logical: 0, arithmetic: sign fill).
+	if got := aluCase(t, OpShrL, 0xFFFF, 40, true, base); got != 0 {
+		t.Errorf("shrl40 = %#x", got)
+	}
+	if got := aluCase(t, OpShrA, 0x80000000, 40, true, base); got != 0xFFFFFFFF {
+		t.Errorf("shra40 = %#x", got)
+	}
+}
+
+func TestVariableShiftFeatureGate(t *testing.T) {
+	// Field-typed distances fail to compile on the base architecture …
+	prog := Program{
+		Fields: []FieldDecl{{Name: "a", Width: 32}, {Name: "b", Width: 32}, {Name: "dst", Width: 32}},
+		Parser: []ExtractDecl{{Field: "a", Offset: 0, Bytes: 4}, {Field: "b", Offset: 4, Bytes: 4}},
+		Tables: []TableDecl{{
+			Name: "alu", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "run", Instrs: []Instr{
+				{Op: OpShl, Dst: "dst", A: F("a"), B: F("b")},
+			}}},
+			Default: "run",
+		}},
+	}
+	if _, err := New(prog, BaseArch()); err == nil || !strings.Contains(err.Error(), "VariableShift") {
+		t.Fatalf("expected VariableShift error, got %v", err)
+	}
+	// … and execute correctly on the extended architecture.
+	if got := aluCase(t, OpShl, 3, 5, false, ExtendedArch()); got != 96 {
+		t.Errorf("variable shl = %d, want 96", got)
+	}
+}
+
+func TestCselAndPredication(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{
+			{Name: "p", Width: 8}, {Name: "a", Width: 32}, {Name: "b", Width: 32},
+			{Name: "sel", Width: 32}, {Name: "pr", Width: 32},
+		},
+		Parser: []ExtractDecl{
+			{Field: "p", Offset: 0, Bytes: 1},
+			{Field: "a", Offset: 1, Bytes: 4},
+			{Field: "b", Offset: 5, Bytes: 4},
+			{Field: "sel", Offset: 9, Bytes: 4},
+			{Field: "pr", Offset: 13, Bytes: 4},
+		},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "run", Instrs: []Instr{
+				{Op: OpCsel, Dst: "sel", A: F("a"), B: F("b"), Pred: "p"},
+				{Op: OpMov, Dst: "pr", A: Imm(99), Pred: "p", PredNeg: true},
+			}}},
+			Default: "run",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+
+	run := func(p byte) (sel, pr uint32) {
+		pkt := make([]byte, 17)
+		pkt[0] = p
+		binary.BigEndian.PutUint32(pkt[1:], 111)
+		binary.BigEndian.PutUint32(pkt[5:], 222)
+		out, err := sw.Process(0, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return binary.BigEndian.Uint32(out[0].Packet[9:]), binary.BigEndian.Uint32(out[0].Packet[13:])
+	}
+	if sel, pr := run(1); sel != 111 || pr != 0 {
+		t.Errorf("pred=1: sel=%d pr=%d", sel, pr)
+	}
+	if sel, pr := run(0); sel != 222 || pr != 99 {
+		t.Errorf("pred=0: sel=%d pr=%d", sel, pr)
+	}
+}
+
+func TestStatefulCounter(t *testing.T) {
+	prog := Program{
+		Fields:    []FieldDecl{{Name: "idx", Width: 8}, {Name: "inc", Width: 32}, {Name: "cnt", Width: 32}},
+		Registers: []RegisterDecl{{Name: "ctr", Width: 32, Size: 4, Stage: 0}},
+		Parser: []ExtractDecl{
+			{Field: "idx", Offset: 0, Bytes: 1},
+			{Field: "inc", Offset: 1, Bytes: 4},
+		},
+		Tables: []TableDecl{{
+			Name: "count", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{
+				Name: "bump",
+				Stateful: &StatefulOp{
+					Register: "ctr", IndexField: "idx", InField: "inc",
+					Cond: SaluCond{Kind: CondAlways}, True: UAddIn,
+					Output: OutNew, OutputField: "cnt",
+				},
+			}},
+			Default: "bump",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	pkt := make([]byte, 5)
+	pkt[0] = 2
+	binary.BigEndian.PutUint32(pkt[1:], 10)
+	for i := 0; i < 3; i++ {
+		if _, err := sw.Process(0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regs, err := sw.RegisterSnapshot("ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[2] != 30 || regs[0] != 0 {
+		t.Errorf("regs = %v, want [0 0 30 0]", regs)
+	}
+}
+
+func TestStatefulCondCmpOldIn(t *testing.T) {
+	// Running max with OutOld: the exponent-stage pattern of FPISA.
+	prog := Program{
+		Fields:    []FieldDecl{{Name: "idx", Width: 8}, {Name: "e", Width: 8}, {Name: "old", Width: 8}},
+		Registers: []RegisterDecl{{Name: "exp", Width: 8, Size: 2, Stage: 0}},
+		Parser: []ExtractDecl{
+			{Field: "idx", Offset: 0, Bytes: 1},
+			{Field: "e", Offset: 1, Bytes: 1},
+			{Field: "old", Offset: 2, Bytes: 1},
+		},
+		Tables: []TableDecl{{
+			Name: "expmax", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{
+				Name: "maxexp",
+				Stateful: &StatefulOp{
+					Register: "exp", IndexField: "idx", InField: "e",
+					Cond: SaluCond{Kind: CondCmpOldIn, Cmp: CmpGt}, // in > old
+					True: USetIn, False: UKeepOld,
+					Output: OutOld, OutputField: "old",
+				},
+			}},
+			Default: "maxexp",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	run := func(e byte) byte {
+		out, err := sw.Process(0, []byte{0, e, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].Packet[2]
+	}
+	if old := run(10); old != 0 {
+		t.Errorf("first old = %d", old)
+	}
+	if old := run(5); old != 10 {
+		t.Errorf("smaller old = %d, want 10", old)
+	}
+	if old := run(12); old != 10 {
+		t.Errorf("larger old = %d, want 10", old)
+	}
+	regs, _ := sw.RegisterSnapshot("exp")
+	if regs[0] != 12 {
+		t.Errorf("register = %d, want 12", regs[0])
+	}
+}
+
+func TestStatefulRSAW(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{
+			{Name: "idx", Width: 8}, {Name: "m", Width: 32},
+			{Name: "d", Width: 8}, {Name: "out", Width: 32},
+		},
+		Registers: []RegisterDecl{{Name: "man", Width: 32, Size: 1, Stage: 0}},
+		Parser: []ExtractDecl{
+			{Field: "idx", Offset: 0, Bytes: 1},
+			{Field: "m", Offset: 1, Bytes: 4},
+			{Field: "d", Offset: 5, Bytes: 1},
+		},
+		Tables: []TableDecl{{
+			Name: "acc", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{
+				Name: "rsaw",
+				Stateful: &StatefulOp{
+					Register: "man", IndexField: "idx", InField: "m", ShiftField: "d",
+					Cond: SaluCond{Kind: CondAlways}, True: URsawAddIn,
+					Signed: true, Output: OutNew, OutputField: "out",
+				},
+			}},
+			Default: "rsaw",
+		}},
+	}
+	// Requires the RSAW feature.
+	if _, err := New(prog, BaseArch()); err == nil || !strings.Contains(err.Error(), "RSAW") {
+		t.Fatalf("expected RSAW gate error, got %v", err)
+	}
+	sw := mustSwitch(t, prog, ExtendedArch())
+
+	send := func(m int32, d byte) {
+		pkt := make([]byte, 6)
+		binary.BigEndian.PutUint32(pkt[1:], uint32(m))
+		pkt[5] = d
+		if _, err := sw.Process(0, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(100, 0) // reg = (0>>0)+100 = 100
+	send(7, 2)   // reg = (100>>2)+7 = 32
+	regs, _ := sw.RegisterSnapshot("man")
+	if int32(regs[0]) != 32 {
+		t.Errorf("RSAW result = %d, want 32", int32(regs[0]))
+	}
+	// Negative stored values shift arithmetically.
+	send(-100, 0) // reg = 32 - 100 = -68
+	send(0, 1)    // reg = -68>>1 = -34 (arithmetic)
+	regs, _ = sw.RegisterSnapshot("man")
+	if int32(regs[0]) != -34 {
+		t.Errorf("signed RSAW = %d, want -34", int32(regs[0]))
+	}
+}
+
+func TestStatefulOverflowSignal(t *testing.T) {
+	prog := Program{
+		Fields:    []FieldDecl{{Name: "idx", Width: 8}, {Name: "m", Width: 32}, {Name: "ov", Width: 8}},
+		Registers: []RegisterDecl{{Name: "acc", Width: 32, Size: 1, Stage: 0}},
+		Parser: []ExtractDecl{
+			{Field: "idx", Offset: 0, Bytes: 1},
+			{Field: "m", Offset: 1, Bytes: 4},
+			{Field: "ov", Offset: 5, Bytes: 1},
+		},
+		Tables: []TableDecl{{
+			Name: "acc", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{
+				Name: "add",
+				Stateful: &StatefulOp{
+					Register: "acc", IndexField: "idx", InField: "m",
+					Cond: SaluCond{Kind: CondAlways}, True: UAddIn,
+					Signed: true, OverflowField: "ov",
+				},
+			}},
+			Default: "add",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	send := func(m uint32) byte {
+		pkt := make([]byte, 6)
+		binary.BigEndian.PutUint32(pkt[1:], m)
+		out, err := sw.Process(0, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].Packet[5]
+	}
+	if ov := send(0x7FFFFFFF); ov != 0 {
+		t.Errorf("no-overflow flagged")
+	}
+	if ov := send(1); ov != 1 {
+		t.Errorf("signed overflow not flagged")
+	}
+}
+
+func TestLPMTableInPipeline(t *testing.T) {
+	// A miniature of the paper's Fig. 5 renormalization table: LPM on a
+	// 32-bit field selecting per-distance shift actions.
+	prog := Program{
+		Fields: []FieldDecl{{Name: "m", Width: 32}, {Name: "out", Width: 32}},
+		Parser: []ExtractDecl{
+			{Field: "m", Offset: 0, Bytes: 4},
+			{Field: "out", Offset: 4, Bytes: 4},
+		},
+		Tables: []TableDecl{{
+			Name: "norm", Stage: 0, Kind: MatchLPM, Key: []string{"m"},
+			Actions: []ActionDecl{
+				{Name: "shr8", Instrs: []Instr{{Op: OpShrL, Dst: "out", A: F("m"), B: Imm(8)}}},
+				{Name: "shl4", Instrs: []Instr{{Op: OpShl, Dst: "out", A: F("m"), B: Imm(4)}}},
+				{Name: "keep", Instrs: []Instr{{Op: OpMov, Dst: "out", A: F("m")}}},
+			},
+			Entries: []EntryDecl{
+				{Value: 0x80000000, PrefixLen: 1, Action: "shr8"}, // MSB set
+				{Value: 0x00800000, PrefixLen: 9, Action: "keep"}, // bit 23 set
+				{Value: 0, PrefixLen: 0, Action: "shl4"},          // default-ish
+			},
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	run := func(m uint32) uint32 {
+		pkt := make([]byte, 8)
+		binary.BigEndian.PutUint32(pkt, m)
+		out, err := sw.Process(0, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return binary.BigEndian.Uint32(out[0].Packet[4:])
+	}
+	if got := run(0x90000000); got != 0x00900000 {
+		t.Errorf("MSB-set: %#x", got)
+	}
+	if got := run(0x00C00000); got != 0x00C00000 {
+		t.Errorf("bit23: %#x", got)
+	}
+	if got := run(0x00000010); got != 0x100 {
+		t.Errorf("small: %#x", got)
+	}
+}
+
+func TestExactMatchTable(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{{Name: "k", Width: 8}, {Name: "out", Width: 8}},
+		Parser: []ExtractDecl{{Field: "k", Offset: 0, Bytes: 1}, {Field: "out", Offset: 1, Bytes: 1}},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Kind: MatchExact, Key: []string{"k"},
+			Actions: []ActionDecl{
+				{Name: "one", Instrs: []Instr{{Op: OpMov, Dst: "out", A: Imm(1)}}},
+				{Name: "two", Instrs: []Instr{{Op: OpMov, Dst: "out", A: Imm(2)}}},
+				{Name: "miss", Instrs: []Instr{{Op: OpMov, Dst: "out", A: Imm(0xFF)}}},
+			},
+			Entries: []EntryDecl{
+				{Value: 10, Action: "one"},
+				{Value: 20, Action: "two"},
+			},
+			Default: "miss",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	run := func(k byte) byte {
+		out, err := sw.Process(0, []byte{k, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].Packet[1]
+	}
+	if run(10) != 1 || run(20) != 2 || run(30) != 0xFF {
+		t.Error("exact table routing wrong")
+	}
+	hits, misses, err := sw.TableStats("t")
+	if err != nil || hits != 2 || misses != 1 {
+		t.Errorf("stats = %d/%d (%v)", hits, misses, err)
+	}
+}
+
+func TestMulticastAndDrop(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{{Name: "mode", Width: 8}},
+		Parser: []ExtractDecl{{Field: "mode", Offset: 0, Bytes: 1}},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Kind: MatchExact, Key: []string{"mode"},
+			Actions: []ActionDecl{
+				{Name: "mcast", Instrs: []Instr{{Op: OpMov, Dst: FieldMcastGroup, A: Imm(7)}}},
+				{Name: "drop", Instrs: []Instr{{Op: OpMov, Dst: FieldDrop, A: Imm(1)}}},
+			},
+			Entries: []EntryDecl{
+				{Value: 1, Action: "mcast"},
+				{Value: 2, Action: "drop"},
+			},
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	sw.SetMcastGroup(7, []uint16{3, 4, 9})
+
+	out, err := sw.Process(0, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[0].Port != 3 || out[2].Port != 9 {
+		t.Errorf("mcast out = %+v", out)
+	}
+
+	out, err = sw.Process(0, []byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("dropped packet emitted: %+v", out)
+	}
+	if sw.Counters().Dropped != 1 {
+		t.Errorf("drop counter = %d", sw.Counters().Dropped)
+	}
+}
+
+func TestRecirculation(t *testing.T) {
+	// Decrement a counter field; recirculate until zero.
+	prog := Program{
+		Fields: []FieldDecl{{Name: "n", Width: 8}, {Name: "nz", Width: 8}},
+		Parser: []ExtractDecl{{Field: "n", Offset: 0, Bytes: 1}},
+		Tables: []TableDecl{
+			{
+				Name: "dec", Stage: 0, Kind: MatchAlways,
+				Actions: []ActionDecl{{Name: "dec", Instrs: []Instr{
+					{Op: OpSub, Dst: "n", A: F("n"), B: Imm(1)},
+					{Op: OpMov, Dst: FieldEgressPort, A: Imm(1)},
+				}}},
+				Default: "dec",
+			},
+			{
+				Name: "test", Stage: 1, Kind: MatchAlways,
+				Actions: []ActionDecl{{Name: "t", Instrs: []Instr{
+					{Op: OpNe, Dst: "nz", A: F("n"), B: Imm(0)},
+				}}},
+				Default: "t",
+			},
+			{
+				Name: "loop", Stage: 0, Egress: true, Kind: MatchAlways,
+				Actions: []ActionDecl{{Name: "l", Instrs: []Instr{
+					{Op: OpMov, Dst: FieldRecirc, A: F("nz")},
+				}}},
+				Default: "l",
+			},
+		},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	out, err := sw.Process(0, []byte{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Packet[0] != 0 {
+		t.Fatalf("out = %+v", out)
+	}
+	if got := sw.Counters().Recirculated; got != 2 {
+		t.Errorf("recirculated = %d, want 2", got)
+	}
+}
+
+func TestRecirculationLimit(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{{Name: "x", Width: 8}},
+		Parser: []ExtractDecl{{Field: "x", Offset: 0, Bytes: 1}},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Egress: true, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "a", Instrs: []Instr{
+				{Op: OpMov, Dst: FieldRecirc, A: Imm(1)},
+			}}},
+			Default: "a",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	if _, err := sw.Process(0, []byte{0}); err == nil {
+		t.Fatal("expected recirculation limit error")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	base := BaseArch()
+	f := []FieldDecl{{Name: "a", Width: 32}, {Name: "b", Width: 32}}
+	p := []ExtractDecl{{Field: "a", Offset: 0, Bytes: 4}}
+
+	cases := []struct {
+		name string
+		prog Program
+		want string
+	}{
+		{
+			"backward dependency",
+			Program{Fields: f, Parser: p, Tables: []TableDecl{
+				{Name: "w", Stage: 1, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "x", Instrs: []Instr{{Op: OpMov, Dst: "b", A: Imm(1)}}}}, Default: "x"},
+				{Name: "r", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "y", Instrs: []Instr{{Op: OpMov, Dst: "a", A: F("b")}}}}, Default: "y"},
+			}},
+			"backward",
+		},
+		{
+			"same stage write conflict",
+			Program{Fields: f, Parser: p, Tables: []TableDecl{
+				{Name: "t1", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "x", Instrs: []Instr{{Op: OpMov, Dst: "b", A: Imm(1)}}}}, Default: "x"},
+				{Name: "t2", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "y", Instrs: []Instr{{Op: OpMov, Dst: "b", A: Imm(2)}}}}, Default: "y"},
+			}},
+			"both write",
+		},
+		{
+			"intra-action RAW",
+			Program{Fields: f, Parser: p, Tables: []TableDecl{
+				{Name: "t", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "x", Instrs: []Instr{
+						{Op: OpAdd, Dst: "b", A: F("a"), B: Imm(1)},
+						{Op: OpAdd, Dst: "a", A: F("b"), B: Imm(1)},
+					}}}, Default: "x"},
+			}},
+			"parallel",
+		},
+		{
+			"double write same container",
+			Program{Fields: f, Parser: p, Tables: []TableDecl{
+				{Name: "t", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "x", Instrs: []Instr{
+						{Op: OpMov, Dst: "b", A: Imm(1)},
+						{Op: OpMov, Dst: "b", A: Imm(2)},
+					}}}, Default: "x"},
+			}},
+			"written twice",
+		},
+		{
+			"unknown field",
+			Program{Fields: f, Parser: p, Tables: []TableDecl{
+				{Name: "t", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "x", Instrs: []Instr{{Op: OpMov, Dst: "zzz", A: Imm(1)}}}}, Default: "x"},
+			}},
+			"unknown field",
+		},
+		{
+			"little endian without feature",
+			Program{Fields: f, Parser: []ExtractDecl{{Field: "a", Offset: 0, Bytes: 4, HostLittleEndian: true}}},
+			"ParserEndianness",
+		},
+		{
+			"register shared by two tables",
+			Program{
+				Fields:    []FieldDecl{{Name: "i", Width: 8}},
+				Registers: []RegisterDecl{{Name: "r", Width: 32, Size: 1, Stage: 0}},
+				Parser:    []ExtractDecl{{Field: "i", Offset: 0, Bytes: 1}},
+				Tables: []TableDecl{
+					{Name: "t1", Stage: 0, Kind: MatchAlways,
+						Actions: []ActionDecl{{Name: "x", Stateful: &StatefulOp{Register: "r", IndexField: "i", Cond: SaluCond{Kind: CondAlways}}}}, Default: "x"},
+					{Name: "t2", Stage: 0, Kind: MatchAlways,
+						Actions: []ActionDecl{{Name: "y", Stateful: &StatefulOp{Register: "r", IndexField: "i", Cond: SaluCond{Kind: CondAlways}}}}, Default: "y"},
+				},
+			},
+			"one stateful access",
+		},
+		{
+			"stateful op in wrong stage",
+			Program{
+				Fields:    []FieldDecl{{Name: "i", Width: 8}},
+				Registers: []RegisterDecl{{Name: "r", Width: 32, Size: 1, Stage: 2}},
+				Parser:    []ExtractDecl{{Field: "i", Offset: 0, Bytes: 1}},
+				Tables: []TableDecl{
+					{Name: "t1", Stage: 0, Kind: MatchAlways,
+						Actions: []ActionDecl{{Name: "x", Stateful: &StatefulOp{Register: "r", IndexField: "i", Cond: SaluCond{Kind: CondAlways}}}}, Default: "x"},
+				},
+			},
+			"lives in stage",
+		},
+		{
+			"duplicate field",
+			Program{Fields: []FieldDecl{{Name: "a", Width: 32}, {Name: "a", Width: 8}}},
+			"duplicate field",
+		},
+		{
+			"csel without pred",
+			Program{Fields: f, Parser: p, Tables: []TableDecl{
+				{Name: "t", Stage: 0, Kind: MatchAlways,
+					Actions: []ActionDecl{{Name: "x", Instrs: []Instr{{Op: OpCsel, Dst: "b", A: F("a"), B: Imm(0)}}}}, Default: "x"},
+			}},
+			"Pred",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := New(c.prog, base)
+			if err == nil {
+				t.Fatal("expected compile error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAutoStageAssignment(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{{Name: "a", Width: 32}, {Name: "b", Width: 32}, {Name: "c", Width: 32}},
+		Parser: []ExtractDecl{{Field: "a", Offset: 0, Bytes: 4}},
+		Tables: []TableDecl{
+			{Name: "t1", Stage: -1, Kind: MatchAlways,
+				Actions: []ActionDecl{{Name: "x", Instrs: []Instr{{Op: OpAdd, Dst: "b", A: F("a"), B: Imm(1)}}}}, Default: "x"},
+			{Name: "t2", Stage: -1, Kind: MatchAlways,
+				Actions: []ActionDecl{{Name: "y", Instrs: []Instr{{Op: OpAdd, Dst: "c", A: F("b"), B: Imm(1)}}}}, Default: "y"},
+		},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	if got := sw.Utilization().StagesUsed(); got != 2 {
+		t.Errorf("stages used = %d, want 2 (t2 must follow t1)", got)
+	}
+	// And the chain computes correctly.
+	pkt := make([]byte, 4)
+	binary.BigEndian.PutUint32(pkt, 40)
+	out, err := sw.Process(0, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+	regsFree := sw.Counters()
+	_ = regsFree
+}
+
+func TestResourceBudgetEnforced(t *testing.T) {
+	arch := BaseArch()
+	arch.Budget.VLIWSlots = 1
+	prog := Program{
+		Fields: []FieldDecl{{Name: "a", Width: 32}, {Name: "b", Width: 32}},
+		Parser: []ExtractDecl{{Field: "a", Offset: 0, Bytes: 4}},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "x", Instrs: []Instr{
+				{Op: OpMov, Dst: "b", A: Imm(1)},
+				{Op: OpMov, Dst: FieldEgressPort, A: Imm(1)},
+			}}},
+			Default: "x",
+		}},
+	}
+	if _, err := New(prog, arch); err == nil || !strings.Contains(err.Error(), "VLIW") {
+		t.Fatalf("expected VLIW budget error, got %v", err)
+	}
+}
+
+func TestEndiannessExtension(t *testing.T) {
+	prog := Program{
+		Fields: []FieldDecl{{Name: "v", Width: 32}, {Name: "w", Width: 32}},
+		Parser: []ExtractDecl{
+			{Field: "v", Offset: 0, Bytes: 4, HostLittleEndian: true},
+			{Field: "w", Offset: 4, Bytes: 4},
+		},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "x", Instrs: []Instr{
+				{Op: OpAdd, Dst: "v", A: F("v"), B: Imm(1)},
+			}}},
+			Default: "x",
+		}},
+	}
+	sw := mustSwitch(t, prog, ExtendedArch())
+	pkt := make([]byte, 8)
+	binary.LittleEndian.PutUint32(pkt, 41) // host little-endian payload
+	out, err := sw.Process(0, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deparser writes the incremented value back in little-endian.
+	if got := binary.LittleEndian.Uint32(out[0].Packet); got != 42 {
+		t.Errorf("LE value = %d, want 42", got)
+	}
+}
+
+func TestParserShortPacket(t *testing.T) {
+	sw := mustSwitch(t, forwardProg(0), BaseArch())
+	if _, err := sw.Process(0, []byte{1, 2}); err == nil {
+		t.Fatal("expected short-packet parse error")
+	}
+	if sw.Counters().ParserErrors != 1 {
+		t.Error("parser error not counted")
+	}
+}
+
+func TestRegisterControlPlane(t *testing.T) {
+	prog := Program{
+		Fields:    []FieldDecl{{Name: "i", Width: 8}},
+		Registers: []RegisterDecl{{Name: "r", Width: 16, Size: 3, Stage: 0}},
+		Parser:    []ExtractDecl{{Field: "i", Offset: 0, Bytes: 1}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	if err := sw.WriteRegister("r", 1, 0x1FFFF); err != nil {
+		t.Fatal(err)
+	}
+	regs, _ := sw.RegisterSnapshot("r")
+	if regs[1] != 0xFFFF { // masked to 16 bits
+		t.Errorf("reg = %#x, want 0xFFFF", regs[1])
+	}
+	if err := sw.WriteRegister("r", 5, 0); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if err := sw.WriteRegister("zzz", 0, 0); err == nil {
+		t.Error("unknown register accepted")
+	}
+	sw.ResetRegisters()
+	regs, _ = sw.RegisterSnapshot("r")
+	if regs[1] != 0 {
+		t.Error("ResetRegisters did not clear")
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	sw := mustSwitch(t, forwardProg(1), BaseArch())
+	u := sw.Utilization()
+	if u.StagesUsed() != 1 {
+		t.Errorf("stages used = %d", u.StagesUsed())
+	}
+	rows := u.Rows()
+	var vliw ResourceRow
+	for _, r := range rows {
+		if r.Resource == "VLIW instruction slots" {
+			vliw = r
+		}
+	}
+	// 2 instructions of 32 slots in one stage of 12.
+	if vliw.MaxStagePct < 6 || vliw.MaxStagePct > 7 {
+		t.Errorf("VLIW max pct = %.2f, want 2/32", vliw.MaxStagePct)
+	}
+	if !strings.Contains(u.String(), "Stages used: 1 / 12") {
+		t.Errorf("report:\n%s", u.String())
+	}
+}
+
+func TestNarrowContainerArithmetic(t *testing.T) {
+	// 8-bit container wraps at 256 and sign-extends for signed ops.
+	prog := Program{
+		Fields: []FieldDecl{{Name: "x", Width: 8}, {Name: "lt", Width: 8}},
+		Parser: []ExtractDecl{{Field: "x", Offset: 0, Bytes: 1}, {Field: "lt", Offset: 1, Bytes: 1}},
+		Tables: []TableDecl{{
+			Name: "t", Stage: 0, Kind: MatchAlways,
+			Actions: []ActionDecl{{Name: "a", Instrs: []Instr{
+				{Op: OpLtS, Dst: "lt", A: F("x"), B: Imm(0)}, // x < 0 signed?
+			}}},
+			Default: "a",
+		}},
+	}
+	sw := mustSwitch(t, prog, BaseArch())
+	out, err := sw.Process(0, []byte{0xFF, 0}) // 0xFF as 8-bit signed is -1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Packet[1] != 1 {
+		t.Error("8-bit field not sign-extended for signed compare")
+	}
+	out, err = sw.Process(0, []byte{0x7F, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Packet[1] != 0 {
+		t.Error("positive 8-bit value misclassified as negative")
+	}
+}

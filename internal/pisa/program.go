@@ -1,0 +1,511 @@
+package pisa
+
+import (
+	"fmt"
+
+	"fpisa/internal/tcam"
+)
+
+// ExtractDecl tells the parser to extract a packet byte range into a PHV
+// field (and the deparser to write it back on emission).
+type ExtractDecl struct {
+	// Field names the destination PHV field.
+	Field string
+	// Offset is the byte offset within the packet.
+	Offset int
+	// Bytes is the extracted width: 1, 2 or 4; it must match the field's
+	// container width.
+	Bytes int
+	// HostLittleEndian marks the bytes as little-endian host data. Network
+	// hardware natively parses big-endian; accepting little-endian payload
+	// requires the ParserEndianness extension (the @convert_endianness
+	// annotation of §4.2). Without it, compilation fails and hosts must
+	// byte-swap in software (the Fig. 6 overhead).
+	HostLittleEndian bool
+	// NoWriteback excludes the field from deparsing (read-only metadata).
+	NoWriteback bool
+}
+
+// BitExtractDecl tells the parser to extract an arbitrary bit range into a
+// PHV field, the way P4 headers declare sub-byte fields (an FP32 header
+// splits into 1/8/23-bit fields at parse time). Bit extracts are read-only:
+// the deparser never writes them back — modified values must be assembled
+// into a byte-aligned field.
+type BitExtractDecl struct {
+	// Field names the destination PHV field.
+	Field string
+	// BitOffset is the offset from the start of the packet, in bits,
+	// counting the MSB of byte 0 as bit 0 (network bit order).
+	BitOffset int
+	// Bits is the extracted width, 1..32; it must fit the container.
+	Bits int
+}
+
+// Program is a complete data-plane program: fields, register state, parser
+// layout and match-action tables for both pipelines.
+type Program struct {
+	Name       string
+	Fields     []FieldDecl
+	Registers  []RegisterDecl
+	Parser     []ExtractDecl
+	ParserBits []BitExtractDecl
+	Tables     []TableDecl
+}
+
+type cExtract struct {
+	field  fieldID
+	offset int
+	bytes  int
+	le     bool
+	wb     bool
+}
+
+type cBitExtract struct {
+	field     fieldID
+	bitOffset int
+	bits      int
+}
+
+// compiled is the fully resolved program bound to runtime register arrays.
+type compiled struct {
+	arch       Arch
+	ft         *fieldTable
+	regs       map[string]*registerArray
+	parser     []cExtract
+	parserBits []cBitExtract
+	ingress    [][]*cTable // indexed by stage; built during checkDependencies
+	egress     [][]*cTable
+	declared   []*cTable // declaration order, both gresses
+	util       Utilization
+	tables     map[string]*cTable
+}
+
+// compile resolves and validates the program against the architecture.
+func compile(prog Program, arch Arch) (*compiled, error) {
+	if arch.IngressStages <= 0 || arch.EgressStages <= 0 {
+		return nil, fmt.Errorf("pisa: arch must have positive stage counts")
+	}
+	ft, err := newFieldTable(prog.Fields)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiled{
+		arch:    arch,
+		ft:      ft,
+		regs:    make(map[string]*registerArray),
+		ingress: make([][]*cTable, arch.IngressStages),
+		egress:  make([][]*cTable, arch.EgressStages),
+		tables:  make(map[string]*cTable),
+	}
+
+	if err := c.compileRegisters(prog.Registers); err != nil {
+		return nil, err
+	}
+	if err := c.compileParser(prog.Parser); err != nil {
+		return nil, err
+	}
+	if err := c.compileParserBits(prog.ParserBits); err != nil {
+		return nil, err
+	}
+	if err := c.compileTables(prog.Tables); err != nil {
+		return nil, err
+	}
+	if err := c.checkDependencies(); err != nil {
+		return nil, err
+	}
+	if err := c.accountResources(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *compiled) compileRegisters(decls []RegisterDecl) error {
+	for _, d := range decls {
+		if d.Name == "" {
+			return fmt.Errorf("pisa: register with empty name")
+		}
+		if _, dup := c.regs[d.Name]; dup {
+			return fmt.Errorf("pisa: duplicate register %q", d.Name)
+		}
+		if d.Width != 8 && d.Width != 16 && d.Width != 32 {
+			return fmt.Errorf("pisa: register %q: width %d not in {8,16,32}", d.Name, d.Width)
+		}
+		if d.Size <= 0 {
+			return fmt.Errorf("pisa: register %q: size %d", d.Name, d.Size)
+		}
+		max := c.arch.IngressStages
+		if d.Egress {
+			max = c.arch.EgressStages
+		}
+		if d.Stage < 0 || d.Stage >= max {
+			return fmt.Errorf("pisa: register %q: stage %d out of range 0..%d", d.Name, d.Stage, max-1)
+		}
+		c.regs[d.Name] = &registerArray{decl: d, vals: make([]uint32, d.Size)}
+	}
+	return nil
+}
+
+func (c *compiled) compileParser(decls []ExtractDecl) error {
+	type span struct{ lo, hi int }
+	var writebacks []span
+	for _, d := range decls {
+		id, err := c.ft.lookup(d.Field)
+		if err != nil {
+			return fmt.Errorf("pisa: parser: %w", err)
+		}
+		if d.Bytes != 1 && d.Bytes != 2 && d.Bytes != 4 {
+			return fmt.Errorf("pisa: parser: field %q: %d bytes not in {1,2,4}", d.Field, d.Bytes)
+		}
+		if d.Bytes*8 != c.ft.width(id) {
+			return fmt.Errorf("pisa: parser: field %q: %d bytes does not fill %d-bit container",
+				d.Field, d.Bytes, c.ft.width(id))
+		}
+		if d.Offset < 0 {
+			return fmt.Errorf("pisa: parser: field %q: negative offset", d.Field)
+		}
+		if d.HostLittleEndian && !c.arch.Features.ParserEndianness {
+			return fmt.Errorf("pisa: parser: field %q: little-endian payload requires the ParserEndianness extension; without it hosts must convert byte order in software", d.Field)
+		}
+		if !d.NoWriteback {
+			s := span{d.Offset, d.Offset + d.Bytes}
+			for _, o := range writebacks {
+				if s.lo < o.hi && o.lo < s.hi {
+					return fmt.Errorf("pisa: parser: field %q: writeback range overlaps another extract", d.Field)
+				}
+			}
+			writebacks = append(writebacks, s)
+		}
+		c.parser = append(c.parser, cExtract{
+			field: id, offset: d.Offset, bytes: d.Bytes, le: d.HostLittleEndian, wb: !d.NoWriteback,
+		})
+	}
+	return nil
+}
+
+func (c *compiled) compileParserBits(decls []BitExtractDecl) error {
+	for _, d := range decls {
+		id, err := c.ft.lookup(d.Field)
+		if err != nil {
+			return fmt.Errorf("pisa: parser bits: %w", err)
+		}
+		if d.Bits < 1 || d.Bits > 32 {
+			return fmt.Errorf("pisa: parser bits: field %q: width %d not in 1..32", d.Field, d.Bits)
+		}
+		if d.Bits > c.ft.width(id) {
+			return fmt.Errorf("pisa: parser bits: field %q: %d bits exceed the %d-bit container", d.Field, d.Bits, c.ft.width(id))
+		}
+		if d.BitOffset < 0 {
+			return fmt.Errorf("pisa: parser bits: field %q: negative bit offset", d.Field)
+		}
+		c.parserBits = append(c.parserBits, cBitExtract{field: id, bitOffset: d.BitOffset, bits: d.Bits})
+	}
+	return nil
+}
+
+func (c *compiled) compileTables(decls []TableDecl) error {
+	for ti := range decls {
+		t, err := c.compileTable(&decls[ti])
+		if err != nil {
+			return err
+		}
+		if _, dup := c.tables[t.decl.Name]; dup {
+			return fmt.Errorf("pisa: duplicate table %q", t.decl.Name)
+		}
+		c.tables[t.decl.Name] = t
+		c.declared = append(c.declared, t)
+	}
+	return nil
+}
+
+func (c *compiled) compileTable(d *TableDecl) (*cTable, error) {
+	if d.Name == "" {
+		return nil, fmt.Errorf("pisa: table with empty name")
+	}
+	t := &cTable{decl: *d, actions: make(map[string]*cAction)}
+
+	// Keys.
+	switch d.Kind {
+	case MatchAlways:
+		if len(d.Key) != 0 {
+			return nil, fmt.Errorf("pisa: table %q: always-tables take no key", d.Name)
+		}
+	case MatchExact, MatchTernary:
+		if len(d.Key) == 0 {
+			return nil, fmt.Errorf("pisa: table %q: %v match needs at least one key field", d.Name, d.Kind)
+		}
+	case MatchLPM:
+		if len(d.Key) != 1 {
+			return nil, fmt.Errorf("pisa: table %q: %v match needs exactly one key field", d.Name, d.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("pisa: table %q: unknown match kind %d", d.Name, d.Kind)
+	}
+	for _, k := range d.Key {
+		id, err := c.ft.lookup(k)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: table %q key: %w", d.Name, err)
+		}
+		t.keyIDs = append(t.keyIDs, id)
+		t.keyBits += c.ft.width(id)
+	}
+	if t.keyBits > 64 {
+		return nil, fmt.Errorf("pisa: table %q: key wider than 64 bits unsupported by simulator", d.Name)
+	}
+
+	// Actions.
+	for ai := range d.Actions {
+		a, err := c.compileAction(d, &d.Actions[ai])
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := t.actions[a.name]; dup {
+			return nil, fmt.Errorf("pisa: table %q: duplicate action %q", d.Name, a.name)
+		}
+		t.actions[a.name] = a
+	}
+	if d.Default != "" {
+		a, ok := t.actions[d.Default]
+		if !ok {
+			return nil, fmt.Errorf("pisa: table %q: unknown default action %q", d.Name, d.Default)
+		}
+		t.default_ = a
+	}
+	if d.Kind == MatchAlways && t.default_ == nil {
+		return nil, fmt.Errorf("pisa: table %q: always-table needs a default action", d.Name)
+	}
+
+	// The default action runs on misses, where no entry supplies action
+	// data.
+	if t.default_ != nil && t.default_.nParams > 0 {
+		return nil, fmt.Errorf("pisa: table %q: default action %q uses action data but misses carry none", d.Name, t.default_.name)
+	}
+
+	// Entries.
+	switch d.Kind {
+	case MatchExact:
+		t.exact = make(map[uint64]cHit, len(d.Entries))
+	case MatchTernary:
+		tt, err := tcam.New[cHit](t.keyBits)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: table %q: %w", d.Name, err)
+		}
+		t.ternary = tt
+	case MatchLPM:
+		l, err := tcam.NewLPM[cHit](t.keyBits)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: table %q: %w", d.Name, err)
+		}
+		t.lpm = l
+	}
+	for _, e := range d.Entries {
+		a, ok := t.actions[e.Action]
+		if !ok {
+			return nil, fmt.Errorf("pisa: table %q: entry references unknown action %q", d.Name, e.Action)
+		}
+		if len(e.Params) < a.nParams {
+			return nil, fmt.Errorf("pisa: table %q: entry %#x supplies %d params but action %q needs %d",
+				d.Name, e.Value, len(e.Params), a.name, a.nParams)
+		}
+		h := cHit{action: a, params: append([]uint32(nil), e.Params...)}
+		switch d.Kind {
+		case MatchAlways:
+			return nil, fmt.Errorf("pisa: table %q: always-tables take no entries", d.Name)
+		case MatchExact:
+			if _, dup := t.exact[e.Value]; dup {
+				return nil, fmt.Errorf("pisa: table %q: duplicate exact entry %#x", d.Name, e.Value)
+			}
+			t.exact[e.Value] = h
+		case MatchTernary:
+			t.ternary.Insert(tcam.Entry[cHit]{Value: e.Value, Mask: e.Mask, Priority: e.Priority, Action: h})
+		case MatchLPM:
+			if err := t.lpm.Insert(e.Value, e.PrefixLen, h); err != nil {
+				return nil, fmt.Errorf("pisa: table %q: %w", d.Name, err)
+			}
+		}
+	}
+
+	// Stage assignment happens in checkDependencies (needs writer info);
+	// record the declared stage for now.
+	t.stage = d.Stage
+	max := c.arch.IngressStages
+	if d.Egress {
+		max = c.arch.EgressStages
+	}
+	if d.Stage != -1 && (d.Stage < 0 || d.Stage >= max) {
+		return nil, fmt.Errorf("pisa: table %q: stage %d out of range 0..%d", d.Name, d.Stage, max-1)
+	}
+	return t, nil
+}
+
+func (c *compiled) compileAction(td *TableDecl, ad *ActionDecl) (*cAction, error) {
+	if ad.Name == "" {
+		return nil, fmt.Errorf("pisa: table %q: action with empty name", td.Name)
+	}
+	a := &cAction{name: ad.Name}
+	written := make(map[fieldID]bool)
+
+	resolveOperand := func(o Operand) (cOperand, error) {
+		switch {
+		case o.Field != "":
+			id, err := c.ft.lookup(o.Field)
+			if err != nil {
+				return cOperand{}, err
+			}
+			return cOperand{kind: srcField, field: id}, nil
+		case o.IsParam:
+			if o.ParamIdx < 0 {
+				return cOperand{}, fmt.Errorf("negative param index %d", o.ParamIdx)
+			}
+			if o.ParamIdx+1 > a.nParams {
+				a.nParams = o.ParamIdx + 1
+			}
+			return cOperand{kind: srcParam, param: o.ParamIdx}, nil
+		default:
+			return cOperand{kind: srcImm, imm: o.Imm}, nil
+		}
+	}
+
+	for _, in := range ad.Instrs {
+		ci := cInstr{op: in.Op}
+		id, err := c.ft.lookup(in.Dst)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: dst: %w", td.Name, ad.Name, err)
+		}
+		ci.dst, ci.dstWidth = id, c.ft.width(id)
+		if written[id] {
+			return nil, fmt.Errorf("pisa: table %q action %q: field %q written twice; hardware allows one write per container per stage (use csel)",
+				td.Name, ad.Name, in.Dst)
+		}
+		written[id] = true
+
+		ci.a, err = resolveOperand(in.A)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: operand A: %w", td.Name, ad.Name, err)
+		}
+		ci.b, err = resolveOperand(in.B)
+		if err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: operand B: %w", td.Name, ad.Name, err)
+		}
+		if (in.Op == OpShl || in.Op == OpShrL || in.Op == OpShrA) &&
+			ci.b.kind != srcImm && !c.arch.Features.VariableShift {
+			return nil, fmt.Errorf("pisa: table %q action %q: %v distance must be a compile-time immediate on this architecture; field or action-data distances require the VariableShift extension (§4.2) — expand into per-distance match entries instead",
+				td.Name, ad.Name, in.Op)
+		}
+		if in.Pred != "" {
+			pid, err := c.ft.lookup(in.Pred)
+			if err != nil {
+				return nil, fmt.Errorf("pisa: table %q action %q: pred: %w", td.Name, ad.Name, err)
+			}
+			ci.pred, ci.hasPred, ci.predNeg = pid, true, in.PredNeg
+		} else if in.Op == OpCsel {
+			return nil, fmt.Errorf("pisa: table %q action %q: csel needs a Pred field", td.Name, ad.Name)
+		}
+		a.instrs = append(a.instrs, ci)
+	}
+
+	// Intra-action RAW check: instructions run in parallel against the
+	// stage-entry PHV, so an instruction reading a field that a *different*
+	// instruction writes would silently see the stale value — reject it.
+	// Reading one's own destination (e.g. val = val + 1) is fine: the ALU
+	// reads operands and writes the result, like any hardware ALU.
+	for i, ci := range a.instrs {
+		for _, read := range actionInstrReads(ci) {
+			for j, cj := range a.instrs {
+				if i != j && cj.dst == read {
+					return nil, fmt.Errorf("pisa: table %q action %q: instruction %d reads field %q that instruction %d writes; VLIW instructions execute in parallel — split across stages",
+						td.Name, ad.Name, i, c.ft.name(read), j)
+				}
+			}
+		}
+	}
+
+	if ad.Stateful != nil {
+		op, err := c.compileStateful(td, ad, ad.Stateful, written)
+		if err != nil {
+			return nil, err
+		}
+		a.stateful = op
+	}
+	return a, nil
+}
+
+func actionInstrReads(ci cInstr) []fieldID {
+	var r []fieldID
+	if ci.a.kind == srcField {
+		r = append(r, ci.a.field)
+	}
+	if ci.b.kind == srcField {
+		r = append(r, ci.b.field)
+	}
+	if ci.hasPred {
+		r = append(r, ci.pred)
+	}
+	return r
+}
+
+func (c *compiled) compileStateful(td *TableDecl, ad *ActionDecl, s *StatefulOp, written map[fieldID]bool) (*cStatefulOp, error) {
+	reg, ok := c.regs[s.Register]
+	if !ok {
+		return nil, fmt.Errorf("pisa: table %q action %q: unknown register %q", td.Name, ad.Name, s.Register)
+	}
+	if reg.decl.Egress != td.Egress {
+		return nil, fmt.Errorf("pisa: table %q action %q: register %q lives in the other gress", td.Name, ad.Name, s.Register)
+	}
+	op := &cStatefulOp{reg: reg, cond: s.Cond, true_: s.True, false_: s.False,
+		signed: s.Signed, output: s.Output}
+
+	if s.True == URsawAddIn || s.False == URsawAddIn {
+		if !c.arch.Features.RSAW {
+			return nil, fmt.Errorf("pisa: table %q action %q: read-shift-add-write requires the RSAW extension (§4.2); on the base architecture use FPISA-A",
+				td.Name, ad.Name)
+		}
+		if s.ShiftField == "" {
+			return nil, fmt.Errorf("pisa: table %q action %q: RSAW update needs ShiftField", td.Name, ad.Name)
+		}
+	}
+
+	var err error
+	if op.index, err = c.ft.lookup(s.IndexField); err != nil {
+		return nil, fmt.Errorf("pisa: table %q action %q: IndexField: %w", td.Name, ad.Name, err)
+	}
+	if s.InField != "" {
+		if op.in, err = c.ft.lookup(s.InField); err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: InField: %w", td.Name, ad.Name, err)
+		}
+		op.hasIn = true
+	}
+	if s.ShiftField != "" {
+		if op.shift, err = c.ft.lookup(s.ShiftField); err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: ShiftField: %w", td.Name, ad.Name, err)
+		}
+		op.hasShift = true
+	}
+	if s.Cond.Kind == CondPhv {
+		if op.condField, err = c.ft.lookup(s.Cond.Field); err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: Cond.Field: %w", td.Name, ad.Name, err)
+		}
+	}
+	if s.Output != OutNone {
+		if s.OutputField == "" {
+			return nil, fmt.Errorf("pisa: table %q action %q: stateful output needs OutputField", td.Name, ad.Name)
+		}
+		if op.outField, err = c.ft.lookup(s.OutputField); err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: OutputField: %w", td.Name, ad.Name, err)
+		}
+		if written[op.outField] {
+			return nil, fmt.Errorf("pisa: table %q action %q: OutputField %q also written by a VLIW instruction", td.Name, ad.Name, s.OutputField)
+		}
+		written[op.outField] = true
+	}
+	if s.OverflowField != "" {
+		if op.ovField, err = c.ft.lookup(s.OverflowField); err != nil {
+			return nil, fmt.Errorf("pisa: table %q action %q: OverflowField: %w", td.Name, ad.Name, err)
+		}
+		if written[op.ovField] {
+			return nil, fmt.Errorf("pisa: table %q action %q: OverflowField %q also written elsewhere", td.Name, ad.Name, s.OverflowField)
+		}
+		written[op.ovField] = true
+		op.hasOvField = true
+	}
+	return op, nil
+}

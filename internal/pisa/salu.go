@@ -1,0 +1,309 @@
+package pisa
+
+import "fmt"
+
+// RegisterDecl declares a stateful register array. A register array lives in
+// exactly one pipeline stage and can be accessed by at most one stateful
+// operation per packet — the PISA constraint that forces FPISA's design
+// (§2.3 challenge 1).
+type RegisterDecl struct {
+	Name string
+	// Width is the element width in bits: 8, 16 or 32.
+	Width int
+	// Size is the number of elements.
+	Size int
+	// Stage is the pipeline stage (within its gress) that owns the array.
+	Stage int
+	// Egress places the array in the egress pipeline instead of ingress.
+	Egress bool
+}
+
+// SaluCondKind selects the stateful ALU's predicate source.
+type SaluCondKind int
+
+const (
+	// CondAlways makes the True update unconditional.
+	CondAlways SaluCondKind = iota
+	// CondCmpOldIn compares the stored value against the input operand:
+	// predicate = in CMP (old + Off).
+	CondCmpOldIn
+	// CondPhv tests a PHV field: predicate = PHV[Field] CMP Off.
+	CondPhv
+)
+
+// CmpOp is a comparison operator for stateful ALU conditions.
+type CmpOp int
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (c CmpOp) apply(a, b int64) bool {
+	switch c {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+// SaluCond is the stateful ALU predicate.
+type SaluCond struct {
+	Kind SaluCondKind
+	// Cmp is the comparison operator for CondCmpOldIn / CondPhv.
+	Cmp CmpOp
+	// Field is the PHV field for CondPhv.
+	Field string
+	// Off is the constant addend: CondCmpOldIn evaluates in CMP (old+Off);
+	// CondPhv evaluates PHV[Field] CMP Off.
+	Off int64
+	// Signed selects signed interpretation of old/in for the comparison.
+	Signed bool
+}
+
+// SaluUpdate selects how the stored value is recomputed.
+type SaluUpdate int
+
+const (
+	// UKeepOld leaves the register unchanged.
+	UKeepOld SaluUpdate = iota
+	// USetIn overwrites the register with the input operand.
+	USetIn
+	// UAddIn accumulates: new = old + in.
+	UAddIn
+	// USubIn sets new = old - in.
+	USubIn
+	// UZero clears the register (used to reset aggregation slots on read).
+	UZero
+	// UMaxIn sets new = max(old, in).
+	UMaxIn
+	// UMinIn sets new = min(old, in).
+	UMinIn
+	// URsawAddIn is the paper's read-shift-add-write extension (§4.2):
+	// new = (old >> PHV[ShiftField]) + in, with an arithmetic shift when
+	// Signed. Compiling it requires Features.RSAW.
+	URsawAddIn
+)
+
+// SaluOutput selects what the stateful ALU drives onto its output bus.
+type SaluOutput int
+
+const (
+	// OutNone produces no output.
+	OutNone SaluOutput = iota
+	// OutOld outputs the pre-update value.
+	OutOld
+	// OutNew outputs the post-update value.
+	OutNew
+	// OutPred outputs the predicate as 0/1.
+	OutPred
+)
+
+// StatefulOp is one register action: a guarded read-modify-write against a
+// register array, the abstraction Tofino exposes as a RegisterAction. A
+// table action may contain at most one stateful op, and all stateful ops on
+// a given register must live in that register's stage.
+type StatefulOp struct {
+	// Register names the target array.
+	Register string
+	// IndexField is the PHV field holding the element index.
+	IndexField string
+	// InField is the PHV input operand ("" means input 0).
+	InField string
+	// ShiftField supplies the RSAW shift distance.
+	ShiftField string
+	// Cond guards the update selection.
+	Cond SaluCond
+	// True/False select the update applied when the predicate is
+	// true/false respectively.
+	True, False SaluUpdate
+	// Signed selects signed (two's complement) arithmetic for updates.
+	Signed bool
+	// Output/OutputField drive a PHV field from the op.
+	Output      SaluOutput
+	OutputField string
+	// OverflowField, when set, receives 1 if the signed update overflowed
+	// the register width (sticky overflow signalling, §3.3), else 0.
+	OverflowField string
+}
+
+// registerArray is runtime storage for one RegisterDecl.
+type registerArray struct {
+	decl RegisterDecl
+	vals []uint32
+}
+
+func (r *registerArray) mask() uint32 { return widthMask(r.decl.Width) }
+
+func (r *registerArray) get(i uint32) (uint32, error) {
+	if int(i) >= len(r.vals) {
+		return 0, fmt.Errorf("pisa: register %q index %d out of range %d", r.decl.Name, i, len(r.vals))
+	}
+	return r.vals[i], nil
+}
+
+// signedVal sign-extends a stored value to int64 per the register width.
+func (r *registerArray) signedVal(v uint32) int64 {
+	w := r.decl.Width
+	if v&(1<<(w-1)) != 0 {
+		return int64(int32(v | ^widthMask(w)))
+	}
+	return int64(v)
+}
+
+// compiled stateful op with resolved IDs.
+type cStatefulOp struct {
+	reg        *registerArray
+	index      fieldID
+	in         fieldID
+	hasIn      bool
+	shift      fieldID
+	hasShift   bool
+	cond       SaluCond
+	condField  fieldID
+	true_      SaluUpdate
+	false_     SaluUpdate
+	signed     bool
+	output     SaluOutput
+	outField   fieldID
+	ovField    fieldID
+	hasOvField bool
+}
+
+// exec runs the stateful op: reads the register, evaluates the predicate,
+// applies the selected update, writes back, and returns the PHV writes.
+func (op *cStatefulOp) exec(in *Phv, writes map[fieldID]uint32) error {
+	idx := in.get(op.index)
+	old, err := op.reg.get(idx)
+	if err != nil {
+		return err
+	}
+	var inVal uint32
+	if op.hasIn {
+		inVal = in.get(op.in) & op.reg.mask()
+	}
+
+	// Predicate.
+	pred := true
+	switch op.cond.Kind {
+	case CondAlways:
+		pred = true
+	case CondCmpOldIn:
+		var a, b int64
+		if op.cond.Signed {
+			a, b = op.reg.signedVal(inVal), op.reg.signedVal(old)
+		} else {
+			a, b = int64(inVal), int64(old)
+		}
+		pred = op.cond.Cmp.apply(a, b+op.cond.Off)
+	case CondPhv:
+		v := int64(in.get(op.condField))
+		if op.cond.Signed {
+			v = int64(in.getSigned(op.condField))
+		}
+		pred = op.cond.Cmp.apply(v, op.cond.Off)
+	}
+
+	upd := op.false_
+	if pred {
+		upd = op.true_
+	}
+
+	overflow := false
+	newVal := old
+	switch upd {
+	case UKeepOld:
+	case USetIn:
+		newVal = inVal
+	case UZero:
+		newVal = 0
+	case UAddIn:
+		newVal, overflow = op.addWrap(old, inVal)
+	case USubIn:
+		newVal, overflow = op.addWrap(old, (-inVal)&op.reg.mask())
+	case UMaxIn:
+		if op.cmpGreater(inVal, old) {
+			newVal = inVal
+		}
+	case UMinIn:
+		if op.cmpGreater(old, inVal) {
+			newVal = inVal
+		}
+	case URsawAddIn:
+		var dist uint32
+		if op.hasShift {
+			dist = in.get(op.shift)
+		}
+		shifted := op.shiftRight(old, dist)
+		newVal, overflow = op.addWrap(shifted, inVal)
+	}
+	newVal &= op.reg.mask()
+	op.reg.vals[idx] = newVal
+
+	switch op.output {
+	case OutOld:
+		writes[op.outField] = old
+	case OutNew:
+		writes[op.outField] = newVal
+	case OutPred:
+		writes[op.outField] = boolBit(pred)
+	}
+	if op.hasOvField {
+		writes[op.ovField] = boolBit(overflow)
+	}
+	return nil
+}
+
+// addWrap adds within the register width and reports signed overflow when
+// the op is signed (unsigned ops never report overflow: wrapping is the
+// defined behaviour for counters).
+func (op *cStatefulOp) addWrap(a, b uint32) (uint32, bool) {
+	m := op.reg.mask()
+	sum := (a + b) & m
+	if !op.signed {
+		return sum, false
+	}
+	w := op.reg.decl.Width
+	signBit := uint32(1) << (w - 1)
+	// Signed overflow: operands share a sign that differs from the result's.
+	if (a^b)&signBit == 0 && (a^sum)&signBit != 0 {
+		return sum, true
+	}
+	return sum, false
+}
+
+func (op *cStatefulOp) cmpGreater(a, b uint32) bool {
+	if op.signed {
+		return op.reg.signedVal(a) > op.reg.signedVal(b)
+	}
+	return a > b
+}
+
+func (op *cStatefulOp) shiftRight(v, dist uint32) uint32 {
+	w := uint32(op.reg.decl.Width)
+	if op.signed {
+		if dist >= w {
+			dist = w - 1
+		}
+		s := op.reg.signedVal(v) >> dist
+		return uint32(s) & op.reg.mask()
+	}
+	if dist >= w {
+		return 0
+	}
+	return v >> dist
+}

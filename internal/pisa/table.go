@@ -1,0 +1,146 @@
+package pisa
+
+import "fpisa/internal/tcam"
+
+// MatchKind is the match type of a table.
+type MatchKind int
+
+const (
+	// MatchAlways runs the default action unconditionally (a "gateway" /
+	// keyless table).
+	MatchAlways MatchKind = iota
+	// MatchExact matches the concatenated key fields exactly (SRAM).
+	MatchExact
+	// MatchTernary matches value/mask entries by priority (TCAM).
+	MatchTernary
+	// MatchLPM is longest-prefix match on a single key field (TCAM).
+	MatchLPM
+)
+
+func (k MatchKind) String() string {
+	switch k {
+	case MatchAlways:
+		return "always"
+	case MatchExact:
+		return "exact"
+	case MatchTernary:
+		return "ternary"
+	case MatchLPM:
+		return "lpm"
+	}
+	return "unknown"
+}
+
+// ActionDecl is a named action: a bundle of VLIW instructions (executed in
+// parallel against the stage-entry PHV) plus at most one stateful op.
+type ActionDecl struct {
+	Name     string
+	Instrs   []Instr
+	Stateful *StatefulOp
+}
+
+// EntryDecl installs one match entry mapping key bits to an action.
+type EntryDecl struct {
+	// Value holds the key bits (the concatenation of key fields for exact
+	// match, the single key field for ternary/LPM), high field first.
+	Value uint64
+	// Mask is the ternary care mask (MatchTernary only).
+	Mask uint64
+	// PrefixLen is the prefix length (MatchLPM only).
+	PrefixLen int
+	// Priority orders ternary entries.
+	Priority int
+	// Action names the ActionDecl to run on match.
+	Action string
+	// Params is the entry's action data, bound to the action's P(i)
+	// operands on a hit.
+	Params []uint32
+}
+
+// TableDecl declares one logical match-action table.
+type TableDecl struct {
+	Name string
+	// Stage places the table in a specific stage of its gress; -1 lets the
+	// compiler choose the earliest stage satisfying dependencies.
+	Stage int
+	// Egress places the table in the egress pipeline.
+	Egress bool
+	Kind   MatchKind
+	// Key lists the match key fields (exact: any number; ternary/LPM:
+	// exactly one).
+	Key []string
+	// Actions are the action implementations this table can invoke.
+	Actions []ActionDecl
+	// Entries are the installed match entries.
+	Entries []EntryDecl
+	// Default names the action to run on miss ("" = no-op on miss).
+	Default string
+}
+
+// cHit is a matched action plus its entry's action data.
+type cHit struct {
+	action *cAction
+	params []uint32
+}
+
+// compiled table.
+type cTable struct {
+	decl     TableDecl
+	keyIDs   []fieldID
+	keyBits  int
+	actions  map[string]*cAction
+	exact    map[uint64]cHit
+	ternary  *tcam.Table[cHit]
+	lpm      *tcam.LPM[cHit]
+	default_ *cAction
+	stage    int
+	// hits/misses are observability counters.
+	hits, misses uint64
+}
+
+type cAction struct {
+	name     string
+	instrs   []cInstr
+	stateful *cStatefulOp
+	// nParams is the number of action-data parameters the instructions
+	// reference; entries must supply at least this many.
+	nParams int
+}
+
+// buildKey concatenates key field values, first field in the highest bits,
+// mirroring hardware key construction.
+func (t *cTable) buildKey(p *Phv) uint64 {
+	var k uint64
+	for _, id := range t.keyIDs {
+		w := p.ft.width(id)
+		k = k<<uint(w) | uint64(p.get(id))
+	}
+	return k
+}
+
+// match returns the action (plus its action data) to execute for the PHV;
+// a nil action means a no-op miss.
+func (t *cTable) match(p *Phv) cHit {
+	switch t.decl.Kind {
+	case MatchAlways:
+		t.hits++
+		return cHit{action: t.default_}
+	case MatchExact:
+		if h, ok := t.exact[t.buildKey(p)]; ok {
+			t.hits++
+			return h
+		}
+	case MatchTernary:
+		if h, ok := t.ternary.Lookup(t.buildKey(p)); ok {
+			t.hits++
+			return h
+		}
+	case MatchLPM:
+		if h, ok := t.lpm.Lookup(t.buildKey(p)); ok {
+			t.hits++
+			return h
+		}
+	}
+	t.misses++
+	return cHit{action: t.default_}
+}

@@ -1,0 +1,244 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"fpisa/internal/fpnum"
+)
+
+// Method is the in-switch acceleration technique (Table 2).
+type Method int
+
+const (
+	// Pruning drops rows that cannot contribute to the result (Cheetah).
+	Pruning Method = iota
+	// Aggregation folds rows into switch state (NETACCEL-style).
+	Aggregation
+)
+
+func (m Method) String() string {
+	if m == Pruning {
+		return "In-switch pruning"
+	}
+	return "In-switch aggregation"
+}
+
+// Descriptor is one row of paper Table 2.
+type Descriptor struct {
+	Name   string
+	Method Method
+	// FPOp is the floating-point operation the switch performs.
+	FPOp string
+}
+
+// Table2 lists the five evaluated queries in paper order.
+func Table2() []Descriptor {
+	return []Descriptor{
+		{"Top-N", Pruning, "Comparison"},
+		{"Group-by-having max", Pruning, "Comparison"},
+		{"Group-by (hash-based aggregation)", Aggregation, "Addition"},
+		{"TPC-H Q3", Pruning, "Comparison"},
+		{"TPC-H Q20", Aggregation, "Addition"},
+	}
+}
+
+// Row is the unified unit flowing from workers through the switch to the
+// master: a grouping key and an FP32 value.
+type Row struct {
+	Key uint32
+	Val float32
+}
+
+// KV is one result entry.
+type KV struct {
+	Key uint32
+	Val float64
+}
+
+// Result is a query result: entries sorted by descending value then key
+// (Top-N style) or by key (group-by style).
+type Result struct {
+	Entries []KV
+	ByKey   bool
+}
+
+func sortResult(entries []KV, byKey bool) Result {
+	sort.Slice(entries, func(i, j int) bool {
+		if byKey {
+			return entries[i].Key < entries[j].Key
+		}
+		if entries[i].Val != entries[j].Val {
+			return entries[i].Val > entries[j].Val
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	return Result{Entries: entries, ByKey: byKey}
+}
+
+// Query is one executable benchmark query.
+type Query struct {
+	Desc Descriptor
+	// TopN is the result cardinality for pruning queries (0 = all groups).
+	TopN int
+	// Groups is the switch register budget for per-group state.
+	Groups int
+	// WorkerRows scans one partition into the unified row model.
+	WorkerRows func(ds *Dataset) []Row
+	// Finish reduces rows to the final result at the master.
+	Finish func(rows []Row, topN int) Result
+}
+
+const (
+	topNCount  = 10
+	aggGroups  = 1024
+	q3Segment  = 1
+	q3Date     = 10200
+	q20PartMod = 512
+	q20DateLo  = 9300
+	q20DateHi  = 10300
+)
+
+// finishTopN returns the N largest values.
+func finishTopN(rows []Row, n int) Result {
+	entries := make([]KV, 0, len(rows))
+	for _, r := range rows {
+		entries = append(entries, KV{Key: r.Key, Val: float64(r.Val)})
+	}
+	res := sortResult(entries, false)
+	if len(res.Entries) > n {
+		res.Entries = res.Entries[:n]
+	}
+	return res
+}
+
+// finishGroupMax keeps each group's maximum.
+func finishGroupMax(rows []Row, _ int) Result {
+	maxes := make(map[uint32]float64)
+	for _, r := range rows {
+		if v, ok := maxes[r.Key]; !ok || float64(r.Val) > v {
+			maxes[r.Key] = float64(r.Val)
+		}
+	}
+	entries := make([]KV, 0, len(maxes))
+	for k, v := range maxes {
+		entries = append(entries, KV{Key: k, Val: v})
+	}
+	return sortResult(entries, true)
+}
+
+// finishGroupSum sums values per group in float64 (the master's exact
+// arithmetic; switch aggregation replaces this with FPISA sums).
+func finishGroupSum(rows []Row, _ int) Result {
+	sums := make(map[uint32]float64)
+	for _, r := range rows {
+		sums[r.Key] += float64(r.Val)
+	}
+	entries := make([]KV, 0, len(sums))
+	for k, v := range sums {
+		entries = append(entries, KV{Key: k, Val: v})
+	}
+	return sortResult(entries, true)
+}
+
+// Queries instantiates the five Table 2 queries.
+func Queries() []Query {
+	return []Query{
+		{
+			Desc: Table2()[0], TopN: topNCount, Groups: topNCount,
+			WorkerRows: func(ds *Dataset) []Row {
+				rows := make([]Row, 0, len(ds.UserVisits))
+				for i, v := range ds.UserVisits {
+					_ = i
+					rows = append(rows, Row{Key: v.DestURL, Val: v.AdRevenue})
+				}
+				return rows
+			},
+			Finish: finishTopN,
+		},
+		{
+			Desc: Table2()[1], Groups: 256,
+			WorkerRows: func(ds *Dataset) []Row {
+				rows := make([]Row, 0, len(ds.UserVisits))
+				for _, v := range ds.UserVisits {
+					rows = append(rows, Row{Key: v.SourceIP >> 24, Val: v.AdRevenue})
+				}
+				return rows
+			},
+			Finish: finishGroupMax,
+		},
+		{
+			Desc: Table2()[2], Groups: aggGroups,
+			WorkerRows: func(ds *Dataset) []Row {
+				rows := make([]Row, 0, len(ds.UserVisits))
+				for _, v := range ds.UserVisits {
+					rows = append(rows, Row{Key: v.DestURL % aggGroups, Val: v.AdRevenue})
+				}
+				return rows
+			},
+			Finish: finishGroupSum,
+		},
+		{
+			Desc: Table2()[3], TopN: topNCount, Groups: topNCount,
+			WorkerRows: q3WorkerRows,
+			Finish:     finishTopN,
+		},
+		{
+			Desc: Table2()[4], Groups: q20PartMod,
+			WorkerRows: func(ds *Dataset) []Row {
+				rows := make([]Row, 0, len(ds.LineItems))
+				for _, l := range ds.LineItems {
+					if l.ShipDate >= q20DateLo && l.ShipDate < q20DateHi {
+						rows = append(rows, Row{Key: l.PartKey % q20PartMod, Val: l.Quantity})
+					}
+				}
+				return rows
+			},
+			Finish: finishGroupSum,
+		},
+	}
+}
+
+// QueryByName finds a query.
+func QueryByName(name string) (Query, error) {
+	for _, q := range Queries() {
+		if q.Desc.Name == name {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("query: unknown query %q", name)
+}
+
+// q3WorkerRows evaluates TPC-H Q3's filter+join+local-aggregate on one
+// partition: lineitems are partitioned by order key, so each worker emits
+// complete per-order revenues (a broadcast join against the dimension
+// tables it holds in full during execution — see Engine).
+func q3WorkerRows(ds *Dataset) []Row {
+	building := make(map[uint32]bool, len(ds.Customers))
+	for _, c := range ds.Customers {
+		if c.MktSegment == q3Segment {
+			building[c.CustKey] = true
+		}
+	}
+	orderOK := make(map[uint32]bool, len(ds.Orders))
+	for _, o := range ds.Orders {
+		if o.OrderDate < q3Date && building[o.CustKey] {
+			orderOK[o.OrderKey] = true
+		}
+	}
+	revenue := make(map[uint32]float32)
+	for _, l := range ds.LineItems {
+		if l.ShipDate > q3Date && orderOK[l.OrderKey] {
+			revenue[l.OrderKey] += l.ExtendedPrice * (1 - l.Discount)
+		}
+	}
+	rows := make([]Row, 0, len(revenue))
+	for k, v := range revenue {
+		rows = append(rows, Row{Key: k, Val: v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows
+}
+
+// orderedKey is the in-switch FP comparison key (§6, one sign-test + XOR).
+func orderedKey(v float32) uint32 { return fpnum.OrderedKey32(v) }

@@ -1,0 +1,220 @@
+package query
+
+import (
+	"math"
+	"testing"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	parts := Generate(DefaultScale(), 2, 7)
+	return NewEngine(parts)
+}
+
+func TestTable2Registry(t *testing.T) {
+	descs := Table2()
+	if len(descs) != 5 {
+		t.Fatalf("Table 2 has %d queries, want 5", len(descs))
+	}
+	wantOps := map[string]string{
+		"Top-N":                             "Comparison",
+		"Group-by-having max":               "Comparison",
+		"Group-by (hash-based aggregation)": "Addition",
+		"TPC-H Q3":                          "Comparison",
+		"TPC-H Q20":                         "Addition",
+	}
+	for _, d := range descs {
+		if wantOps[d.Name] != d.FPOp {
+			t.Errorf("%s: FP op %q, want %q", d.Name, d.FPOp, wantOps[d.Name])
+		}
+	}
+	if _, err := QueryByName("Top-N"); err != nil {
+		t.Error(err)
+	}
+	if _, err := QueryByName("nope"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestGenerateDeterministicAndPartitioned(t *testing.T) {
+	a := Generate(DefaultScale(), 2, 1)
+	b := Generate(DefaultScale(), 2, 1)
+	if len(a[0].UserVisits) != len(b[0].UserVisits) ||
+		a[0].UserVisits[0] != b[0].UserVisits[0] {
+		t.Error("generator not deterministic")
+	}
+	// Lineitems partition by order key.
+	for w, part := range a {
+		for _, l := range part.LineItems {
+			if int(l.OrderKey)%2 != w {
+				t.Fatalf("lineitem order %d in partition %d", l.OrderKey, w)
+			}
+		}
+	}
+	total := len(a[0].UserVisits) + len(a[1].UserVisits)
+	if total != DefaultScale().UserVisits {
+		t.Errorf("uservisits total %d", total)
+	}
+}
+
+func resultsEqual(a, b Result) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Key != b.Entries[i].Key || a.Entries[i].Val != b.Entries[i].Val {
+			return false
+		}
+	}
+	return true
+}
+
+func resultsClose(a, b Result, rel float64) bool {
+	if len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i].Key != b.Entries[i].Key {
+			return false
+		}
+		diff := math.Abs(a.Entries[i].Val - b.Entries[i].Val)
+		if diff > rel*math.Abs(b.Entries[i].Val)+1e-6 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBaselineMatchesReference(t *testing.T) {
+	e := newEngine(t)
+	for _, q := range Queries() {
+		ref := e.Reference(q)
+		got, cost := e.RunBaseline(q)
+		if !resultsEqual(got, ref) {
+			t.Errorf("%s: baseline result differs from reference", q.Desc.Name)
+		}
+		if cost.RowsToMaster != cost.WorkerRows {
+			t.Errorf("%s: baseline must ship every row", q.Desc.Name)
+		}
+	}
+}
+
+func TestSwitchPlanCorrectness(t *testing.T) {
+	e := newEngine(t)
+	for _, q := range Queries() {
+		ref := e.Reference(q)
+		got, _, err := e.RunSwitch(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Desc.Name, err)
+		}
+		switch q.Desc.Method {
+		case Pruning:
+			// Pruning is lossless: exact equality.
+			if !resultsEqual(got, ref) {
+				t.Errorf("%s: pruned result differs from reference", q.Desc.Name)
+			}
+		case Aggregation:
+			// FPISA (full) sums match float64 reference within FP32
+			// aggregation accuracy.
+			if !resultsClose(got, ref, 1e-5) {
+				t.Errorf("%s: aggregated result outside tolerance", q.Desc.Name)
+			}
+		}
+	}
+}
+
+func TestPruningReducesTraffic(t *testing.T) {
+	e := newEngine(t)
+	for _, q := range Queries() {
+		if q.Desc.Method != Pruning {
+			continue
+		}
+		_, cost, err := e.RunSwitch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.RowsToMaster*5 > cost.WorkerRows {
+			t.Errorf("%s: pruning passed %d of %d rows (<5x reduction)",
+				q.Desc.Name, cost.RowsToMaster, cost.WorkerRows)
+		}
+	}
+}
+
+func TestAggregationEliminatesDataPlaneRows(t *testing.T) {
+	e := newEngine(t)
+	for _, q := range Queries() {
+		if q.Desc.Method != Aggregation {
+			continue
+		}
+		_, cost, err := e.RunSwitch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.RowsToMaster != 0 {
+			t.Errorf("%s: aggregation shipped %d rows", q.Desc.Name, cost.RowsToMaster)
+		}
+		if cost.SwitchReads == 0 || cost.SwitchReads > q.Groups {
+			t.Errorf("%s: switch reads %d (groups %d)", q.Desc.Name, cost.SwitchReads, q.Groups)
+		}
+	}
+}
+
+// TestFig13SpeedupShape verifies the headline result: in-switch FP query
+// processing beats the Spark-like baseline by roughly the paper's 1.9–2.7x.
+func TestFig13SpeedupShape(t *testing.T) {
+	e := newEngine(t)
+	const workers = 2
+	for _, q := range Queries() {
+		_, bCost := e.RunBaseline(q)
+		_, sCost, err := e.RunSwitch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := bCost.BaselineSeconds(workers) / sCost.SwitchSeconds(workers)
+		if speedup < 1.5 || speedup > 3.5 {
+			t.Errorf("%s: speedup %.2fx outside the 1.9-2.7x band (paper Fig. 13)",
+				q.Desc.Name, speedup)
+		}
+	}
+}
+
+func TestCostModelMonotonic(t *testing.T) {
+	small := Cost{WorkerRows: 100, RowsToMaster: 100, MasterRows: 100}
+	big := Cost{WorkerRows: 100000, RowsToMaster: 100000, MasterRows: 100000}
+	if big.BaselineSeconds(2) <= small.BaselineSeconds(2) {
+		t.Error("baseline time not monotonic in rows")
+	}
+	if big.SwitchSeconds(2) <= small.SwitchSeconds(2) {
+		t.Error("switch time not monotonic in rows")
+	}
+	// More workers = faster scans.
+	if big.BaselineSeconds(8) >= big.BaselineSeconds(1) {
+		t.Error("workers do not parallelize scans")
+	}
+}
+
+func TestQ3JoinSemantics(t *testing.T) {
+	// Hand-built micro dataset: one qualifying order, one not.
+	ds := Dataset{
+		Customers: []Customer{{CustKey: 1, MktSegment: q3Segment}, {CustKey: 2, MktSegment: 0}},
+		Orders: []Order{
+			{OrderKey: 10, CustKey: 1, OrderDate: q3Date - 1}, // qualifies
+			{OrderKey: 11, CustKey: 2, OrderDate: q3Date - 1}, // wrong segment
+			{OrderKey: 12, CustKey: 1, OrderDate: q3Date + 1}, // too late
+		},
+		LineItems: []LineItem{
+			{OrderKey: 10, ExtendedPrice: 100, Discount: 0.1, ShipDate: q3Date + 1},
+			{OrderKey: 10, ExtendedPrice: 50, Discount: 0, ShipDate: q3Date + 1},
+			{OrderKey: 10, ExtendedPrice: 50, Discount: 0, ShipDate: q3Date - 1}, // shipped early
+			{OrderKey: 11, ExtendedPrice: 999, Discount: 0, ShipDate: q3Date + 1},
+			{OrderKey: 12, ExtendedPrice: 999, Discount: 0, ShipDate: q3Date + 1},
+		},
+	}
+	rows := q3WorkerRows(&ds)
+	if len(rows) != 1 || rows[0].Key != 10 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if math.Abs(float64(rows[0].Val)-140) > 1e-4 {
+		t.Errorf("revenue = %g, want 140", rows[0].Val)
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats provides the histogram and series tooling used to
+// regenerate the paper's figures: log-scale frequency histograms (error
+// distributions, Fig. 8; max/min-ratio distributions, Fig. 7) and labelled
+// (x, y) series (goodput curves, accuracy curves).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LogHistogram buckets positive values by log-base exponent: bin i covers
+// [base^(minExp+i), base^(minExp+i+1)).
+type LogHistogram struct {
+	Base   float64
+	MinExp int
+	MaxExp int
+	bins   []uint64
+	zeros  uint64
+	under  uint64
+	over   uint64
+	total  uint64
+}
+
+// NewLogHistogram creates a histogram with one bin per integer exponent in
+// [minExp, maxExp).
+func NewLogHistogram(base float64, minExp, maxExp int) (*LogHistogram, error) {
+	if base <= 1 {
+		return nil, fmt.Errorf("stats: log base %g must exceed 1", base)
+	}
+	if maxExp <= minExp {
+		return nil, fmt.Errorf("stats: empty exponent range [%d,%d)", minExp, maxExp)
+	}
+	return &LogHistogram{Base: base, MinExp: minExp, MaxExp: maxExp,
+		bins: make([]uint64, maxExp-minExp)}, nil
+}
+
+// MustNewLogHistogram panics on error.
+func MustNewLogHistogram(base float64, minExp, maxExp int) *LogHistogram {
+	h, err := NewLogHistogram(base, minExp, maxExp)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe adds one sample. Non-positive samples land in the zero bucket
+// (exact zeros are common in error distributions and reported separately).
+func (h *LogHistogram) Observe(v float64) {
+	h.total++
+	if v <= 0 || math.IsNaN(v) {
+		h.zeros++
+		return
+	}
+	e := int(math.Floor(math.Log(v) / math.Log(h.Base)))
+	switch {
+	case e < h.MinExp:
+		h.under++
+	case e >= h.MaxExp:
+		h.over++
+	default:
+		h.bins[e-h.MinExp]++
+	}
+}
+
+// Total returns the sample count.
+func (h *LogHistogram) Total() uint64 { return h.total }
+
+// Zeros returns the non-positive sample count.
+func (h *LogHistogram) Zeros() uint64 { return h.zeros }
+
+// Bin is one histogram bucket.
+type Bin struct {
+	// Lo and Hi are the bucket bounds (base^exp).
+	Lo, Hi float64
+	// Exp is the low bound's exponent.
+	Exp int
+	// Count and Frequency describe the bucket's mass.
+	Count     uint64
+	Frequency float64
+}
+
+// Bins returns the buckets (excluding zero/under/overflow).
+func (h *LogHistogram) Bins() []Bin {
+	out := make([]Bin, len(h.bins))
+	for i, c := range h.bins {
+		e := h.MinExp + i
+		b := Bin{Lo: math.Pow(h.Base, float64(e)), Hi: math.Pow(h.Base, float64(e+1)), Exp: e, Count: c}
+		if h.total > 0 {
+			b.Frequency = float64(c) / float64(h.total)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of positive samples below base^exp
+// (the Fig. 7 "≈83% of ratios below 2^7" statistic), counting underflows.
+func (h *LogHistogram) FractionBelow(exp int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := h.under + h.zeros
+	for i, c := range h.bins {
+		if h.MinExp+i >= exp {
+			break
+		}
+		sum += c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// FractionBetween returns the mass with values in [base^lo, base^hi).
+func (h *LogHistogram) FractionBetween(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum uint64
+	for i, c := range h.bins {
+		e := h.MinExp + i
+		if e >= lo && e < hi {
+			sum += c
+		}
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// String renders an ASCII bar chart.
+func (h *LogHistogram) String() string {
+	var b strings.Builder
+	maxFreq := 0.0
+	bins := h.Bins()
+	for _, bin := range bins {
+		if bin.Frequency > maxFreq {
+			maxFreq = bin.Frequency
+		}
+	}
+	if h.zeros > 0 {
+		fmt.Fprintf(&b, "%12s %7.4f\n", "zero", float64(h.zeros)/float64(h.total))
+	}
+	for _, bin := range bins {
+		if bin.Count == 0 {
+			continue
+		}
+		width := 0
+		if maxFreq > 0 {
+			width = int(bin.Frequency / maxFreq * 50)
+		}
+		fmt.Fprintf(&b, "%5g^%-5d %7.4f %s\n", h.Base, bin.Exp, bin.Frequency, strings.Repeat("#", width))
+	}
+	return b.String()
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// YAt returns the Y value for an exact X, or ok=false.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// FormatTable renders a set of series sharing X values as a column table.
+func FormatTable(xLabel string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%18s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i, x := range series[0].X {
+		fmt.Fprintf(&b, "%-14g", x)
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%18.4g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "%18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation on a
+// sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogHistogramBinning(t *testing.T) {
+	h := MustNewLogHistogram(2, 0, 8)
+	h.Observe(1)   // [2^0,2^1)
+	h.Observe(1.5) // [2^0,2^1)
+	h.Observe(4)   // [2^2,2^3)
+	h.Observe(0)   // zero bucket
+	h.Observe(0.1) // underflow
+	h.Observe(512) // overflow
+
+	bins := h.Bins()
+	if bins[0].Count != 2 {
+		t.Errorf("bin 2^0 count = %d, want 2", bins[0].Count)
+	}
+	if bins[2].Count != 1 {
+		t.Errorf("bin 2^2 count = %d", bins[2].Count)
+	}
+	if h.Zeros() != 1 || h.Total() != 6 {
+		t.Errorf("zeros=%d total=%d", h.Zeros(), h.Total())
+	}
+	if f := bins[0].Frequency; math.Abs(f-2.0/6) > 1e-12 {
+		t.Errorf("frequency = %g", f)
+	}
+}
+
+func TestLogHistogramBase10(t *testing.T) {
+	h := MustNewLogHistogram(10, -20, 1)
+	h.Observe(1e-9)
+	h.Observe(5e-9)
+	h.Observe(1e-15)
+	if got := h.FractionBetween(-10, -8); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("FractionBetween = %g", got)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	h := MustNewLogHistogram(2, 0, 20)
+	for i := 0; i < 83; i++ {
+		h.Observe(3) // 2^1..2^2
+	}
+	for i := 0; i < 17; i++ {
+		h.Observe(1000) // 2^9..2^10
+	}
+	if got := h.FractionBelow(7); math.Abs(got-0.83) > 1e-9 {
+		t.Errorf("FractionBelow(7) = %g, want 0.83", got)
+	}
+	if got := h.FractionBelow(20); got != 1 {
+		t.Errorf("FractionBelow(max) = %g", got)
+	}
+}
+
+func TestLogHistogramValidation(t *testing.T) {
+	if _, err := NewLogHistogram(1, 0, 4); err == nil {
+		t.Error("base 1 accepted")
+	}
+	if _, err := NewLogHistogram(2, 4, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestLogHistogramString(t *testing.T) {
+	h := MustNewLogHistogram(2, 0, 4)
+	h.Observe(1)
+	h.Observe(0)
+	s := h.String()
+	if !strings.Contains(s, "zero") || !strings.Contains(s, "#") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "goodput"
+	s.Add(2, 48)
+	s.Add(4, 92)
+	if y, ok := s.YAt(4); !ok || y != 92 {
+		t.Errorf("YAt(4) = %g,%v", y, ok)
+	}
+	if _, ok := s.YAt(3); ok {
+		t.Error("YAt(3) should miss")
+	}
+	table := FormatTable("cores", []Series{s})
+	if !strings.Contains(table, "goodput") || !strings.Contains(table, "92") {
+		t.Errorf("table:\n%s", table)
+	}
+}
+
+func TestMeanQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("Median = %g", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Mean(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 4 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+}

@@ -1,0 +1,126 @@
+// Package tcam implements a ternary content-addressable memory and a
+// longest-prefix-match table built on it, the switch memory primitive FPISA
+// repurposes as a count-leading-zeros unit (paper §3.2, Fig. 5).
+//
+// A TCAM row stores a value and a care-mask; a search key matches a row when
+// the key agrees with the value on every care bit. When several rows match,
+// the row with the highest priority wins, with earlier insertion breaking
+// ties — the same semantics as hardware TCAM row ordering.
+package tcam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one TCAM row. Type parameter A is the action payload returned on
+// a match (for the pipeline simulator this is an action identifier; for the
+// CLZ unit it is a shift distance).
+type Entry[A any] struct {
+	// Value holds the match bits; only bits selected by Mask are compared.
+	Value uint64
+	// Mask selects the care bits (1 = compared, 0 = wildcard).
+	Mask uint64
+	// Priority orders overlapping entries; larger wins.
+	Priority int
+	// Action is returned when this entry is the winning match.
+	Action A
+
+	seq int // insertion order, used as the tiebreaker
+}
+
+// Table is a priority-ordered ternary match table.
+type Table[A any] struct {
+	width   int
+	entries []Entry[A]
+	seq     int
+}
+
+// New creates a TCAM matching keys of the given bit width (1..64).
+func New[A any](width int) (*Table[A], error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("tcam: invalid width %d", width)
+	}
+	return &Table[A]{width: width}, nil
+}
+
+// MustNew is New, panicking on error; for static table construction.
+func MustNew[A any](width int) *Table[A] {
+	t, err := New[A](width)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Width returns the key width in bits.
+func (t *Table[A]) Width() int { return t.width }
+
+// Len returns the number of installed entries.
+func (t *Table[A]) Len() int { return len(t.entries) }
+
+// keyMask returns a mask covering the table's key width.
+func (t *Table[A]) keyMask() uint64 {
+	if t.width == 64 {
+		return ^uint64(0)
+	}
+	return 1<<t.width - 1
+}
+
+// Insert installs an entry. Value bits outside Mask or the key width are
+// ignored for matching but normalized to zero for determinism.
+func (t *Table[A]) Insert(e Entry[A]) {
+	km := t.keyMask()
+	e.Mask &= km
+	e.Value &= e.Mask
+	e.seq = t.seq
+	t.seq++
+	t.entries = append(t.entries, e)
+	// Keep entries sorted: higher priority first, then earlier insertion.
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		return t.entries[i].seq < t.entries[j].seq
+	})
+}
+
+// Lookup returns the action of the winning entry for key, or ok=false when
+// nothing matches.
+func (t *Table[A]) Lookup(key uint64) (action A, ok bool) {
+	key &= t.keyMask()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if key&e.Mask == e.Value {
+			return e.Action, true
+		}
+	}
+	var zero A
+	return zero, false
+}
+
+// Delete removes all entries with the given value/mask pair and reports how
+// many were removed.
+func (t *Table[A]) Delete(value, mask uint64) int {
+	mask &= t.keyMask()
+	value &= mask
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if e.Mask == mask && e.Value == value {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return removed
+}
+
+// Clear removes every entry.
+func (t *Table[A]) Clear() { t.entries = t.entries[:0] }
+
+// Bits returns the TCAM storage consumed, in ternary bits (each row costs
+// 2× the key width: value plane + mask plane), used by the pipeline
+// resource allocator.
+func (t *Table[A]) Bits() int { return len(t.entries) * 2 * t.width }

@@ -1,0 +1,173 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"fpisa/internal/core"
+)
+
+func TestModelShapes(t *testing.T) {
+	m := NewModel(Arch{Name: "t", Hidden: []int{8}, Act: ActReLU}, 4, 3, 1)
+	// (4*8+8) + (8*3+3) = 40 + 27.
+	if got := m.ParamCount(); got != 67 {
+		t.Errorf("ParamCount = %d, want 67", got)
+	}
+	p := m.Params()
+	if len(p) != 67 {
+		t.Fatalf("Params len %d", len(p))
+	}
+	p[0] = 42
+	if err := m.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Params()[0] != 42 {
+		t.Error("SetParams did not take")
+	}
+	if err := m.SetParams(p[:10]); err == nil {
+		t.Error("short param vector accepted")
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	m := NewModel(Arch{Name: "t", Hidden: []int{5}, Act: ActTanh}, 3, 2, 7)
+	xs := [][]float32{{0.5, -1, 2}, {1, 1, -0.5}}
+	ys := []int{0, 1}
+	grad, _ := m.GradientOnBatch(xs, ys)
+	params := m.Params()
+
+	lossAt := func(p []float32) float64 {
+		m2 := NewModel(Arch{Name: "t", Hidden: []int{5}, Act: ActTanh}, 3, 2, 7)
+		if err := m2.SetParams(p); err != nil {
+			t.Fatal(err)
+		}
+		var total float32
+		for i := range xs {
+			total += m2.backwardExample(xs[i], ys[i])
+		}
+		return float64(total) / float64(len(xs))
+	}
+
+	const eps = 1e-3
+	for _, idx := range []int{0, 3, 10, len(params) - 1} {
+		p1 := append([]float32(nil), params...)
+		p2 := append([]float32(nil), params...)
+		p1[idx] -= eps
+		p2[idx] += eps
+		fd := (lossAt(p2) - lossAt(p1)) / (2 * eps)
+		if math.Abs(fd-float64(grad[idx])) > 1e-2*(math.Abs(fd)+1e-2) {
+			t.Errorf("param %d: analytic %g vs finite-diff %g", idx, grad[idx], fd)
+		}
+	}
+}
+
+func TestSyntheticDatasetDeterministic(t *testing.T) {
+	a, _ := SyntheticDataset(100, 10, 4, 3, 5)
+	b, _ := SyntheticDataset(100, 10, 4, 3, 5)
+	for i := range a.X {
+		for f := range a.X[i] {
+			if a.X[i][f] != b.X[i][f] {
+				t.Fatal("dataset not deterministic")
+			}
+		}
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("labels not deterministic")
+		}
+	}
+}
+
+func TestReducersAgreeOnBenignData(t *testing.T) {
+	workers := [][]float32{{0.5, -0.25, 1}, {0.25, -0.25, 2}, {0.125, 0.5, 4}}
+	exact, err := ExactReducer{}.Reduce(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := FPISAReducer{Cfg: core.DefaultFP32(core.ModeApprox)}.Reduce(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if exact[i] != fp[i] {
+			t.Errorf("elem %d: exact %g vs fpisa %g", i, exact[i], fp[i])
+		}
+	}
+}
+
+func TestFP16ReducerRounds(t *testing.T) {
+	r := FP16Reducer{Inner: ExactReducer{}}
+	out, err := r.Reduce([][]float32{{1.0009765625 / 2}}) // rounds in FP16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == 1.0009765625/2 {
+		t.Skip("value representable; pick another")
+	}
+	if r.Name() != "default/fp16" {
+		t.Errorf("name = %q", r.Name())
+	}
+}
+
+func TestTrainingConverges(t *testing.T) {
+	trainSet, testSet := SyntheticDataset(512, 256, 12, 4, 3)
+	cfg := DefaultSGD()
+	cfg.Epochs = 12
+	res, err := Run(Arch{Name: "mlp", Hidden: []int{24}, Act: ActReLU}, trainSet, testSet, cfg, ExactReducer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final < 0.7 {
+		t.Errorf("final accuracy %.3f < 0.7; training failed to converge", res.Final)
+	}
+	// Loss should decrease from the first epoch to the last.
+	first, last := res.Loss.Y[0], res.Loss.Y[len(res.Loss.Y)-1]
+	if last >= first {
+		t.Errorf("loss did not decrease: %g -> %g", first, last)
+	}
+}
+
+// TestFig9ConvergenceParity is the Fig. 9 claim in miniature: training with
+// FPISA-A aggregation reaches the same accuracy as default addition, for
+// FP32 and FP16 gradient precision.
+func TestFig9ConvergenceParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence study")
+	}
+	trainSet, testSet := SyntheticDataset(512, 256, 12, 4, 3)
+	cfg := DefaultSGD()
+	cfg.Epochs = 12
+
+	for _, arch := range Fig9Architectures()[:2] { // two architectures in tests; all four in the bench
+		exact, err := Run(arch, trainSet, testSet, cfg, ExactReducer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpisaA, err := Run(arch, trainSet, testSet, cfg, FPISAReducer{Cfg: core.DefaultFP32(core.ModeApprox)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := math.Abs(exact.Final - fpisaA.Final)
+		if diff > 0.03 {
+			t.Errorf("%s: FP32 accuracy gap %.3f (exact %.3f vs FPISA-A %.3f)",
+				arch.Name, diff, exact.Final, fpisaA.Final)
+		}
+
+		exact16, err := Run(arch, trainSet, testSet, cfg, FP16Reducer{Inner: ExactReducer{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpisa16, err := Run(arch, trainSet, testSet, cfg, FP16Reducer{Inner: FPISAReducer{Cfg: core.DefaultFP32(core.ModeApprox)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(exact16.Final - fpisa16.Final); d > 0.04 {
+			t.Errorf("%s: FP16 accuracy gap %.3f (exact %.3f vs FPISA-A %.3f)",
+				arch.Name, d, exact16.Final, fpisa16.Final)
+		}
+	}
+}
+
+func TestReducerErrors(t *testing.T) {
+	if _, err := (ExactReducer{}).Reduce([][]float32{{1, 2}, {1}}); err == nil {
+		t.Error("ragged vectors accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Package transport provides the network substrates the aggregation
+// protocols run over: an in-memory switch fabric with deterministic loss
+// injection (for protocol tests and benchmarks), and a UDP fabric for
+// running the same protocols across real sockets (examples and the
+// fpisa-switch daemon).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned by Recv when no packet arrives in time.
+var ErrTimeout = errors.New("transport: receive timeout")
+
+// Delivery routes one switch output packet.
+type Delivery struct {
+	// Worker is the destination worker index; Broadcast overrides it.
+	Worker    int
+	Broadcast bool
+	Packet    []byte
+}
+
+// Handler is the switch's packet function: it consumes one worker's packet
+// and returns any deliveries. Handlers run serialized (a switch pipeline
+// processes one packet at a time).
+type Handler func(worker int, pkt []byte) []Delivery
+
+// Fabric connects workers to one switch.
+type Fabric interface {
+	// Send submits a packet from a worker to the switch.
+	Send(worker int, pkt []byte) error
+	// Recv blocks for the worker's next delivery.
+	Recv(worker int, timeout time.Duration) ([]byte, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Memory is an in-memory fabric with independent loss probabilities on the
+// uplink (worker→switch) and downlink (switch→worker), driven by a seeded
+// RNG for reproducible loss patterns.
+type Memory struct {
+	workers int
+	handler Handler
+	uplinkP float64
+	downP   float64
+	mu      sync.Mutex // serializes the switch and the RNG
+	rng     *rand.Rand
+	queues  []chan []byte
+	closed  bool
+	// Stats
+	sent, lostUp, lostDown, delivered uint64
+}
+
+// MemoryConfig configures the in-memory fabric.
+type MemoryConfig struct {
+	Workers      int
+	Handler      Handler
+	UplinkLoss   float64
+	DownlinkLoss float64
+	Seed         int64
+	// QueueDepth bounds each worker's delivery queue (default 1024);
+	// overflowing deliveries are dropped, as a NIC ring would.
+	QueueDepth int
+}
+
+// NewMemory builds the fabric.
+func NewMemory(cfg MemoryConfig) (*Memory, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("transport: workers %d", cfg.Workers)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	if cfg.UplinkLoss < 0 || cfg.UplinkLoss >= 1 || cfg.DownlinkLoss < 0 || cfg.DownlinkLoss >= 1 {
+		return nil, fmt.Errorf("transport: loss probabilities must be in [0,1)")
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = 1024
+	}
+	m := &Memory{
+		workers: cfg.Workers,
+		handler: cfg.Handler,
+		uplinkP: cfg.UplinkLoss,
+		downP:   cfg.DownlinkLoss,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		queues:  make([]chan []byte, cfg.Workers),
+	}
+	for i := range m.queues {
+		m.queues[i] = make(chan []byte, depth)
+	}
+	return m, nil
+}
+
+// Send implements Fabric. The handler runs synchronously under the fabric
+// lock, mirroring the single pipeline.
+func (m *Memory) Send(worker int, pkt []byte) error {
+	if worker < 0 || worker >= m.workers {
+		return fmt.Errorf("transport: worker %d out of range %d", worker, m.workers)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("transport: fabric closed")
+	}
+	m.sent++
+	if m.uplinkP > 0 && m.rng.Float64() < m.uplinkP {
+		m.lostUp++
+		return nil // silently lost, like the wire
+	}
+	cp := append([]byte(nil), pkt...)
+	for _, d := range m.handler(worker, cp) {
+		if m.downP > 0 && m.rng.Float64() < m.downP {
+			m.lostDown++
+			continue
+		}
+		targets := []int{d.Worker}
+		if d.Broadcast {
+			targets = targets[:0]
+			for w := 0; w < m.workers; w++ {
+				targets = append(targets, w)
+			}
+		}
+		for _, t := range targets {
+			if t < 0 || t >= m.workers {
+				continue
+			}
+			// Per-target copy: receivers own their buffers.
+			out := append([]byte(nil), d.Packet...)
+			select {
+			case m.queues[t] <- out:
+				m.delivered++
+			default: // queue overflow = drop
+				m.lostDown++
+			}
+		}
+	}
+	return nil
+}
+
+// Recv implements Fabric.
+func (m *Memory) Recv(worker int, timeout time.Duration) ([]byte, error) {
+	if worker < 0 || worker >= m.workers {
+		return nil, fmt.Errorf("transport: worker %d out of range %d", worker, m.workers)
+	}
+	select {
+	case pkt := <-m.queues[worker]:
+		return pkt, nil
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// Close implements Fabric.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Stats returns fabric counters: packets sent by workers, losses in each
+// direction and deliveries enqueued.
+func (m *Memory) Stats() (sent, lostUp, lostDown, delivered uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sent, m.lostUp, m.lostDown, m.delivered
+}

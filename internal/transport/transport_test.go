@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandler(worker int, pkt []byte) []Delivery {
+	out := append([]byte{byte(worker)}, pkt...)
+	return []Delivery{{Worker: worker, Packet: out}}
+}
+
+func TestMemoryEcho(t *testing.T) {
+	m, err := NewMemory(MemoryConfig{Workers: 3, Handler: echoHandler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Send(1, []byte{9, 8}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := m.Recv(1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt, []byte{1, 9, 8}) {
+		t.Errorf("pkt = %v", pkt)
+	}
+	if _, err := m.Recv(2, 10*time.Millisecond); err != ErrTimeout {
+		t.Errorf("expected timeout, got %v", err)
+	}
+}
+
+func TestMemoryBroadcast(t *testing.T) {
+	m, _ := NewMemory(MemoryConfig{Workers: 3, Handler: func(w int, pkt []byte) []Delivery {
+		return []Delivery{{Broadcast: true, Packet: pkt}}
+	}})
+	defer m.Close()
+	m.Send(0, []byte{42})
+	for w := 0; w < 3; w++ {
+		pkt, err := m.Recv(w, time.Second)
+		if err != nil || pkt[0] != 42 {
+			t.Fatalf("worker %d: %v %v", w, pkt, err)
+		}
+	}
+}
+
+func TestMemoryLossInjection(t *testing.T) {
+	m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler, UplinkLoss: 0.5, Seed: 1})
+	defer m.Close()
+	for i := 0; i < 200; i++ {
+		m.Send(0, []byte{1})
+	}
+	sent, lostUp, _, delivered := m.Stats()
+	if sent != 200 {
+		t.Errorf("sent = %d", sent)
+	}
+	if lostUp < 50 || lostUp > 150 {
+		t.Errorf("lostUp = %d, expected ~100", lostUp)
+	}
+	if delivered+lostUp != 200 {
+		t.Errorf("delivered %d + lost %d != 200", delivered, lostUp)
+	}
+}
+
+func TestMemoryDeterministicLoss(t *testing.T) {
+	run := func() uint64 {
+		m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler, UplinkLoss: 0.3, Seed: 42})
+		defer m.Close()
+		for i := 0; i < 100; i++ {
+			m.Send(0, []byte{byte(i)})
+		}
+		_, lost, _, _ := m.Stats()
+		return lost
+	}
+	if run() != run() {
+		t.Error("loss pattern not reproducible with the same seed")
+	}
+}
+
+func TestMemoryValidation(t *testing.T) {
+	if _, err := NewMemory(MemoryConfig{Workers: 0, Handler: echoHandler}); err == nil {
+		t.Error("0 workers accepted")
+	}
+	if _, err := NewMemory(MemoryConfig{Workers: 1}); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if _, err := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler, UplinkLoss: 1.0}); err == nil {
+		t.Error("loss=1 accepted")
+	}
+	m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler})
+	defer m.Close()
+	if err := m.Send(5, nil); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+	if _, err := m.Recv(-1, time.Millisecond); err == nil {
+		t.Error("negative worker accepted")
+	}
+}
+
+func TestMemoryConcurrentSenders(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	m, _ := NewMemory(MemoryConfig{Workers: 4, Handler: func(w int, pkt []byte) []Delivery {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	}})
+	defer m.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Send(w, []byte{byte(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if count != 400 {
+		t.Errorf("handler ran %d times, want 400", count)
+	}
+}
+
+func TestUDPFabric(t *testing.T) {
+	u, err := NewUDP(2, func(w int, pkt []byte) []Delivery {
+		if len(pkt) > 0 && pkt[0] == 99 {
+			return []Delivery{{Broadcast: true, Packet: []byte{byte(w), 1}}}
+		}
+		return []Delivery{{Worker: w, Packet: append([]byte{byte(w)}, pkt...)}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	// Register both workers (the switch learns addresses from traffic).
+	if err := u.Send(0, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := u.Recv(0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pkt, []byte{0, 7}) {
+		t.Errorf("echo = %v", pkt)
+	}
+	if err := u.Send(1, []byte{8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Recv(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Broadcast reaches both.
+	if err := u.Send(0, []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 2; w++ {
+		pkt, err := u.Recv(w, time.Second)
+		if err != nil {
+			t.Fatalf("worker %d missed broadcast: %v", w, err)
+		}
+		if !bytes.Equal(pkt, []byte{0, 1}) {
+			t.Errorf("broadcast pkt = %v", pkt)
+		}
+	}
+
+	if _, err := u.Recv(0, 20*time.Millisecond); err != ErrTimeout {
+		t.Errorf("expected timeout, got %v", err)
+	}
+}

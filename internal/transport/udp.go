@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDP is a Fabric over real UDP sockets on loopback (or any network): one
+// switch socket, one socket per worker. Worker identity is carried in a
+// one-byte frame header so the switch can map datagrams to logical ports,
+// like the ingress-port metadata a real switch derives from the wire.
+type UDP struct {
+	workers  int
+	handler  Handler
+	swConn   *net.UDPConn
+	conns    []*net.UDPConn
+	addrs    []*net.UDPAddr // worker addresses, learned from traffic
+	addrMu   sync.Mutex
+	done     chan struct{}
+	closedMu sync.Mutex
+	closed   bool
+}
+
+// NewUDP starts a switch socket on 127.0.0.1 and one socket per worker.
+func NewUDP(workers int, handler Handler) (*UDP, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("transport: workers %d", workers)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	sw, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	u := &UDP{
+		workers: workers,
+		handler: handler,
+		swConn:  sw,
+		conns:   make([]*net.UDPConn, workers),
+		addrs:   make([]*net.UDPAddr, workers),
+		done:    make(chan struct{}),
+	}
+	for i := range u.conns {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			u.Close()
+			return nil, err
+		}
+		u.conns[i] = c
+	}
+	go u.serve()
+	return u, nil
+}
+
+// SwitchAddr returns the switch socket's address.
+func (u *UDP) SwitchAddr() *net.UDPAddr { return u.swConn.LocalAddr().(*net.UDPAddr) }
+
+func (u *UDP) serve() {
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := u.swConn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return
+			default:
+				continue
+			}
+		}
+		if n < 1 {
+			continue
+		}
+		worker := int(buf[0])
+		if worker < 0 || worker >= u.workers {
+			continue
+		}
+		u.addrMu.Lock()
+		u.addrs[worker] = addr
+		u.addrMu.Unlock()
+
+		pkt := append([]byte(nil), buf[1:n]...)
+		for _, d := range u.handler(worker, pkt) {
+			targets := []int{d.Worker}
+			if d.Broadcast {
+				targets = targets[:0]
+				for w := 0; w < u.workers; w++ {
+					targets = append(targets, w)
+				}
+			}
+			for _, t := range targets {
+				u.addrMu.Lock()
+				dst := u.addrs[t]
+				u.addrMu.Unlock()
+				if dst == nil {
+					continue
+				}
+				_, _ = u.swConn.WriteToUDP(d.Packet, dst)
+			}
+		}
+	}
+}
+
+// Send implements Fabric, framing the worker ID ahead of the payload.
+func (u *UDP) Send(worker int, pkt []byte) error {
+	if worker < 0 || worker >= u.workers {
+		return fmt.Errorf("transport: worker %d out of range", worker)
+	}
+	frame := make([]byte, 1+len(pkt))
+	frame[0] = byte(worker)
+	copy(frame[1:], pkt)
+	_, err := u.conns[worker].WriteToUDP(frame, u.SwitchAddr())
+	return err
+}
+
+// Recv implements Fabric.
+func (u *UDP) Recv(worker int, timeout time.Duration) ([]byte, error) {
+	if worker < 0 || worker >= u.workers {
+		return nil, fmt.Errorf("transport: worker %d out of range", worker)
+	}
+	c := u.conns[worker]
+	if err := c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 65536)
+	n, _, err := c.ReadFromUDP(buf)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, ErrTimeout
+		}
+		return nil, err
+	}
+	return append([]byte(nil), buf[:n]...), nil
+}
+
+// Close implements Fabric.
+func (u *UDP) Close() error {
+	u.closedMu.Lock()
+	defer u.closedMu.Unlock()
+	if u.closed {
+		return nil
+	}
+	u.closed = true
+	close(u.done)
+	u.swConn.Close()
+	for _, c := range u.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
