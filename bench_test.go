@@ -6,9 +6,12 @@ package fpisa
 // `go test -bench . -benchmem` doubles as a summary of the reproduction.
 
 import (
+	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
+	"fpisa/internal/aggservice"
 	"fpisa/internal/banzai"
 	"fpisa/internal/core"
 	"fpisa/internal/gradients"
@@ -308,6 +311,58 @@ func BenchmarkAblationQuantizeVsCopy(b *testing.B) {
 			if err := payload.CopyWire(wire, src); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkShardedSwitch measures aggregation-service packet throughput
+// as the shard count grows: every packet still runs the full FPISA
+// pipeline simulation, but with N shards packets for different slots only
+// contend on their own shard's lock, so on a multi-core host throughput
+// scales with shards (GOMAXPROCS permitting) while a 1-shard switch
+// serializes on its single mutex.
+func BenchmarkShardedSwitch(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dshard", shards), func(b *testing.B) {
+			cfg := aggservice.Config{Workers: 1, Pool: 512, Modules: 1, Shards: shards,
+				Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+			sw, err := aggservice.NewSwitch(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				vals := []float32{1.5}
+				for pb.Next() {
+					c := uint32(next.Add(1) - 1)
+					sw.Handle(0, aggservice.EncodeAdd(c, vals))
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkPipelineReplicaConstruction contrasts a full program compile
+// against stamping a replica from an existing pipeline — the cost that
+// makes per-shard replicas viable.
+func BenchmarkPipelineReplicaConstruction(b *testing.B) {
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewPipelineAggregator(core.DefaultFP32(core.ModeApprox), 1, 256, pisa.BaseArch()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replicate", func(b *testing.B) {
+		pa, err := core.NewPipelineAggregator(core.DefaultFP32(core.ModeApprox), 1, 256, pisa.BaseArch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = pa.Replicate()
 		}
 	})
 }

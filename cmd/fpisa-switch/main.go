@@ -1,20 +1,26 @@
 // Command fpisa-switch runs a standalone FPISA aggregation switch daemon
 // over UDP. Workers frame packets with a one-byte worker ID followed by the
-// aggservice wire format; the daemon answers results to the senders'
-// addresses (broadcasting completions to every registered worker).
+// aggservice wire format (single ADDs or MsgBatch frames); the daemon
+// answers results to the senders' addresses (broadcasting completions to
+// every registered worker).
 //
-//	fpisa-switch -addr 127.0.0.1:9099 -workers 4 -pool 8
+// The aggregation service is sharded across parallel pipeline replicas
+// (-shards) and the socket is drained by transport.ServeConn's reader
+// pool, so packets for different slots aggregate concurrently.
+//
+//	fpisa-switch -addr 127.0.0.1:9099 -workers 4 -pool 8 -shards 4
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
-	"sync"
+	"runtime"
 
 	"fpisa/internal/aggservice"
 	"fpisa/internal/core"
 	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
 )
 
 func main() {
@@ -22,6 +28,7 @@ func main() {
 	workers := flag.Int("workers", 4, "number of workers")
 	pool := flag.Int("pool", 8, "aggregation slot pool")
 	modules := flag.Int("modules", 1, "vector elements per packet")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at 2*pool)")
 	extended := flag.Bool("extended", false, "enable the §4.2 hardware extensions")
 	full := flag.Bool("full", false, "full FPISA (needs -extended)")
 	flag.Parse()
@@ -34,8 +41,12 @@ func main() {
 	if *full {
 		mode = core.ModeFull
 	}
+	if *shards > 2**pool {
+		*shards = 2 * *pool
+	}
 	sw, err := aggservice.NewSwitch(aggservice.Config{
-		Workers: *workers, Pool: *pool, Modules: *modules, Mode: mode, Arch: arch,
+		Workers: *workers, Pool: *pool, Modules: *modules, Shards: *shards,
+		Mode: mode, Arch: arch,
 	})
 	if err != nil {
 		log.Fatalf("switch: %v", err)
@@ -50,46 +61,10 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	defer conn.Close()
-	log.Printf("fpisa-switch (%v, %s) listening on %s for %d workers",
-		mode, arch.Name, conn.LocalAddr(), *workers)
+	log.Printf("fpisa-switch (%v, %s, %d shards) listening on %s for %d workers",
+		mode, arch.Name, sw.Shards(), conn.LocalAddr(), *workers)
 	log.Printf("pipeline resource report:\n%s", sw.Utilization())
 
-	var mu sync.Mutex
-	addrs := make([]*net.UDPAddr, *workers)
-	buf := make([]byte, 65536)
-	for {
-		n, src, err := conn.ReadFromUDP(buf)
-		if err != nil {
-			log.Fatalf("read: %v", err)
-		}
-		if n < 1 {
-			continue
-		}
-		worker := int(buf[0])
-		if worker < 0 || worker >= *workers {
-			continue
-		}
-		mu.Lock()
-		addrs[worker] = src
-		mu.Unlock()
-
-		for _, d := range sw.Handle(worker, append([]byte(nil), buf[1:n]...)) {
-			targets := []int{d.Worker}
-			if d.Broadcast {
-				targets = targets[:0]
-				for w := 0; w < *workers; w++ {
-					targets = append(targets, w)
-				}
-			}
-			mu.Lock()
-			for _, t := range targets {
-				if addrs[t] != nil {
-					if _, err := conn.WriteToUDP(d.Packet, addrs[t]); err != nil {
-						log.Printf("write to worker %d: %v", t, err)
-					}
-				}
-			}
-			mu.Unlock()
-		}
-	}
+	transport.ServeConn(conn, *workers, sw.Handle)
+	log.Fatal("fpisa-switch: socket closed")
 }

@@ -24,7 +24,7 @@ func main() {
 		vecLen  = 256
 	)
 	cfg := aggservice.Config{
-		Workers: workers, Pool: 8, Modules: 1,
+		Workers: workers, Pool: 8, Modules: 1, Shards: 4,
 		Mode: core.ModeApprox, Arch: pisa.BaseArch(),
 	}
 	sw, err := aggservice.NewSwitch(cfg)
@@ -36,8 +36,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer fab.Close()
-	fmt.Printf("FPISA switch on %s, %d workers, vector length %d\n",
-		fab.SwitchAddr(), workers, vecLen)
+	fmt.Printf("FPISA switch on %s (%d pipeline shards), %d workers, vector length %d\n",
+		fab.SwitchAddr(), sw.Shards(), workers, vecLen)
 
 	// Gradient vectors with the paper's §5.1 statistics.
 	gen := gradients.NewGenerator(gradients.VGG19, 1)
@@ -50,7 +50,8 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			wk := &aggservice.Worker{ID: w, Fabric: fab, Cfg: cfg, Timeout: 100 * time.Millisecond}
+			wk := aggservice.NewWorker(w, fab, cfg)
+			wk.Timeout = 100 * time.Millisecond
 			out, err := wk.Reduce(vecs[w])
 			if err != nil {
 				log.Fatalf("worker %d: %v", w, err)

@@ -1,0 +1,3 @@
+module fpisa
+
+go 1.24

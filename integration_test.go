@@ -57,7 +57,7 @@ func TestSwitchMLvsFPISAEndToEnd(t *testing.T) {
 	wg.Wait()
 
 	// --- FPISA service ---
-	fpCfg := aggservice.Config{Workers: workers, Pool: 4, Modules: 1,
+	fpCfg := aggservice.Config{Workers: workers, Pool: 4, Modules: 1, Shards: 4,
 		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
 	fpSwitch, err := aggservice.NewSwitch(fpCfg)
 	if err != nil {
@@ -70,7 +70,8 @@ func TestSwitchMLvsFPISAEndToEnd(t *testing.T) {
 	fpResults := make([][]float32, workers)
 	fpWorkers := make([]*aggservice.Worker, workers)
 	for w := 0; w < workers; w++ {
-		fpWorkers[w] = &aggservice.Worker{ID: w, Fabric: fpFab, Cfg: fpCfg, Timeout: 50 * time.Millisecond}
+		fpWorkers[w] = aggservice.NewWorker(w, fpFab, fpCfg)
+		fpWorkers[w].Timeout = 50 * time.Millisecond
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()

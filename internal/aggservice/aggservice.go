@@ -8,11 +8,33 @@
 // quantization, no scaling-factor round and no host-side format conversion
 // — exactly the §5.2.3 protocol difference that frees worker CPU cores.
 //
+// # Sharded switch
+//
+// The switch side is sharded across N independent pipeline replicas, the
+// way a multi-pipe ASIC stamps identical pipelines out of one P4 compile:
+// the FPISA program is compiled once and replicated per shard
+// (core.PipelineAggregator.Replicate), and the slot pool is partitioned
+// slot → shard by slot mod N. Each shard owns its own replica, its own
+// protocol state (seen-bitmaps and result caches) and its own lock, so
+// packets addressed to different slots aggregate concurrently — per-slot
+// state independence is exactly what makes switch pipelines parallel.
+// Shards: 1 (the default) reproduces the single-pipeline switch.
+//
+// # Slot protocol
+//
 // Slot management follows SwitchML's self-clocked pool with two banks:
-// chunk c uses slot (c mod pool) + pool·((c/pool) mod 1), a worker sends
+// chunk c uses slot (c mod pool) + pool·((c/pool) mod 2), a worker sends
 // chunk c only after receiving the result of chunk c−pool, and duplicate
 // packets for completed chunks are answered from a per-slot result cache —
 // which makes the protocol robust to packet loss in either direction.
+//
+// # Host side
+//
+// Worker.Reduce overlaps I/O: a sender goroutine fills the self-clocked
+// window while a receiver goroutine drains results, so transmission and
+// completion processing proceed concurrently. Both directions batch
+// several chunks per datagram (MsgBatch) to amortize per-packet overhead
+// on the UDP path.
 package aggservice
 
 import (
@@ -31,6 +53,7 @@ import (
 const (
 	MsgAdd    = 0 // worker → switch: chunk values
 	MsgResult = 1 // switch → workers: aggregated chunk
+	MsgBatch  = 2 // either direction: several messages in one datagram
 )
 
 // Config parameterizes the service.
@@ -42,6 +65,10 @@ type Config struct {
 	// Modules is the number of vector elements per packet (compiled FPISA
 	// modules).
 	Modules int
+	// Shards is the number of parallel pipeline replicas the switch runs;
+	// slots are partitioned slot → shard by slot mod Shards. 0 means 1
+	// (a single pipeline). Must not exceed the 2·Pool slots.
+	Shards int
 	// Mode selects FPISA or FPISA-A.
 	Mode core.Mode
 	// Arch is the switch architecture.
@@ -59,16 +86,52 @@ func (c Config) Validate() error {
 	if c.Modules < 1 {
 		return fmt.Errorf("aggservice: modules %d", c.Modules)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("aggservice: shards %d", c.Shards)
+	}
+	if c.Shards > 2*c.Pool {
+		return fmt.Errorf("aggservice: %d shards exceed the %d slots", c.Shards, 2*c.Pool)
+	}
 	return nil
+}
+
+// shards returns the effective shard count.
+func (c Config) shards() int {
+	if c.Shards == 0 {
+		return 1
+	}
+	return c.Shards
 }
 
 // wire format: add = [type(1) chunk(4) values(4*M)]
 //
 //	result = [type(1) chunk(4) values(4*M) overflow(1)]
+//	batch  = [type(1) count(2) { len(2) msg }*count]
 const hdrBytes = 5
+
+// batchHdrBytes is the batch frame header; each framed message adds a
+// two-byte length prefix.
+const batchHdrBytes = 3
+
+// maxDatagram is the largest payload the UDP fabric can carry.
+const maxDatagram = 65507
 
 func addBytes(modules int) int    { return hdrBytes + 4*modules }
 func resultBytes(modules int) int { return hdrBytes + 4*modules + 1 }
+
+// maxBatchChunks bounds how many chunks fit in one batch. The binding
+// constraint is the *downlink*: a full ADD batch can complete every chunk
+// at once, and the coalesced RESULT batch (one byte larger per message)
+// plus the UDP fabric's one-byte worker frame must still fit a datagram —
+// an undeliverable result batch would stall the protocol for good.
+func maxBatchChunks(modules int) int {
+	const frameByte = 1 // transport.UDP worker-ID framing
+	n := (maxDatagram - frameByte - batchHdrBytes) / (2 + resultBytes(modules))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // EncodeAdd builds a worker ADD packet.
 func EncodeAdd(chunk uint32, vals []float32) []byte {
@@ -95,13 +158,74 @@ func DecodeResult(pkt []byte, modules int) (chunk uint32, vals []float32, overfl
 	return chunk, vals, overflow, nil
 }
 
-// Switch is the service's switch side: the FPISA pipeline plus the slot-
-// pool protocol state (the seen-bitmap and result cache a production P4
-// program holds in additional registers).
+// EncodeBatch frames several messages into one BATCH datagram.
+func EncodeBatch(msgs [][]byte) []byte {
+	n := batchHdrBytes
+	for _, m := range msgs {
+		n += 2 + len(m)
+	}
+	pkt := make([]byte, batchHdrBytes, n)
+	pkt[0] = MsgBatch
+	binary.BigEndian.PutUint16(pkt[1:], uint16(len(msgs)))
+	for _, m := range msgs {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(m)))
+		pkt = append(pkt, l[:]...)
+		pkt = append(pkt, m...)
+	}
+	return pkt
+}
+
+// DecodeBatch splits a BATCH datagram into its framed messages. The
+// returned slices alias pkt.
+func DecodeBatch(pkt []byte) ([][]byte, error) {
+	if len(pkt) < batchHdrBytes || pkt[0] != MsgBatch {
+		return nil, fmt.Errorf("aggservice: bad batch packet")
+	}
+	count := int(binary.BigEndian.Uint16(pkt[1:]))
+	msgs := make([][]byte, 0, count)
+	off := batchHdrBytes
+	for i := 0; i < count; i++ {
+		if off+2 > len(pkt) {
+			return nil, fmt.Errorf("aggservice: batch truncated at message %d", i)
+		}
+		l := int(binary.BigEndian.Uint16(pkt[off:]))
+		off += 2
+		if off+l > len(pkt) {
+			return nil, fmt.Errorf("aggservice: batch message %d exceeds packet", i)
+		}
+		msgs = append(msgs, pkt[off:off+l])
+		off += l
+	}
+	if off != len(pkt) {
+		return nil, fmt.Errorf("aggservice: %d trailing bytes after batch", len(pkt)-off)
+	}
+	return msgs, nil
+}
+
+// aggregator is the pipeline surface a shard drives — the seam that lets
+// tests inject pipeline faults.
+type aggregator interface {
+	Add(idx int, vals []float32) (core.Result, error)
+	ReadReset(idx int) (core.Result, error)
+}
+
+// Switch is the service's switch side: N parallel FPISA pipeline replicas,
+// each owning a partition of the slot pool plus that partition's protocol
+// state (the seen-bitmap and result cache a production P4 program holds in
+// additional registers). Handle may be called concurrently; packets for
+// different shards proceed in parallel.
 type Switch struct {
-	cfg  Config
-	pa   *core.PipelineAggregator
+	cfg    Config
+	nsh    int
+	util   pisa.Utilization
+	shards []*shard
+}
+
+// shard is one pipeline replica plus the protocol state for its slots.
+type shard struct {
 	mu   sync.Mutex
+	pa   aggregator
 	slot []slotState
 	// Stats
 	adds, dups, completions uint64
@@ -114,35 +238,125 @@ type slotState struct {
 	cached []byte // RESULT packet, nil until complete
 }
 
-// NewSwitch compiles the FPISA program and initializes the pool.
+// NewSwitch compiles the FPISA program once and instantiates the shard
+// replicas from it.
 func NewSwitch(cfg Config) (*Switch, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	pa, err := core.NewPipelineAggregator(core.DefaultFP32(cfg.Mode), cfg.Modules, 2*cfg.Pool, cfg.Arch)
+	nsh := cfg.shards()
+	slots := 2 * cfg.Pool
+	perShard := (slots + nsh - 1) / nsh
+	pa0, err := core.NewPipelineAggregator(core.DefaultFP32(cfg.Mode), cfg.Modules, perShard, cfg.Arch)
 	if err != nil {
 		return nil, err
 	}
-	s := &Switch{cfg: cfg, pa: pa, slot: make([]slotState, 2*cfg.Pool)}
-	for i := range s.slot {
-		s.slot[i].chunk = -1
-		s.slot[i].seen = make([]bool, cfg.Workers)
+	s := &Switch{cfg: cfg, nsh: nsh, util: pa0.Utilization()}
+	for k := 0; k < nsh; k++ {
+		pa := pa0
+		if k > 0 {
+			pa = pa0.Replicate()
+		}
+		// Shard k owns global slots k, k+nsh, k+2·nsh, …
+		nSlots := (slots - k + nsh - 1) / nsh
+		sh := &shard{pa: pa, slot: make([]slotState, nSlots)}
+		for i := range sh.slot {
+			sh.slot[i].chunk = -1
+			sh.slot[i].seen = make([]bool, cfg.Workers)
+		}
+		s.shards = append(s.shards, sh)
 	}
 	return s, nil
 }
 
-// Utilization exposes the compiled pipeline's resource report.
-func (s *Switch) Utilization() pisa.Utilization { return s.pa.Utilization() }
+// Utilization exposes the compiled pipeline's resource report (identical
+// across replicas: they share one compiled program).
+func (s *Switch) Utilization() pisa.Utilization { return s.util }
 
-// slotOf maps a chunk to its pool slot (two banks, SwitchML-style).
+// Shards returns the effective shard count.
+func (s *Switch) Shards() int { return s.nsh }
+
+// slotOf maps a chunk to its global pool slot (two banks, SwitchML-style).
 func (s *Switch) slotOf(chunk uint32) int {
 	pool := uint32(s.cfg.Pool)
 	return int(chunk%pool + pool*(chunk/pool%2))
 }
 
-// Handle implements transport.Handler.
+// Handle implements transport.Handler. It is safe for concurrent use:
+// only the shard owning the packet's slot is locked.
 func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
-	if len(pkt) < addBytes(s.cfg.Modules) || pkt[0] != MsgAdd || worker >= s.cfg.Workers {
+	if len(pkt) == 0 || worker < 0 || worker >= s.cfg.Workers {
+		return nil
+	}
+	if pkt[0] == MsgBatch {
+		msgs, err := DecodeBatch(pkt)
+		if err != nil {
+			return nil
+		}
+		return s.handleBatch(worker, msgs)
+	}
+	return s.handleAdd(worker, pkt)
+}
+
+// handleBatch processes each framed ADD and coalesces the responses:
+// broadcasts merge into one batched broadcast, unicasts into one batched
+// packet per destination worker.
+func (s *Switch) handleBatch(worker int, msgs [][]byte) []transport.Delivery {
+	var bcast [][]byte
+	uni := make([][][]byte, s.cfg.Workers)
+	for _, m := range msgs {
+		for _, d := range s.handleAdd(worker, m) {
+			switch {
+			case d.Broadcast:
+				bcast = append(bcast, d.Packet)
+			case d.Worker >= 0 && d.Worker < s.cfg.Workers:
+				uni[d.Worker] = append(uni[d.Worker], d.Packet)
+			}
+		}
+	}
+	// Split on the same bound the workers use: a client free to exceed the
+	// worker-side cap must not provoke an undeliverable result batch.
+	per := maxBatchChunks(s.cfg.Modules)
+	var out []transport.Delivery
+	for _, group := range splitBatches(bcast, per) {
+		out = append(out, transport.Delivery{Broadcast: true, Packet: coalesce(group)})
+	}
+	for w, ms := range uni {
+		for _, group := range splitBatches(ms, per) {
+			out = append(out, transport.Delivery{Worker: w, Packet: coalesce(group)})
+		}
+	}
+	return out
+}
+
+// splitBatches cuts msgs into groups of at most per messages.
+func splitBatches(msgs [][]byte, per int) [][][]byte {
+	var groups [][][]byte
+	for len(msgs) > per {
+		groups = append(groups, msgs[:per])
+		msgs = msgs[per:]
+	}
+	if len(msgs) > 0 {
+		groups = append(groups, msgs)
+	}
+	return groups
+}
+
+// coalesce wraps several messages into a batch, passing a single message
+// through unframed.
+func coalesce(msgs [][]byte) []byte {
+	if len(msgs) == 1 {
+		return msgs[0]
+	}
+	return EncodeBatch(msgs)
+}
+
+// handleAdd routes one ADD message to its slot's shard.
+func (s *Switch) handleAdd(worker int, pkt []byte) []transport.Delivery {
+	// Exact-length check: an oversized payload would silently truncate a
+	// garbage ADD into a plausible one, so reject it outright along with
+	// short or mistyped packets.
+	if len(pkt) != addBytes(s.cfg.Modules) || pkt[0] != MsgAdd {
 		return nil
 	}
 	chunk := binary.BigEndian.Uint32(pkt[1:])
@@ -150,11 +364,15 @@ func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
 	for i := range vals {
 		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	si := s.slotOf(chunk)
-	st := &s.slot[si]
+	return s.shards[si%s.nsh].handle(s.cfg.Workers, worker, chunk, si/s.nsh, vals)
+}
+
+// handle runs the slot protocol for one ADD under the shard's lock.
+func (sh *shard) handle(workers, worker int, chunk uint32, li int, vals []float32) []transport.Delivery {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := &sh.slot[li]
 
 	switch {
 	case int64(chunk) < st.chunk:
@@ -163,7 +381,9 @@ func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
 		return nil
 	case int64(chunk) > st.chunk:
 		// First packet of a new chunk resets the slot (pool versioning).
-		s.pa.ReadReset(si)
+		if _, err := sh.pa.ReadReset(li); err != nil {
+			return nil
+		}
 		st.chunk = int64(chunk)
 		for i := range st.seen {
 			st.seen[i] = false
@@ -173,28 +393,33 @@ func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
 	}
 
 	if st.seen[worker] {
-		s.dups++
+		sh.dups++
 		if st.cached != nil {
 			// The worker missed the broadcast; replay the result.
 			return []transport.Delivery{{Worker: worker, Packet: st.cached}}
 		}
 		return nil // duplicate while aggregation is in progress
 	}
-	st.seen[worker] = true
-	st.nSeen++
-	s.adds++
 
-	res, err := s.pa.Add(si, vals)
+	// Aggregate first, account afterwards: if the pipeline rejects the
+	// add, the slot must stay retransmittable — marking the worker seen
+	// before a failed add would drop its contribution for good while the
+	// protocol believes it arrived, completing the chunk with a wrong sum.
+	res, err := sh.pa.Add(li, vals)
 	if err != nil {
 		return nil
 	}
-	if st.nSeen < s.cfg.Workers {
+	st.seen[worker] = true
+	st.nSeen++
+	sh.adds++
+
+	if st.nSeen < workers {
 		return nil
 	}
 
 	// Last worker: the running sums are the final aggregation.
-	s.completions++
-	out := make([]byte, resultBytes(s.cfg.Modules))
+	sh.completions++
+	out := make([]byte, resultBytes(len(vals)))
 	out[0] = MsgResult
 	binary.BigEndian.PutUint32(out[1:], chunk)
 	var anyOvf byte
@@ -204,105 +429,275 @@ func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
 			anyOvf = 1
 		}
 	}
-	out[hdrBytes+4*s.cfg.Modules] = anyOvf
+	out[hdrBytes+4*len(vals)] = anyOvf
 	st.cached = out
 	return []transport.Delivery{{Broadcast: true, Packet: out}}
 }
 
-// Stats returns protocol counters.
+// Stats returns protocol counters summed across shards.
 func (s *Switch) Stats() (adds, dups, completions uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.adds, s.dups, s.completions
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		adds += sh.adds
+		dups += sh.dups
+		completions += sh.completions
+		sh.mu.Unlock()
+	}
+	return adds, dups, completions
 }
 
+// Worker tuning defaults; see NewWorker.
+const (
+	DefaultTimeout = 200 * time.Millisecond
+	DefaultRetries = 50
+	DefaultBatch   = 8
+)
+
 // Worker is the host side: it reduces a gradient vector through the switch.
+// NewWorker fills the tuning fields with defaults. On a hand-built Worker,
+// Retries: 0 means literally zero retries (fail-fast) — the sentinel for
+// "apply the default" is a negative value — while Timeout and Batch treat
+// anything below their minimum meaningful value as the default (a
+// non-positive receive timeout is not a workable blocking receive on every
+// fabric).
 type Worker struct {
-	ID      int
-	Fabric  transport.Fabric
-	Cfg     Config
+	ID     int
+	Fabric transport.Fabric
+	Cfg    Config
+	// Timeout is the receive timeout per window stall. Values <= 0 apply
+	// DefaultTimeout.
 	Timeout time.Duration
-	// Retries bounds retransmission attempts per window stall.
+	// Retries bounds retransmission rounds per window stall. Negative
+	// applies DefaultRetries; zero gives up on the first stall without
+	// retransmitting (fail-fast).
 	Retries int
-	// SentPackets counts transmissions (including retransmits).
+	// Batch is the maximum number of chunks packed into one datagram.
+	// Values < 1 apply DefaultBatch; 1 disables batching.
+	Batch int
+	// SentPackets counts ADD messages transmitted (including
+	// retransmits), one per chunk transmission regardless of batching.
 	SentPackets uint64
+	// SentDatagrams counts wire packets: with batching it is smaller
+	// than SentPackets by up to the batch factor.
+	SentDatagrams uint64
+}
+
+// NewWorker builds a worker with the default timeout, retry budget and
+// batch size.
+func NewWorker(id int, fabric transport.Fabric, cfg Config) *Worker {
+	return &Worker{
+		ID: id, Fabric: fabric, Cfg: cfg,
+		Timeout: DefaultTimeout, Retries: DefaultRetries, Batch: DefaultBatch,
+	}
 }
 
 // Reduce aggregates vec with the other workers and returns the summed
 // vector. All workers must call Reduce with equal-length vectors.
+//
+// A sender goroutine fills the self-clocked window (batching eligible
+// chunks into shared datagrams) while a receiver goroutine drains results
+// and acknowledges completions back to the sender, so uplink transmission
+// overlaps downlink processing.
 func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 	modules := w.Cfg.Modules
 	pool := w.Cfg.Pool
 	timeout := w.Timeout
-	if timeout == 0 {
-		timeout = 200 * time.Millisecond
+	if timeout <= 0 {
+		timeout = DefaultTimeout
 	}
 	retries := w.Retries
-	if retries == 0 {
-		retries = 50
+	if retries < 0 {
+		retries = DefaultRetries
+	}
+	batch := w.Batch
+	if batch < 1 {
+		batch = DefaultBatch
+	}
+	if m := maxBatchChunks(modules); batch > m {
+		batch = m
 	}
 
 	nChunks := (len(vec) + modules - 1) / modules
 	out := make([]float32, len(vec))
-	done := make([]bool, nChunks)
-	sent := make([]bool, nChunks)
-	nDone := 0
+	if nChunks == 0 {
+		return out, nil
+	}
 
 	chunkVals := func(c int) []float32 {
 		vals := make([]float32, modules)
 		copy(vals, vec[c*modules:min(len(vec), (c+1)*modules)])
 		return vals
 	}
-	canSend := func(c int) bool {
-		return c < nChunks && !sent[c] && (c-pool < 0 || done[c-pool])
-	}
-	send := func(c int) error {
-		w.SentPackets++
-		return w.Fabric.Send(w.ID, EncodeAdd(uint32(c), chunkVals(c)))
-	}
 
-	stalls := 0
-	for nDone < nChunks {
-		// Fill the self-clocked window.
-		for c := 0; c < nChunks; c++ {
-			if canSend(c) {
-				if err := send(c); err != nil {
-					return nil, err
-				}
-				sent[c] = true
+	acks := make(chan int, nChunks) // receiver → sender: completed chunks
+	stallc := make(chan struct{}, 1)
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	abort := func() { quitOnce.Do(func() { close(quit) }) }
+
+	var sendErr, recvErr error
+	var sentMsgs, sentDgrams uint64
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Sender: owns the sent/done window view.
+	go func() {
+		defer wg.Done()
+		defer abort()
+		sent := make([]bool, nChunks)
+		done := make([]bool, nChunks)
+		nDone := 0
+
+		var msgs [][]byte
+		flush := func() error {
+			if len(msgs) == 0 {
+				return nil
 			}
+			sentMsgs += uint64(len(msgs))
+			sentDgrams++
+			err := w.Fabric.Send(w.ID, coalesce(msgs))
+			msgs = msgs[:0]
+			return err
 		}
-		pkt, err := w.Fabric.Recv(w.ID, timeout)
-		if err == transport.ErrTimeout {
-			stalls++
-			if stalls > retries {
-				return nil, fmt.Errorf("aggservice: worker %d gave up after %d stalls", w.ID, stalls)
+		queue := func(c int) error {
+			msgs = append(msgs, EncodeAdd(uint32(c), chunkVals(c)))
+			sent[c] = true
+			if len(msgs) >= batch {
+				return flush()
 			}
-			// Retransmit every outstanding chunk.
+			return nil
+		}
+		// ack marks chunk c complete and opens exactly chunk c+pool's
+		// window slot — per-slot self-clocking, so one straggling chunk
+		// never blocks the slots behind it.
+		ack := func(c int) error {
+			done[c] = true
+			nDone++
+			if c+pool < nChunks {
+				return queue(c + pool)
+			}
+			return nil
+		}
+		retransmit := func() error {
 			for c := 0; c < nChunks; c++ {
 				if sent[c] && !done[c] {
-					if err := send(c); err != nil {
-						return nil, err
+					msgs = append(msgs, EncodeAdd(uint32(c), chunkVals(c)))
+					if len(msgs) >= batch {
+						if err := flush(); err != nil {
+							return err
+						}
 					}
 				}
 			}
-			continue
+			return flush()
 		}
-		if err != nil {
-			return nil, err
+
+		// Initial window: the first pool chunks are ungated.
+		for c := 0; c < nChunks && c < pool; c++ {
+			if sendErr = queue(c); sendErr != nil {
+				return
+			}
 		}
-		chunk, vals, _, err := DecodeResult(pkt, modules)
-		if err != nil {
-			continue // not for us
+		if sendErr = flush(); sendErr != nil {
+			return
 		}
-		c := int(chunk)
-		if c >= nChunks || done[c] {
-			continue
+		for {
+			select {
+			case c := <-acks:
+				if sendErr = ack(c); sendErr != nil {
+					return
+				}
+				// Drain whatever else completed so one flush batches the
+				// whole freed window.
+				for drained := false; !drained; {
+					select {
+					case c2 := <-acks:
+						if sendErr = ack(c2); sendErr != nil {
+							return
+						}
+					default:
+						drained = true
+					}
+				}
+				if sendErr = flush(); sendErr != nil {
+					return
+				}
+				if nDone == nChunks {
+					return
+				}
+			case <-stallc:
+				if sendErr = retransmit(); sendErr != nil {
+					return
+				}
+			case <-quit:
+				return
+			}
 		}
-		stalls = 0
-		done[c] = true
-		nDone++
-		copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
+	}()
+
+	// Receiver: owns the output vector and completion marking.
+	go func() {
+		defer wg.Done()
+		done := make([]bool, nChunks)
+		nDone := 0
+		stalls := 0
+		for nDone < nChunks {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+			pkt, err := w.Fabric.Recv(w.ID, timeout)
+			if err == transport.ErrTimeout {
+				stalls++
+				if stalls > retries {
+					recvErr = fmt.Errorf("aggservice: worker %d gave up after %d stalls", w.ID, stalls)
+					abort()
+					return
+				}
+				select {
+				case stallc <- struct{}{}:
+				default:
+				}
+				continue
+			}
+			if err != nil {
+				recvErr = err
+				abort()
+				return
+			}
+			msgs := [][]byte{pkt}
+			if len(pkt) > 0 && pkt[0] == MsgBatch {
+				if msgs, err = DecodeBatch(pkt); err != nil {
+					continue
+				}
+			}
+			for _, msg := range msgs {
+				chunk, vals, _, err := DecodeResult(msg, modules)
+				if err != nil {
+					continue // not for us
+				}
+				c := int(chunk)
+				if c >= nChunks || done[c] {
+					continue
+				}
+				stalls = 0
+				done[c] = true
+				nDone++
+				copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
+				acks <- c // buffered nChunks deep: never blocks
+			}
+		}
+	}()
+
+	wg.Wait()
+	w.SentPackets += sentMsgs
+	w.SentDatagrams += sentDgrams
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if recvErr != nil {
+		return nil, recvErr
 	}
 	return out, nil
 }

@@ -1,0 +1,514 @@
+package aggservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fpisa/internal/core"
+	"fpisa/internal/gradients"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+// drive pushes the same deterministic packet sequence through a switch and
+// returns every broadcast RESULT payload keyed by chunk.
+func drive(t *testing.T, sw *Switch, vecs [][]float32, modules int) map[uint32][]byte {
+	t.Helper()
+	results := make(map[uint32][]byte)
+	nChunks := (len(vecs[0]) + modules - 1) / modules
+	for c := 0; c < nChunks; c++ {
+		for w := range vecs {
+			vals := make([]float32, modules)
+			copy(vals, vecs[w][c*modules:min(len(vecs[w]), (c+1)*modules)])
+			for _, d := range sw.Handle(w, EncodeAdd(uint32(c), vals)) {
+				if !d.Broadcast {
+					continue
+				}
+				chunk := binary.BigEndian.Uint32(d.Packet[1:])
+				results[chunk] = append([]byte(nil), d.Packet...)
+			}
+		}
+	}
+	return results
+}
+
+// TestShardedMatchesUnsharded feeds the identical packet order through a
+// 1-shard and a 4-shard switch: the sharded pipeline must produce
+// bit-identical aggregation results — sharding partitions state, it must
+// not perturb arithmetic.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const n = 48
+	base := Config{Workers: 3, Pool: 4, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	g := gradients.NewGenerator(gradients.VGG19, 11)
+	vecs := g.WorkerGradients(base.Workers, n)
+
+	single, err := NewSwitch(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedCfg := base
+	shardedCfg.Shards = 4
+	sharded, err := NewSwitch(shardedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 4 || single.Shards() != 1 {
+		t.Fatalf("shard counts: %d / %d", single.Shards(), sharded.Shards())
+	}
+
+	r1 := drive(t, single, vecs, base.Modules)
+	rN := drive(t, sharded, vecs, base.Modules)
+	if len(r1) != n || len(rN) != n {
+		t.Fatalf("completions: single %d, sharded %d, want %d", len(r1), len(rN), n)
+	}
+	for c := uint32(0); c < n; c++ {
+		if string(r1[c]) != string(rN[c]) {
+			t.Fatalf("chunk %d: sharded result differs from unsharded", c)
+		}
+	}
+}
+
+// TestShardedHandleConcurrent hammers Handle from several goroutines with
+// disjoint chunk ranges covering every slot exactly once; run under -race
+// this doubles as the shard-locking race test.
+func TestShardedHandleConcurrent(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 64, Modules: 1, Shards: 4,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	slots := 2 * cfg.Pool // chunks 0..127 hit each slot exactly once
+	var delivered atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for c := g; c < slots; c += goroutines {
+				for _, d := range sw.Handle(0, EncodeAdd(uint32(c), []float32{float32(c)})) {
+					if d.Broadcast {
+						delivered.Add(1)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	adds, dups, completions := sw.Stats()
+	if completions != uint64(slots) || delivered.Load() != uint64(slots) {
+		t.Fatalf("completions %d, delivered %d, want %d", completions, delivered.Load(), slots)
+	}
+	if adds != uint64(slots) || dups != 0 {
+		t.Fatalf("adds %d dups %d, want %d/0", adds, dups, slots)
+	}
+}
+
+// TestShardedReduceUnderLoss runs the full protocol against a sharded
+// switch with loss on both directions; all workers must agree.
+func TestShardedReduceUnderLoss(t *testing.T) {
+	cfg := Config{Workers: 4, Pool: 4, Modules: 1, Shards: 4,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	g := gradients.NewGenerator(gradients.VGG19, 5)
+	vecs := g.WorkerGradients(cfg.Workers, 40)
+	results, _, fab := runReduction(t, cfg, vecs, 0.1, 13)
+	if _, lostUp, lostDown, _ := fab.Stats(); lostUp == 0 && lostDown == 0 {
+		t.Fatal("loss injection did not fire")
+	}
+	for w := 1; w < len(results); w++ {
+		for i := range results[w] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("workers 0 and %d disagree at element %d", w, i)
+			}
+		}
+	}
+}
+
+// flakyAgg injects pipeline faults into a shard's aggregator.
+type flakyAgg struct {
+	aggregator
+	failNext int
+}
+
+func (f *flakyAgg) Add(idx int, vals []float32) (core.Result, error) {
+	if f.failNext > 0 {
+		f.failNext--
+		return core.Result{}, errors.New("injected pipeline fault")
+	}
+	return f.aggregator.Add(idx, vals)
+}
+
+// TestAddFailureLeavesSlotRetransmittable is the regression test for the
+// seen-before-add bug: a failed pipeline add must not mark the worker's
+// contribution as arrived, so a retransmit of the same packet can still
+// complete the chunk with the correct sum.
+func TestAddFailureLeavesSlotRetransmittable(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 1, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := sw.shards[0]
+	sh.pa = &flakyAgg{aggregator: sh.pa, failNext: 1}
+
+	pkt := EncodeAdd(0, []float32{1.5})
+	if ds := sw.Handle(0, pkt); ds != nil {
+		t.Fatalf("failed add returned deliveries: %v", ds)
+	}
+	if st := &sh.slot[0]; st.seen[0] || st.nSeen != 0 {
+		t.Fatalf("failed add marked worker seen (nSeen=%d)", st.nSeen)
+	}
+	if adds, _, _ := sw.Stats(); adds != 0 {
+		t.Fatalf("failed add counted: adds=%d", adds)
+	}
+
+	// The retransmit now succeeds and the chunk completes with the right sum.
+	if ds := sw.Handle(0, pkt); ds != nil {
+		t.Fatalf("retransmit should not complete the chunk yet: %v", ds)
+	}
+	ds := sw.Handle(1, EncodeAdd(0, []float32{2.25}))
+	if len(ds) != 1 || !ds[0].Broadcast {
+		t.Fatalf("chunk did not complete: %v", ds)
+	}
+	_, vals, _, err := DecodeResult(ds[0].Packet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 3.75 {
+		t.Fatalf("sum = %g, want 3.75 (worker 0's contribution lost?)", vals[0])
+	}
+}
+
+// TestOversizedAddRejected covers the garbage-payload check: ADDs longer
+// (or shorter) than the wire format must be dropped without touching state.
+func TestOversizedAddRejected(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 1, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := EncodeAdd(0, []float32{1})
+	oversized := append(append([]byte(nil), good...), 0xde, 0xad)
+	if ds := sw.Handle(0, oversized); ds != nil {
+		t.Fatalf("oversized ADD accepted: %v", ds)
+	}
+	if ds := sw.Handle(0, good[:len(good)-1]); ds != nil {
+		t.Fatalf("truncated ADD accepted: %v", ds)
+	}
+	if adds, _, _ := sw.Stats(); adds != 0 {
+		t.Fatalf("garbage mutated state: adds=%d", adds)
+	}
+}
+
+// timeoutFabric never delivers anything: every Recv times out.
+type timeoutFabric struct {
+	sent atomic.Uint64
+}
+
+func (f *timeoutFabric) Send(worker int, pkt []byte) error {
+	f.sent.Add(1)
+	return nil
+}
+
+func (f *timeoutFabric) Recv(worker int, timeout time.Duration) ([]byte, error) {
+	time.Sleep(timeout)
+	return nil, transport.ErrTimeout
+}
+
+func (f *timeoutFabric) Close() error { return nil }
+
+// holFabric answers every ADD immediately except the first transmission
+// of chunk 0, which it swallows — a targeted single loss.
+type holFabric struct {
+	mu      sync.Mutex
+	sent    []int
+	dropped bool
+	replies chan []byte
+}
+
+func (f *holFabric) Send(worker int, pkt []byte) error {
+	msgs := [][]byte{pkt}
+	if pkt[0] == MsgBatch {
+		var err error
+		if msgs, err = DecodeBatch(pkt); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, m := range msgs {
+		c := binary.BigEndian.Uint32(m[1:])
+		f.sent = append(f.sent, int(c))
+		if c == 0 && !f.dropped {
+			f.dropped = true
+			continue
+		}
+		out := make([]byte, resultBytes(1))
+		out[0] = MsgResult
+		binary.BigEndian.PutUint32(out[1:], c)
+		copy(out[hdrBytes:], m[hdrBytes:hdrBytes+4])
+		f.replies <- out
+	}
+	return nil
+}
+
+func (f *holFabric) Recv(worker int, timeout time.Duration) ([]byte, error) {
+	select {
+	case pkt := <-f.replies:
+		return pkt, nil
+	case <-time.After(timeout):
+		return nil, transport.ErrTimeout
+	}
+}
+
+func (f *holFabric) Close() error { return nil }
+
+// TestNoHeadOfLineBlocking verifies per-slot self-clocking: losing chunk
+// 0's round trip must not stop the window slots behind it — chunks gated
+// on 1..pool-1 still go out before the stall retransmits chunk 0.
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 4, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	fab := &holFabric{replies: make(chan []byte, 64)}
+	w := &Worker{ID: 0, Fabric: fab, Cfg: cfg, Timeout: 100 * time.Millisecond, Retries: 50, Batch: 1}
+	vec := make([]float32, 8)
+	for i := range vec {
+		vec[i] = float32(i + 1)
+	}
+	out, err := w.Reduce(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vec {
+		if out[i] != v {
+			t.Fatalf("elem %d = %g, want %g", i, out[i], v)
+		}
+	}
+	pos := func(chunk, from int) int {
+		for i := from; i < len(fab.sent); i++ {
+			if fab.sent[i] == chunk {
+				return i
+			}
+		}
+		return -1
+	}
+	retrans := pos(0, pos(0, 0)+1) // chunk 0's second transmission
+	if retrans == -1 {
+		t.Fatalf("chunk 0 never retransmitted: %v", fab.sent)
+	}
+	for _, c := range []int{5, 6, 7} {
+		p := pos(c, 0)
+		if p == -1 || p > retrans {
+			t.Fatalf("chunk %d blocked behind chunk 0's loss (send order %v)", c, fab.sent)
+		}
+	}
+}
+
+// TestZeroRetryFailFast is the regression test for the zero-means-default
+// sentinel bug: Retries: 0 must give up on the first stall without a
+// single retransmission.
+func TestZeroRetryFailFast(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 2, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	fab := &timeoutFabric{}
+	w := &Worker{ID: 0, Fabric: fab, Cfg: cfg, Timeout: 2 * time.Millisecond, Retries: 0, Batch: 1}
+	_, err := w.Reduce(make([]float32, 4))
+	if err == nil {
+		t.Fatal("zero-retry worker did not fail")
+	}
+	// Initial window = pool chunks; zero retries means nothing beyond it.
+	if w.SentPackets != uint64(cfg.Pool) {
+		t.Fatalf("sent %d packets, want the %d-chunk initial window only", w.SentPackets, cfg.Pool)
+	}
+}
+
+// TestNegativeSentinelsApplyDefaults checks the documented negative-means-
+// default convention end to end.
+func TestNegativeSentinelsApplyDefaults(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 2, Modules: 1, Shards: 2,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := transport.NewMemory(transport.MemoryConfig{Workers: cfg.Workers, Handler: sw.Handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []float32{1, 2, 3, 4, 5}
+	results := make([][]float32, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &Worker{ID: i, Fabric: fab, Cfg: cfg, Timeout: -1, Retries: -1, Batch: -1}
+			results[i], errs[i] = w.Reduce(vec)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i, v := range vec {
+		if results[0][i] != 2*v {
+			t.Fatalf("elem %d = %g, want %g", i, results[0][i], 2*v)
+		}
+	}
+}
+
+// TestBatchEncodeDecode round-trips the batch framing and rejects
+// malformed frames.
+func TestBatchEncodeDecode(t *testing.T) {
+	msgs := [][]byte{
+		EncodeAdd(1, []float32{1.5}),
+		EncodeAdd(2, []float32{-2.5}),
+		EncodeAdd(9, []float32{0.25}),
+	}
+	pkt := EncodeBatch(msgs)
+	if pkt[0] != MsgBatch {
+		t.Fatalf("type byte %d", pkt[0])
+	}
+	got, err := DecodeBatch(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if string(got[i]) != string(msgs[i]) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+	for name, bad := range map[string][]byte{
+		"truncated header": pkt[:2],
+		"truncated body":   pkt[:len(pkt)-3],
+		"trailing bytes":   append(append([]byte(nil), pkt...), 1, 2, 3),
+		"wrong type":       {MsgAdd, 0, 1},
+	} {
+		if _, err := DecodeBatch(bad); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestMaxBatchFitsResultDatagram pins the batch bound to the downlink: a
+// full ADD batch can complete every chunk at once, and the coalesced
+// RESULT batch plus the UDP worker-frame byte must still fit a datagram.
+func TestMaxBatchFitsResultDatagram(t *testing.T) {
+	for _, modules := range []int{1, 3, 64} {
+		n := maxBatchChunks(modules)
+		if n < 1 {
+			t.Fatalf("modules=%d: batch bound %d", modules, n)
+		}
+		resultBatch := batchHdrBytes + n*(2+resultBytes(modules))
+		if resultBatch+1 > maxDatagram {
+			t.Errorf("modules=%d: %d-chunk result batch is %d bytes, exceeds %d",
+				modules, n, resultBatch+1, maxDatagram)
+		}
+	}
+}
+
+// TestSplitBatches covers the switch-side guard against clients that
+// exceed the worker-side batch cap.
+func TestSplitBatches(t *testing.T) {
+	msgs := make([][]byte, 7)
+	for i := range msgs {
+		msgs[i] = []byte{byte(i)}
+	}
+	groups := splitBatches(msgs, 3)
+	if len(groups) != 3 || len(groups[0]) != 3 || len(groups[1]) != 3 || len(groups[2]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if got := splitBatches(nil, 3); got != nil {
+		t.Fatalf("empty split = %v", got)
+	}
+}
+
+// TestWorkerBatchingAmortizesDatagrams verifies that the batched wire
+// format sends measurably fewer datagrams than chunk messages.
+func TestWorkerBatchingAmortizesDatagrams(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 8, Modules: 1, Shards: 4,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := transport.NewMemory(transport.MemoryConfig{Workers: cfg.Workers, Handler: sw.Handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	vecs := make([][]float32, cfg.Workers)
+	for w := range vecs {
+		vecs[w] = make([]float32, n)
+		for i := range vecs[w] {
+			vecs[w][i] = float32(w + i)
+		}
+	}
+	workers := make([]*Worker, cfg.Workers)
+	results := make([][]float32, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = NewWorker(i, fab, cfg)
+		workers[i].Timeout = 200 * time.Millisecond
+		workers[i].Retries = 500
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = workers[i].Reduce(vecs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := vecs[0][i] + vecs[1][i]
+		if results[0][i] != want {
+			t.Fatalf("elem %d = %g, want %g", i, results[0][i], want)
+		}
+	}
+	for i, w := range workers {
+		if w.SentPackets < n {
+			t.Fatalf("worker %d sent %d chunk messages, want >= %d", i, w.SentPackets, n)
+		}
+		if w.SentDatagrams >= w.SentPackets {
+			t.Fatalf("worker %d: %d datagrams for %d messages — batching did not amortize",
+				i, w.SentDatagrams, w.SentPackets)
+		}
+	}
+}
+
+// TestShardValidation covers the new Shards configuration checks.
+func TestShardValidation(t *testing.T) {
+	base := Config{Workers: 1, Pool: 2, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	for name, mutate := range map[string]func(*Config){
+		"negative": func(c *Config) { c.Shards = -1 },
+		"too many": func(c *Config) { c.Shards = 2*c.Pool + 1 },
+	} {
+		c := base
+		mutate(&c)
+		if _, err := NewSwitch(c); err == nil {
+			t.Errorf("%s shards accepted: %+v", name, c)
+		}
+	}
+	// Every legal shard count instantiates.
+	for s := 0; s <= 2*base.Pool; s++ {
+		c := base
+		c.Shards = s
+		if _, err := NewSwitch(c); err != nil {
+			t.Errorf("shards=%d rejected: %v", s, err)
+		}
+	}
+}

@@ -33,6 +33,16 @@ func NewPipelineAggregator(cfg Config, modules, slots int, arch pisa.Arch) (*Pip
 // Layout returns the compiled layout.
 func (pa *PipelineAggregator) Layout() Layout { return pa.lay }
 
+// Replicate builds another pipeline running the same compiled FPISA
+// program with fresh register state — the way a multi-pipe switch ASIC
+// stamps identical pipelines out of one P4 compile. It costs one register
+// bank instead of a full recompile, making per-shard replicas cheap for
+// sharded aggregation services. The replica's state is independent:
+// concurrent operations on different replicas are safe.
+func (pa *PipelineAggregator) Replicate() *PipelineAggregator {
+	return &PipelineAggregator{sw: pa.sw.Replicate(), lay: pa.lay}
+}
+
 // Switch exposes the underlying simulated switch (registers, counters).
 func (pa *PipelineAggregator) Switch() *pisa.Switch { return pa.sw }
 

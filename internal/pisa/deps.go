@@ -40,7 +40,7 @@ func (c *compiled) checkDependencies() error {
 			if a.stateful == nil {
 				continue
 			}
-			name := a.stateful.reg.decl.Name
+			name := c.regDecls[a.stateful.regID].Name
 			if u, ok := regUser[name]; ok && u != t.decl.Name {
 				return fmt.Errorf("pisa: register %q accessed by tables %q and %q; a register supports one stateful access per packet",
 					name, u, t.decl.Name)
@@ -71,7 +71,7 @@ func (c *compiled) checkDependencies() error {
 			regStage := -1
 			for _, a := range t.actions {
 				if a.stateful != nil {
-					rs := a.stateful.reg.decl.Stage
+					rs := c.regDecls[a.stateful.regID].Stage
 					if regStage != -1 && regStage != rs {
 						return nil, fmt.Errorf("pisa: table %q: actions bind registers in different stages", t.decl.Name)
 					}
@@ -98,7 +98,7 @@ func (c *compiled) checkDependencies() error {
 			}
 			if regStage != -1 && stage != regStage {
 				return nil, fmt.Errorf("pisa: table %q: declared stage %d but register %s lives in stage %d",
-					t.decl.Name, stage, regUserName(t), regStage)
+					t.decl.Name, stage, regUserName(c, t), regStage)
 			}
 			if stage < min {
 				return nil, fmt.Errorf("pisa: %s table %q: placed in stage %d but reads fields produced in stage %d; dependencies cannot flow backward",
@@ -179,10 +179,10 @@ func (c *compiled) checkDependencies() error {
 	return nil
 }
 
-func regUserName(t *cTable) string {
+func regUserName(c *compiled, t *cTable) string {
 	for _, a := range t.actions {
 		if a.stateful != nil {
-			return a.stateful.reg.decl.Name
+			return c.regDecls[a.stateful.regID].Name
 		}
 	}
 	return "?"

@@ -26,12 +26,21 @@ type Counters struct {
 }
 
 // Switch is a compiled program instantiated with runtime register state.
+// The compiled program itself is immutable and may be shared by many
+// switches (Replicate); each switch owns its register bank and counters.
 type Switch struct {
 	c        *compiled
+	regs     []*registerArray
+	tstats   []tableStat
 	mcast    map[uint16][]uint16
 	counters Counters
 	// Trace, when set, receives one call per executed table.
 	Trace func(gress string, stage int, table, action string)
+}
+
+// tableStat holds one table's observability counters.
+type tableStat struct {
+	hits, misses uint64
 }
 
 // New compiles the program for the architecture and instantiates a switch.
@@ -40,7 +49,26 @@ func New(prog Program, arch Arch) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Switch{c: c, mcast: make(map[uint16][]uint16)}, nil
+	return newInstance(c), nil
+}
+
+func newInstance(c *compiled) *Switch {
+	return &Switch{
+		c:      c,
+		regs:   c.newRegisterBank(),
+		tstats: make([]tableStat, len(c.declared)),
+		mcast:  make(map[uint16][]uint16),
+	}
+}
+
+// Replicate instantiates another pipeline running the same compiled
+// program with fresh (zeroed) register state and counters. It skips the
+// compile entirely — the match tables, actions and dependency analysis are
+// shared — so building N parallel pipeline replicas costs N register
+// banks, not N compilations. Replicas process packets independently:
+// concurrent Process calls on *different* replicas are safe.
+func (s *Switch) Replicate() *Switch {
+	return newInstance(s.c)
 }
 
 // Utilization returns the compiled resource report (paper Table 3).
@@ -63,14 +91,24 @@ func (s *Switch) TableStats(name string) (hits, misses uint64, err error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("pisa: unknown table %q", name)
 	}
-	return t.hits, t.misses, nil
+	st := s.tstats[t.idx]
+	return st.hits, st.misses, nil
+}
+
+// register resolves a register name to this switch's runtime array.
+func (s *Switch) register(name string) (*registerArray, error) {
+	id, ok := s.c.regIDs[name]
+	if !ok {
+		return nil, fmt.Errorf("pisa: unknown register %q", name)
+	}
+	return s.regs[id], nil
 }
 
 // RegisterSnapshot copies a register array's contents (control-plane read).
 func (s *Switch) RegisterSnapshot(name string) ([]uint32, error) {
-	r, ok := s.c.regs[name]
-	if !ok {
-		return nil, fmt.Errorf("pisa: unknown register %q", name)
+	r, err := s.register(name)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]uint32, len(r.vals))
 	copy(out, r.vals)
@@ -79,9 +117,9 @@ func (s *Switch) RegisterSnapshot(name string) ([]uint32, error) {
 
 // WriteRegister sets one register element (control-plane write).
 func (s *Switch) WriteRegister(name string, index int, val uint32) error {
-	r, ok := s.c.regs[name]
-	if !ok {
-		return fmt.Errorf("pisa: unknown register %q", name)
+	r, err := s.register(name)
+	if err != nil {
+		return err
 	}
 	if index < 0 || index >= len(r.vals) {
 		return fmt.Errorf("pisa: register %q index %d out of range", name, index)
@@ -92,7 +130,7 @@ func (s *Switch) WriteRegister(name string, index int, val uint32) error {
 
 // ResetRegisters zeroes all register arrays.
 func (s *Switch) ResetRegisters() {
-	for _, r := range s.c.regs {
+	for _, r := range s.regs {
 		for i := range r.vals {
 			r.vals[i] = 0
 		}
@@ -182,7 +220,12 @@ func (s *Switch) runGress(phv *Phv, stages [][]*cTable, gress string) error {
 		snapshot := phv.clone()
 		writes := make(map[fieldID]uint32)
 		for _, t := range tables {
-			h := t.match(snapshot)
+			h, hit := t.match(snapshot)
+			if hit {
+				s.tstats[t.idx].hits++
+			} else {
+				s.tstats[t.idx].misses++
+			}
 			if h.action == nil {
 				continue
 			}
@@ -197,7 +240,7 @@ func (s *Switch) runGress(phv *Phv, stages [][]*cTable, gress string) error {
 				}
 			}
 			if a.stateful != nil {
-				if err := a.stateful.exec(snapshot, writes); err != nil {
+				if err := a.stateful.exec(s.regs, snapshot, writes); err != nil {
 					return err
 				}
 			}

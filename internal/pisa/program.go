@@ -66,11 +66,15 @@ type cBitExtract struct {
 	bits      int
 }
 
-// compiled is the fully resolved program bound to runtime register arrays.
+// compiled is the fully resolved program. It is immutable after compile —
+// all runtime state (register arrays, table and switch counters) lives in
+// the Switch, so many pipeline replicas can share one compiled program
+// (Switch.Replicate).
 type compiled struct {
 	arch       Arch
 	ft         *fieldTable
-	regs       map[string]*registerArray
+	regDecls   []RegisterDecl // declaration order; index = regID
+	regIDs     map[string]int
 	parser     []cExtract
 	parserBits []cBitExtract
 	ingress    [][]*cTable // indexed by stage; built during checkDependencies
@@ -92,7 +96,7 @@ func compile(prog Program, arch Arch) (*compiled, error) {
 	c := &compiled{
 		arch:    arch,
 		ft:      ft,
-		regs:    make(map[string]*registerArray),
+		regIDs:  make(map[string]int),
 		ingress: make([][]*cTable, arch.IngressStages),
 		egress:  make([][]*cTable, arch.EgressStages),
 		tables:  make(map[string]*cTable),
@@ -124,7 +128,7 @@ func (c *compiled) compileRegisters(decls []RegisterDecl) error {
 		if d.Name == "" {
 			return fmt.Errorf("pisa: register with empty name")
 		}
-		if _, dup := c.regs[d.Name]; dup {
+		if _, dup := c.regIDs[d.Name]; dup {
 			return fmt.Errorf("pisa: duplicate register %q", d.Name)
 		}
 		if d.Width != 8 && d.Width != 16 && d.Width != 32 {
@@ -140,9 +144,20 @@ func (c *compiled) compileRegisters(decls []RegisterDecl) error {
 		if d.Stage < 0 || d.Stage >= max {
 			return fmt.Errorf("pisa: register %q: stage %d out of range 0..%d", d.Name, d.Stage, max-1)
 		}
-		c.regs[d.Name] = &registerArray{decl: d, vals: make([]uint32, d.Size)}
+		c.regIDs[d.Name] = len(c.regDecls)
+		c.regDecls = append(c.regDecls, d)
 	}
 	return nil
+}
+
+// newRegisterBank instantiates fresh (zeroed) runtime storage for the
+// program's register declarations — one bank per pipeline replica.
+func (c *compiled) newRegisterBank() []*registerArray {
+	bank := make([]*registerArray, len(c.regDecls))
+	for i, d := range c.regDecls {
+		bank[i] = &registerArray{decl: d, vals: make([]uint32, d.Size)}
+	}
+	return bank
 }
 
 func (c *compiled) compileParser(decls []ExtractDecl) error {
@@ -211,6 +226,7 @@ func (c *compiled) compileTables(decls []TableDecl) error {
 		if _, dup := c.tables[t.decl.Name]; dup {
 			return fmt.Errorf("pisa: duplicate table %q", t.decl.Name)
 		}
+		t.idx = len(c.declared)
 		c.tables[t.decl.Name] = t
 		c.declared = append(c.declared, t)
 	}
@@ -444,14 +460,14 @@ func actionInstrReads(ci cInstr) []fieldID {
 }
 
 func (c *compiled) compileStateful(td *TableDecl, ad *ActionDecl, s *StatefulOp, written map[fieldID]bool) (*cStatefulOp, error) {
-	reg, ok := c.regs[s.Register]
+	regID, ok := c.regIDs[s.Register]
 	if !ok {
 		return nil, fmt.Errorf("pisa: table %q action %q: unknown register %q", td.Name, ad.Name, s.Register)
 	}
-	if reg.decl.Egress != td.Egress {
+	if c.regDecls[regID].Egress != td.Egress {
 		return nil, fmt.Errorf("pisa: table %q action %q: register %q lives in the other gress", td.Name, ad.Name, s.Register)
 	}
-	op := &cStatefulOp{reg: reg, cond: s.Cond, true_: s.True, false_: s.False,
+	op := &cStatefulOp{regID: regID, cond: s.Cond, true_: s.True, false_: s.False,
 		signed: s.Signed, output: s.Output}
 
 	if s.True == URsawAddIn || s.False == URsawAddIn {

@@ -122,13 +122,13 @@ func (c *compiled) accountResources() error {
 
 	// Register arrays consume SRAM in their stage and, when referenced by a
 	// table, a stateful ALU (counted with the table below).
-	for _, r := range c.regs {
-		bits := r.decl.Size * r.decl.Width
+	for _, d := range c.regDecls {
+		bits := d.Size * d.Width
 		blocks := ceilDiv(bits, c.arch.Budget.SRAMBlockBits)
 		if blocks < 1 {
 			blocks = 1
 		}
-		use[r.decl.Stage].SRAMBlocks += blocks
+		use[d.Stage].SRAMBlocks += blocks
 	}
 
 	account := func(perStage [][]*cTable) {
@@ -151,7 +151,7 @@ func (c *compiled) accountResources() error {
 				for _, a := range t.actions {
 					tu.VLIWSlots += len(a.instrs)
 					if a.stateful != nil {
-						statefulRegs[a.stateful.reg.decl.Name] = true
+						statefulRegs[c.regDecls[a.stateful.regID].Name] = true
 					}
 				}
 				use[s].add(tu)

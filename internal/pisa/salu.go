@@ -165,9 +165,12 @@ func (r *registerArray) signedVal(v uint32) int64 {
 	return int64(v)
 }
 
-// compiled stateful op with resolved IDs.
+// compiled stateful op with resolved IDs. The register is referenced by
+// its index into the switch's register bank (not a pointer) so the same
+// compiled action can serve many pipeline replicas, each with its own
+// bank — see Switch.Replicate.
 type cStatefulOp struct {
-	reg        *registerArray
+	regID      int
 	index      fieldID
 	in         fieldID
 	hasIn      bool
@@ -184,17 +187,19 @@ type cStatefulOp struct {
 	hasOvField bool
 }
 
-// exec runs the stateful op: reads the register, evaluates the predicate,
-// applies the selected update, writes back, and returns the PHV writes.
-func (op *cStatefulOp) exec(in *Phv, writes map[fieldID]uint32) error {
+// exec runs the stateful op against the given register bank: reads the
+// register, evaluates the predicate, applies the selected update, writes
+// back, and returns the PHV writes.
+func (op *cStatefulOp) exec(bank []*registerArray, in *Phv, writes map[fieldID]uint32) error {
+	r := bank[op.regID]
 	idx := in.get(op.index)
-	old, err := op.reg.get(idx)
+	old, err := r.get(idx)
 	if err != nil {
 		return err
 	}
 	var inVal uint32
 	if op.hasIn {
-		inVal = in.get(op.in) & op.reg.mask()
+		inVal = in.get(op.in) & r.mask()
 	}
 
 	// Predicate.
@@ -205,7 +210,7 @@ func (op *cStatefulOp) exec(in *Phv, writes map[fieldID]uint32) error {
 	case CondCmpOldIn:
 		var a, b int64
 		if op.cond.Signed {
-			a, b = op.reg.signedVal(inVal), op.reg.signedVal(old)
+			a, b = r.signedVal(inVal), r.signedVal(old)
 		} else {
 			a, b = int64(inVal), int64(old)
 		}
@@ -232,15 +237,15 @@ func (op *cStatefulOp) exec(in *Phv, writes map[fieldID]uint32) error {
 	case UZero:
 		newVal = 0
 	case UAddIn:
-		newVal, overflow = op.addWrap(old, inVal)
+		newVal, overflow = op.addWrap(r, old, inVal)
 	case USubIn:
-		newVal, overflow = op.addWrap(old, (-inVal)&op.reg.mask())
+		newVal, overflow = op.addWrap(r, old, (-inVal)&r.mask())
 	case UMaxIn:
-		if op.cmpGreater(inVal, old) {
+		if op.cmpGreater(r, inVal, old) {
 			newVal = inVal
 		}
 	case UMinIn:
-		if op.cmpGreater(old, inVal) {
+		if op.cmpGreater(r, old, inVal) {
 			newVal = inVal
 		}
 	case URsawAddIn:
@@ -248,11 +253,11 @@ func (op *cStatefulOp) exec(in *Phv, writes map[fieldID]uint32) error {
 		if op.hasShift {
 			dist = in.get(op.shift)
 		}
-		shifted := op.shiftRight(old, dist)
-		newVal, overflow = op.addWrap(shifted, inVal)
+		shifted := op.shiftRight(r, old, dist)
+		newVal, overflow = op.addWrap(r, shifted, inVal)
 	}
-	newVal &= op.reg.mask()
-	op.reg.vals[idx] = newVal
+	newVal &= r.mask()
+	r.vals[idx] = newVal
 
 	switch op.output {
 	case OutOld:
@@ -271,13 +276,13 @@ func (op *cStatefulOp) exec(in *Phv, writes map[fieldID]uint32) error {
 // addWrap adds within the register width and reports signed overflow when
 // the op is signed (unsigned ops never report overflow: wrapping is the
 // defined behaviour for counters).
-func (op *cStatefulOp) addWrap(a, b uint32) (uint32, bool) {
-	m := op.reg.mask()
+func (op *cStatefulOp) addWrap(r *registerArray, a, b uint32) (uint32, bool) {
+	m := r.mask()
 	sum := (a + b) & m
 	if !op.signed {
 		return sum, false
 	}
-	w := op.reg.decl.Width
+	w := r.decl.Width
 	signBit := uint32(1) << (w - 1)
 	// Signed overflow: operands share a sign that differs from the result's.
 	if (a^b)&signBit == 0 && (a^sum)&signBit != 0 {
@@ -286,21 +291,21 @@ func (op *cStatefulOp) addWrap(a, b uint32) (uint32, bool) {
 	return sum, false
 }
 
-func (op *cStatefulOp) cmpGreater(a, b uint32) bool {
+func (op *cStatefulOp) cmpGreater(r *registerArray, a, b uint32) bool {
 	if op.signed {
-		return op.reg.signedVal(a) > op.reg.signedVal(b)
+		return r.signedVal(a) > r.signedVal(b)
 	}
 	return a > b
 }
 
-func (op *cStatefulOp) shiftRight(v, dist uint32) uint32 {
-	w := uint32(op.reg.decl.Width)
+func (op *cStatefulOp) shiftRight(r *registerArray, v, dist uint32) uint32 {
+	w := uint32(r.decl.Width)
 	if op.signed {
 		if dist >= w {
 			dist = w - 1
 		}
-		s := op.reg.signedVal(v) >> dist
-		return uint32(s) & op.reg.mask()
+		s := r.signedVal(v) >> dist
+		return uint32(s) & r.mask()
 	}
 	if dist >= w {
 		return 0

@@ -83,7 +83,8 @@ type cHit struct {
 	params []uint32
 }
 
-// compiled table.
+// compiled table. Immutable after compile; hit/miss counters live in the
+// Switch (indexed by idx) so replicas sharing the program count separately.
 type cTable struct {
 	decl     TableDecl
 	keyIDs   []fieldID
@@ -94,8 +95,9 @@ type cTable struct {
 	lpm      *tcam.LPM[cHit]
 	default_ *cAction
 	stage    int
-	// hits/misses are observability counters.
-	hits, misses uint64
+	// idx is the table's position in declaration order, the key into the
+	// switch's per-table counters.
+	idx int
 }
 
 type cAction struct {
@@ -118,29 +120,25 @@ func (t *cTable) buildKey(p *Phv) uint64 {
 	return k
 }
 
-// match returns the action (plus its action data) to execute for the PHV;
-// a nil action means a no-op miss.
-func (t *cTable) match(p *Phv) cHit {
+// match returns the action (plus its action data) to execute for the PHV
+// and whether an entry hit; a nil action means a no-op miss. It never
+// mutates the table, so replicas can match concurrently.
+func (t *cTable) match(p *Phv) (cHit, bool) {
 	switch t.decl.Kind {
 	case MatchAlways:
-		t.hits++
-		return cHit{action: t.default_}
+		return cHit{action: t.default_}, true
 	case MatchExact:
 		if h, ok := t.exact[t.buildKey(p)]; ok {
-			t.hits++
-			return h
+			return h, true
 		}
 	case MatchTernary:
 		if h, ok := t.ternary.Lookup(t.buildKey(p)); ok {
-			t.hits++
-			return h
+			return h, true
 		}
 	case MatchLPM:
 		if h, ok := t.lpm.Lookup(t.buildKey(p)); ok {
-			t.hits++
-			return h
+			return h, true
 		}
 	}
-	t.misses++
-	return cHit{action: t.default_}
+	return cHit{action: t.default_}, false
 }

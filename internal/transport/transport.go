@@ -25,8 +25,11 @@ type Delivery struct {
 }
 
 // Handler is the switch's packet function: it consumes one worker's packet
-// and returns any deliveries. Handlers run serialized (a switch pipeline
-// processes one packet at a time).
+// and returns any deliveries. Fabrics may invoke the handler from several
+// goroutines at once — a multi-pipe switch processes packets on every
+// pipeline in parallel — so handlers must do their own locking (the
+// sharded aggservice switch locks per shard; single-pipeline switches use
+// one mutex).
 type Handler func(worker int, pkt []byte) []Delivery
 
 // Fabric connects workers to one switch.
@@ -41,13 +44,20 @@ type Fabric interface {
 
 // Memory is an in-memory fabric with independent loss probabilities on the
 // uplink (worker→switch) and downlink (switch→worker), driven by a seeded
-// RNG for reproducible loss patterns.
+// RNG for reproducible loss patterns. The handler runs *outside* the
+// fabric lock, so workers sending concurrently drive the switch
+// concurrently — the fabric only serializes the RNG and its counters.
 type Memory struct {
 	workers int
 	handler Handler
 	uplinkP float64
 	downP   float64
-	mu      sync.Mutex // serializes the switch and the RNG
+	// closeMu is read-held for a Send's whole duration (handler
+	// included) and write-held by Close, which therefore still acts as a
+	// barrier: once Close returns, no handler is running and no further
+	// deliveries land.
+	closeMu sync.RWMutex
+	mu      sync.Mutex // guards the RNG, counters and closed flag
 	rng     *rand.Rand
 	queues  []chan []byte
 	closed  bool
@@ -96,26 +106,38 @@ func NewMemory(cfg MemoryConfig) (*Memory, error) {
 	return m, nil
 }
 
-// Send implements Fabric. The handler runs synchronously under the fabric
-// lock, mirroring the single pipeline.
+// Send implements Fabric. The handler runs synchronously in the caller's
+// goroutine but outside the fabric lock: concurrent senders exercise the
+// switch's own concurrency (per-shard locks), like parallel pipelines.
 func (m *Memory) Send(worker int, pkt []byte) error {
 	if worker < 0 || worker >= m.workers {
 		return fmt.Errorf("transport: worker %d out of range %d", worker, m.workers)
 	}
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return errors.New("transport: fabric closed")
 	}
 	m.sent++
-	if m.uplinkP > 0 && m.rng.Float64() < m.uplinkP {
+	dropUp := m.uplinkP > 0 && m.rng.Float64() < m.uplinkP
+	if dropUp {
 		m.lostUp++
+	}
+	m.mu.Unlock()
+	if dropUp {
 		return nil // silently lost, like the wire
 	}
 	cp := append([]byte(nil), pkt...)
 	for _, d := range m.handler(worker, cp) {
-		if m.downP > 0 && m.rng.Float64() < m.downP {
+		m.mu.Lock()
+		dropDown := m.downP > 0 && m.rng.Float64() < m.downP
+		if dropDown {
 			m.lostDown++
+		}
+		m.mu.Unlock()
+		if dropDown {
 			continue
 		}
 		targets := []int{d.Worker}
@@ -131,12 +153,19 @@ func (m *Memory) Send(worker int, pkt []byte) error {
 			}
 			// Per-target copy: receivers own their buffers.
 			out := append([]byte(nil), d.Packet...)
+			delivered := false
 			select {
 			case m.queues[t] <- out:
-				m.delivered++
+				delivered = true
 			default: // queue overflow = drop
+			}
+			m.mu.Lock()
+			if delivered {
+				m.delivered++
+			} else {
 				m.lostDown++
 			}
+			m.mu.Unlock()
 		}
 	}
 	return nil
@@ -155,8 +184,11 @@ func (m *Memory) Recv(worker int, timeout time.Duration) ([]byte, error) {
 	}
 }
 
-// Close implements Fabric.
+// Close implements Fabric. It waits for in-flight Sends (and their
+// handler invocations) to drain; do not call Close from inside a handler.
 func (m *Memory) Close() error {
+	m.closeMu.Lock()
+	defer m.closeMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.closed = true

@@ -1,24 +1,105 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 )
+
+// ServeConn drains a switch-side UDP socket with a pool of reader
+// goroutines (one per CPU, capped at 8). Each datagram is framed
+// [workerID(1) payload]; the sender's address is learned as that worker's
+// return path, and handler deliveries are written back out the same
+// socket, broadcasts going to every learned address. Destination
+// addresses are snapshotted under the lock but written outside it, so
+// replies from different readers (and shards) proceed in parallel.
+//
+// ServeConn blocks until the socket is closed; transient read errors are
+// skipped. It is the shared serve loop of the UDP fabric and the
+// fpisa-switch daemon.
+func ServeConn(conn *net.UDPConn, workers int, handler Handler) {
+	var mu sync.Mutex
+	addrs := make([]*net.UDPAddr, workers)
+	readers := runtime.GOMAXPROCS(0)
+	if readers > 8 {
+		readers = 8
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveReader(conn, workers, handler, &mu, addrs)
+		}()
+	}
+	wg.Wait()
+}
+
+func serveReader(conn *net.UDPConn, workers int, handler Handler, mu *sync.Mutex, addrs []*net.UDPAddr) {
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient read errors (ICMP-induced, ENOBUFS, stray
+			// deadlines on a shared conn) must not spin the reader pool
+			// at full speed; back off briefly and retry.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		if n < 1 {
+			continue
+		}
+		worker := int(buf[0])
+		if worker < 0 || worker >= workers {
+			continue
+		}
+		mu.Lock()
+		addrs[worker] = src
+		mu.Unlock()
+
+		pkt := append([]byte(nil), buf[1:n]...)
+		for _, d := range handler(worker, pkt) {
+			targets := []int{d.Worker}
+			if d.Broadcast {
+				targets = targets[:0]
+				for w := 0; w < workers; w++ {
+					targets = append(targets, w)
+				}
+			}
+			dsts := make([]*net.UDPAddr, 0, len(targets))
+			mu.Lock()
+			for _, t := range targets {
+				if t >= 0 && t < workers && addrs[t] != nil {
+					dsts = append(dsts, addrs[t])
+				}
+			}
+			mu.Unlock()
+			for _, dst := range dsts {
+				_, _ = conn.WriteToUDP(d.Packet, dst)
+			}
+		}
+	}
+}
 
 // UDP is a Fabric over real UDP sockets on loopback (or any network): one
 // switch socket, one socket per worker. Worker identity is carried in a
 // one-byte frame header so the switch can map datagrams to logical ports,
 // like the ingress-port metadata a real switch derives from the wire.
+//
+// The switch socket is drained by ServeConn's reader pool, so concurrent
+// datagrams reach the handler in parallel — the handler must be
+// concurrency-safe (see Handler).
 type UDP struct {
 	workers  int
 	handler  Handler
 	swConn   *net.UDPConn
 	conns    []*net.UDPConn
-	addrs    []*net.UDPAddr // worker addresses, learned from traffic
-	addrMu   sync.Mutex
-	done     chan struct{}
 	closedMu sync.Mutex
 	closed   bool
 }
@@ -40,8 +121,6 @@ func NewUDP(workers int, handler Handler) (*UDP, error) {
 		handler: handler,
 		swConn:  sw,
 		conns:   make([]*net.UDPConn, workers),
-		addrs:   make([]*net.UDPAddr, workers),
-		done:    make(chan struct{}),
 	}
 	for i := range u.conns {
 		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -51,57 +130,12 @@ func NewUDP(workers int, handler Handler) (*UDP, error) {
 		}
 		u.conns[i] = c
 	}
-	go u.serve()
+	go ServeConn(sw, workers, handler)
 	return u, nil
 }
 
 // SwitchAddr returns the switch socket's address.
 func (u *UDP) SwitchAddr() *net.UDPAddr { return u.swConn.LocalAddr().(*net.UDPAddr) }
-
-func (u *UDP) serve() {
-	buf := make([]byte, 65536)
-	for {
-		n, addr, err := u.swConn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-u.done:
-				return
-			default:
-				continue
-			}
-		}
-		if n < 1 {
-			continue
-		}
-		worker := int(buf[0])
-		if worker < 0 || worker >= u.workers {
-			continue
-		}
-		u.addrMu.Lock()
-		u.addrs[worker] = addr
-		u.addrMu.Unlock()
-
-		pkt := append([]byte(nil), buf[1:n]...)
-		for _, d := range u.handler(worker, pkt) {
-			targets := []int{d.Worker}
-			if d.Broadcast {
-				targets = targets[:0]
-				for w := 0; w < u.workers; w++ {
-					targets = append(targets, w)
-				}
-			}
-			for _, t := range targets {
-				u.addrMu.Lock()
-				dst := u.addrs[t]
-				u.addrMu.Unlock()
-				if dst == nil {
-					continue
-				}
-				_, _ = u.swConn.WriteToUDP(d.Packet, dst)
-			}
-		}
-	}
-}
 
 // Send implements Fabric, framing the worker ID ahead of the payload.
 func (u *UDP) Send(worker int, pkt []byte) error {
@@ -135,7 +169,8 @@ func (u *UDP) Recv(worker int, timeout time.Duration) ([]byte, error) {
 	return append([]byte(nil), buf[:n]...), nil
 }
 
-// Close implements Fabric.
+// Close implements Fabric. Closing the switch socket terminates the
+// ServeConn reader pool.
 func (u *UDP) Close() error {
 	u.closedMu.Lock()
 	defer u.closedMu.Unlock()
@@ -143,7 +178,6 @@ func (u *UDP) Close() error {
 		return nil
 	}
 	u.closed = true
-	close(u.done)
 	u.swConn.Close()
 	for _, c := range u.conns {
 		if c != nil {
