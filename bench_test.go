@@ -336,7 +336,36 @@ func BenchmarkShardedSwitch(b *testing.B) {
 				vals := []float32{1.5}
 				for pb.Next() {
 					c := uint32(next.Add(1) - 1)
-					sw.Handle(0, aggservice.EncodeAdd(c, vals))
+					sw.Handle(0, aggservice.EncodeAdd(0, c, vals))
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkMultiJobSwitch measures tenancy overhead: the same packet load
+// spread across N jobs sharing one sharded switch. Per-job slot partitions
+// keep the shard math identical, so throughput should hold as jobs grow —
+// the per-job atomics are the only added cost.
+func BenchmarkMultiJobSwitch(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("%djob", jobs), func(b *testing.B) {
+			cfg := aggservice.Config{Workers: 1, Pool: 256, Modules: 1, Shards: 8, Jobs: jobs,
+				Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+			sw, err := aggservice.NewSwitch(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				vals := []float32{1.5}
+				for pb.Next() {
+					n := next.Add(1) - 1
+					job := int(n) % jobs
+					c := uint32(n) / uint32(jobs)
+					sw.Handle(cfg.Port(job, 0), aggservice.EncodeAdd(job, c, vals))
 				}
 			})
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")

@@ -1,0 +1,112 @@
+// Command fpisa-benchstat turns `go test -bench` output into the repo's
+// BENCH_<date>.json trajectory format and gates CI on benchmark
+// regressions.
+//
+// Summarize a run:
+//
+//	go test -bench . -benchmem -count 5 -run '^$' | tee bench.txt
+//	fpisa-benchstat -summary bench.txt -date 2026-07-27 > BENCH_2026-07-27.json
+//
+// Gate a run against a baseline (exit status 1 on regression):
+//
+//	fpisa-benchstat -old baseline.txt -new bench.txt \
+//	    -gate '^BenchmarkShardedSwitch' -threshold 0.15
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+
+	"fpisa/internal/benchparse"
+)
+
+func main() {
+	summary := flag.String("summary", "", "bench output file to summarize as JSON on stdout")
+	date := flag.String("date", "", "date stamp (YYYY-MM-DD) for the summary")
+	oldFile := flag.String("old", "", "baseline bench output (with -new)")
+	newFile := flag.String("new", "", "candidate bench output (with -old)")
+	gate := flag.String("gate", "^BenchmarkShardedSwitch", "regexp of benchmarks the regression gate covers")
+	threshold := flag.Float64("threshold", 0.15, "mean ns/op regression ratio that fails the gate")
+	flag.Parse()
+
+	switch {
+	case *summary != "":
+		if err := writeSummary(*summary, *date); err != nil {
+			log.Fatal(err)
+		}
+	case *oldFile != "" && *newFile != "":
+		ok, err := runGate(*oldFile, *newFile, *gate, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseFile(path string) (*benchparse.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return benchparse.Parse(f)
+}
+
+func writeSummary(path, date string) error {
+	rep, err := parseFile(path)
+	if err != nil {
+		return err
+	}
+	rep.Date = date
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines in %s", path)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func runGate(oldPath, newPath, gate string, threshold float64) (bool, error) {
+	pat, err := regexp.Compile(gate)
+	if err != nil {
+		return false, fmt.Errorf("bad -gate pattern: %v", err)
+	}
+	oldRep, err := parseFile(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := parseFile(newPath)
+	if err != nil {
+		return false, err
+	}
+	ds := benchparse.Compare(oldRep, newRep, pat)
+	if len(ds) == 0 {
+		// A silent pass on an empty comparison would defeat the gate.
+		fmt.Printf("benchstat gate: no %q benchmarks in common between %s and %s; nothing gated\n",
+			gate, oldPath, newPath)
+		return true, nil
+	}
+	ok := true
+	fmt.Printf("%-45s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range ds {
+		verdict := ""
+		if d.Regression(threshold) {
+			verdict = "  << REGRESSION"
+			ok = false
+		}
+		fmt.Printf("%-45s %14.1f %14.1f %+7.1f%%%s\n", d.Name, d.Old, d.New, 100*d.Ratio, verdict)
+	}
+	if !ok {
+		fmt.Printf("FAIL: gate %q exceeded the +%.0f%% ns/op threshold\n", gate, 100*threshold)
+	}
+	return ok, nil
+}

@@ -3,12 +3,23 @@
 // prints the results side by side:
 //
 //	fpisa-query -query "Top-N" -workers 2 -scale 1
+//
+// With -switch it instead queries a running fpisa-switch daemon for one
+// tenant job's live stats, using the out-of-band observer frame (so the
+// probe never disturbs a worker's learned return path):
+//
+//	fpisa-query -switch 127.0.0.1:9099 -job 1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"time"
+
+	"fpisa/internal/aggservice"
+	"fpisa/internal/transport"
 
 	"fpisa/internal/query"
 )
@@ -18,7 +29,17 @@ func main() {
 	workers := flag.Int("workers", 2, "worker partitions")
 	scale := flag.Int("scale", 1, "dataset scale multiplier")
 	rows := flag.Int("rows", 10, "result rows to print")
+	swAddr := flag.String("switch", "", "query a running fpisa-switch for per-job stats instead")
+	job := flag.Int("job", 0, "job id to query (with -switch)")
+	timeout := flag.Duration("timeout", time.Second, "per-probe reply timeout (with -switch)")
 	flag.Parse()
+
+	if *swAddr != "" {
+		if err := queryJobStats(*swAddr, *job, *timeout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	q, err := query.QueryByName(*name)
 	if err != nil {
@@ -58,4 +79,52 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// queryJobStats probes a running fpisa-switch for one job's counters over
+// UDP, retrying a few times since the probe datagram is as droppable as
+// any other.
+func queryJobStats(addr string, job int, timeout time.Duration) error {
+	if job < 0 || job >= aggservice.MaxJobs {
+		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	req := append([]byte{transport.ObserverID}, aggservice.EncodeStatsReq(job)...)
+	buf := make([]byte, 256)
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := conn.Write(req); err != nil {
+			return err
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		gotJob, st, err := aggservice.DecodeStatsReply(buf[:n])
+		if err != nil || gotJob != job {
+			continue
+		}
+		fmt.Printf("switch %s, job %d\n", addr, job)
+		fmt.Printf("%-22s %d\n", "values aggregated", st.Adds)
+		fmt.Printf("%-22s %d\n", "chunks completed", st.Completions)
+		fmt.Printf("%-22s %d\n", "retransmits observed", st.Retransmits)
+		fmt.Printf("%-22s %d\n", "quota drops", st.QuotaDrops)
+		fmt.Printf("%-22s %d\n", "slots outstanding", st.Outstanding)
+		return nil
+	}
+	return fmt.Errorf("no stats reply from %s for job %d (unknown job ids are dropped, not answered)", addr, job)
 }

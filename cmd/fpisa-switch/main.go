@@ -1,14 +1,22 @@
 // Command fpisa-switch runs a standalone FPISA aggregation switch daemon
-// over UDP. Workers frame packets with a one-byte worker ID followed by the
-// aggservice wire format (single ADDs or MsgBatch frames); the daemon
-// answers results to the senders' addresses (broadcasting completions to
-// every registered worker).
+// over UDP. Workers frame packets with a one-byte worker-port ID followed
+// by the aggservice wire format v2 (single ADDs or MsgBatch frames); the
+// daemon answers results to the senders' addresses (broadcasting
+// completions to every registered worker, or to the owning job's ports
+// when several jobs share the switch).
+//
+// The switch is multi-tenant: -jobs admits that many training jobs, each
+// owning a contiguous slot-pool partition, -workers workers (job j's
+// worker i sends on port j·workers+i) and its own stats, with -quota
+// capping each job's outstanding slots. Legacy v1 (job-less) clients are
+// rejected and counted. Per-job stats can be queried out-of-band with
+// fpisa-query -switch (the 0xFF observer frame).
 //
 // The aggregation service is sharded across parallel pipeline replicas
 // (-shards) and the socket is drained by transport.ServeConn's reader
 // pool, so packets for different slots aggregate concurrently.
 //
-//	fpisa-switch -addr 127.0.0.1:9099 -workers 4 -pool 8 -shards 4
+//	fpisa-switch -addr 127.0.0.1:9099 -jobs 2 -workers 4 -pool 8 -shards 4 -quota 8
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"time"
 
 	"fpisa/internal/aggservice"
 	"fpisa/internal/core"
@@ -25,12 +34,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9099", "UDP listen address")
-	workers := flag.Int("workers", 4, "number of workers")
-	pool := flag.Int("pool", 8, "aggregation slot pool")
+	jobs := flag.Int("jobs", 1, "tenant jobs sharing the switch")
+	workers := flag.Int("workers", 4, "number of workers per job")
+	pool := flag.Int("pool", 8, "aggregation slot pool per job")
+	quota := flag.Int("quota", 0, "max outstanding slots per job (0 = unlimited)")
 	modules := flag.Int("modules", 1, "vector elements per packet")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at 2*pool)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at jobs*2*pool)")
 	extended := flag.Bool("extended", false, "enable the §4.2 hardware extensions")
 	full := flag.Bool("full", false, "full FPISA (needs -extended)")
+	statsEvery := flag.Duration("statsevery", 0, "log per-job stats at this interval (0 = off)")
 	flag.Parse()
 
 	arch := pisa.BaseArch()
@@ -41,13 +53,19 @@ func main() {
 	if *full {
 		mode = core.ModeFull
 	}
-	if *shards > 2**pool {
-		*shards = 2 * *pool
+	if slots := *jobs * 2 * *pool; *shards > slots {
+		*shards = slots
 	}
-	sw, err := aggservice.NewSwitch(aggservice.Config{
+	cfg := aggservice.Config{
 		Workers: *workers, Pool: *pool, Modules: *modules, Shards: *shards,
+		Jobs: *jobs, MaxOutstanding: *quota,
 		Mode: mode, Arch: arch,
-	})
+	}
+	if cfg.Ports() > transport.MaxWorkers {
+		log.Fatalf("switch: %d jobs x %d workers = %d ports exceed the %d the UDP frame addresses",
+			*jobs, *workers, cfg.Ports(), transport.MaxWorkers)
+	}
+	sw, err := aggservice.NewSwitch(cfg)
 	if err != nil {
 		log.Fatalf("switch: %v", err)
 	}
@@ -61,10 +79,35 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	defer conn.Close()
-	log.Printf("fpisa-switch (%v, %s, %d shards) listening on %s for %d workers",
-		mode, arch.Name, sw.Shards(), conn.LocalAddr(), *workers)
+	log.Printf("fpisa-switch (%v, %s, %d shards) listening on %s for %d jobs x %d workers (quota %d)",
+		mode, arch.Name, sw.Shards(), conn.LocalAddr(), sw.Jobs(), *workers, *quota)
+	for j := 0; j < sw.Jobs(); j++ {
+		log.Printf("  job %d: ports %d..%d, slots %d..%d", j,
+			cfg.Port(j, 0), cfg.Port(j, *workers-1), j*2**pool, (j+1)*2**pool-1)
+	}
 	log.Printf("pipeline resource report:\n%s", sw.Utilization())
 
-	transport.ServeConn(conn, *workers, sw.Handle)
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				for j := 0; j < sw.Jobs(); j++ {
+					st, _ := sw.JobStats(j)
+					log.Printf("job %d: adds=%d retrans=%d chunks=%d quotaDrops=%d outstanding=%d",
+						j, st.Adds, st.Retransmits, st.Completions, st.QuotaDrops, st.Outstanding)
+				}
+				r := sw.Rejects()
+				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob > 0 {
+					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d",
+						r.Legacy, r.Malformed, r.BadJob, r.CrossJob)
+				}
+			}
+		}()
+	}
+
+	if err := transport.ServeConn(conn, cfg.Ports(), sw.Handle); err != nil {
+		log.Fatalf("fpisa-switch: %v", err)
+	}
 	log.Fatal("fpisa-switch: socket closed")
 }

@@ -1,47 +1,12 @@
-// Package aggservice is the FPISA in-network aggregation service: the
-// "SwitchML enhanced with FPISA" system of paper §5. Workers stream raw
-// FP32 gradient chunks to the switch in a single round; the switch
-// aggregates them with the FPISA pipeline program (internal/core) and
-// broadcasts each chunk's sum when the last worker's packet arrives.
-//
-// Compared to the SwitchML baseline (internal/switchml) there is no
-// quantization, no scaling-factor round and no host-side format conversion
-// — exactly the §5.2.3 protocol difference that frees worker CPU cores.
-//
-// # Sharded switch
-//
-// The switch side is sharded across N independent pipeline replicas, the
-// way a multi-pipe ASIC stamps identical pipelines out of one P4 compile:
-// the FPISA program is compiled once and replicated per shard
-// (core.PipelineAggregator.Replicate), and the slot pool is partitioned
-// slot → shard by slot mod N. Each shard owns its own replica, its own
-// protocol state (seen-bitmaps and result caches) and its own lock, so
-// packets addressed to different slots aggregate concurrently — per-slot
-// state independence is exactly what makes switch pipelines parallel.
-// Shards: 1 (the default) reproduces the single-pipeline switch.
-//
-// # Slot protocol
-//
-// Slot management follows SwitchML's self-clocked pool with two banks:
-// chunk c uses slot (c mod pool) + pool·((c/pool) mod 2), a worker sends
-// chunk c only after receiving the result of chunk c−pool, and duplicate
-// packets for completed chunks are answered from a per-slot result cache —
-// which makes the protocol robust to packet loss in either direction.
-//
-// # Host side
-//
-// Worker.Reduce overlaps I/O: a sender goroutine fills the self-clocked
-// window while a receiver goroutine drains results, so transmission and
-// completion processing proceed concurrently. Both directions batch
-// several chunks per datagram (MsgBatch) to amortize per-packet overhead
-// on the UDP path.
 package aggservice
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fpisa/internal/core"
@@ -49,26 +14,64 @@ import (
 	"fpisa/internal/transport"
 )
 
-// Message types.
+// WireVersion is the leading octet of every v2 wire message. Its value is
+// chosen from a range disjoint from the v1 type bytes (0..2), so a legacy
+// single-job datagram is recognized by its first byte and rejected with
+// ErrLegacyWire instead of being misparsed. See doc.go for the full layout.
+const WireVersion = 0xF2
+
+// Message types (the second octet of every v2 message).
 const (
-	MsgAdd    = 0 // worker → switch: chunk values
-	MsgResult = 1 // switch → workers: aggregated chunk
-	MsgBatch  = 2 // either direction: several messages in one datagram
+	MsgAdd        = 0 // worker → switch: chunk values
+	MsgResult     = 1 // switch → workers: aggregated chunk
+	MsgBatch      = 2 // either direction: several messages in one datagram
+	MsgStats      = 3 // observer/worker → switch: per-job stats request
+	MsgStatsReply = 4 // switch → requester: per-job stats snapshot
+)
+
+// MaxJobs bounds the job-id space: the wire carries a 16-bit job field.
+const MaxJobs = 1 << 16
+
+// ObserverWorker is the pseudo worker index a transport passes to Handle
+// for out-of-band observers (the UDP fabric's 0xFF frame). Observers may
+// only request stats; deliveries addressed to ObserverWorker are routed
+// back to the requesting address.
+const ObserverWorker = transport.ObserverWorker
+
+// Wire-format errors. Handlers count these (see WireRejects); decoders
+// return them wrapped so callers can errors.Is on the cause.
+var (
+	// ErrLegacyWire marks a v1 (pre-job-id) datagram: the old framing had
+	// no version octet, so its first byte is a v1 type (0..2).
+	ErrLegacyWire = errors.New("aggservice: legacy v1 wire framing (no job id); upgrade the client to wire v2")
+	// ErrNestedBatch marks a MsgBatch framed inside a MsgBatch, which the
+	// decoder rejects outright to bound decode work to one level.
+	ErrNestedBatch = errors.New("aggservice: nested batch rejected")
 )
 
 // Config parameterizes the service.
 type Config struct {
-	// Workers is the number of participating workers.
+	// Workers is the number of participating workers per job.
 	Workers int
-	// Pool is the number of in-flight chunks (slot pool per bank).
+	// Pool is the number of in-flight chunks (slot pool per bank) per job.
 	Pool int
 	// Modules is the number of vector elements per packet (compiled FPISA
 	// modules).
 	Modules int
 	// Shards is the number of parallel pipeline replicas the switch runs;
-	// slots are partitioned slot → shard by slot mod Shards. 0 means 1
-	// (a single pipeline). Must not exceed the 2·Pool slots.
+	// global slots are partitioned slot → shard by slot mod Shards. 0
+	// means 1 (a single pipeline). Must not exceed the Jobs·2·Pool slots.
 	Shards int
+	// Jobs is the number of admitted tenant jobs sharing the switch. Each
+	// job owns the contiguous global slot range [job·2·Pool, (job+1)·2·Pool)
+	// and the transport ports [job·Workers, (job+1)·Workers). 0 means 1.
+	Jobs int
+	// MaxOutstanding caps the slots a single job may hold in the
+	// aggregating state at once — the admission quota that stops one
+	// misbehaving tenant from pinning the whole pool. ADDs that would bind
+	// a slot beyond the cap are dropped (counted as quota drops) and
+	// recovered by the sender's normal retransmit path. 0 disables the cap.
+	MaxOutstanding int
 	// Mode selects FPISA or FPISA-A.
 	Mode core.Mode
 	// Arch is the switch architecture.
@@ -89,8 +92,17 @@ func (c Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("aggservice: shards %d", c.Shards)
 	}
-	if c.Shards > 2*c.Pool {
-		return fmt.Errorf("aggservice: %d shards exceed the %d slots", c.Shards, 2*c.Pool)
+	if c.Jobs < 0 {
+		return fmt.Errorf("aggservice: jobs %d", c.Jobs)
+	}
+	if c.Jobs > MaxJobs {
+		return fmt.Errorf("aggservice: %d jobs exceed the 16-bit job-id space", c.Jobs)
+	}
+	if c.MaxOutstanding < 0 {
+		return fmt.Errorf("aggservice: max outstanding %d", c.MaxOutstanding)
+	}
+	if slots := c.jobs() * 2 * c.Pool; c.Shards > slots {
+		return fmt.Errorf("aggservice: %d shards exceed the %d slots", c.Shards, slots)
 	}
 	return nil
 }
@@ -103,15 +115,39 @@ func (c Config) shards() int {
 	return c.Shards
 }
 
-// wire format: add = [type(1) chunk(4) values(4*M)]
+// jobs returns the effective job count.
+func (c Config) jobs() int {
+	if c.Jobs == 0 {
+		return 1
+	}
+	return c.Jobs
+}
+
+// Ports returns the total transport port count: Jobs · Workers. Job j's
+// worker i sends and receives on port j·Workers + i.
+func (c Config) Ports() int { return c.jobs() * c.Workers }
+
+// Port maps (job, worker-in-job) to the transport port.
+func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
+
+// Wire layout (see doc.go for the rationale):
 //
-//	result = [type(1) chunk(4) values(4*M) overflow(1)]
-//	batch  = [type(1) count(2) { len(2) msg }*count]
-const hdrBytes = 5
+//	add    = [ver(1) type(1) job(2) chunk(4) values(4·M)]
+//	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
+//	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
+//	stats  = [ver(1) type(1) job(2)]
+//	reply  = [ver(1) type(1) job(2) adds(8) retrans(8) done(8) drops(8) outstanding(8)]
+const hdrBytes = 8
 
 // batchHdrBytes is the batch frame header; each framed message adds a
 // two-byte length prefix.
-const batchHdrBytes = 3
+const batchHdrBytes = 4
+
+// statsReqBytes and statsReplyBytes size the stats exchange.
+const (
+	statsReqBytes   = 4
+	statsReplyBytes = 4 + 5*8
+)
 
 // maxDatagram is the largest payload the UDP fabric can carry.
 const maxDatagram = 65507
@@ -133,11 +169,33 @@ func maxBatchChunks(modules int) int {
 	return n
 }
 
-// EncodeAdd builds a worker ADD packet.
-func EncodeAdd(chunk uint32, vals []float32) []byte {
+// putHeader writes the shared [ver type job chunk] message header.
+func putHeader(pkt []byte, typ byte, job int, chunk uint32) {
+	pkt[0] = WireVersion
+	pkt[1] = typ
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	binary.BigEndian.PutUint32(pkt[4:], chunk)
+}
+
+// wireType classifies a message: it returns the v2 type byte, ErrLegacyWire
+// for v1 framing, or a generic error for garbage.
+func wireType(pkt []byte) (byte, error) {
+	if len(pkt) < 2 {
+		return 0, fmt.Errorf("aggservice: %d-byte message", len(pkt))
+	}
+	if pkt[0] != WireVersion {
+		if pkt[0] <= MsgBatch {
+			return 0, ErrLegacyWire
+		}
+		return 0, fmt.Errorf("aggservice: unknown wire version 0x%02x", pkt[0])
+	}
+	return pkt[1], nil
+}
+
+// EncodeAdd builds a worker ADD packet for one job's chunk.
+func EncodeAdd(job int, chunk uint32, vals []float32) []byte {
 	pkt := make([]byte, addBytes(len(vals)))
-	pkt[0] = MsgAdd
-	binary.BigEndian.PutUint32(pkt[1:], chunk)
+	putHeader(pkt, MsgAdd, job, chunk)
 	for i, v := range vals {
 		binary.BigEndian.PutUint32(pkt[hdrBytes+4*i:], math.Float32bits(v))
 	}
@@ -145,17 +203,20 @@ func EncodeAdd(chunk uint32, vals []float32) []byte {
 }
 
 // DecodeResult parses a RESULT packet.
-func DecodeResult(pkt []byte, modules int) (chunk uint32, vals []float32, overflow bool, err error) {
-	if len(pkt) < resultBytes(modules) || pkt[0] != MsgResult {
-		return 0, nil, false, fmt.Errorf("aggservice: bad result packet")
+func DecodeResult(pkt []byte, modules int) (job int, chunk uint32, vals []float32, overflow bool, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, nil, false, fmt.Errorf("bad result packet: %w", terr)
+	} else if typ != MsgResult || len(pkt) != resultBytes(modules) {
+		return 0, 0, nil, false, fmt.Errorf("aggservice: bad result packet")
 	}
-	chunk = binary.BigEndian.Uint32(pkt[1:])
+	job = int(binary.BigEndian.Uint16(pkt[2:]))
+	chunk = binary.BigEndian.Uint32(pkt[4:])
 	vals = make([]float32, modules)
 	for i := range vals {
 		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
 	}
 	overflow = pkt[hdrBytes+4*modules] != 0
-	return chunk, vals, overflow, nil
+	return job, chunk, vals, overflow, nil
 }
 
 // EncodeBatch frames several messages into one BATCH datagram.
@@ -165,8 +226,9 @@ func EncodeBatch(msgs [][]byte) []byte {
 		n += 2 + len(m)
 	}
 	pkt := make([]byte, batchHdrBytes, n)
-	pkt[0] = MsgBatch
-	binary.BigEndian.PutUint16(pkt[1:], uint16(len(msgs)))
+	pkt[0] = WireVersion
+	pkt[1] = MsgBatch
+	binary.BigEndian.PutUint16(pkt[2:], uint16(len(msgs)))
 	for _, m := range msgs {
 		var l [2]byte
 		binary.BigEndian.PutUint16(l[:], uint16(len(m)))
@@ -177,12 +239,18 @@ func EncodeBatch(msgs [][]byte) []byte {
 }
 
 // DecodeBatch splits a BATCH datagram into its framed messages. The
-// returned slices alias pkt.
+// returned slices alias pkt. A batch framed inside a batch is rejected
+// with ErrNestedBatch — the decoder never recurses, so a hostile frame
+// cannot amplify decode work beyond one level.
 func DecodeBatch(pkt []byte) ([][]byte, error) {
-	if len(pkt) < batchHdrBytes || pkt[0] != MsgBatch {
+	typ, err := wireType(pkt)
+	if err != nil {
+		return nil, fmt.Errorf("bad batch packet: %w", err)
+	}
+	if typ != MsgBatch || len(pkt) < batchHdrBytes {
 		return nil, fmt.Errorf("aggservice: bad batch packet")
 	}
-	count := int(binary.BigEndian.Uint16(pkt[1:]))
+	count := int(binary.BigEndian.Uint16(pkt[2:]))
 	msgs := make([][]byte, 0, count)
 	off := batchHdrBytes
 	for i := 0; i < count; i++ {
@@ -194,13 +262,55 @@ func DecodeBatch(pkt []byte) ([][]byte, error) {
 		if off+l > len(pkt) {
 			return nil, fmt.Errorf("aggservice: batch message %d exceeds packet", i)
 		}
-		msgs = append(msgs, pkt[off:off+l])
+		m := pkt[off : off+l]
+		if len(m) >= 2 && m[0] == WireVersion && m[1] == MsgBatch {
+			return nil, fmt.Errorf("batch message %d: %w", i, ErrNestedBatch)
+		}
+		msgs = append(msgs, m)
 		off += l
 	}
 	if off != len(pkt) {
 		return nil, fmt.Errorf("aggservice: %d trailing bytes after batch", len(pkt)-off)
 	}
 	return msgs, nil
+}
+
+// EncodeStatsReq builds a per-job stats request.
+func EncodeStatsReq(job int) []byte {
+	pkt := make([]byte, statsReqBytes)
+	pkt[0] = WireVersion
+	pkt[1] = MsgStats
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	return pkt
+}
+
+// DecodeStatsReply parses a MsgStatsReply packet.
+func DecodeStatsReply(pkt []byte) (job int, st JobStats, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, JobStats{}, fmt.Errorf("bad stats reply: %w", terr)
+	} else if typ != MsgStatsReply || len(pkt) != statsReplyBytes {
+		return 0, JobStats{}, fmt.Errorf("aggservice: bad stats reply")
+	}
+	job = int(binary.BigEndian.Uint16(pkt[2:]))
+	st.Adds = binary.BigEndian.Uint64(pkt[4:])
+	st.Retransmits = binary.BigEndian.Uint64(pkt[12:])
+	st.Completions = binary.BigEndian.Uint64(pkt[20:])
+	st.QuotaDrops = binary.BigEndian.Uint64(pkt[28:])
+	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[36:]))
+	return job, st, nil
+}
+
+func encodeStatsReply(job int, st JobStats) []byte {
+	pkt := make([]byte, statsReplyBytes)
+	pkt[0] = WireVersion
+	pkt[1] = MsgStatsReply
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	binary.BigEndian.PutUint64(pkt[4:], st.Adds)
+	binary.BigEndian.PutUint64(pkt[12:], st.Retransmits)
+	binary.BigEndian.PutUint64(pkt[20:], st.Completions)
+	binary.BigEndian.PutUint64(pkt[28:], st.QuotaDrops)
+	binary.BigEndian.PutUint64(pkt[36:], uint64(st.Outstanding))
+	return pkt
 }
 
 // aggregator is the pipeline surface a shard drives — the seam that lets
@@ -210,16 +320,59 @@ type aggregator interface {
 	ReadReset(idx int) (core.Result, error)
 }
 
+// JobStats is one tenant job's protocol counters.
+type JobStats struct {
+	// Adds counts values aggregated into the pipeline for this job.
+	Adds uint64
+	// Retransmits counts duplicate ADDs observed — the switch-side view
+	// of the job's retransmission traffic.
+	Retransmits uint64
+	// Completions counts chunks fully aggregated.
+	Completions uint64
+	// QuotaDrops counts ADDs rejected by the MaxOutstanding admission cap.
+	QuotaDrops uint64
+	// Outstanding is the gauge of slots currently aggregating.
+	Outstanding int64
+}
+
+// WireRejects counts datagrams Handle refused, by cause.
+type WireRejects struct {
+	// Legacy counts v1 (unversioned) datagrams.
+	Legacy uint64
+	// Malformed counts short, truncated, mistyped or nested-batch frames.
+	Malformed uint64
+	// BadJob counts messages naming a job the switch does not admit.
+	BadJob uint64
+	// CrossJob counts messages whose job header does not match the
+	// sending port's job partition — a tenant reaching for another
+	// tenant's slots.
+	CrossJob uint64
+}
+
+// jobState is a job's live counters; all atomic so shards touch them
+// without a shared lock.
+type jobState struct {
+	adds, retransmits, completions, quotaDrops atomic.Uint64
+	outstanding                                atomic.Int64
+}
+
 // Switch is the service's switch side: N parallel FPISA pipeline replicas,
-// each owning a partition of the slot pool plus that partition's protocol
-// state (the seen-bitmap and result cache a production P4 program holds in
-// additional registers). Handle may be called concurrently; packets for
-// different shards proceed in parallel.
+// each owning a partition of the global slot pool plus that partition's
+// protocol state (the seen-bitmap and result cache a production P4 program
+// holds in additional registers). The global pool is first partitioned by
+// tenant job — job j owns the contiguous slots [j·2·Pool, (j+1)·2·Pool) —
+// and each job's range is striped across the shard replicas. Handle may be
+// called concurrently; packets for different shards proceed in parallel.
 type Switch struct {
-	cfg    Config
-	nsh    int
-	util   pisa.Utilization
+	cfg   Config
+	nsh   int
+	njobs int
+	util  pisa.Utilization
+
 	shards []*shard
+	jobs   []jobState
+
+	rejLegacy, rejMalformed, rejBadJob, rejCrossJob atomic.Uint64
 }
 
 // shard is one pipeline replica plus the protocol state for its slots.
@@ -227,8 +380,6 @@ type shard struct {
 	mu   sync.Mutex
 	pa   aggregator
 	slot []slotState
-	// Stats
-	adds, dups, completions uint64
 }
 
 type slotState struct {
@@ -236,6 +387,9 @@ type slotState struct {
 	seen   []bool
 	nSeen  int
 	cached []byte // RESULT packet, nil until complete
+	// outstanding marks the slot charged against its job's admission
+	// quota (set at bind, cleared at completion).
+	outstanding bool
 }
 
 // NewSwitch compiles the FPISA program once and instantiates the shard
@@ -245,13 +399,14 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	nsh := cfg.shards()
-	slots := 2 * cfg.Pool
+	njobs := cfg.jobs()
+	slots := njobs * 2 * cfg.Pool
 	perShard := (slots + nsh - 1) / nsh
 	pa0, err := core.NewPipelineAggregator(core.DefaultFP32(cfg.Mode), cfg.Modules, perShard, cfg.Arch)
 	if err != nil {
 		return nil, err
 	}
-	s := &Switch{cfg: cfg, nsh: nsh, util: pa0.Utilization()}
+	s := &Switch{cfg: cfg, nsh: nsh, njobs: njobs, util: pa0.Utilization(), jobs: make([]jobState, njobs)}
 	for k := 0; k < nsh; k++ {
 		pa := pa0
 		if k > 0 {
@@ -276,40 +431,100 @@ func (s *Switch) Utilization() pisa.Utilization { return s.util }
 // Shards returns the effective shard count.
 func (s *Switch) Shards() int { return s.nsh }
 
-// slotOf maps a chunk to its global pool slot (two banks, SwitchML-style).
-func (s *Switch) slotOf(chunk uint32) int {
+// Jobs returns the effective job count.
+func (s *Switch) Jobs() int { return s.njobs }
+
+// slotOf maps a job's chunk to its global pool slot: the job's contiguous
+// 2·Pool range, indexed by SwitchML's two-bank self-clocked slot.
+func (s *Switch) slotOf(job int, chunk uint32) int {
 	pool := uint32(s.cfg.Pool)
-	return int(chunk%pool + pool*(chunk/pool%2))
+	return job*2*s.cfg.Pool + int(chunk%pool+pool*(chunk/pool%2))
 }
 
 // Handle implements transport.Handler. It is safe for concurrent use:
-// only the shard owning the packet's slot is locked.
+// only the shard owning the packet's slot is locked. worker is the
+// transport port (job·Workers + worker-in-job), or ObserverWorker for
+// out-of-band stats requests.
 func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
-	if len(pkt) == 0 || worker < 0 || worker >= s.cfg.Workers {
+	if worker < ObserverWorker || worker >= s.cfg.Ports() {
 		return nil
 	}
-	if pkt[0] == MsgBatch {
+	typ, err := wireType(pkt)
+	if err != nil {
+		s.countWireErr(err)
+		return nil
+	}
+	if typ == MsgStats {
+		return s.handleStats(worker, pkt)
+	}
+	if worker == ObserverWorker {
+		// Observers are read-only: anything but a stats request is refused.
+		s.rejMalformed.Add(1)
+		return nil
+	}
+	switch typ {
+	case MsgBatch:
 		msgs, err := DecodeBatch(pkt)
 		if err != nil {
+			s.countWireErr(err)
 			return nil
 		}
 		return s.handleBatch(worker, msgs)
+	case MsgAdd:
+		return s.handleAdd(worker, pkt)
 	}
-	return s.handleAdd(worker, pkt)
+	s.rejMalformed.Add(1)
+	return nil
+}
+
+// countWireErr buckets a decode error into the reject counters.
+func (s *Switch) countWireErr(err error) {
+	if errors.Is(err, ErrLegacyWire) {
+		s.rejLegacy.Add(1)
+		return
+	}
+	s.rejMalformed.Add(1)
+}
+
+// handleStats answers a per-job stats request to the requesting port.
+func (s *Switch) handleStats(worker int, pkt []byte) []transport.Delivery {
+	if len(pkt) != statsReqBytes {
+		s.rejMalformed.Add(1)
+		return nil
+	}
+	job := int(binary.BigEndian.Uint16(pkt[2:]))
+	if job >= s.njobs {
+		s.rejBadJob.Add(1)
+		return nil
+	}
+	st, _ := s.JobStats(job)
+	return []transport.Delivery{{Worker: worker, Packet: encodeStatsReply(job, st)}}
 }
 
 // handleBatch processes each framed ADD and coalesces the responses:
 // broadcasts merge into one batched broadcast, unicasts into one batched
-// packet per destination worker.
+// packet per destination port.
 func (s *Switch) handleBatch(worker int, msgs [][]byte) []transport.Delivery {
 	var bcast [][]byte
-	uni := make([][][]byte, s.cfg.Workers)
+	ports := s.cfg.Ports()
+	uni := make([][][]byte, ports)
 	for _, m := range msgs {
+		// Only ADDs may ride in a batch; DecodeBatch already refused
+		// nested batches, and stats traffic is kept out-of-band.
+		typ, err := wireType(m)
+		if err != nil {
+			s.countWireErr(err)
+			continue
+		}
+		if typ != MsgAdd {
+			s.rejMalformed.Add(1)
+			continue
+		}
 		for _, d := range s.handleAdd(worker, m) {
 			switch {
 			case d.Broadcast:
 				bcast = append(bcast, d.Packet)
-			case d.Worker >= 0 && d.Worker < s.cfg.Workers:
+			case d.Worker >= 0 && d.Worker < ports:
 				uni[d.Worker] = append(uni[d.Worker], d.Packet)
 			}
 		}
@@ -351,25 +566,41 @@ func coalesce(msgs [][]byte) []byte {
 	return EncodeBatch(msgs)
 }
 
-// handleAdd routes one ADD message to its slot's shard.
+// handleAdd validates one ADD message's tenancy and routes it to its
+// slot's shard.
 func (s *Switch) handleAdd(worker int, pkt []byte) []transport.Delivery {
 	// Exact-length check: an oversized payload would silently truncate a
 	// garbage ADD into a plausible one, so reject it outright along with
 	// short or mistyped packets.
-	if len(pkt) != addBytes(s.cfg.Modules) || pkt[0] != MsgAdd {
+	if len(pkt) != addBytes(s.cfg.Modules) {
+		s.rejMalformed.Add(1)
 		return nil
 	}
-	chunk := binary.BigEndian.Uint32(pkt[1:])
+	job := int(binary.BigEndian.Uint16(pkt[2:]))
+	if job >= s.njobs {
+		s.rejBadJob.Add(1)
+		return nil
+	}
+	// The sending port is bound to its job partition: a packet claiming
+	// another tenant's job id would reach that tenant's slot range, so it
+	// is refused before any slot state is touched.
+	if worker/s.cfg.Workers != job {
+		s.rejCrossJob.Add(1)
+		return nil
+	}
+	chunk := binary.BigEndian.Uint32(pkt[4:])
 	vals := make([]float32, s.cfg.Modules)
 	for i := range vals {
 		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
 	}
-	si := s.slotOf(chunk)
-	return s.shards[si%s.nsh].handle(s.cfg.Workers, worker, chunk, si/s.nsh, vals)
+	gs := s.slotOf(job, chunk)
+	return s.slotHandle(s.shards[gs%s.nsh], job, worker, chunk, gs/s.nsh, vals)
 }
 
-// handle runs the slot protocol for one ADD under the shard's lock.
-func (sh *shard) handle(workers, worker int, chunk uint32, li int, vals []float32) []transport.Delivery {
+// slotHandle runs the slot protocol for one ADD under the shard's lock.
+func (s *Switch) slotHandle(sh *shard, job, worker int, chunk uint32, li int, vals []float32) []transport.Delivery {
+	js := &s.jobs[job]
+	wij := worker % s.cfg.Workers
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	st := &sh.slot[li]
@@ -380,10 +611,26 @@ func (sh *shard) handle(workers, worker int, chunk uint32, li int, vals []float3
 		// (guaranteed by the self-clocked window); ignore.
 		return nil
 	case int64(chunk) > st.chunk:
-		// First packet of a new chunk resets the slot (pool versioning).
+		// First packet of a new chunk binds the slot (pool versioning),
+		// charged against the job's admission quota before any pipeline
+		// state moves: a tenant at its cap is dropped here and recovers
+		// through its own retransmit path, never holding a slot.
+		charge := !st.outstanding
+		if charge {
+			n := js.outstanding.Add(1)
+			if q := int64(s.cfg.MaxOutstanding); q > 0 && n > q {
+				js.outstanding.Add(-1)
+				js.quotaDrops.Add(1)
+				return nil
+			}
+		}
 		if _, err := sh.pa.ReadReset(li); err != nil {
+			if charge {
+				js.outstanding.Add(-1)
+			}
 			return nil
 		}
+		st.outstanding = true
 		st.chunk = int64(chunk)
 		for i := range st.seen {
 			st.seen[i] = false
@@ -392,8 +639,8 @@ func (sh *shard) handle(workers, worker int, chunk uint32, li int, vals []float3
 		st.cached = nil
 	}
 
-	if st.seen[worker] {
-		sh.dups++
+	if st.seen[wij] {
+		js.retransmits.Add(1)
 		if st.cached != nil {
 			// The worker missed the broadcast; replay the result.
 			return []transport.Delivery{{Worker: worker, Packet: st.cached}}
@@ -409,19 +656,22 @@ func (sh *shard) handle(workers, worker int, chunk uint32, li int, vals []float3
 	if err != nil {
 		return nil
 	}
-	st.seen[worker] = true
+	st.seen[wij] = true
 	st.nSeen++
-	sh.adds++
+	js.adds.Add(1)
 
-	if st.nSeen < workers {
+	if st.nSeen < s.cfg.Workers {
 		return nil
 	}
 
 	// Last worker: the running sums are the final aggregation.
-	sh.completions++
+	js.completions.Add(1)
+	if st.outstanding {
+		js.outstanding.Add(-1)
+		st.outstanding = false
+	}
 	out := make([]byte, resultBytes(len(vals)))
-	out[0] = MsgResult
-	binary.BigEndian.PutUint32(out[1:], chunk)
+	putHeader(out, MsgResult, job, chunk)
 	var anyOvf byte
 	for i, v := range res.Values {
 		binary.BigEndian.PutUint32(out[hdrBytes+4*i:], math.Float32bits(v))
@@ -431,19 +681,56 @@ func (sh *shard) handle(workers, worker int, chunk uint32, li int, vals []float3
 	}
 	out[hdrBytes+4*len(vals)] = anyOvf
 	st.cached = out
-	return []transport.Delivery{{Broadcast: true, Packet: out}}
+	if s.njobs == 1 {
+		// Single tenant: every port belongs to the job, broadcast.
+		return []transport.Delivery{{Broadcast: true, Packet: out}}
+	}
+	// Multi-tenant: deliver to the job's own port range only, so one
+	// job's completions never consume another job's downlink.
+	ds := make([]transport.Delivery, s.cfg.Workers)
+	base := job * s.cfg.Workers
+	for i := range ds {
+		ds[i] = transport.Delivery{Worker: base + i, Packet: out}
+	}
+	return ds
 }
 
-// Stats returns protocol counters summed across shards.
+// Stats returns protocol counters summed across jobs: total values
+// aggregated, duplicate ADDs observed and chunks completed.
 func (s *Switch) Stats() (adds, dups, completions uint64) {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		adds += sh.adds
-		dups += sh.dups
-		completions += sh.completions
-		sh.mu.Unlock()
+	for j := range s.jobs {
+		js := &s.jobs[j]
+		adds += js.adds.Load()
+		dups += js.retransmits.Load()
+		completions += js.completions.Load()
 	}
 	return adds, dups, completions
+}
+
+// JobStats returns one job's counters; ok is false for a job the switch
+// does not admit.
+func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
+	if job < 0 || job >= s.njobs {
+		return JobStats{}, false
+	}
+	js := &s.jobs[job]
+	return JobStats{
+		Adds:        js.adds.Load(),
+		Retransmits: js.retransmits.Load(),
+		Completions: js.completions.Load(),
+		QuotaDrops:  js.quotaDrops.Load(),
+		Outstanding: js.outstanding.Load(),
+	}, true
+}
+
+// Rejects returns the wire-level reject counters.
+func (s *Switch) Rejects() WireRejects {
+	return WireRejects{
+		Legacy:    s.rejLegacy.Load(),
+		Malformed: s.rejMalformed.Load(),
+		BadJob:    s.rejBadJob.Load(),
+		CrossJob:  s.rejCrossJob.Load(),
+	}
 }
 
 // Worker tuning defaults; see NewWorker.
@@ -461,7 +748,11 @@ const (
 // non-positive receive timeout is not a workable blocking receive on every
 // fabric).
 type Worker struct {
-	ID     int
+	// ID is the worker's index within its job, 0 ≤ ID < Cfg.Workers. The
+	// transport port is Cfg.Port(Job, ID).
+	ID int
+	// Job is the tenant job this worker belongs to.
+	Job    int
 	Fabric transport.Fabric
 	Cfg    Config
 	// Timeout is the receive timeout per window stall. Values <= 0 apply
@@ -482,23 +773,36 @@ type Worker struct {
 	SentDatagrams uint64
 }
 
-// NewWorker builds a worker with the default timeout, retry budget and
-// batch size.
+// NewWorker builds a job-0 worker with the default timeout, retry budget
+// and batch size.
 func NewWorker(id int, fabric transport.Fabric, cfg Config) *Worker {
+	return NewJobWorker(0, id, fabric, cfg)
+}
+
+// NewJobWorker builds a worker for one tenant job with the default tuning.
+func NewJobWorker(job, id int, fabric transport.Fabric, cfg Config) *Worker {
 	return &Worker{
-		ID: id, Fabric: fabric, Cfg: cfg,
+		ID: id, Job: job, Fabric: fabric, Cfg: cfg,
 		Timeout: DefaultTimeout, Retries: DefaultRetries, Batch: DefaultBatch,
 	}
 }
 
-// Reduce aggregates vec with the other workers and returns the summed
-// vector. All workers must call Reduce with equal-length vectors.
+// Reduce aggregates vec with the job's other workers and returns the
+// summed vector. All of a job's workers must call Reduce with equal-length
+// vectors.
 //
 // A sender goroutine fills the self-clocked window (batching eligible
 // chunks into shared datagrams) while a receiver goroutine drains results
 // and acknowledges completions back to the sender, so uplink transmission
 // overlaps downlink processing.
 func (w *Worker) Reduce(vec []float32) ([]float32, error) {
+	if w.Job < 0 || w.Job >= w.Cfg.jobs() {
+		return nil, fmt.Errorf("aggservice: job %d outside the %d admitted jobs", w.Job, w.Cfg.jobs())
+	}
+	if w.ID < 0 || w.ID >= w.Cfg.Workers {
+		return nil, fmt.Errorf("aggservice: worker %d outside the job's %d workers", w.ID, w.Cfg.Workers)
+	}
+	port := w.Cfg.Port(w.Job, w.ID)
 	modules := w.Cfg.Modules
 	pool := w.Cfg.Pool
 	timeout := w.Timeout
@@ -555,12 +859,12 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 			}
 			sentMsgs += uint64(len(msgs))
 			sentDgrams++
-			err := w.Fabric.Send(w.ID, coalesce(msgs))
+			err := w.Fabric.Send(port, coalesce(msgs))
 			msgs = msgs[:0]
 			return err
 		}
 		queue := func(c int) error {
-			msgs = append(msgs, EncodeAdd(uint32(c), chunkVals(c)))
+			msgs = append(msgs, EncodeAdd(w.Job, uint32(c), chunkVals(c)))
 			sent[c] = true
 			if len(msgs) >= batch {
 				return flush()
@@ -581,7 +885,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 		retransmit := func() error {
 			for c := 0; c < nChunks; c++ {
 				if sent[c] && !done[c] {
-					msgs = append(msgs, EncodeAdd(uint32(c), chunkVals(c)))
+					msgs = append(msgs, EncodeAdd(w.Job, uint32(c), chunkVals(c)))
 					if len(msgs) >= batch {
 						if err := flush(); err != nil {
 							return err
@@ -647,11 +951,11 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				return
 			default:
 			}
-			pkt, err := w.Fabric.Recv(w.ID, timeout)
+			pkt, err := w.Fabric.Recv(port, timeout)
 			if err == transport.ErrTimeout {
 				stalls++
 				if stalls > retries {
-					recvErr = fmt.Errorf("aggservice: worker %d gave up after %d stalls", w.ID, stalls)
+					recvErr = fmt.Errorf("aggservice: job %d worker %d gave up after %d stalls", w.Job, w.ID, stalls)
 					abort()
 					return
 				}
@@ -667,14 +971,14 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				return
 			}
 			msgs := [][]byte{pkt}
-			if len(pkt) > 0 && pkt[0] == MsgBatch {
+			if typ, terr := wireType(pkt); terr == nil && typ == MsgBatch {
 				if msgs, err = DecodeBatch(pkt); err != nil {
 					continue
 				}
 			}
 			for _, msg := range msgs {
-				chunk, vals, _, err := DecodeResult(msg, modules)
-				if err != nil {
+				job, chunk, vals, _, err := DecodeResult(msg, modules)
+				if err != nil || job != w.Job {
 					continue // not for us
 				}
 				c := int(chunk)

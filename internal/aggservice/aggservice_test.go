@@ -185,11 +185,11 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestEncodeDecode(t *testing.T) {
-	pkt := EncodeAdd(7, []float32{1.5, -2.5})
-	if pkt[0] != MsgAdd || len(pkt) != 13 {
+	pkt := EncodeAdd(0, 7, []float32{1.5, -2.5})
+	if pkt[0] != WireVersion || pkt[1] != MsgAdd || len(pkt) != 16 {
 		t.Fatalf("pkt = %v", pkt)
 	}
-	if _, _, _, err := DecodeResult(pkt, 2); err == nil {
+	if _, _, _, _, err := DecodeResult(pkt, 2); err == nil {
 		t.Error("DecodeResult accepted an ADD packet")
 	}
 }

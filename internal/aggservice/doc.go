@@ -1,0 +1,80 @@
+// Package aggservice is the FPISA in-network aggregation service: the
+// "SwitchML enhanced with FPISA" system of paper §5. Workers stream raw
+// FP32 gradient chunks to the switch in a single round; the switch
+// aggregates them with the FPISA pipeline program (internal/core) and
+// broadcasts each chunk's sum when the last worker's packet arrives.
+//
+// Compared to the SwitchML baseline (internal/switchml) there is no
+// quantization, no scaling-factor round and no host-side format conversion
+// — exactly the §5.2.3 protocol difference that frees worker CPU cores.
+//
+// # Multi-job tenancy
+//
+// One switch serves several training jobs at once — the deployment the
+// paper's line-rate claim implies. The global slot pool is partitioned by
+// tenant: job j owns the contiguous slot range [j·2·Pool, (j+1)·2·Pool)
+// and the transport ports [j·Workers, (j+1)·Workers). Because a packet's
+// slot is derived from its authenticated (port, job) pair — and a header
+// job id that disagrees with the sending port's partition is rejected and
+// counted (WireRejects.CrossJob) — no tenant can read or clobber another
+// tenant's aggregation state.
+//
+// Each job carries its own Stats (values aggregated, retransmits observed,
+// chunks completed, quota drops, outstanding-slot gauge), queryable in
+// process (Switch.JobStats) or over the wire (MsgStats/MsgStatsReply, used
+// by fpisa-query). Admission is governed by Config.MaxOutstanding: a job
+// may hold at most that many slots in the aggregating state; ADDs beyond
+// the cap are dropped and counted, and — because both the quota and every
+// counter are per job — one tenant hitting its cap never stalls another.
+//
+// # Wire format (version 2)
+//
+// Every message leads with a version octet, WireVersion = 0xF2, chosen
+// from a range disjoint from the v1 type bytes (0..2): a legacy single-job
+// datagram is therefore recognized by its first byte and rejected with
+// ErrLegacyWire rather than misparsed. The second octet is the message
+// type; ADD/RESULT carry a 16-bit big-endian job id next. All integers are
+// big-endian.
+//
+//	add    = [ver(1) type(1) job(2) chunk(4) values(4·M)]
+//	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
+//	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
+//	stats  = [ver(1) type(1) job(2)]
+//	reply  = [ver(1) type(1) job(2) adds(8) retransmits(8)
+//	          completions(8) quotaDrops(8) outstanding(8)]
+//
+// A batch frames complete messages (each with its own version octet); a
+// batch framed inside a batch is rejected (ErrNestedBatch), so decoding
+// never recurses. Only ADDs may ride in an uplink batch.
+//
+// # Sharded switch
+//
+// The switch side is sharded across N independent pipeline replicas, the
+// way a multi-pipe ASIC stamps identical pipelines out of one P4 compile:
+// the FPISA program is compiled once and replicated per shard
+// (core.PipelineAggregator.Replicate), and the global slot pool — all
+// jobs' partitions — is striped slot → shard by slot mod N. Each shard
+// owns its own replica, its own protocol state (seen-bitmaps and result
+// caches) and its own lock, so packets addressed to different slots
+// aggregate concurrently — per-slot state independence is exactly what
+// makes switch pipelines parallel. Shards: 1 (the default) reproduces the
+// single-pipeline switch.
+//
+// # Slot protocol
+//
+// Slot management follows SwitchML's self-clocked pool with two banks:
+// within its partition, chunk c uses slot (c mod pool) + pool·((c/pool)
+// mod 2), a worker sends chunk c only after receiving the result of chunk
+// c−pool, and duplicate packets for completed chunks are answered from a
+// per-slot result cache — which makes the protocol robust to packet loss
+// in either direction.
+//
+// # Host side
+//
+// Worker.Reduce overlaps I/O: a sender goroutine fills the self-clocked
+// window while a receiver goroutine drains results, so transmission and
+// completion processing proceed concurrently. Both directions batch
+// several chunks per datagram (MsgBatch) to amortize per-packet overhead
+// on the UDP path. Workers carry their job id in every ADD and filter
+// results to their own job.
+package aggservice

@@ -1,0 +1,53 @@
+package aggservice
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBatch fuzzes the framing decoder: it must never panic, never
+// accept legacy or nested framing, and on success the frames must
+// round-trip through EncodeBatch byte for byte.
+func FuzzDecodeBatch(f *testing.F) {
+	// Seed corpus: the interesting shapes the satellite fix targets.
+	valid := EncodeBatch([][]byte{
+		EncodeAdd(0, 1, []float32{1.5}),
+		EncodeAdd(1, 2, []float32{-2.5}),
+	})
+	f.Add(valid)
+	f.Add(EncodeBatch(nil))
+	f.Add(EncodeBatch([][]byte{EncodeBatch([][]byte{EncodeAdd(0, 0, []float32{1})})})) // nested
+	f.Add(valid[:len(valid)-3])                                                        // truncated body
+	f.Add(append(append([]byte(nil), valid...), 1, 2, 3))                              // trailing bytes
+	f.Add([]byte{MsgBatch, 0, 2, 0, 1, 7})                                             // legacy v1 batch
+	f.Add([]byte{WireVersion, MsgBatch, 0xff, 0xff})                                   // count overstates frames
+	f.Add([]byte{WireVersion, MsgBatch, 0, 1, 0, 0})                                   // empty inner message
+	f.Add([]byte{0x00})                                                                // legacy single byte... short
+	f.Add([]byte{WireVersion})                                                         // short v2
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		msgs, err := DecodeBatch(pkt)
+		if err != nil {
+			return
+		}
+		// Invariants of every accepted batch:
+		if pkt[0] != WireVersion || pkt[1] != MsgBatch {
+			t.Fatalf("accepted non-batch header %v", pkt[:2])
+		}
+		total := batchHdrBytes
+		for i, m := range msgs {
+			total += 2 + len(m)
+			if len(m) >= 2 && m[0] == WireVersion && m[1] == MsgBatch {
+				t.Fatalf("message %d: nested batch survived decode", i)
+			}
+		}
+		if total != len(pkt) {
+			t.Fatalf("frames cover %d of %d bytes", total, len(pkt))
+		}
+		// Round trip: re-encoding the decoded frames reproduces the
+		// packet exactly.
+		if re := EncodeBatch(msgs); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+	})
+}

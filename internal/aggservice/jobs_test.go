@@ -1,0 +1,510 @@
+package aggservice
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"fpisa/internal/core"
+	"fpisa/internal/gradients"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+// reduceJobs runs every job's workers concurrently over one shared
+// in-memory fabric and returns results[job][worker].
+func reduceJobs(t *testing.T, sw *Switch, cfg Config, vecs map[int][][]float32, loss float64, seed int64) map[int][][]float32 {
+	t.Helper()
+	fab, err := transport.NewMemory(transport.MemoryConfig{
+		Workers: cfg.Ports(), Handler: sw.Handle,
+		UplinkLoss: loss, DownlinkLoss: loss, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(map[int][][]float32, len(vecs))
+	errs := make(map[int][]error, len(vecs))
+	for job := range vecs {
+		results[job] = make([][]float32, cfg.Workers)
+		errs[job] = make([]error, cfg.Workers)
+	}
+	var wg sync.WaitGroup
+	for job, jv := range vecs {
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(job, w int, vec []float32) {
+				defer wg.Done()
+				wk := NewJobWorker(job, w, fab, cfg)
+				wk.Timeout = 30 * time.Millisecond
+				wk.Retries = 500
+				results[job][w], errs[job][w] = wk.Reduce(vec)
+			}(job, w, jv[w])
+		}
+	}
+	wg.Wait()
+	for job, je := range errs {
+		for w, err := range je {
+			if err != nil {
+				t.Fatalf("job %d worker %d: %v", job, w, err)
+			}
+		}
+	}
+	return results
+}
+
+// TestTwoJobsShareOneSwitch is the acceptance scenario: two jobs with
+// distinct JobIDs complete all-reduce concurrently on one sharded switch,
+// each job's result bit-identical to a single-tenant run of the same
+// vectors, with isolated per-job stats.
+func TestTwoJobsShareOneSwitch(t *testing.T) {
+	const n = 40
+	cfg := Config{Workers: 3, Pool: 4, Modules: 1, Shards: 4, Jobs: 2,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Jobs() != 2 {
+		t.Fatalf("jobs = %d", sw.Jobs())
+	}
+	vecs := map[int][][]float32{
+		0: gradients.NewGenerator(gradients.VGG19, 21).WorkerGradients(cfg.Workers, n),
+		1: gradients.NewGenerator(gradients.ResNet50, 22).WorkerGradients(cfg.Workers, n),
+	}
+	results := reduceJobs(t, sw, cfg, vecs, 0, 1)
+
+	// Within a job, the result is one broadcast: every worker must hold
+	// bit-identical output.
+	for job := 0; job < 2; job++ {
+		for w := 1; w < cfg.Workers; w++ {
+			for i := 0; i < n; i++ {
+				if results[job][w][i] != results[job][0][i] {
+					t.Fatalf("job %d: workers 0 and %d disagree at elem %d", job, w, i)
+				}
+			}
+		}
+	}
+	// Against a solo single-tenant run of the same vectors, results agree
+	// to aggregation accuracy (concurrent scheduling permutes arrival
+	// order, which moves FPISA-A's low bits, as in the loss tests).
+	for job := 0; job < 2; job++ {
+		soloCfg := cfg
+		soloCfg.Jobs = 1
+		solo, _, _ := runReduction(t, soloCfg, vecs[job], 0, 1)
+		for i := 0; i < n; i++ {
+			diff := math.Abs(float64(results[job][0][i] - solo[0][i]))
+			if diff > 1e-5+1e-3*math.Abs(float64(solo[0][i])) {
+				t.Fatalf("job %d elem %d: tenant run %g vs solo run %g",
+					job, i, results[job][0][i], solo[0][i])
+			}
+		}
+	}
+
+	// Per-job stats are isolated and each accounts exactly its own load.
+	nChunks := uint64(n)
+	for job := 0; job < 2; job++ {
+		st, ok := sw.JobStats(job)
+		if !ok {
+			t.Fatalf("job %d stats missing", job)
+		}
+		if st.Adds != uint64(cfg.Workers)*nChunks {
+			t.Errorf("job %d adds = %d, want %d", job, st.Adds, uint64(cfg.Workers)*nChunks)
+		}
+		if st.Completions != nChunks {
+			t.Errorf("job %d completions = %d, want %d", job, st.Completions, nChunks)
+		}
+		if st.QuotaDrops != 0 || st.Outstanding != 0 {
+			t.Errorf("job %d: quotaDrops=%d outstanding=%d", job, st.QuotaDrops, st.Outstanding)
+		}
+	}
+	if _, ok := sw.JobStats(2); ok {
+		t.Error("stats for an unadmitted job")
+	}
+	if adds, _, completions := sw.Stats(); adds != 2*uint64(cfg.Workers)*nChunks || completions != 2*nChunks {
+		t.Errorf("aggregate stats: adds=%d completions=%d", adds, completions)
+	}
+}
+
+// TestTwoJobsUnderLossAndRace hammers one sharded switch with two jobs
+// through a lossy fabric — run under -race this is the tenancy race test.
+func TestTwoJobsUnderLossAndRace(t *testing.T) {
+	const n = 32
+	cfg := Config{Workers: 3, Pool: 4, Modules: 1, Shards: 8, Jobs: 2,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := map[int][][]float32{
+		0: gradients.NewGenerator(gradients.VGG19, 31).WorkerGradients(cfg.Workers, n),
+		1: gradients.NewGenerator(gradients.BERT, 32).WorkerGradients(cfg.Workers, n),
+	}
+	results := reduceJobs(t, sw, cfg, vecs, 0.1, 99)
+	// Within a job every worker holds the same broadcast result.
+	for job, rs := range results {
+		for w := 1; w < len(rs); w++ {
+			for i := range rs[w] {
+				if rs[w][i] != rs[0][i] {
+					t.Fatalf("job %d: workers 0 and %d disagree at %d", job, w, i)
+				}
+			}
+		}
+	}
+	for job := 0; job < 2; job++ {
+		if st, _ := sw.JobStats(job); st.Completions != n {
+			t.Errorf("job %d completions = %d, want %d", job, st.Completions, n)
+		}
+	}
+}
+
+// TestQuotaDropsIsolated pins the admission quota: a tenant over its
+// outstanding-slot cap is dropped and counted, while the other tenant's
+// all-reduce completes unimpeded with zero drops.
+func TestQuotaDropsIsolated(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 1, Modules: 1, Shards: 2, Jobs: 2,
+		MaxOutstanding: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 0 misbehaves: worker 0 binds chunk 0 (one outstanding slot, the
+	// partner's packet never comes) and then reaches for chunk 1 — over
+	// quota, dropped.
+	if ds := sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 0, []float32{1})); ds != nil {
+		t.Fatalf("lone add completed: %v", ds)
+	}
+	if ds := sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 1, []float32{2})); ds != nil {
+		t.Fatalf("over-quota add delivered: %v", ds)
+	}
+	st0, _ := sw.JobStats(0)
+	if st0.QuotaDrops != 1 || st0.Outstanding != 1 {
+		t.Fatalf("job 0: quotaDrops=%d outstanding=%d, want 1/1", st0.QuotaDrops, st0.Outstanding)
+	}
+
+	// Job 1 runs a real all-reduce on the same switch: with Pool=1 its
+	// self-clocked window keeps at most one slot outstanding, so the
+	// quota never fires and job 0's pressure never reaches it.
+	const n = 6
+	fab, err := transport.NewMemory(transport.MemoryConfig{Workers: cfg.Ports(), Handler: sw.Handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []float32{1, 2, 3, 4, 5, 6}
+	results := make([][]float32, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := NewJobWorker(1, w, fab, cfg)
+			wk.Timeout = 30 * time.Millisecond
+			results[w], errs[w] = wk.Reduce(vec)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("job 1 worker %d: %v", w, err)
+		}
+	}
+	for i, v := range vec {
+		if results[0][i] != 2*v {
+			t.Fatalf("job 1 elem %d = %g, want %g", i, results[0][i], 2*v)
+		}
+	}
+	st1, _ := sw.JobStats(1)
+	if st1.QuotaDrops != 0 || st1.Completions != n || st1.Outstanding != 0 {
+		t.Fatalf("job 1: %+v", st1)
+	}
+	// Job 0's ledger is untouched by job 1's run.
+	if got, _ := sw.JobStats(0); got != st0 {
+		t.Fatalf("job 0 stats drifted: %+v vs %+v", got, st0)
+	}
+}
+
+// TestQuotaRecoversViaRetransmit shows quota drops are not fatal: a job
+// throttled below its window completes once slots free up, through the
+// normal retransmit path.
+func TestQuotaRecoversViaRetransmit(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 4, Modules: 1, Shards: 2, Jobs: 1,
+		MaxOutstanding: 2, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := transport.NewMemory(transport.MemoryConfig{Workers: cfg.Ports(), Handler: sw.Handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	vecs := make([][]float32, cfg.Workers)
+	for w := range vecs {
+		vecs[w] = make([]float32, n)
+		for i := range vecs[w] {
+			vecs[w][i] = float32(w+1) * float32(i+1)
+		}
+	}
+	results := make([][]float32, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := NewWorker(w, fab, cfg)
+			wk.Timeout = 20 * time.Millisecond
+			wk.Retries = 500
+			results[w], errs[w] = wk.Reduce(vecs[w])
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := vecs[0][i] + vecs[1][i]
+		if math.Abs(float64(results[0][i]-want)) > 1e-4*float64(want) {
+			t.Fatalf("elem %d = %g, want %g", i, results[0][i], want)
+		}
+	}
+	st, _ := sw.JobStats(0)
+	if st.QuotaDrops == 0 {
+		t.Error("window wider than the quota never tripped it")
+	}
+	if st.Completions != n || st.Outstanding != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestWireRejection covers every reject class: legacy framing, malformed
+// frames, unknown jobs and cross-job slot access.
+func TestWireRejection(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 2, Modules: 1, Jobs: 2,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyAdd := []byte{MsgAdd, 0, 0, 0, 0, 0x3f, 0x80, 0, 0} // v1 framing
+	cases := []struct {
+		name string
+		port int
+		pkt  []byte
+		get  func(WireRejects) uint64
+	}{
+		{"legacy v1 add", 0, legacyAdd, func(r WireRejects) uint64 { return r.Legacy }},
+		{"legacy v1 batch", 0, []byte{MsgBatch, 0, 0}, func(r WireRejects) uint64 { return r.Legacy }},
+		{"unknown version", 0, []byte{0x7f, MsgAdd, 0, 0}, func(r WireRejects) uint64 { return r.Malformed }},
+		{"short frame", 0, []byte{WireVersion}, func(r WireRejects) uint64 { return r.Malformed }},
+		{"truncated add", 0, EncodeAdd(0, 0, []float32{1})[:6], func(r WireRejects) uint64 { return r.Malformed }},
+		{"oversized add", 0, append(EncodeAdd(0, 0, []float32{1}), 0xde), func(r WireRejects) uint64 { return r.Malformed }},
+		{"unknown type", 0, []byte{WireVersion, 9, 0, 0}, func(r WireRejects) uint64 { return r.Malformed }},
+		{"bad job", 0, EncodeAdd(7, 0, []float32{1}), func(r WireRejects) uint64 { return r.BadJob }},
+		{"cross job", 0, EncodeAdd(1, 0, []float32{1}), func(r WireRejects) uint64 { return r.CrossJob }},
+		{"cross job reversed", cfg.Port(1, 0), EncodeAdd(0, 0, []float32{1}), func(r WireRejects) uint64 { return r.CrossJob }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := tc.get(sw.Rejects())
+			if ds := sw.Handle(tc.port, tc.pkt); ds != nil {
+				t.Fatalf("rejected packet produced deliveries: %v", ds)
+			}
+			if after := tc.get(sw.Rejects()); after != before+1 {
+				t.Fatalf("reject counter %d → %d, want +1", before, after)
+			}
+		})
+	}
+	if adds, _, _ := sw.Stats(); adds != 0 {
+		t.Fatalf("rejected traffic mutated slot state: adds=%d", adds)
+	}
+}
+
+// TestNestedBatchRejectedByHandle pins the recursion fix at the Handle
+// level: a batch-in-batch datagram is refused wholesale and counted.
+func TestNestedBatchRejectedByHandle(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 1, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := EncodeBatch([][]byte{EncodeAdd(0, 0, []float32{1})})
+	nested := EncodeBatch([][]byte{inner})
+	if ds := sw.Handle(0, nested); ds != nil {
+		t.Fatalf("nested batch produced deliveries: %v", ds)
+	}
+	if r := sw.Rejects(); r.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", r.Malformed)
+	}
+	if adds, _, _ := sw.Stats(); adds != 0 {
+		t.Fatalf("nested batch reached a slot: adds=%d", adds)
+	}
+}
+
+// TestStatsOverTheWire exercises the MsgStats round trip from a worker
+// port and from the out-of-band observer.
+func TestStatsOverTheWire(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 2, Modules: 1, Jobs: 2,
+		MaxOutstanding: 4, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One completed chunk for job 1 (single worker completes instantly).
+	if ds := sw.Handle(cfg.Port(1, 0), EncodeAdd(1, 0, []float32{2.5})); len(ds) != 1 {
+		t.Fatalf("deliveries: %v", ds)
+	}
+	for _, port := range []int{0, ObserverWorker} {
+		ds := sw.Handle(port, EncodeStatsReq(1))
+		if len(ds) != 1 || ds[0].Broadcast || ds[0].Worker != port {
+			t.Fatalf("port %d: stats deliveries %v", port, ds)
+		}
+		job, st, err := DecodeStatsReply(ds[0].Packet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job != 1 || st.Adds != 1 || st.Completions != 1 || st.Outstanding != 0 {
+			t.Fatalf("port %d: job=%d stats=%+v", port, job, st)
+		}
+	}
+	// Observers are read-only; stats for unknown jobs are refused.
+	if ds := sw.Handle(ObserverWorker, EncodeAdd(0, 0, []float32{1})); ds != nil {
+		t.Fatalf("observer ADD accepted: %v", ds)
+	}
+	if ds := sw.Handle(0, EncodeStatsReq(9)); ds != nil {
+		t.Fatalf("stats for unknown job answered: %v", ds)
+	}
+}
+
+// TestMultiJobResultDeliveriesScoped verifies completions in a multi-job
+// switch are delivered only to the owning job's port range.
+func TestMultiJobResultDeliveriesScoped(t *testing.T) {
+	cfg := Config{Workers: 2, Pool: 2, Modules: 1, Jobs: 3,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const job = 1
+	if ds := sw.Handle(cfg.Port(job, 0), EncodeAdd(job, 0, []float32{1})); ds != nil {
+		t.Fatalf("first add delivered: %v", ds)
+	}
+	ds := sw.Handle(cfg.Port(job, 1), EncodeAdd(job, 0, []float32{2}))
+	if len(ds) != cfg.Workers {
+		t.Fatalf("got %d deliveries, want %d", len(ds), cfg.Workers)
+	}
+	seen := map[int]bool{}
+	for _, d := range ds {
+		if d.Broadcast {
+			t.Fatalf("multi-job completion used a broadcast: %v", d)
+		}
+		if d.Worker/cfg.Workers != job {
+			t.Fatalf("delivery to port %d leaks outside job %d", d.Worker, job)
+		}
+		seen[d.Worker] = true
+		gotJob, _, vals, _, err := DecodeResult(d.Packet, 1)
+		if err != nil || gotJob != job || vals[0] != 3 {
+			t.Fatalf("result job=%d vals=%v err=%v", gotJob, vals, err)
+		}
+	}
+	if len(seen) != cfg.Workers {
+		t.Fatalf("deliveries hit %d distinct ports, want %d", len(seen), cfg.Workers)
+	}
+}
+
+// TestJobsValidation covers the tenancy configuration checks.
+func TestJobsValidation(t *testing.T) {
+	base := Config{Workers: 1, Pool: 2, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	for name, mutate := range map[string]func(*Config){
+		"negative jobs":     func(c *Config) { c.Jobs = -1 },
+		"too many jobs":     func(c *Config) { c.Jobs = MaxJobs + 1 },
+		"negative quota":    func(c *Config) { c.MaxOutstanding = -1 },
+		"shards over slots": func(c *Config) { c.Jobs = 2; c.Shards = 2*2*c.Pool + 1 },
+	} {
+		c := base
+		mutate(&c)
+		if _, err := NewSwitch(c); err == nil {
+			t.Errorf("%s accepted: %+v", name, c)
+		}
+	}
+	// Jobs widen the slot space: shard counts legal only under multi-job.
+	c := base
+	c.Jobs = 3
+	c.Shards = 3 * 2 * c.Pool
+	if _, err := NewSwitch(c); err != nil {
+		t.Errorf("max shards with 3 jobs rejected: %v", err)
+	}
+	// Worker outside its job errors cleanly.
+	w := NewJobWorker(5, 0, nil, base)
+	if _, err := w.Reduce([]float32{1}); err == nil {
+		t.Error("out-of-range job accepted by Reduce")
+	}
+}
+
+// TestManyJobsHammerSharded drives eight goroutines across four jobs on
+// one sharded switch with direct Handle calls — the shard/job accounting
+// stress test (meaningful chiefly under -race).
+func TestManyJobsHammerSharded(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 16, Modules: 1, Shards: 4, Jobs: 4,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perJob = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			job := g % cfg.jobs()
+			for c := g / cfg.jobs(); c < perJob; c += 2 {
+				sw.Handle(cfg.Port(job, 0), EncodeAdd(job, uint32(c), []float32{float32(c)}))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for job := 0; job < cfg.jobs(); job++ {
+		st, _ := sw.JobStats(job)
+		if st.Completions != perJob {
+			t.Errorf("job %d completions = %d, want %d", job, st.Completions, perJob)
+		}
+	}
+	if _, _, completions := sw.Stats(); completions != uint64(cfg.jobs())*perJob {
+		t.Errorf("aggregate completions = %d", completions)
+	}
+}
+
+// TestJobPartitionsDoNotAlias proves slot isolation end to end: identical
+// chunk ids in different jobs land in different slots with independent
+// sums.
+func TestJobPartitionsDoNotAlias(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 2, Modules: 1, Shards: 3, Jobs: 2,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job := 0; job < 2; job++ {
+		want := float32(job + 1)
+		ds := sw.Handle(cfg.Port(job, 0), EncodeAdd(job, 0, []float32{want}))
+		if len(ds) != 1 {
+			t.Fatalf("job %d chunk 0: %v", job, ds)
+		}
+		gotJob, chunk, vals, _, err := DecodeResult(ds[0].Packet, 1)
+		if err != nil || gotJob != job || chunk != 0 || vals[0] != want {
+			t.Fatalf("job %d: job=%d chunk=%d vals=%v err=%v", job, gotJob, chunk, vals, err)
+		}
+	}
+}
+
+func ExampleConfig_Port() {
+	cfg := Config{Workers: 4, Jobs: 2}
+	fmt.Println(cfg.Port(0, 3), cfg.Port(1, 0), cfg.Ports())
+	// Output: 3 4 8
+}

@@ -24,11 +24,11 @@ func drive(t *testing.T, sw *Switch, vecs [][]float32, modules int) map[uint32][
 		for w := range vecs {
 			vals := make([]float32, modules)
 			copy(vals, vecs[w][c*modules:min(len(vecs[w]), (c+1)*modules)])
-			for _, d := range sw.Handle(w, EncodeAdd(uint32(c), vals)) {
+			for _, d := range sw.Handle(w, EncodeAdd(0, uint32(c), vals)) {
 				if !d.Broadcast {
 					continue
 				}
-				chunk := binary.BigEndian.Uint32(d.Packet[1:])
+				chunk := binary.BigEndian.Uint32(d.Packet[4:])
 				results[chunk] = append([]byte(nil), d.Packet...)
 			}
 		}
@@ -91,7 +91,7 @@ func TestShardedHandleConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for c := g; c < slots; c += goroutines {
-				for _, d := range sw.Handle(0, EncodeAdd(uint32(c), []float32{float32(c)})) {
+				for _, d := range sw.Handle(0, EncodeAdd(0, uint32(c), []float32{float32(c)})) {
 					if d.Broadcast {
 						delivered.Add(1)
 					}
@@ -156,7 +156,7 @@ func TestAddFailureLeavesSlotRetransmittable(t *testing.T) {
 	sh := sw.shards[0]
 	sh.pa = &flakyAgg{aggregator: sh.pa, failNext: 1}
 
-	pkt := EncodeAdd(0, []float32{1.5})
+	pkt := EncodeAdd(0, 0, []float32{1.5})
 	if ds := sw.Handle(0, pkt); ds != nil {
 		t.Fatalf("failed add returned deliveries: %v", ds)
 	}
@@ -171,11 +171,11 @@ func TestAddFailureLeavesSlotRetransmittable(t *testing.T) {
 	if ds := sw.Handle(0, pkt); ds != nil {
 		t.Fatalf("retransmit should not complete the chunk yet: %v", ds)
 	}
-	ds := sw.Handle(1, EncodeAdd(0, []float32{2.25}))
+	ds := sw.Handle(1, EncodeAdd(0, 0, []float32{2.25}))
 	if len(ds) != 1 || !ds[0].Broadcast {
 		t.Fatalf("chunk did not complete: %v", ds)
 	}
-	_, vals, _, err := DecodeResult(ds[0].Packet, 1)
+	_, _, vals, _, err := DecodeResult(ds[0].Packet, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestOversizedAddRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := EncodeAdd(0, []float32{1})
+	good := EncodeAdd(0, 0, []float32{1})
 	oversized := append(append([]byte(nil), good...), 0xde, 0xad)
 	if ds := sw.Handle(0, oversized); ds != nil {
 		t.Fatalf("oversized ADD accepted: %v", ds)
@@ -233,7 +233,7 @@ type holFabric struct {
 
 func (f *holFabric) Send(worker int, pkt []byte) error {
 	msgs := [][]byte{pkt}
-	if pkt[0] == MsgBatch {
+	if pkt[1] == MsgBatch {
 		var err error
 		if msgs, err = DecodeBatch(pkt); err != nil {
 			return err
@@ -242,15 +242,14 @@ func (f *holFabric) Send(worker int, pkt []byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, m := range msgs {
-		c := binary.BigEndian.Uint32(m[1:])
+		c := binary.BigEndian.Uint32(m[4:])
 		f.sent = append(f.sent, int(c))
 		if c == 0 && !f.dropped {
 			f.dropped = true
 			continue
 		}
 		out := make([]byte, resultBytes(1))
-		out[0] = MsgResult
-		binary.BigEndian.PutUint32(out[1:], c)
+		putHeader(out, MsgResult, 0, c)
 		copy(out[hdrBytes:], m[hdrBytes:hdrBytes+4])
 		f.replies <- out
 	}
@@ -367,13 +366,13 @@ func TestNegativeSentinelsApplyDefaults(t *testing.T) {
 // malformed frames.
 func TestBatchEncodeDecode(t *testing.T) {
 	msgs := [][]byte{
-		EncodeAdd(1, []float32{1.5}),
-		EncodeAdd(2, []float32{-2.5}),
-		EncodeAdd(9, []float32{0.25}),
+		EncodeAdd(0, 1, []float32{1.5}),
+		EncodeAdd(0, 2, []float32{-2.5}),
+		EncodeAdd(1, 9, []float32{0.25}),
 	}
 	pkt := EncodeBatch(msgs)
-	if pkt[0] != MsgBatch {
-		t.Fatalf("type byte %d", pkt[0])
+	if pkt[0] != WireVersion || pkt[1] != MsgBatch {
+		t.Fatalf("header bytes %d %d", pkt[0], pkt[1])
 	}
 	got, err := DecodeBatch(pkt)
 	if err != nil {
@@ -388,14 +387,22 @@ func TestBatchEncodeDecode(t *testing.T) {
 		}
 	}
 	for name, bad := range map[string][]byte{
-		"truncated header": pkt[:2],
+		"truncated header": pkt[:3],
 		"truncated body":   pkt[:len(pkt)-3],
 		"trailing bytes":   append(append([]byte(nil), pkt...), 1, 2, 3),
-		"wrong type":       {MsgAdd, 0, 1},
+		"wrong type":       {WireVersion, MsgAdd, 0, 1},
+		"legacy v1 batch":  {MsgBatch, 0, 1},
+		"nested batch":     EncodeBatch([][]byte{EncodeBatch([][]byte{msgs[0]})}),
 	} {
 		if _, err := DecodeBatch(bad); err == nil {
 			t.Errorf("%s accepted", name)
 		}
+	}
+	if _, err := DecodeBatch([]byte{MsgBatch, 0, 1}); !errors.Is(err, ErrLegacyWire) {
+		t.Errorf("legacy batch error = %v, want ErrLegacyWire", err)
+	}
+	if _, err := DecodeBatch(EncodeBatch([][]byte{EncodeBatch(msgs[:1])})); !errors.Is(err, ErrNestedBatch) {
+		t.Errorf("nested batch error = %v, want ErrNestedBatch", err)
 	}
 }
 

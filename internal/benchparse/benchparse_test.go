@@ -1,0 +1,114 @@
+package benchparse
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: fpisa
+cpu: AMD EPYC 7B13
+BenchmarkShardedSwitch/1shard-8         	  100000	     10000 ns/op	    100000 pkts/s
+BenchmarkShardedSwitch/1shard-8         	  100000	     12000 ns/op	     90000 pkts/s
+BenchmarkShardedSwitch/4shard-8         	  400000	      3000 ns/op	    400000 pkts/s
+BenchmarkCoreAdd/FPISA-A-8              	 2000000	       500 ns/op
+BenchmarkQuantize-8                     	   50000	     20000 ns/op	     128 B/op	       2 allocs/op
+PASS
+ok  	fpisa	12.3s
+`
+
+func parse(t *testing.T, s string) *Report {
+	t.Helper()
+	rep, err := Parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParse(t *testing.T) {
+	rep := parse(t, sample)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("preamble: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	byName := map[string]*Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	one := byName["BenchmarkShardedSwitch/1shard"]
+	if one == nil || one.Runs != 2 {
+		t.Fatalf("1shard: %+v", one)
+	}
+	if one.NsPerOp.Mean != 11000 || one.NsPerOp.Min != 10000 || one.NsPerOp.Max != 12000 {
+		t.Fatalf("1shard ns/op: %+v", one.NsPerOp)
+	}
+	if one.Metrics["pkts/s"] != 95000 {
+		t.Fatalf("1shard pkts/s: %v", one.Metrics)
+	}
+	// The -8 GOMAXPROCS suffix is stripped, but "FPISA-A" inside a
+	// subtest name survives.
+	if byName["BenchmarkCoreAdd/FPISA-A"] == nil {
+		t.Fatalf("sub-benchmark name mangled: %v", byName)
+	}
+	q := byName["BenchmarkQuantize"]
+	if q.Metrics["B/op"] != 128 || q.Metrics["allocs/op"] != 2 {
+		t.Fatalf("quantize metrics: %v", q.Metrics)
+	}
+}
+
+func TestParseTolteratesNoise(t *testing.T) {
+	rep := parse(t, "random prose\nBenchmarkX-4   10   5 ns/op\n--- BENCH: ...\n")
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkX" {
+		t.Fatalf("%+v", rep.Benchmarks)
+	}
+}
+
+func TestCompareAndGate(t *testing.T) {
+	oldRep := parse(t, `
+BenchmarkShardedSwitch/1shard-8   100   1000 ns/op
+BenchmarkShardedSwitch/4shard-8   100    250 ns/op
+BenchmarkOther-8                  100    100 ns/op
+`)
+	newRep := parse(t, `
+BenchmarkShardedSwitch/1shard-16  100   1100 ns/op
+BenchmarkShardedSwitch/4shard-16  100    300 ns/op
+BenchmarkOther-16                 100    500 ns/op
+BenchmarkBrandNew-16              100      1 ns/op
+`)
+	gate := regexp.MustCompile(`^BenchmarkShardedSwitch`)
+	ds := Compare(oldRep, newRep, gate)
+	if len(ds) != 2 {
+		t.Fatalf("deltas: %+v", ds)
+	}
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	// +10%: under a 15% gate. +20%: over it.
+	if d := byName["BenchmarkShardedSwitch/1shard"]; d.Regression(0.15) {
+		t.Fatalf("+10%% flagged as regression: %+v", d)
+	}
+	if d := byName["BenchmarkShardedSwitch/4shard"]; !d.Regression(0.15) {
+		t.Fatalf("+20%% not flagged: %+v", d)
+	}
+	// The gate pattern excludes BenchmarkOther's 5x regression.
+	if _, ok := byName["BenchmarkOther"]; ok {
+		t.Fatal("gate pattern leaked")
+	}
+	// Unfiltered compare sees it, and skips the baseline-less newcomer.
+	all := Compare(oldRep, newRep, nil)
+	if len(all) != 3 {
+		t.Fatalf("unfiltered deltas: %+v", all)
+	}
+}
+
+func TestParseRejectsMangledValues(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8  10  abc ns/op\n")); err == nil {
+		t.Fatal("mangled value accepted")
+	}
+}

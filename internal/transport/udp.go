@@ -9,18 +9,38 @@ import (
 	"time"
 )
 
+// ObserverID is the reserved frame byte for out-of-band observers (e.g.
+// fpisa-query's stats probe): the handler is invoked with worker index
+// ObserverWorker (-1), the sender's address is NOT learned as a worker
+// return path, and every delivery the handler returns is written straight
+// back to the sender. Worker IDs are therefore limited to 0..254.
+const (
+	ObserverID     = 0xFF
+	ObserverWorker = -1
+)
+
+// MaxWorkers is the largest worker count the one-byte frame can address,
+// with ObserverID reserved.
+const MaxWorkers = 255
+
 // ServeConn drains a switch-side UDP socket with a pool of reader
 // goroutines (one per CPU, capped at 8). Each datagram is framed
 // [workerID(1) payload]; the sender's address is learned as that worker's
 // return path, and handler deliveries are written back out the same
-// socket, broadcasts going to every learned address. Destination
+// socket, broadcasts going to every learned address. Frames carrying
+// ObserverID are handled out-of-band (see ObserverID). Destination
 // addresses are snapshotted under the lock but written outside it, so
 // replies from different readers (and shards) proceed in parallel.
 //
-// ServeConn blocks until the socket is closed; transient read errors are
-// skipped. It is the shared serve loop of the UDP fabric and the
-// fpisa-switch daemon.
-func ServeConn(conn *net.UDPConn, workers int, handler Handler) {
+// ServeConn blocks until the socket is closed (returning nil) and errors
+// immediately on a worker count the one-byte frame cannot address;
+// transient read errors are skipped. It is the shared serve loop of the
+// UDP fabric and the fpisa-switch daemon.
+func ServeConn(conn *net.UDPConn, workers int, handler Handler) error {
+	if workers < 1 || workers > MaxWorkers {
+		return fmt.Errorf("transport: %d workers outside the 1..%d the one-byte frame addresses (0x%02x is reserved)",
+			workers, MaxWorkers, ObserverID)
+	}
 	var mu sync.Mutex
 	addrs := make([]*net.UDPAddr, workers)
 	readers := runtime.GOMAXPROCS(0)
@@ -36,6 +56,7 @@ func ServeConn(conn *net.UDPConn, workers int, handler Handler) {
 		}()
 	}
 	wg.Wait()
+	return nil
 }
 
 func serveReader(conn *net.UDPConn, workers int, handler Handler, mu *sync.Mutex, addrs []*net.UDPAddr) {
@@ -55,8 +76,17 @@ func serveReader(conn *net.UDPConn, workers int, handler Handler, mu *sync.Mutex
 		if n < 1 {
 			continue
 		}
+		if buf[0] == ObserverID {
+			// Out-of-band observer: replies go to the sender only, and
+			// its address never becomes a worker return path.
+			pkt := append([]byte(nil), buf[1:n]...)
+			for _, d := range handler(ObserverWorker, pkt) {
+				_, _ = conn.WriteToUDP(d.Packet, src)
+			}
+			continue
+		}
 		worker := int(buf[0])
-		if worker < 0 || worker >= workers {
+		if worker >= workers {
 			continue
 		}
 		mu.Lock()
@@ -109,6 +139,10 @@ func NewUDP(workers int, handler Handler) (*UDP, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("transport: workers %d", workers)
 	}
+	if workers > MaxWorkers {
+		return nil, fmt.Errorf("transport: %d workers exceed the %d the one-byte frame addresses (0x%02x is reserved)",
+			workers, MaxWorkers, ObserverID)
+	}
 	if handler == nil {
 		return nil, fmt.Errorf("transport: nil handler")
 	}
@@ -130,7 +164,8 @@ func NewUDP(workers int, handler Handler) (*UDP, error) {
 		}
 		u.conns[i] = c
 	}
-	go ServeConn(sw, workers, handler)
+	// workers was validated above, so ServeConn cannot error here.
+	go func() { _ = ServeConn(sw, workers, handler) }()
 	return u, nil
 }
 
