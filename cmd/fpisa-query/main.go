@@ -4,18 +4,29 @@
 //
 //	fpisa-query -query "Top-N" -workers 2 -scale 1
 //
-// With -switch it instead queries a running fpisa-switch daemon for one
-// tenant job's live stats, using the out-of-band observer frame (so the
-// probe never disturbs a worker's learned return path):
+// With -switch it instead talks to a running fpisa-switch daemon through
+// the out-of-band observer frame (so the probe never disturbs a worker's
+// learned return path). -job queries one tenant job's live stats; -admit
+// and -evict drive the runtime lifecycle control plane (the daemon must
+// run with -dynamic):
 //
 //	fpisa-query -switch 127.0.0.1:9099 -job 1
+//	fpisa-query -switch 127.0.0.1:9099 -admit 2
+//	fpisa-query -switch 127.0.0.1:9099 -evict 1
+//
+// All switch operations exit non-zero with the error on stderr when the
+// switch refuses them (unknown job, no capacity, lifecycle disabled, …),
+// so scripts can gate on the result.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"fpisa/internal/aggservice"
@@ -29,14 +40,28 @@ func main() {
 	workers := flag.Int("workers", 2, "worker partitions")
 	scale := flag.Int("scale", 1, "dataset scale multiplier")
 	rows := flag.Int("rows", 10, "result rows to print")
-	swAddr := flag.String("switch", "", "query a running fpisa-switch for per-job stats instead")
+	swAddr := flag.String("switch", "", "address of a running fpisa-switch to operate on instead")
 	job := flag.Int("job", 0, "job id to query (with -switch)")
+	admit := flag.Int("admit", -1, "admit this job id at runtime (with -switch)")
+	evict := flag.Int("evict", -1, "evict this job id at runtime (with -switch)")
 	timeout := flag.Duration("timeout", time.Second, "per-probe reply timeout (with -switch)")
 	flag.Parse()
 
 	if *swAddr != "" {
-		if err := queryJobStats(*swAddr, *job, *timeout); err != nil {
-			log.Fatal(err)
+		var err error
+		switch {
+		case *admit >= 0 && *evict >= 0:
+			err = fmt.Errorf("-admit and -evict are mutually exclusive")
+		case *admit >= 0:
+			err = lifecycleRequest(os.Stdout, *swAddr, aggservice.MsgJobAdmit, *admit, *timeout)
+		case *evict >= 0:
+			err = lifecycleRequest(os.Stdout, *swAddr, aggservice.MsgJobEvict, *evict, *timeout)
+		default:
+			err = queryJobStats(os.Stdout, *swAddr, *job, *timeout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpisa-query:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -81,13 +106,17 @@ func min(a, b int) int {
 	return b
 }
 
-// queryJobStats probes a running fpisa-switch for one job's counters over
-// UDP, retrying a few times since the probe datagram is as droppable as
-// any other.
-func queryJobStats(addr string, job int, timeout time.Duration) error {
-	if job < 0 || job >= aggservice.MaxJobs {
-		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
-	}
+// probeAttempts bounds retries for the observer exchanges: the probe
+// datagram is as droppable as any other.
+const probeAttempts = 5
+
+// observerExchange sends one observer-framed request and hands each reply
+// to decode until decode reports it handled (done), retrying on timeout
+// or stray datagrams. decode receives the zero-based send attempt the
+// reply arrived under (attempt > 0 means the request was retransmitted,
+// so the switch may have applied an earlier copy); its error on a handled
+// reply is the final result — a definitive refusal is not retried away.
+func observerExchange(addr string, req []byte, timeout time.Duration, decode func(pkt []byte, attempt int) (done bool, err error)) error {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return err
@@ -98,10 +127,10 @@ func queryJobStats(addr string, job int, timeout time.Duration) error {
 	}
 	defer conn.Close()
 
-	req := append([]byte{transport.ObserverID}, aggservice.EncodeStatsReq(job)...)
+	frame := append([]byte{transport.ObserverID}, req...)
 	buf := make([]byte, 256)
-	for attempt := 0; attempt < 5; attempt++ {
-		if _, err := conn.Write(req); err != nil {
+	for attempt := 0; attempt < probeAttempts; attempt++ {
+		if _, err := conn.Write(frame); err != nil {
 			return err
 		}
 		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
@@ -114,17 +143,95 @@ func queryJobStats(addr string, job int, timeout time.Duration) error {
 			}
 			return err
 		}
-		gotJob, st, err := aggservice.DecodeStatsReply(buf[:n])
-		if err != nil || gotJob != job {
-			continue
+		if done, derr := decode(buf[:n], attempt); done {
+			return derr
 		}
-		fmt.Printf("switch %s, job %d\n", addr, job)
-		fmt.Printf("%-22s %d\n", "values aggregated", st.Adds)
-		fmt.Printf("%-22s %d\n", "chunks completed", st.Completions)
-		fmt.Printf("%-22s %d\n", "retransmits observed", st.Retransmits)
-		fmt.Printf("%-22s %d\n", "quota drops", st.QuotaDrops)
-		fmt.Printf("%-22s %d\n", "slots outstanding", st.Outstanding)
-		return nil
 	}
-	return fmt.Errorf("no stats reply from %s for job %d (unknown job ids are dropped, not answered)", addr, job)
+	return fmt.Errorf("no usable reply from %s after %d attempts", addr, probeAttempts)
+}
+
+// queryJobStats probes a running fpisa-switch for one job's counters. A
+// switch that reports the job as unknown is an error (non-zero exit), not
+// a silent empty result.
+func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) error {
+	if job < 0 || job >= aggservice.MaxJobs {
+		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
+	}
+	var st aggservice.JobStats
+	err := observerExchange(addr, aggservice.EncodeStatsReq(job), timeout, func(pkt []byte, _ int) (bool, error) {
+		// The switch answers stats requests for unknown jobs with an
+		// explicit lifecycle ack; surface it as the scriptable error.
+		if len(pkt) >= 2 && pkt[0] == aggservice.WireVersion && pkt[1] == aggservice.MsgJobAck {
+			gotJob, status, err := aggservice.DecodeJobAck(pkt)
+			if err != nil || gotJob != job {
+				return false, nil // stray or garbled ack: keep listening
+			}
+			return true, fmt.Errorf("switch %s refuses stats for job %d: %w", addr, job, status.Err())
+		}
+		gotJob, got, err := aggservice.DecodeStatsReply(pkt)
+		if err != nil || gotJob != job {
+			return false, nil
+		}
+		st = got
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "switch %s, job %d (%s)\n", addr, job, st.Phase)
+	fmt.Fprintf(w, "%-22s %d\n", "values aggregated", st.Adds)
+	fmt.Fprintf(w, "%-22s %d\n", "chunks completed", st.Completions)
+	fmt.Fprintf(w, "%-22s %d\n", "retransmits observed", st.Retransmits)
+	fmt.Fprintf(w, "%-22s %d\n", "quota drops", st.QuotaDrops)
+	fmt.Fprintf(w, "%-22s %d\n", "slots outstanding", st.Outstanding)
+	fmt.Fprintf(w, "%-22s %d\n", "result-cache hits", st.CacheHits)
+	fmt.Fprintf(w, "%-22s %d\n", "result-cache bytes", st.CacheBytes)
+	return nil
+}
+
+// lifecycleRequest drives one admit or evict round trip against a running
+// switch and reports the acknowledged transition. Error statuses (unknown
+// job, no capacity, lifecycle disabled, …) become the command's error.
+func lifecycleRequest(w io.Writer, addr string, msgType byte, job int, timeout time.Duration) error {
+	if job < 0 || job >= aggservice.MaxJobs {
+		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
+	}
+	req := aggservice.EncodeJobAdmit(job)
+	verb := "admit"
+	if msgType == aggservice.MsgJobEvict {
+		req = aggservice.EncodeJobEvict(job)
+		verb = "evict"
+	}
+	var status aggservice.AckStatus
+	err := observerExchange(addr, req, timeout, func(pkt []byte, attempt int) (bool, error) {
+		gotJob, got, err := aggservice.DecodeJobAck(pkt)
+		if err != nil || gotJob != job {
+			return false, nil
+		}
+		status = got
+		serr := got.Err()
+		if serr == nil {
+			return true, nil
+		}
+		// Admit/evict are retransmitted when an ack is lost, so a retry's
+		// reply may find the switch already in the requested state: that
+		// is success, not a refusal — a script gating on the exit code
+		// must not see a completed operation as failed.
+		if attempt > 0 {
+			if msgType == aggservice.MsgJobAdmit && errors.Is(serr, aggservice.ErrAlreadyAdmitted) {
+				status = aggservice.AckAdmitted
+				return true, nil
+			}
+			if msgType == aggservice.MsgJobEvict && errors.Is(serr, aggservice.ErrNotAdmitted) {
+				status = aggservice.AckEvicting
+				return true, nil
+			}
+		}
+		return true, fmt.Errorf("switch %s refuses to %s job %d: %w", addr, verb, job, serr)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "switch %s: job %d %s\n", addr, job, status)
+	return nil
 }

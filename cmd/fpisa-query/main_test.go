@@ -1,0 +1,135 @@
+package main
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"fpisa/internal/aggservice"
+	"fpisa/internal/core"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+// startSwitch serves a dynamic two-range switch on a loopback UDP socket,
+// the way fpisa-switch's main loop does, and returns its address.
+func startSwitch(t *testing.T, cfg aggservice.Config) (*aggservice.Switch, string) {
+	t.Helper()
+	sw, err := aggservice.NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() { _ = transport.ServeConn(conn, cfg.Ports(), sw.Handle) }()
+	return sw, conn.LocalAddr().String()
+}
+
+func dynConfig() aggservice.Config {
+	return aggservice.Config{
+		Workers: 2, Pool: 2, Modules: 1, Shards: 2, Jobs: 1, Capacity: 2,
+		Dynamic: true, Mode: core.ModeApprox, Arch: pisa.BaseArch(),
+	}
+}
+
+// TestAdmitEvictRoundTrip drives the full operator workflow over real UDP:
+// admit a job, see its stats become queryable, evict it, and watch the
+// switch refuse further operations — each with the right process-level
+// outcome (nil vs error) for script gating.
+func TestAdmitEvictRoundTrip(t *testing.T) {
+	sw, addr := startSwitch(t, dynConfig())
+	const probeTimeout = 500 * time.Millisecond
+
+	var out strings.Builder
+	if err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 1, probeTimeout); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if !strings.Contains(out.String(), "job 1 admitted") {
+		t.Fatalf("admit output: %q", out.String())
+	}
+	if ph := sw.JobPhaseOf(1); ph != aggservice.PhaseAdmitted {
+		t.Fatalf("phase after wire admit: %v", ph)
+	}
+
+	// Stats for the fresh job answer with its phase.
+	out.Reset()
+	if err := queryJobStats(&out, addr, 1, probeTimeout); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "job 1 (admitted)") {
+		t.Fatalf("stats output: %q", out.String())
+	}
+
+	// Double admit is refused with the sentinel a script can gate on.
+	if err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 1, probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
+		t.Fatalf("double admit: %v", err)
+	}
+
+	out.Reset()
+	if err := lifecycleRequest(&out, addr, aggservice.MsgJobEvict, 1, probeTimeout); err != nil {
+		t.Fatalf("evict: %v", err)
+	}
+	if !strings.Contains(out.String(), "job 1 evicting") {
+		t.Fatalf("evict output: %q", out.String())
+	}
+	if err := lifecycleRequest(&out, addr, aggservice.MsgJobEvict, 1, probeTimeout); !errors.Is(err, aggservice.ErrNotAdmitted) {
+		t.Fatalf("double evict: %v", err)
+	}
+	if err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 9, probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
+		t.Fatalf("admit unknown: %v", err)
+	}
+}
+
+// TestQueryUnknownJobErrors is the exit-code satellite: a stats probe for
+// a job the switch does not know must come back as an error, not success
+// with empty output.
+func TestQueryUnknownJobErrors(t *testing.T) {
+	_, addr := startSwitch(t, dynConfig())
+	var out strings.Builder
+	err := queryJobStats(&out, addr, 7, 500*time.Millisecond)
+	if !errors.Is(err, aggservice.ErrUnknownJob) {
+		t.Fatalf("unknown-job stats: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unknown-job stats still printed: %q", out.String())
+	}
+	if err := queryJobStats(&out, addr, -1, time.Millisecond); err == nil {
+		t.Fatal("negative job accepted")
+	}
+	if err := queryJobStats(&out, addr, aggservice.MaxJobs, time.Millisecond); err == nil {
+		t.Fatal("out-of-space job accepted")
+	}
+}
+
+// TestLifecycleDisabledOverWire: a static daemon refuses wire admits with
+// the dedicated sentinel.
+func TestLifecycleDisabledOverWire(t *testing.T) {
+	cfg := dynConfig()
+	cfg.Dynamic = false
+	_, addr := startSwitch(t, cfg)
+	var out strings.Builder
+	err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 1, 500*time.Millisecond)
+	if !errors.Is(err, aggservice.ErrLifecycleDisabled) {
+		t.Fatalf("disabled admit: %v", err)
+	}
+}
+
+// TestObserverExchangeTimesOut: with nothing listening, the probe gives up
+// with an error instead of hanging or succeeding.
+func TestObserverExchangeTimesOut(t *testing.T) {
+	// A socket that never answers.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var out strings.Builder
+	if err := queryJobStats(&out, conn.LocalAddr().String(), 0, 20*time.Millisecond); err == nil {
+		t.Fatal("silent switch produced a stats success")
+	}
+}

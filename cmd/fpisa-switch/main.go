@@ -5,24 +5,34 @@
 // completions to every registered worker, or to the owning job's ports
 // when several jobs share the switch).
 //
-// The switch is multi-tenant: -jobs admits that many training jobs, each
-// owning a contiguous slot-pool partition, -workers workers (job j's
-// worker i sends on port j·workers+i) and its own stats, with -quota
-// capping each job's outstanding slots. Legacy v1 (job-less) clients are
-// rejected and counted. Per-job stats can be queried out-of-band with
-// fpisa-query -switch (the 0xFF observer frame).
+// The switch is multi-tenant: -jobs admits that many training jobs at
+// start, each owning a slot-pool partition through the lifecycle
+// indirection table, -workers workers (job j's worker i sends on port
+// j·workers+i) and its own stats, with -quota capping each job's
+// outstanding slots. Legacy v1 (job-less) clients are rejected and
+// counted. Per-job stats can be queried out-of-band with fpisa-query
+// -switch (the 0xFF observer frame).
+//
+// With -dynamic the runtime job lifecycle control plane is enabled: an
+// operator admits and evicts jobs without restarting the switch
+// (fpisa-query -admit / -evict), -capacity provisions slot ranges beyond
+// the initial tenant set, and -draintimeout bounds how long an evicted
+// job's in-flight chunks may hold its range. Every lifecycle transition
+// logs a stats line.
 //
 // The aggregation service is sharded across parallel pipeline replicas
 // (-shards) and the socket is drained by transport.ServeConn's reader
 // pool, so packets for different slots aggregate concurrently.
 //
-//	fpisa-switch -addr 127.0.0.1:9099 -jobs 2 -workers 4 -pool 8 -shards 4 -quota 8
+//	fpisa-switch -addr 127.0.0.1:9099 -jobs 2 -workers 4 -pool 8 -shards 4 -quota 8 -dynamic -capacity 4
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net"
+	"os"
 	"runtime"
 	"time"
 
@@ -32,45 +42,125 @@ import (
 	"fpisa/internal/transport"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:9099", "UDP listen address")
-	jobs := flag.Int("jobs", 1, "tenant jobs sharing the switch")
-	workers := flag.Int("workers", 4, "number of workers per job")
-	pool := flag.Int("pool", 8, "aggregation slot pool per job")
-	quota := flag.Int("quota", 0, "max outstanding slots per job (0 = unlimited)")
-	modules := flag.Int("modules", 1, "vector elements per packet")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at jobs*2*pool)")
-	extended := flag.Bool("extended", false, "enable the §4.2 hardware extensions")
-	full := flag.Bool("full", false, "full FPISA (needs -extended)")
-	statsEvery := flag.Duration("statsevery", 0, "log per-job stats at this interval (0 = off)")
-	flag.Parse()
+// options is the daemon's parsed command line, kept separate from main so
+// the flag surface is testable without sockets.
+type options struct {
+	addr         string
+	jobs         int
+	capacity     int
+	workers      int
+	pool         int
+	quota        int
+	modules      int
+	shards       int
+	dynamic      bool
+	drainTimeout time.Duration
+	extended     bool
+	full         bool
+	statsEvery   time.Duration
+}
 
+// parseOptions parses args (no program name) into options.
+func parseOptions(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("fpisa-switch", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:9099", "UDP listen address")
+	fs.IntVar(&o.jobs, "jobs", 1, "tenant jobs admitted at start")
+	fs.IntVar(&o.capacity, "capacity", 0, "slot ranges provisioned for runtime admission (0 = jobs, or 2x jobs with -dynamic)")
+	fs.IntVar(&o.workers, "workers", 4, "number of workers per job")
+	fs.IntVar(&o.pool, "pool", 8, "aggregation slot pool per job")
+	fs.IntVar(&o.quota, "quota", 0, "max outstanding slots per job (0 = unlimited)")
+	fs.IntVar(&o.modules, "modules", 1, "vector elements per packet")
+	fs.IntVar(&o.shards, "shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at capacity*2*pool)")
+	fs.BoolVar(&o.dynamic, "dynamic", false, "enable the runtime admit/evict control plane (fpisa-query -admit/-evict)")
+	fs.DurationVar(&o.drainTimeout, "draintimeout", 0, "bound on an evicted job's drain (0 = default)")
+	fs.BoolVar(&o.extended, "extended", false, "enable the §4.2 hardware extensions")
+	fs.BoolVar(&o.full, "full", false, "full FPISA (needs -extended)")
+	fs.DurationVar(&o.statsEvery, "statsevery", 0, "log per-job stats at this interval (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+// switchConfig turns the flags into a validated service configuration.
+func (o *options) switchConfig() (aggservice.Config, error) {
 	arch := pisa.BaseArch()
-	if *extended {
+	if o.extended {
 		arch = pisa.ExtendedArch()
 	}
 	mode := core.ModeApprox
-	if *full {
+	if o.full {
 		mode = core.ModeFull
 	}
-	if slots := *jobs * 2 * *pool; *shards > slots {
-		*shards = slots
+	capacity := o.capacity
+	if capacity == 0 && o.dynamic && o.workers > 0 {
+		// Dynamic switches default to admission headroom: twice the
+		// initial tenant set, within what the one-byte frame addresses.
+		capacity = 2 * o.jobs
+		if max := transport.MaxWorkers / o.workers; capacity > max {
+			capacity = max
+		}
+		if capacity < o.jobs {
+			capacity = o.jobs
+		}
 	}
 	cfg := aggservice.Config{
-		Workers: *workers, Pool: *pool, Modules: *modules, Shards: *shards,
-		Jobs: *jobs, MaxOutstanding: *quota,
+		Workers: o.workers, Pool: o.pool, Modules: o.modules, Shards: o.shards,
+		Jobs: o.jobs, Capacity: capacity, MaxOutstanding: o.quota,
+		Dynamic: o.dynamic, DrainTimeout: o.drainTimeout,
 		Mode: mode, Arch: arch,
 	}
+	cfg.ClampShards()
+	if err := cfg.Validate(); err != nil {
+		return aggservice.Config{}, err
+	}
 	if cfg.Ports() > transport.MaxWorkers {
-		log.Fatalf("switch: %d jobs x %d workers = %d ports exceed the %d the UDP frame addresses",
-			*jobs, *workers, cfg.Ports(), transport.MaxWorkers)
+		return aggservice.Config{}, fmt.Errorf("%d provisioned jobs x %d workers = %d ports exceed the %d the UDP frame addresses",
+			cfg.Ports()/o.workers, o.workers, cfg.Ports(), transport.MaxWorkers)
+	}
+	return cfg, nil
+}
+
+// mode and arch echoes for the startup banner.
+func (o *options) modeName() string {
+	if o.full {
+		return "full"
+	}
+	return "approx"
+}
+
+func main() {
+	o, err := parseOptions(os.Args[1:])
+	if err != nil {
+		log.Fatalf("switch: %v", err)
+	}
+	cfg, err := o.switchConfig()
+	if err != nil {
+		log.Fatalf("switch: %v", err)
 	}
 	sw, err := aggservice.NewSwitch(cfg)
 	if err != nil {
 		log.Fatalf("switch: %v", err)
 	}
+	// The lifecycle stats line: one log per admit / drain / release, with
+	// the slot range the indirection table assigned and the incarnation's
+	// final counters on the way out.
+	sw.OnLifecycle = func(job int, ev aggservice.LifecycleEvent) {
+		st, _ := sw.JobStats(job)
+		if base, n, ok := sw.JobRange(job); ok {
+			log.Printf("lifecycle: job %d %s (slots %d..%d) adds=%d chunks=%d outstanding=%d",
+				job, ev, base, base+n-1, st.Adds, st.Completions, st.Outstanding)
+			return
+		}
+		log.Printf("lifecycle: job %d %s adds=%d chunks=%d cacheHits=%d",
+			job, ev, st.Adds, st.Completions, st.CacheHits)
+	}
 
-	udpAddr, err := net.ResolveUDPAddr("udp", *addr)
+	udpAddr, err := net.ResolveUDPAddr("udp", o.addr)
 	if err != nil {
 		log.Fatalf("resolve: %v", err)
 	}
@@ -79,28 +169,38 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	defer conn.Close()
-	log.Printf("fpisa-switch (%v, %s, %d shards) listening on %s for %d jobs x %d workers (quota %d)",
-		mode, arch.Name, sw.Shards(), conn.LocalAddr(), sw.Jobs(), *workers, *quota)
+	dyn := "static tenant set"
+	if cfg.Dynamic {
+		dyn = "dynamic admit/evict enabled"
+	}
+	log.Printf("fpisa-switch (%s, %s, %d shards) listening on %s: %d/%d jobs admitted x %d workers (quota %d, %s)",
+		o.modeName(), cfg.Arch.Name, sw.Shards(), conn.LocalAddr(), o.jobs, sw.Jobs(), o.workers, o.quota, dyn)
 	for j := 0; j < sw.Jobs(); j++ {
-		log.Printf("  job %d: ports %d..%d, slots %d..%d", j,
-			cfg.Port(j, 0), cfg.Port(j, *workers-1), j*2**pool, (j+1)*2**pool-1)
+		if base, n, ok := sw.JobRange(j); ok {
+			log.Printf("  job %d: ports %d..%d, slots %d..%d", j,
+				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1)
+		}
 	}
 	log.Printf("pipeline resource report:\n%s", sw.Utilization())
 
-	if *statsEvery > 0 {
+	if o.statsEvery > 0 {
 		go func() {
-			tick := time.NewTicker(*statsEvery)
+			tick := time.NewTicker(o.statsEvery)
 			defer tick.Stop()
 			for range tick.C {
 				for j := 0; j < sw.Jobs(); j++ {
 					st, _ := sw.JobStats(j)
-					log.Printf("job %d: adds=%d retrans=%d chunks=%d quotaDrops=%d outstanding=%d",
-						j, st.Adds, st.Retransmits, st.Completions, st.QuotaDrops, st.Outstanding)
+					if st.Phase == aggservice.PhaseVacant && st.Adds == 0 {
+						continue
+					}
+					log.Printf("job %d (%s): adds=%d retrans=%d chunks=%d quotaDrops=%d outstanding=%d cacheHits=%d cacheBytes=%d",
+						j, st.Phase, st.Adds, st.Retransmits, st.Completions, st.QuotaDrops,
+						st.Outstanding, st.CacheHits, st.CacheBytes)
 				}
 				r := sw.Rejects()
-				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob > 0 {
-					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d",
-						r.Legacy, r.Malformed, r.BadJob, r.CrossJob)
+				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob+r.Draining > 0 {
+					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d draining=%d",
+						r.Legacy, r.Malformed, r.BadJob, r.CrossJob, r.Draining)
 				}
 			}
 		}()

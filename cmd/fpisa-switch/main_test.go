@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fpisa/internal/transport"
+)
+
+func TestParseOptionsDefaults(t *testing.T) {
+	o, err := parseOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != "127.0.0.1:9099" || o.jobs != 1 || o.workers != 4 || o.pool != 8 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if o.dynamic || o.capacity != 0 || o.drainTimeout != 0 {
+		t.Fatalf("lifecycle defaults: %+v", o)
+	}
+}
+
+func TestParseOptionsLifecycleFlags(t *testing.T) {
+	o, err := parseOptions([]string{
+		"-addr", "127.0.0.1:0", "-jobs", "2", "-workers", "3", "-pool", "4",
+		"-dynamic", "-capacity", "5", "-draintimeout", "250ms", "-quota", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.dynamic || o.capacity != 5 || o.drainTimeout != 250*time.Millisecond {
+		t.Fatalf("parsed: %+v", o)
+	}
+	cfg, err := o.switchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Dynamic || cfg.Capacity != 5 || cfg.DrainTimeout != 250*time.Millisecond ||
+		cfg.Jobs != 2 || cfg.MaxOutstanding != 7 {
+		t.Fatalf("config: %+v", cfg)
+	}
+	if cfg.Ports() != 5*3 {
+		t.Fatalf("ports = %d, want capacity x workers", cfg.Ports())
+	}
+}
+
+func TestParseOptionsRejectsGarbage(t *testing.T) {
+	if _, err := parseOptions([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseOptions([]string{"-jobs", "2", "stray"}); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if _, err := parseOptions([]string{"-draintimeout", "soon"}); err == nil {
+		t.Error("unparseable duration accepted")
+	}
+}
+
+func TestSwitchConfigValidation(t *testing.T) {
+	// Invalid service config surfaces from Validate.
+	o, err := parseOptions([]string{"-jobs", "3", "-capacity", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.switchConfig(); err == nil {
+		t.Error("capacity below jobs accepted")
+	}
+	// -workers 0 with -dynamic must reach Validate's clean error, not a
+	// divide-by-zero in the headroom default.
+	o, err = parseOptions([]string{"-workers", "0", "-dynamic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.switchConfig(); err == nil || !strings.Contains(err.Error(), "workers") {
+		t.Errorf("zero workers: %v", err)
+	}
+	// Port budget: capacity x workers must fit the one-byte UDP frame.
+	o, err = parseOptions([]string{"-jobs", "4", "-capacity", "40", "-workers", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.switchConfig(); err == nil || !strings.Contains(err.Error(), "ports") {
+		t.Errorf("port overflow: %v", err)
+	}
+}
+
+func TestSwitchConfigDynamicHeadroom(t *testing.T) {
+	// -dynamic without -capacity provisions admission headroom (2x jobs)…
+	o, err := parseOptions([]string{"-dynamic", "-jobs", "3", "-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.switchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != 6 {
+		t.Fatalf("capacity = %d, want 6", cfg.Capacity)
+	}
+	// …clamped to what the one-byte frame can address.
+	o, err = parseOptions([]string{"-dynamic", "-jobs", "2", "-workers", "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = o.switchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != 2 || cfg.Ports() > transport.MaxWorkers {
+		t.Fatalf("clamped capacity = %d, ports = %d", cfg.Capacity, cfg.Ports())
+	}
+	// Static switches get no implicit headroom.
+	o, _ = parseOptions([]string{"-jobs", "3"})
+	cfg, err = o.switchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Capacity != 0 || cfg.Ports() != 3*4 {
+		t.Fatalf("static config: capacity=%d ports=%d", cfg.Capacity, cfg.Ports())
+	}
+}
+
+func TestSwitchConfigShardClamp(t *testing.T) {
+	o, err := parseOptions([]string{"-jobs", "1", "-pool", "1", "-shards", "64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := o.switchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards > 2 {
+		t.Fatalf("shards = %d not clamped to the 2 slots", cfg.Shards)
+	}
+}

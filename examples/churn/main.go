@@ -1,0 +1,189 @@
+// Churn: the runtime job lifecycle control plane end to end. One FPISA
+// switch serves a long-lived training job (job 0) over real UDP sockets
+// while an operator admits and evicts other jobs mid-flight through the
+// out-of-band observer frame — the switch is never restarted, job 0's
+// all-reduce never stalls, and the evicted job's slot range is recycled
+// for the next tenant (watch the slot ranges move through the indirection
+// table). A final eviction lands mid-reduce to show workers surfacing
+// ErrJobEvicted instead of retransmitting forever.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"fpisa/internal/aggservice"
+	"fpisa/internal/core"
+	"fpisa/internal/gradients"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+const (
+	workers = 3 // per job
+	vecLen  = 512
+)
+
+func main() {
+	cfg := aggservice.Config{
+		Workers: workers, Pool: 4, Modules: 1, Shards: 4,
+		Jobs: 1, Capacity: 3, Dynamic: true,
+		MaxOutstanding: 8, DrainTimeout: 500 * time.Millisecond,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch(),
+	}
+	sw, err := aggservice.NewSwitch(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw.OnLifecycle = func(job int, ev aggservice.LifecycleEvent) {
+		if base, n, ok := sw.JobRange(job); ok {
+			fmt.Printf("  [switch] job %d %s — slots %d..%d\n", job, ev, base, base+n-1)
+			return
+		}
+		fmt.Printf("  [switch] job %d %s — range back on the free-list\n", job, ev)
+	}
+	fab, err := transport.NewUDP(cfg.Ports(), sw.Handle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fab.Close()
+	fmt.Printf("FPISA switch on %s: %d shards, capacity %d jobs x %d workers, dynamic lifecycle on\n",
+		fab.SwitchAddr(), sw.Shards(), sw.Jobs(), workers)
+
+	// The operator's control path: observer-framed datagrams to the same
+	// switch socket, exactly what `fpisa-query -admit/-evict` sends.
+	control := func(req []byte) aggservice.AckStatus {
+		conn, err := net.DialUDP("udp", nil, fab.SwitchAddr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		frame := append([]byte{transport.ObserverID}, req...)
+		buf := make([]byte, 64)
+		for attempt := 0; attempt < 5; attempt++ {
+			if _, err := conn.Write(frame); err != nil {
+				log.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			n, err := conn.Read(buf)
+			if err != nil {
+				continue
+			}
+			if _, status, err := aggservice.DecodeJobAck(buf[:n]); err == nil {
+				return status
+			}
+		}
+		log.Fatal("control plane: no ack")
+		return 0
+	}
+
+	reduce := func(job int, vecs [][]float32) ([][]float32, []error) {
+		out := make([][]float32, workers)
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := aggservice.NewJobWorker(job, w, fab, cfg)
+				wk.Timeout = 50 * time.Millisecond
+				out[w], errs[w] = wk.Reduce(vecs[w])
+			}(w)
+		}
+		wg.Wait()
+		return out, errs
+	}
+
+	// Job 0: the long-lived tenant, reducing throughout the churn below.
+	vecs0 := gradients.NewGenerator(gradients.VGG19, 1).WorkerGradients(workers, vecLen)
+	var results0 [][]float32
+	var errs0 []error
+	done0 := make(chan struct{})
+	go func() {
+		defer close(done0)
+		results0, errs0 = reduce(0, vecs0)
+	}()
+
+	// Churn: admit job 1, reduce, evict it; its freed slot range is then
+	// handed to job 2 — no restart, no disturbance to job 0.
+	fmt.Println("\n-- admit job 1 while job 0 reduces --")
+	fmt.Printf("  [operator] admit job 1: %v\n", control(aggservice.EncodeJobAdmit(1)))
+	vecs1 := gradients.NewGenerator(gradients.ResNet50, 2).WorkerGradients(workers, 128)
+	if _, errs := reduce(1, vecs1); firstErr(errs) != nil {
+		log.Fatalf("job 1: %v", firstErr(errs))
+	}
+	st1, _ := sw.JobStats(1)
+	fmt.Printf("  job 1 reduced 128 elements: adds=%d chunks=%d cacheBytes=%d\n",
+		st1.Adds, st1.Completions, st1.CacheBytes)
+	fmt.Printf("  [operator] evict job 1: %v\n", control(aggservice.EncodeJobEvict(1)))
+
+	fmt.Println("\n-- admit job 2 into the recycled range --")
+	fmt.Printf("  [operator] admit job 2: %v\n", control(aggservice.EncodeJobAdmit(2)))
+	vecs2 := gradients.NewGenerator(gradients.BERT, 3).WorkerGradients(workers, 128)
+	if _, errs := reduce(2, vecs2); firstErr(errs) != nil {
+		log.Fatalf("job 2: %v", firstErr(errs))
+	}
+	fmt.Println("  job 2 reduced 128 elements on job 1's former slots")
+
+	// Evict job 2 mid-reduce: its workers learn through AckDraining
+	// notices and fail fast with ErrJobEvicted.
+	fmt.Println("\n-- evict job 2 mid-reduce --")
+	bigVecs := gradients.NewGenerator(gradients.BERT, 4).WorkerGradients(workers, 100_000)
+	evicted := make(chan []error, 1)
+	go func() {
+		_, errs := reduce(2, bigVecs)
+		evicted <- errs
+	}()
+	for { // wait until the reduce is demonstrably in flight
+		if st, _ := sw.JobStats(2); st.Completions > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("  [operator] evict job 2: %v\n", control(aggservice.EncodeJobEvict(2)))
+	for _, err := range <-evicted {
+		fmt.Printf("  reduce aborted: %v (ErrJobEvicted: %v)\n", err, errors.Is(err, aggservice.ErrJobEvicted))
+	}
+
+	// Job 0 sailed through all of it.
+	<-done0
+	if err := firstErr(errs0); err != nil {
+		log.Fatalf("job 0: %v", err)
+	}
+	exact := gradients.AggregateExact(vecs0)
+	worst := 0.0
+	for i := range exact {
+		if d := abs(float64(results0[0][i]) - exact[i]); d > worst {
+			worst = d
+		}
+	}
+	st0, _ := sw.JobStats(0)
+	fmt.Printf("\njob 0 finished untouched: adds=%d chunks=%d, worst |error| %.3g vs exact\n",
+		st0.Adds, st0.Completions, worst)
+	r := sw.Rejects()
+	fmt.Printf("rejects: crossJob=%d (must be 0), draining=%d (job 2's refused binds), badJob=%d (stragglers after eviction)\n",
+		r.CrossJob, r.Draining, r.BadJob)
+	if r.CrossJob != 0 {
+		log.Fatal("tenant isolation violated")
+	}
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -27,6 +27,9 @@ const (
 	MsgBatch      = 2 // either direction: several messages in one datagram
 	MsgStats      = 3 // observer/worker → switch: per-job stats request
 	MsgStatsReply = 4 // switch → requester: per-job stats snapshot
+	MsgJobAdmit   = 5 // observer → switch: admit a job at runtime
+	MsgJobEvict   = 6 // observer → switch: evict (drain) a job at runtime
+	MsgJobAck     = 7 // switch → requester/worker: lifecycle status
 )
 
 // MaxJobs bounds the job-id space: the wire carries a 16-bit job field.
@@ -47,6 +50,10 @@ var (
 	// ErrNestedBatch marks a MsgBatch framed inside a MsgBatch, which the
 	// decoder rejects outright to bound decode work to one level.
 	ErrNestedBatch = errors.New("aggservice: nested batch rejected")
+	// ErrTruncated marks a fixed-layout message (stats reply, lifecycle
+	// ack) shorter than its declared fields — decoders return it wrapped
+	// instead of indexing past the packet.
+	ErrTruncated = errors.New("aggservice: truncated message")
 )
 
 // Config parameterizes the service.
@@ -62,10 +69,29 @@ type Config struct {
 	// global slots are partitioned slot → shard by slot mod Shards. 0
 	// means 1 (a single pipeline). Must not exceed the Jobs·2·Pool slots.
 	Shards int
-	// Jobs is the number of admitted tenant jobs sharing the switch. Each
-	// job owns the contiguous global slot range [job·2·Pool, (job+1)·2·Pool)
-	// and the transport ports [job·Workers, (job+1)·Workers). 0 means 1.
+	// Jobs is the number of tenant jobs admitted at construction. Each job
+	// owns the transport ports [job·Workers, (job+1)·Workers) and a 2·Pool
+	// slot range assigned from the free-list (initially job j holds range
+	// j, but after evictions and re-admissions the mapping is whatever the
+	// indirection table says). 0 means 1.
 	Jobs int
+	// Capacity is the number of 2·Pool slot ranges the switch provisions —
+	// the bound on concurrently admitted jobs and on the job-id space
+	// (ports are provisioned for Capacity·Workers). Ranges beyond the
+	// initially admitted Jobs sit in the free-list for runtime admission.
+	// 0 means Jobs (a static tenant set with no admission headroom).
+	Capacity int
+	// Dynamic enables the wire control plane: MsgJobAdmit/MsgJobEvict
+	// from the out-of-band observer frame. When false those messages are
+	// answered with AckErrDisabled, so an unauthenticated UDP peer cannot
+	// churn the tenant set unless the operator opted in. The in-process
+	// Switch.Admit/Evict methods work regardless.
+	Dynamic bool
+	// DrainTimeout bounds how long an evicted job's in-flight slots may
+	// keep its range: when the drain has not completed by then, the range
+	// is force-released (partial sums discarded). 0 means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
 	// MaxOutstanding caps the slots a single job may hold in the
 	// aggregating state at once — the admission quota that stops one
 	// misbehaving tenant from pinning the whole pool. ADDs that would bind
@@ -101,7 +127,19 @@ func (c Config) Validate() error {
 	if c.MaxOutstanding < 0 {
 		return fmt.Errorf("aggservice: max outstanding %d", c.MaxOutstanding)
 	}
-	if slots := c.jobs() * 2 * c.Pool; c.Shards > slots {
+	if c.Capacity < 0 {
+		return fmt.Errorf("aggservice: capacity %d", c.Capacity)
+	}
+	if c.Capacity > MaxJobs {
+		return fmt.Errorf("aggservice: capacity %d exceeds the 16-bit job-id space", c.Capacity)
+	}
+	if c.Capacity != 0 && c.Capacity < c.jobs() {
+		return fmt.Errorf("aggservice: capacity %d below the %d initially admitted jobs", c.Capacity, c.jobs())
+	}
+	if c.DrainTimeout < 0 {
+		return fmt.Errorf("aggservice: drain timeout %v", c.DrainTimeout)
+	}
+	if slots := c.capacity() * 2 * c.Pool; c.Shards > slots {
 		return fmt.Errorf("aggservice: %d shards exceed the %d slots", c.Shards, slots)
 	}
 	return nil
@@ -115,7 +153,7 @@ func (c Config) shards() int {
 	return c.Shards
 }
 
-// jobs returns the effective job count.
+// jobs returns the effective initially-admitted job count.
 func (c Config) jobs() int {
 	if c.Jobs == 0 {
 		return 1
@@ -123,9 +161,35 @@ func (c Config) jobs() int {
 	return c.Jobs
 }
 
-// Ports returns the total transport port count: Jobs · Workers. Job j's
-// worker i sends and receives on port j·Workers + i.
-func (c Config) Ports() int { return c.jobs() * c.Workers }
+// capacity returns the effective slot-range capacity (the job-id space).
+func (c Config) capacity() int {
+	if c.Capacity == 0 {
+		return c.jobs()
+	}
+	return c.Capacity
+}
+
+// drainTimeout returns the effective drain bound.
+func (c Config) drainTimeout() time.Duration {
+	if c.DrainTimeout == 0 {
+		return DefaultDrainTimeout
+	}
+	return c.DrainTimeout
+}
+
+// Ports returns the total transport port count: Capacity · Workers (ports
+// for admissible jobs are provisioned up front). Job j's worker i sends
+// and receives on port j·Workers + i.
+func (c Config) Ports() int { return c.capacity() * c.Workers }
+
+// ClampShards caps Shards at the provisioned slot count — the adjustment
+// a daemon applies to a GOMAXPROCS-derived default before Validate, kept
+// here so the slot arithmetic lives in one place.
+func (c *Config) ClampShards() {
+	if slots := c.capacity() * 2 * c.Pool; c.Shards > slots {
+		c.Shards = slots
+	}
+}
 
 // Port maps (job, worker-in-job) to the transport port.
 func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
@@ -136,17 +200,24 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 //	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
-//	reply  = [ver(1) type(1) job(2) adds(8) retrans(8) done(8) drops(8) outstanding(8)]
+//	reply  = [ver(1) type(1) job(2) phase(1) adds(8) retrans(8) done(8)
+//	          drops(8) outstanding(8) cacheHits(8) cacheBytes(8)]
+//	admit  = [ver(1) type(1) job(2)]
+//	evict  = [ver(1) type(1) job(2)]
+//	ack    = [ver(1) type(1) job(2) status(1)]
 const hdrBytes = 8
 
 // batchHdrBytes is the batch frame header; each framed message adds a
 // two-byte length prefix.
 const batchHdrBytes = 4
 
-// statsReqBytes and statsReplyBytes size the stats exchange.
+// statsReqBytes and statsReplyBytes size the stats exchange;
+// lifecycleReqBytes and jobAckBytes size the control plane's.
 const (
-	statsReqBytes   = 4
-	statsReplyBytes = 4 + 5*8
+	statsReqBytes     = 4
+	statsReplyBytes   = 4 + 1 + 7*8
+	lifecycleReqBytes = 4
+	jobAckBytes       = 5
 )
 
 // maxDatagram is the largest payload the UDP fabric can carry.
@@ -284,19 +355,34 @@ func EncodeStatsReq(job int) []byte {
 	return pkt
 }
 
-// DecodeStatsReply parses a MsgStatsReply packet.
+// DecodeStatsReply parses a MsgStatsReply packet. Every field is
+// bounds-checked before it is read: a truncated reply returns a wire error
+// wrapping ErrTruncated instead of panicking the caller (fpisa-query feeds
+// this whatever the socket produced).
 func DecodeStatsReply(pkt []byte) (job int, st JobStats, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
 		return 0, JobStats{}, fmt.Errorf("bad stats reply: %w", terr)
-	} else if typ != MsgStatsReply || len(pkt) != statsReplyBytes {
-		return 0, JobStats{}, fmt.Errorf("aggservice: bad stats reply")
+	} else if typ != MsgStatsReply {
+		return 0, JobStats{}, fmt.Errorf("aggservice: bad stats reply type")
+	}
+	if len(pkt) < statsReplyBytes {
+		return 0, JobStats{}, fmt.Errorf("stats reply %d of %d bytes: %w", len(pkt), statsReplyBytes, ErrTruncated)
+	}
+	if len(pkt) > statsReplyBytes {
+		return 0, JobStats{}, fmt.Errorf("aggservice: %d trailing bytes after stats reply", len(pkt)-statsReplyBytes)
 	}
 	job = int(binary.BigEndian.Uint16(pkt[2:]))
-	st.Adds = binary.BigEndian.Uint64(pkt[4:])
-	st.Retransmits = binary.BigEndian.Uint64(pkt[12:])
-	st.Completions = binary.BigEndian.Uint64(pkt[20:])
-	st.QuotaDrops = binary.BigEndian.Uint64(pkt[28:])
-	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[36:]))
+	if pkt[4] > uint8(PhaseDraining) {
+		return 0, JobStats{}, fmt.Errorf("aggservice: unknown job phase %d in stats reply", pkt[4])
+	}
+	st.Phase = JobPhase(pkt[4])
+	st.Adds = binary.BigEndian.Uint64(pkt[5:])
+	st.Retransmits = binary.BigEndian.Uint64(pkt[13:])
+	st.Completions = binary.BigEndian.Uint64(pkt[21:])
+	st.QuotaDrops = binary.BigEndian.Uint64(pkt[29:])
+	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[37:]))
+	st.CacheHits = binary.BigEndian.Uint64(pkt[45:])
+	st.CacheBytes = binary.BigEndian.Uint64(pkt[53:])
 	return job, st, nil
 }
 
@@ -305,11 +391,14 @@ func encodeStatsReply(job int, st JobStats) []byte {
 	pkt[0] = WireVersion
 	pkt[1] = MsgStatsReply
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
-	binary.BigEndian.PutUint64(pkt[4:], st.Adds)
-	binary.BigEndian.PutUint64(pkt[12:], st.Retransmits)
-	binary.BigEndian.PutUint64(pkt[20:], st.Completions)
-	binary.BigEndian.PutUint64(pkt[28:], st.QuotaDrops)
-	binary.BigEndian.PutUint64(pkt[36:], uint64(st.Outstanding))
+	pkt[4] = uint8(st.Phase)
+	binary.BigEndian.PutUint64(pkt[5:], st.Adds)
+	binary.BigEndian.PutUint64(pkt[13:], st.Retransmits)
+	binary.BigEndian.PutUint64(pkt[21:], st.Completions)
+	binary.BigEndian.PutUint64(pkt[29:], st.QuotaDrops)
+	binary.BigEndian.PutUint64(pkt[37:], uint64(st.Outstanding))
+	binary.BigEndian.PutUint64(pkt[45:], st.CacheHits)
+	binary.BigEndian.PutUint64(pkt[53:], st.CacheBytes)
 	return pkt
 }
 
@@ -322,6 +411,8 @@ type aggregator interface {
 
 // JobStats is one tenant job's protocol counters.
 type JobStats struct {
+	// Phase is the job's lifecycle state (vacant/admitted/draining).
+	Phase JobPhase
 	// Adds counts values aggregated into the pipeline for this job.
 	Adds uint64
 	// Retransmits counts duplicate ADDs observed — the switch-side view
@@ -333,6 +424,14 @@ type JobStats struct {
 	QuotaDrops uint64
 	// Outstanding is the gauge of slots currently aggregating.
 	Outstanding int64
+	// CacheHits counts duplicate ADDs answered from a slot's cached
+	// RESULT packet (the loss-recovery replay path).
+	CacheHits uint64
+	// CacheBytes is the gauge of RESULT bytes currently cached for the
+	// job. The cache for chunk c is freed when the window provably
+	// advances past it (chunk c+Pool completes: every worker sent c+Pool,
+	// so every worker received c) and when the job's range is released.
+	CacheBytes uint64
 }
 
 // WireRejects counts datagrams Handle refused, by cause.
@@ -341,19 +440,52 @@ type WireRejects struct {
 	Legacy uint64
 	// Malformed counts short, truncated, mistyped or nested-batch frames.
 	Malformed uint64
-	// BadJob counts messages naming a job the switch does not admit.
+	// BadJob counts messages naming a job the switch does not admit
+	// (outside the capacity, or a vacant/evicted job id).
 	BadJob uint64
 	// CrossJob counts messages whose job header does not match the
 	// sending port's job partition — a tenant reaching for another
 	// tenant's slots.
 	CrossJob uint64
+	// Draining counts ADDs that tried to bind a NEW chunk for a job being
+	// evicted; in-flight chunks still complete, new ones are refused with
+	// a MsgJobAck notice.
+	Draining uint64
 }
 
-// jobState is a job's live counters; all atomic so shards touch them
-// without a shared lock.
+// jobState is a job's live counters plus its lifecycle state; all atomic
+// so shards (and the hot path racing the control plane) touch them without
+// a shared lock.
 type jobState struct {
 	adds, retransmits, completions, quotaDrops atomic.Uint64
+	cacheHits                                  atomic.Uint64
+	cacheBytes                                 atomic.Int64
 	outstanding                                atomic.Int64
+	// phase is the JobPhase; rangeIdx is the indirection-table entry
+	// mapping the job to its 2·Pool slot range (-1 when vacant). The
+	// admit path stores rangeIdx before flipping phase to admitted; the
+	// release path flips phase to vacant (and rangeIdx to -1) before
+	// resetting the slots, and the hot path revalidates under the shard
+	// lock, so a stale read can never touch a re-assigned slot.
+	phase    atomic.Int32
+	rangeIdx atomic.Int32
+	// epoch counts releases: it increments each time the job's range goes
+	// back to the free-list. The hot path snapshots it before loading
+	// rangeIdx and re-checks it under every shard lock it takes, which
+	// catches not only a range moving to another job but the same range
+	// coming back to the SAME job id (a case rangeIdx alone cannot see).
+	epoch atomic.Uint64
+}
+
+// reset zeroes a jobState for a fresh incarnation.
+func (js *jobState) reset() {
+	js.adds.Store(0)
+	js.retransmits.Store(0)
+	js.completions.Store(0)
+	js.quotaDrops.Store(0)
+	js.cacheHits.Store(0)
+	js.cacheBytes.Store(0)
+	js.outstanding.Store(0)
 }
 
 // Switch is the service's switch side: N parallel FPISA pipeline replicas,
@@ -366,13 +498,27 @@ type jobState struct {
 type Switch struct {
 	cfg   Config
 	nsh   int
-	njobs int
+	njobs int // initially admitted jobs
+	ncap  int // slot-range capacity = admissible job-id space
 	util  pisa.Utilization
 
 	shards []*shard
 	jobs   []jobState
 
-	rejLegacy, rejMalformed, rejBadJob, rejCrossJob atomic.Uint64
+	// OnLifecycle, when set before the switch starts handling traffic, is
+	// called on every admit / drain-begin / release transition (under the
+	// lifecycle lock — keep it fast; JobStats and JobRange are safe to
+	// call from it).
+	OnLifecycle func(job int, ev LifecycleEvent)
+
+	// lifeMu orders lifecycle transitions; it guards the free-list and
+	// drain timers. Lock order is lifeMu → shard.mu, never the reverse:
+	// the hot path only reads the atomics.
+	lifeMu      sync.Mutex
+	freeRanges  []int
+	drainTimers []*time.Timer
+
+	rejLegacy, rejMalformed, rejBadJob, rejCrossJob, rejDraining atomic.Uint64
 }
 
 // shard is one pipeline replica plus the protocol state for its slots.
@@ -400,13 +546,29 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	}
 	nsh := cfg.shards()
 	njobs := cfg.jobs()
-	slots := njobs * 2 * cfg.Pool
+	ncap := cfg.capacity()
+	slots := ncap * 2 * cfg.Pool
 	perShard := (slots + nsh - 1) / nsh
 	pa0, err := core.NewPipelineAggregator(core.DefaultFP32(cfg.Mode), cfg.Modules, perShard, cfg.Arch)
 	if err != nil {
 		return nil, err
 	}
-	s := &Switch{cfg: cfg, nsh: nsh, njobs: njobs, util: pa0.Utilization(), jobs: make([]jobState, njobs)}
+	s := &Switch{
+		cfg: cfg, nsh: nsh, njobs: njobs, ncap: ncap, util: pa0.Utilization(),
+		jobs:        make([]jobState, ncap),
+		drainTimers: make([]*time.Timer, ncap),
+	}
+	// Initially admitted jobs take the identity ranges; the rest of the
+	// capacity sits in the free-list for runtime admission.
+	for j := 0; j < ncap; j++ {
+		if j < njobs {
+			s.jobs[j].rangeIdx.Store(int32(j))
+			s.jobs[j].phase.Store(int32(PhaseAdmitted))
+		} else {
+			s.jobs[j].rangeIdx.Store(-1)
+			s.freeRanges = append(s.freeRanges, j)
+		}
+	}
 	for k := 0; k < nsh; k++ {
 		pa := pa0
 		if k > 0 {
@@ -431,14 +593,16 @@ func (s *Switch) Utilization() pisa.Utilization { return s.util }
 // Shards returns the effective shard count.
 func (s *Switch) Shards() int { return s.nsh }
 
-// Jobs returns the effective job count.
-func (s *Switch) Jobs() int { return s.njobs }
+// Jobs returns the admissible job-id space (the slot-range capacity); use
+// JobStats' Phase to tell live tenants from vacant ids.
+func (s *Switch) Jobs() int { return s.ncap }
 
-// slotOf maps a job's chunk to its global pool slot: the job's contiguous
-// 2·Pool range, indexed by SwitchML's two-bank self-clocked slot.
-func (s *Switch) slotOf(job int, chunk uint32) int {
+// slotOf maps a chunk to its global pool slot through the indirection
+// table: range ri's contiguous 2·Pool slots, indexed by SwitchML's
+// two-bank self-clocked slot.
+func (s *Switch) slotOf(ri int, chunk uint32) int {
 	pool := uint32(s.cfg.Pool)
-	return job*2*s.cfg.Pool + int(chunk%pool+pool*(chunk/pool%2))
+	return ri*2*s.cfg.Pool + int(chunk%pool+pool*(chunk/pool%2))
 }
 
 // Handle implements transport.Handler. It is safe for concurrent use:
@@ -457,8 +621,12 @@ func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
 	if typ == MsgStats {
 		return s.handleStats(worker, pkt)
 	}
+	if typ == MsgJobAdmit || typ == MsgJobEvict {
+		return s.handleLifecycle(worker, typ, pkt)
+	}
 	if worker == ObserverWorker {
-		// Observers are read-only: anything but a stats request is refused.
+		// Observers may only drive the stats/lifecycle control plane:
+		// anything else is refused.
 		s.rejMalformed.Add(1)
 		return nil
 	}
@@ -486,16 +654,19 @@ func (s *Switch) countWireErr(err error) {
 	s.rejMalformed.Add(1)
 }
 
-// handleStats answers a per-job stats request to the requesting port.
+// handleStats answers a per-job stats request to the requesting port. A
+// job id outside the switch's capacity is answered with an explicit
+// MsgJobAck error (and counted), so a probe can distinguish "unknown job"
+// from a lost datagram.
 func (s *Switch) handleStats(worker int, pkt []byte) []transport.Delivery {
 	if len(pkt) != statsReqBytes {
 		s.rejMalformed.Add(1)
 		return nil
 	}
 	job := int(binary.BigEndian.Uint16(pkt[2:]))
-	if job >= s.njobs {
+	if job >= s.ncap {
 		s.rejBadJob.Add(1)
-		return nil
+		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckErrUnknownJob)}}
 	}
 	st, _ := s.JobStats(job)
 	return []transport.Delivery{{Worker: worker, Packet: encodeStatsReply(job, st)}}
@@ -577,7 +748,7 @@ func (s *Switch) handleAdd(worker int, pkt []byte) []transport.Delivery {
 		return nil
 	}
 	job := int(binary.BigEndian.Uint16(pkt[2:]))
-	if job >= s.njobs {
+	if job >= s.ncap {
 		s.rejBadJob.Add(1)
 		return nil
 	}
@@ -588,47 +759,113 @@ func (s *Switch) handleAdd(worker int, pkt []byte) []transport.Delivery {
 		s.rejCrossJob.Add(1)
 		return nil
 	}
+	js := &s.jobs[job]
+	// Snapshot the incarnation BEFORE the range: every shard-lock section
+	// below re-checks the epoch, so state read here can never be applied
+	// to a range that was released (and possibly re-assigned — even to
+	// this same job id) in between.
+	epoch := js.epoch.Load()
+	ri := int(js.rangeIdx.Load())
+	if JobPhase(js.phase.Load()) == PhaseVacant || ri < 0 {
+		// An evicted (or never-admitted) job id on its own port: tell the
+		// worker so it can fail fast instead of retransmitting blind.
+		s.rejBadJob.Add(1)
+		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckEvicted)}}
+	}
 	chunk := binary.BigEndian.Uint32(pkt[4:])
 	vals := make([]float32, s.cfg.Modules)
 	for i := range vals {
 		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
 	}
-	gs := s.slotOf(job, chunk)
-	return s.slotHandle(s.shards[gs%s.nsh], job, worker, chunk, gs/s.nsh, vals)
+	ds, completed, partnerGs := s.slotHandle(job, ri, epoch, worker, chunk, vals)
+	if partnerGs >= 0 {
+		// The window provably advanced past chunk−Pool (its whole bank
+		// partner completed): free that slot's cached RESULT. Done after
+		// the owning shard's lock is released — the partner may live on a
+		// different shard.
+		s.freeCachedResult(js, epoch, partnerGs, int64(chunk)-int64(s.cfg.Pool))
+	}
+	if completed && JobPhase(js.phase.Load()) == PhaseDraining {
+		s.maybeFinishDrain(job)
+	}
+	return ds
+}
+
+// freeCachedResult drops a slot's cached RESULT packet if it still holds
+// chunk pchunk, crediting the job's cache gauge — unless the job's range
+// was released (epoch moved) since the caller snapshotted it, in which
+// case the slot may already belong to a fresh incarnation and is left
+// alone.
+func (s *Switch) freeCachedResult(js *jobState, epoch uint64, gs int, pchunk int64) {
+	sh := s.shards[gs%s.nsh]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if js.epoch.Load() != epoch {
+		return
+	}
+	st := &sh.slot[gs/s.nsh]
+	if st.chunk == pchunk && st.cached != nil {
+		js.cacheBytes.Add(-int64(len(st.cached)))
+		st.cached = nil
+	}
 }
 
 // slotHandle runs the slot protocol for one ADD under the shard's lock.
-func (s *Switch) slotHandle(sh *shard, job, worker int, chunk uint32, li int, vals []float32) []transport.Delivery {
+// It reports whether the ADD completed its chunk, and — when the
+// completion proves the window advanced past the slot's bank partner —
+// the partner's global slot so the caller can free its cached RESULT
+// (−1 when there is nothing to free, or when the partner shares this
+// shard and was freed inline).
+func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32, vals []float32) (ds []transport.Delivery, completed bool, partnerGs int) {
+	partnerGs = -1
 	js := &s.jobs[job]
 	wij := worker % s.cfg.Workers
+	gs := s.slotOf(ri, chunk)
+	sh := s.shards[gs%s.nsh]
+	li := gs / s.nsh
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Revalidate the incarnation under the lock: a release bumps the
+	// epoch before resetting this range's slots under the same locks, so
+	// a racing eviction (even one followed by a re-admission of the very
+	// same range) cannot let this ADD touch a re-assigned slot.
+	if js.epoch.Load() != epoch {
+		s.rejBadJob.Add(1)
+		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckEvicted)}}, false, -1
+	}
 	st := &sh.slot[li]
 
 	switch {
 	case int64(chunk) < st.chunk:
 		// Stale retransmit for a chunk every worker already completed
 		// (guaranteed by the self-clocked window); ignore.
-		return nil
+		return nil, false, -1
 	case int64(chunk) > st.chunk:
-		// First packet of a new chunk binds the slot (pool versioning),
-		// charged against the job's admission quota before any pipeline
-		// state moves: a tenant at its cap is dropped here and recovers
-		// through its own retransmit path, never holding a slot.
+		// First packet of a new chunk binds the slot (pool versioning).
+		// A draining job may finish chunks already in flight but binds
+		// nothing new — that is what lets its range quiesce.
+		if JobPhase(js.phase.Load()) == PhaseDraining {
+			s.rejDraining.Add(1)
+			return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckDraining)}}, false, -1
+		}
+		// The bind is charged against the job's admission quota before
+		// any pipeline state moves: a tenant at its cap is dropped here
+		// and recovers through its own retransmit path, never holding a
+		// slot.
 		charge := !st.outstanding
 		if charge {
 			n := js.outstanding.Add(1)
 			if q := int64(s.cfg.MaxOutstanding); q > 0 && n > q {
 				js.outstanding.Add(-1)
 				js.quotaDrops.Add(1)
-				return nil
+				return nil, false, -1
 			}
 		}
 		if _, err := sh.pa.ReadReset(li); err != nil {
 			if charge {
 				js.outstanding.Add(-1)
 			}
-			return nil
+			return nil, false, -1
 		}
 		st.outstanding = true
 		st.chunk = int64(chunk)
@@ -636,16 +873,20 @@ func (s *Switch) slotHandle(sh *shard, job, worker int, chunk uint32, li int, va
 			st.seen[i] = false
 		}
 		st.nSeen = 0
-		st.cached = nil
+		if st.cached != nil {
+			js.cacheBytes.Add(-int64(len(st.cached)))
+			st.cached = nil
+		}
 	}
 
 	if st.seen[wij] {
 		js.retransmits.Add(1)
 		if st.cached != nil {
 			// The worker missed the broadcast; replay the result.
-			return []transport.Delivery{{Worker: worker, Packet: st.cached}}
+			js.cacheHits.Add(1)
+			return []transport.Delivery{{Worker: worker, Packet: st.cached}}, false, -1
 		}
-		return nil // duplicate while aggregation is in progress
+		return nil, false, -1 // duplicate while aggregation is in progress
 	}
 
 	// Aggregate first, account afterwards: if the pipeline rejects the
@@ -654,14 +895,14 @@ func (s *Switch) slotHandle(sh *shard, job, worker int, chunk uint32, li int, va
 	// protocol believes it arrived, completing the chunk with a wrong sum.
 	res, err := sh.pa.Add(li, vals)
 	if err != nil {
-		return nil
+		return nil, false, -1
 	}
 	st.seen[wij] = true
 	st.nSeen++
 	js.adds.Add(1)
 
 	if st.nSeen < s.cfg.Workers {
-		return nil
+		return nil, false, -1
 	}
 
 	// Last worker: the running sums are the final aggregation.
@@ -681,18 +922,34 @@ func (s *Switch) slotHandle(sh *shard, job, worker int, chunk uint32, li int, va
 	}
 	out[hdrBytes+4*len(vals)] = anyOvf
 	st.cached = out
-	if s.njobs == 1 {
+	js.cacheBytes.Add(int64(len(out)))
+	// Every worker sent chunk c, so every worker holds chunk c−Pool's
+	// result: the bank partner's cache (if it still holds c−Pool) can go.
+	if pool := s.cfg.Pool; chunk >= uint32(pool) {
+		pgs := s.slotOf(ri, chunk-uint32(pool))
+		if pgs%s.nsh == gs%s.nsh {
+			// Same shard: free inline under the lock already held.
+			pst := &sh.slot[pgs/s.nsh]
+			if pst.chunk == int64(chunk)-int64(pool) && pst.cached != nil {
+				js.cacheBytes.Add(-int64(len(pst.cached)))
+				pst.cached = nil
+			}
+		} else {
+			partnerGs = pgs
+		}
+	}
+	if s.ncap == 1 {
 		// Single tenant: every port belongs to the job, broadcast.
-		return []transport.Delivery{{Broadcast: true, Packet: out}}
+		return []transport.Delivery{{Broadcast: true, Packet: out}}, true, partnerGs
 	}
 	// Multi-tenant: deliver to the job's own port range only, so one
 	// job's completions never consume another job's downlink.
-	ds := make([]transport.Delivery, s.cfg.Workers)
+	ds = make([]transport.Delivery, s.cfg.Workers)
 	base := job * s.cfg.Workers
 	for i := range ds {
 		ds[i] = transport.Delivery{Worker: base + i, Packet: out}
 	}
-	return ds
+	return ds, true, partnerGs
 }
 
 // Stats returns protocol counters summed across jobs: total values
@@ -707,19 +964,27 @@ func (s *Switch) Stats() (adds, dups, completions uint64) {
 	return adds, dups, completions
 }
 
-// JobStats returns one job's counters; ok is false for a job the switch
-// does not admit.
+// JobStats returns one job's counters; ok is false for a job id outside
+// the switch's capacity. Vacant ids inside the capacity answer with
+// zeroed counters and Phase == PhaseVacant.
 func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
-	if job < 0 || job >= s.njobs {
+	if job < 0 || job >= s.ncap {
 		return JobStats{}, false
 	}
 	js := &s.jobs[job]
+	cb := js.cacheBytes.Load()
+	if cb < 0 {
+		cb = 0 // release zeroes the gauge; racing decrements may transiently undershoot
+	}
 	return JobStats{
+		Phase:       JobPhase(js.phase.Load()),
 		Adds:        js.adds.Load(),
 		Retransmits: js.retransmits.Load(),
 		Completions: js.completions.Load(),
 		QuotaDrops:  js.quotaDrops.Load(),
 		Outstanding: js.outstanding.Load(),
+		CacheHits:   js.cacheHits.Load(),
+		CacheBytes:  uint64(cb),
 	}, true
 }
 
@@ -730,6 +995,7 @@ func (s *Switch) Rejects() WireRejects {
 		Malformed: s.rejMalformed.Load(),
 		BadJob:    s.rejBadJob.Load(),
 		CrossJob:  s.rejCrossJob.Load(),
+		Draining:  s.rejDraining.Load(),
 	}
 }
 
@@ -739,6 +1005,12 @@ const (
 	DefaultRetries = 50
 	DefaultBatch   = 8
 )
+
+// DefaultDrainTimeout bounds an eviction's drain phase when
+// Config.DrainTimeout is zero: generous next to the retransmit timeout, so
+// in-flight chunks normally complete, but bounded so a dead tenant cannot
+// pin a slot range forever.
+const DefaultDrainTimeout = 2 * time.Second
 
 // Worker is the host side: it reduces a gradient vector through the switch.
 // NewWorker fills the tuning fields with defaults. On a hand-built Worker,
@@ -796,8 +1068,8 @@ func NewJobWorker(job, id int, fabric transport.Fabric, cfg Config) *Worker {
 // and acknowledges completions back to the sender, so uplink transmission
 // overlaps downlink processing.
 func (w *Worker) Reduce(vec []float32) ([]float32, error) {
-	if w.Job < 0 || w.Job >= w.Cfg.jobs() {
-		return nil, fmt.Errorf("aggservice: job %d outside the %d admitted jobs", w.Job, w.Cfg.jobs())
+	if w.Job < 0 || w.Job >= w.Cfg.capacity() {
+		return nil, fmt.Errorf("aggservice: job %d outside the switch's %d-job capacity", w.Job, w.Cfg.capacity())
 	}
 	if w.ID < 0 || w.ID >= w.Cfg.Workers {
 		return nil, fmt.Errorf("aggservice: worker %d outside the job's %d workers", w.ID, w.Cfg.Workers)
@@ -977,6 +1249,18 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				}
 			}
 			for _, msg := range msgs {
+				if len(msg) >= 2 && msg[0] == WireVersion && msg[1] == MsgJobAck {
+					// Lifecycle notice: the switch refuses our chunks
+					// because the job is draining or already evicted.
+					// There is no recovering by retransmit — fail fast.
+					if j, status, aerr := DecodeJobAck(msg); aerr == nil && j == w.Job &&
+						(status == AckEvicted || status == AckDraining) {
+						recvErr = fmt.Errorf("job %d worker %d: %w", w.Job, w.ID, ErrJobEvicted)
+						abort()
+						return
+					}
+					continue
+				}
 				job, chunk, vals, _, err := DecodeResult(msg, modules)
 				if err != nil || job != w.Job {
 					continue // not for us

@@ -20,12 +20,52 @@
 // tenant's aggregation state.
 //
 // Each job carries its own Stats (values aggregated, retransmits observed,
-// chunks completed, quota drops, outstanding-slot gauge), queryable in
-// process (Switch.JobStats) or over the wire (MsgStats/MsgStatsReply, used
-// by fpisa-query). Admission is governed by Config.MaxOutstanding: a job
-// may hold at most that many slots in the aggregating state; ADDs beyond
-// the cap are dropped and counted, and — because both the quota and every
-// counter are per job — one tenant hitting its cap never stalls another.
+// chunks completed, quota drops, outstanding-slot gauge, result-cache
+// hits and bytes), queryable in process (Switch.JobStats) or over the wire
+// (MsgStats/MsgStatsReply, used by fpisa-query). Admission is governed by
+// Config.MaxOutstanding: a job may hold at most that many slots in the
+// aggregating state; ADDs beyond the cap are dropped and counted, and —
+// because both the quota and every counter are per job — one tenant
+// hitting its cap never stalls another.
+//
+// # Job lifecycle (runtime control plane)
+//
+// The switch is a long-lived shared resource: jobs join and leave without
+// a restart. Slot ranges are not a static job·2·Pool formula but an
+// indirection table — Config.Capacity provisions that many 2·Pool ranges,
+// each either on a free-list or bound to a job id — and every job id moves
+// through a three-state machine:
+//
+//	vacant ──admit──▶ admitted ──evict──▶ draining ──release──▶ vacant
+//
+// Admit (MsgJobAdmit over the observer frame, fpisa-query -admit, or the
+// in-process Switch.Admit) allocates a range from the free-list, zeroes
+// the job's counters and publishes the binding; admission fails with
+// AckErrNoCapacity when every range is held. Evict (MsgJobEvict /
+// Switch.Evict) begins a drain: ADDs that would bind a NEW chunk are
+// refused (counted in WireRejects.Draining, answered with an AckDraining
+// notice) while chunks already in flight complete and deliver normally.
+// When the last outstanding slot completes — or Config.DrainTimeout
+// expires — the range is reset (caches freed, chunks unbound) and returned
+// to the free-list for the next admission. Workers of an evicted job
+// receive MsgJobAck notices (AckDraining/AckEvicted) and surface
+// ErrJobEvicted from Reduce instead of retransmitting forever.
+//
+// The wire control plane is observer-only (a tenant's worker port cannot
+// evict another tenant) and opt-in via Config.Dynamic (fpisa-switch
+// -dynamic): a switch that does not enable it answers AckErrDisabled.
+// Every transition can be observed in process through Switch.OnLifecycle.
+//
+// In-process, each release bumps an incarnation epoch that every
+// shard-locked section revalidates, so a handler racing an eviction can
+// never touch a re-assigned range. One limitation remains on the wire:
+// ADDs carry no epoch, so a datagram from an evicted incarnation that is
+// still buffered in the network when the SAME job id is re-admitted is
+// indistinguishable from new traffic and can bind a stale (typically
+// far-ahead) chunk into the fresh range, wedging that slot until the next
+// eviction. Drain notices make live workers abort promptly, which keeps
+// the window small; operators should let the straggler window pass before
+// reusing an id, and a wire epoch is on the roadmap.
 //
 // # Wire format (version 2)
 //
@@ -40,12 +80,25 @@
 //	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
-//	reply  = [ver(1) type(1) job(2) adds(8) retransmits(8)
-//	          completions(8) quotaDrops(8) outstanding(8)]
+//	reply  = [ver(1) type(1) job(2) phase(1) adds(8) retransmits(8)
+//	          completions(8) quotaDrops(8) outstanding(8)
+//	          cacheHits(8) cacheBytes(8)]
+//	admit  = [ver(1) type(1) job(2)]
+//	evict  = [ver(1) type(1) job(2)]
+//	ack    = [ver(1) type(1) job(2) status(1)]
 //
 // A batch frames complete messages (each with its own version octet); a
 // batch framed inside a batch is rejected (ErrNestedBatch), so decoding
-// never recurses. Only ADDs may ride in an uplink batch.
+// never recurses. Only ADDs may ride in an uplink batch. Fixed-layout
+// downlink messages (reply, ack) are decoded with full bounds checks: a
+// truncated frame returns a wire error wrapping ErrTruncated rather than
+// panicking the client, and the decoders are fuzzed alongside the batch
+// framing (FuzzDecodeStatsReply, FuzzDecodeJobAck).
+//
+// The v2 layouts are versioned against v1, not against each other: they
+// evolve with the repository (this revision widened the stats reply), and
+// peers are expected to be built from the same commit — mixed-commit
+// deployments are not supported.
 //
 // # Sharded switch
 //
@@ -67,7 +120,11 @@
 // mod 2), a worker sends chunk c only after receiving the result of chunk
 // c−pool, and duplicate packets for completed chunks are answered from a
 // per-slot result cache — which makes the protocol robust to packet loss
-// in either direction.
+// in either direction. The cache is bounded, not leaked: when chunk
+// c+pool completes, every worker necessarily sent c+pool and therefore
+// received chunk c's result, so chunk c's cached packet is freed (its
+// size and replay hits are tracked per job as CacheBytes/CacheHits), and
+// a released slot range drops its caches wholesale.
 //
 // # Host side
 //

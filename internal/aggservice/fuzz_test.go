@@ -2,6 +2,7 @@ package aggservice
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -48,6 +49,68 @@ func FuzzDecodeBatch(f *testing.F) {
 		// packet exactly.
 		if re := EncodeBatch(msgs); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+	})
+}
+
+// FuzzDecodeStatsReply fuzzes the stats codec the satellite fix hardened:
+// it must never panic on truncated or oversized replies, identify
+// truncation with ErrTruncated, and round-trip every accepted reply.
+func FuzzDecodeStatsReply(f *testing.F) {
+	valid := encodeStatsReply(3, JobStats{
+		Phase: PhaseAdmitted, Adds: 1, Retransmits: 2, Completions: 3,
+		QuotaDrops: 4, Outstanding: 5, CacheHits: 6, CacheBytes: 7,
+	})
+	f.Add(valid)
+	f.Add(valid[:10])                                     // truncated counters
+	f.Add(append(append([]byte(nil), valid...), 0xaa))    // trailing byte
+	f.Add([]byte{WireVersion, MsgStatsReply})             // header only
+	f.Add([]byte{MsgResult, 0, 0, 0})                     // legacy framing
+	f.Add(append([]byte(nil), valid[:4]...))              // fields missing entirely
+	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }()) // bad phase
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		job, st, err := DecodeStatsReply(pkt)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgStatsReply &&
+				len(pkt) < statsReplyBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short reply error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if len(pkt) != statsReplyBytes {
+			t.Fatalf("accepted a %d-byte reply", len(pkt))
+		}
+		if re := encodeStatsReply(job, st); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+	})
+}
+
+// FuzzDecodeJobAck fuzzes the lifecycle ack codec with the same
+// invariants: no panics, truncation identified, accepted acks round-trip.
+func FuzzDecodeJobAck(f *testing.F) {
+	f.Add(EncodeJobAck(1, AckAdmitted))
+	f.Add(EncodeJobAck(65535, AckErrDisabled))
+	f.Add(EncodeJobAck(0, AckEvicted)[:3])
+	f.Add(append(EncodeJobAck(0, AckDraining), 1, 2))
+	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200}) // status out of range
+	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                // legacy framing
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		job, status, err := DecodeJobAck(pkt)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAck &&
+				len(pkt) < jobAckBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short ack error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if re := EncodeJobAck(job, status); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+		if status.Err() == nil && status != AckAdmitted && status != AckEvicting {
+			t.Fatalf("status %v decoded but maps to no error and no success", status)
 		}
 	})
 }

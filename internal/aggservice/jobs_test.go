@@ -372,12 +372,22 @@ func TestStatsOverTheWire(t *testing.T) {
 			t.Fatalf("port %d: job=%d stats=%+v", port, job, st)
 		}
 	}
-	// Observers are read-only; stats for unknown jobs are refused.
+	// Observers are read-only; stats for unknown jobs are answered with an
+	// explicit MsgJobAck error (and counted), so probes can gate on it.
 	if ds := sw.Handle(ObserverWorker, EncodeAdd(0, 0, []float32{1})); ds != nil {
 		t.Fatalf("observer ADD accepted: %v", ds)
 	}
-	if ds := sw.Handle(0, EncodeStatsReq(9)); ds != nil {
-		t.Fatalf("stats for unknown job answered: %v", ds)
+	before := sw.Rejects().BadJob
+	ds := sw.Handle(0, EncodeStatsReq(9))
+	if len(ds) != 1 {
+		t.Fatalf("stats for unknown job: deliveries %v", ds)
+	}
+	job, status, err := DecodeJobAck(ds[0].Packet)
+	if err != nil || job != 9 || status != AckErrUnknownJob {
+		t.Fatalf("unknown-job ack: job=%d status=%v err=%v", job, status, err)
+	}
+	if got := sw.Rejects().BadJob; got != before+1 {
+		t.Fatalf("BadJob %d → %d, want +1", before, got)
 	}
 }
 

@@ -1,0 +1,415 @@
+package aggservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"fpisa/internal/transport"
+)
+
+// This file is the runtime job lifecycle control plane: admitting a new
+// tenant and evicting a leaving one without restarting the switch (or
+// disturbing any other tenant's in-flight windows).
+//
+// A job id moves through three phases:
+//
+//	vacant ──Admit──▶ admitted ──Evict──▶ draining ──release──▶ vacant
+//
+// Admission allocates a 2·Pool slot range from the free-list and binds it
+// through the indirection table (jobState.rangeIdx). Eviction first drains:
+// ADDs that would bind a NEW chunk are refused (counted, answered with an
+// AckDraining notice) while chunks already in flight complete normally;
+// when the last outstanding slot completes — or DrainTimeout passes — the
+// range is reset and returned to the free-list for the next admission.
+
+// Lifecycle errors. Admit/Evict return these; the wire control plane maps
+// them to AckStatus codes (and back, on the client).
+var (
+	// ErrUnknownJob names a job id outside the switch's capacity.
+	ErrUnknownJob = errors.New("aggservice: job id outside the switch's capacity")
+	// ErrNotAdmitted marks an evict for a job that is not currently live.
+	ErrNotAdmitted = errors.New("aggservice: job not admitted")
+	// ErrAlreadyAdmitted marks an admit for a live job.
+	ErrAlreadyAdmitted = errors.New("aggservice: job already admitted")
+	// ErrJobDraining marks admit/evict racing an eviction still draining.
+	ErrJobDraining = errors.New("aggservice: job is draining")
+	// ErrNoCapacity marks an admit with an empty slot-range free-list.
+	ErrNoCapacity = errors.New("aggservice: no free slot range (evict a job or raise Capacity)")
+	// ErrLifecycleDisabled marks a wire admit/evict on a switch whose
+	// operator did not enable the runtime control plane.
+	ErrLifecycleDisabled = errors.New("aggservice: runtime lifecycle disabled (enable Config.Dynamic)")
+	// ErrJobEvicted is what a Worker's Reduce wraps when the switch
+	// refuses its chunks because the job was evicted (or is draining).
+	ErrJobEvicted = errors.New("aggservice: job evicted from the switch")
+)
+
+// JobPhase is a job id's lifecycle state.
+type JobPhase uint8
+
+const (
+	// PhaseVacant: the id holds no slot range; ADDs are refused with an
+	// AckEvicted notice.
+	PhaseVacant JobPhase = iota
+	// PhaseAdmitted: the id owns a slot range and aggregates normally.
+	PhaseAdmitted
+	// PhaseDraining: eviction in progress — in-flight chunks may
+	// complete, new chunk binds are refused.
+	PhaseDraining
+)
+
+func (p JobPhase) String() string {
+	switch p {
+	case PhaseVacant:
+		return "vacant"
+	case PhaseAdmitted:
+		return "admitted"
+	case PhaseDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("JobPhase(%d)", uint8(p))
+}
+
+// LifecycleEvent tags an OnLifecycle callback.
+type LifecycleEvent uint8
+
+const (
+	// EventAdmitted fires when Admit binds a job to a slot range.
+	EventAdmitted LifecycleEvent = iota
+	// EventDraining fires when Evict begins draining a job.
+	EventDraining
+	// EventEvicted fires when the drained (or timed-out) range is
+	// released back to the free-list.
+	EventEvicted
+)
+
+func (e LifecycleEvent) String() string {
+	switch e {
+	case EventAdmitted:
+		return "admitted"
+	case EventDraining:
+		return "draining"
+	case EventEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("LifecycleEvent(%d)", uint8(e))
+}
+
+// AckStatus is the status octet of a MsgJobAck.
+type AckStatus uint8
+
+const (
+	// AckAdmitted answers a successful MsgJobAdmit.
+	AckAdmitted AckStatus = iota
+	// AckEvicting answers a successful MsgJobEvict (drain begun, possibly
+	// already finished).
+	AckEvicting
+	// AckEvicted is the unsolicited notice sent to a worker whose ADDs
+	// name a vacant (evicted) job.
+	AckEvicted
+	// AckDraining is the unsolicited notice sent to a worker whose ADD
+	// tried to bind a new chunk while its job drains.
+	AckDraining
+	// AckErrUnknownJob: the request named a job id outside the capacity.
+	AckErrUnknownJob
+	// AckErrNotAdmitted: evict for a job that is not live.
+	AckErrNotAdmitted
+	// AckErrAlreadyAdmitted: admit for a live job.
+	AckErrAlreadyAdmitted
+	// AckErrDraining: admit/evict while the id's old incarnation drains.
+	AckErrDraining
+	// AckErrNoCapacity: admit with an empty free-list.
+	AckErrNoCapacity
+	// AckErrDisabled: the switch does not enable the wire control plane.
+	AckErrDisabled
+)
+
+func (a AckStatus) String() string {
+	switch a {
+	case AckAdmitted:
+		return "admitted"
+	case AckEvicting:
+		return "evicting"
+	case AckEvicted:
+		return "evicted"
+	case AckDraining:
+		return "draining"
+	case AckErrUnknownJob:
+		return "error: unknown job"
+	case AckErrNotAdmitted:
+		return "error: not admitted"
+	case AckErrAlreadyAdmitted:
+		return "error: already admitted"
+	case AckErrDraining:
+		return "error: draining"
+	case AckErrNoCapacity:
+		return "error: no capacity"
+	case AckErrDisabled:
+		return "error: lifecycle disabled"
+	}
+	return fmt.Sprintf("AckStatus(%d)", uint8(a))
+}
+
+// Err maps an ack status back to its sentinel error: nil for the success
+// acks, ErrJobEvicted for the worker notices, and the matching lifecycle
+// error otherwise — so a wire client can errors.Is exactly like an
+// in-process caller.
+func (a AckStatus) Err() error {
+	switch a {
+	case AckAdmitted, AckEvicting:
+		return nil
+	case AckEvicted, AckDraining:
+		return ErrJobEvicted
+	case AckErrUnknownJob:
+		return ErrUnknownJob
+	case AckErrNotAdmitted:
+		return ErrNotAdmitted
+	case AckErrAlreadyAdmitted:
+		return ErrAlreadyAdmitted
+	case AckErrDraining:
+		return ErrJobDraining
+	case AckErrNoCapacity:
+		return ErrNoCapacity
+	case AckErrDisabled:
+		return ErrLifecycleDisabled
+	}
+	return fmt.Errorf("aggservice: unknown ack status %d", uint8(a))
+}
+
+// EncodeJobAdmit builds an operator request to admit job at runtime.
+func EncodeJobAdmit(job int) []byte { return encodeLifecycleReq(MsgJobAdmit, job) }
+
+// EncodeJobEvict builds an operator request to evict (drain) job.
+func EncodeJobEvict(job int) []byte { return encodeLifecycleReq(MsgJobEvict, job) }
+
+func encodeLifecycleReq(typ byte, job int) []byte {
+	pkt := make([]byte, lifecycleReqBytes)
+	pkt[0] = WireVersion
+	pkt[1] = typ
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	return pkt
+}
+
+// EncodeJobAck builds a lifecycle status message.
+func EncodeJobAck(job int, status AckStatus) []byte {
+	pkt := make([]byte, jobAckBytes)
+	pkt[0] = WireVersion
+	pkt[1] = MsgJobAck
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	pkt[4] = uint8(status)
+	return pkt
+}
+
+// DecodeJobAck parses a MsgJobAck. Like DecodeStatsReply it is safe on
+// arbitrary input: truncation returns a wire error wrapping ErrTruncated.
+func DecodeJobAck(pkt []byte) (job int, status AckStatus, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, fmt.Errorf("bad job ack: %w", terr)
+	} else if typ != MsgJobAck {
+		return 0, 0, fmt.Errorf("aggservice: bad job ack type")
+	}
+	if len(pkt) < jobAckBytes {
+		return 0, 0, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
+	}
+	if len(pkt) > jobAckBytes {
+		return 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
+	}
+	status = AckStatus(pkt[4])
+	if status > AckErrDisabled {
+		return 0, 0, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
+	}
+	return int(binary.BigEndian.Uint16(pkt[2:])), status, nil
+}
+
+// handleLifecycle serves a wire MsgJobAdmit/MsgJobEvict. Only the
+// out-of-band observer frame may drive the control plane — a tenant's
+// worker port must not be able to evict another tenant — and only when the
+// operator enabled Config.Dynamic.
+func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte) []transport.Delivery {
+	if worker != ObserverWorker {
+		s.rejMalformed.Add(1)
+		return nil
+	}
+	if len(pkt) != lifecycleReqBytes {
+		s.rejMalformed.Add(1)
+		return nil
+	}
+	job := int(binary.BigEndian.Uint16(pkt[2:]))
+	ack := func(status AckStatus) []transport.Delivery {
+		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, status)}}
+	}
+	if !s.cfg.Dynamic {
+		return ack(AckErrDisabled)
+	}
+	var err error
+	ok := AckAdmitted
+	if typ == MsgJobAdmit {
+		err = s.Admit(job)
+	} else {
+		ok = AckEvicting
+		err = s.Evict(job)
+	}
+	switch {
+	case err == nil:
+		return ack(ok)
+	case errors.Is(err, ErrUnknownJob):
+		return ack(AckErrUnknownJob)
+	case errors.Is(err, ErrNotAdmitted):
+		return ack(AckErrNotAdmitted)
+	case errors.Is(err, ErrAlreadyAdmitted):
+		return ack(AckErrAlreadyAdmitted)
+	case errors.Is(err, ErrJobDraining):
+		return ack(AckErrDraining)
+	case errors.Is(err, ErrNoCapacity):
+		return ack(AckErrNoCapacity)
+	}
+	return ack(AckErrUnknownJob)
+}
+
+// Admit brings a vacant job id live, allocating its slot range from the
+// free-list and zeroing its counters for the new incarnation.
+func (s *Switch) Admit(job int) error {
+	if job < 0 || job >= s.ncap {
+		return fmt.Errorf("%w: job %d of %d", ErrUnknownJob, job, s.ncap)
+	}
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	js := &s.jobs[job]
+	switch JobPhase(js.phase.Load()) {
+	case PhaseAdmitted:
+		return fmt.Errorf("%w: job %d", ErrAlreadyAdmitted, job)
+	case PhaseDraining:
+		return fmt.Errorf("%w: job %d", ErrJobDraining, job)
+	}
+	if len(s.freeRanges) == 0 {
+		return fmt.Errorf("%w: job %d", ErrNoCapacity, job)
+	}
+	ri := s.freeRanges[len(s.freeRanges)-1]
+	s.freeRanges = s.freeRanges[:len(s.freeRanges)-1]
+	js.reset()
+	// Publish range before phase: the hot path loads phase first, so it
+	// never sees an admitted job without its range.
+	js.rangeIdx.Store(int32(ri))
+	js.phase.Store(int32(PhaseAdmitted))
+	if s.OnLifecycle != nil {
+		s.OnLifecycle(job, EventAdmitted)
+	}
+	return nil
+}
+
+// Evict starts draining a live job: new chunk binds are refused from now
+// on, in-flight chunks may complete, and the slot range is released to the
+// free-list when the job quiesces — or after Config.DrainTimeout, whichever
+// comes first. Evict returns once the drain has begun (it may also already
+// have finished, when the job had nothing outstanding).
+func (s *Switch) Evict(job int) error {
+	if job < 0 || job >= s.ncap {
+		return fmt.Errorf("%w: job %d of %d", ErrUnknownJob, job, s.ncap)
+	}
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	js := &s.jobs[job]
+	switch JobPhase(js.phase.Load()) {
+	case PhaseVacant:
+		return fmt.Errorf("%w: job %d", ErrNotAdmitted, job)
+	case PhaseDraining:
+		return fmt.Errorf("%w: job %d", ErrJobDraining, job)
+	}
+	js.phase.Store(int32(PhaseDraining))
+	if s.OnLifecycle != nil {
+		s.OnLifecycle(job, EventDraining)
+	}
+	if js.outstanding.Load() == 0 {
+		s.release(job)
+		return nil
+	}
+	// The timer closure captures this incarnation's epoch: a callback that
+	// fired during release (Stop raced) and only later wins lifeMu must
+	// not cut short a LATER incarnation's drain.
+	epoch := js.epoch.Load()
+	s.drainTimers[job] = time.AfterFunc(s.cfg.drainTimeout(), func() {
+		s.lifeMu.Lock()
+		defer s.lifeMu.Unlock()
+		if js.epoch.Load() == epoch && JobPhase(js.phase.Load()) == PhaseDraining {
+			s.release(job)
+		}
+	})
+	return nil
+}
+
+// maybeFinishDrain releases a draining job's range once nothing is
+// outstanding. Called from the hot path after a completion (outside the
+// shard lock — release re-takes every shard lock it needs).
+func (s *Switch) maybeFinishDrain(job int) {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	js := &s.jobs[job]
+	if JobPhase(js.phase.Load()) == PhaseDraining && js.outstanding.Load() == 0 {
+		s.release(job)
+	}
+}
+
+// release returns a job's slot range to the free-list, resetting every
+// slot (freeing cached RESULTs, unbinding chunks, clearing quota charges)
+// so the next admission starts clean. Caller holds lifeMu.
+func (s *Switch) release(job int) {
+	js := &s.jobs[job]
+	ri := int(js.rangeIdx.Load())
+	// Unpublish before touching slots: once the epoch moves and the range
+	// entry is cleared, the hot path's under-lock revalidation guarantees
+	// no ADD (and no deferred cache-free) can reach these slots while —
+	// or after — they reset, even if a later admission hands the same
+	// range back to this same job id.
+	js.epoch.Add(1)
+	js.phase.Store(int32(PhaseVacant))
+	js.rangeIdx.Store(-1)
+	if t := s.drainTimers[job]; t != nil {
+		t.Stop()
+		s.drainTimers[job] = nil
+	}
+	if ri >= 0 {
+		base := ri * 2 * s.cfg.Pool
+		for gs := base; gs < base+2*s.cfg.Pool; gs++ {
+			sh := s.shards[gs%s.nsh]
+			sh.mu.Lock()
+			st := &sh.slot[gs/s.nsh]
+			st.chunk = -1
+			for i := range st.seen {
+				st.seen[i] = false
+			}
+			st.nSeen = 0
+			st.cached = nil
+			st.outstanding = false
+			sh.mu.Unlock()
+		}
+		s.freeRanges = append(s.freeRanges, ri)
+	}
+	js.outstanding.Store(0)
+	js.cacheBytes.Store(0)
+	if s.OnLifecycle != nil {
+		s.OnLifecycle(job, EventEvicted)
+	}
+}
+
+// JobRange reports the slot range the indirection table currently assigns
+// to job; ok is false when the job holds none (vacant or out of range).
+func (s *Switch) JobRange(job int) (base, n int, ok bool) {
+	if job < 0 || job >= s.ncap {
+		return 0, 0, false
+	}
+	ri := int(s.jobs[job].rangeIdx.Load())
+	if ri < 0 {
+		return 0, 0, false
+	}
+	return ri * 2 * s.cfg.Pool, 2 * s.cfg.Pool, true
+}
+
+// JobPhaseOf reports a job id's current lifecycle phase (PhaseVacant for
+// ids outside the capacity).
+func (s *Switch) JobPhaseOf(job int) JobPhase {
+	if job < 0 || job >= s.ncap {
+		return PhaseVacant
+	}
+	return JobPhase(s.jobs[job].phase.Load())
+}

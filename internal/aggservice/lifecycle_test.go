@@ -1,0 +1,709 @@
+package aggservice
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fpisa/internal/core"
+	"fpisa/internal/gradients"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+func dynCfg(workers, pool, shards, jobs, capacity int) Config {
+	return Config{
+		Workers: workers, Pool: pool, Modules: 1, Shards: shards,
+		Jobs: jobs, Capacity: capacity, Dynamic: true,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch(),
+	}
+}
+
+// TestAdmitEvictStateMachine covers the in-process lifecycle transitions
+// and every error branch.
+func TestAdmitEvictStateMachine(t *testing.T) {
+	cfg := dynCfg(2, 2, 2, 1, 3)
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Jobs() != 3 {
+		t.Fatalf("capacity = %d, want 3", sw.Jobs())
+	}
+	if ph := sw.JobPhaseOf(0); ph != PhaseAdmitted {
+		t.Fatalf("job 0 phase = %v", ph)
+	}
+	if ph := sw.JobPhaseOf(1); ph != PhaseVacant {
+		t.Fatalf("job 1 phase = %v", ph)
+	}
+	if _, _, ok := sw.JobRange(1); ok {
+		t.Fatal("vacant job holds a range")
+	}
+
+	if err := sw.Admit(1); err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	if base, n, ok := sw.JobRange(1); !ok || n != 2*cfg.Pool || base%(2*cfg.Pool) != 0 {
+		t.Fatalf("job 1 range: base=%d n=%d ok=%v", base, n, ok)
+	}
+	if err := sw.Admit(1); !errors.Is(err, ErrAlreadyAdmitted) {
+		t.Fatalf("re-admit: %v", err)
+	}
+	if err := sw.Admit(9); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("admit out of capacity: %v", err)
+	}
+	if err := sw.Evict(2); !errors.Is(err, ErrNotAdmitted) {
+		t.Fatalf("evict vacant: %v", err)
+	}
+	if err := sw.Evict(9); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("evict out of capacity: %v", err)
+	}
+	if err := sw.Admit(2); err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	// Capacity exhausted: all three ranges are held.
+	if err := sw.Evict(2); err != nil { // free one again
+		t.Fatalf("evict 2: %v", err)
+	}
+	if ph := sw.JobPhaseOf(2); ph != PhaseVacant {
+		t.Fatalf("job 2 after idle evict: %v (drain with nothing outstanding must release at once)", ph)
+	}
+	if err := sw.Admit(2); err != nil {
+		t.Fatalf("re-admit 2: %v", err)
+	}
+	// Now genuinely full.
+	sw2, _ := NewSwitch(dynCfg(2, 2, 2, 2, 2))
+	if err := sw2.Admit(1); !errors.Is(err, ErrAlreadyAdmitted) {
+		t.Fatalf("full switch admit: %v", err)
+	}
+	if err := sw2.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw2.Admit(1); err != nil {
+		t.Fatalf("free-list did not recycle the evicted range: %v", err)
+	}
+}
+
+// TestAdmitExhaustsFreeList pins ErrNoCapacity: more admitted jobs than
+// ranges must be refused.
+func TestAdmitExhaustsFreeList(t *testing.T) {
+	sw, err := NewSwitch(dynCfg(1, 1, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Admit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Evict(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Admit(0); err != nil {
+		t.Fatal(err)
+	}
+	// All 3 ranges held by jobs 0..2; no id is vacant, but prove the
+	// free-list itself empties by evicting and double-admitting.
+	if err := sw.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Admit(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sw.freeRanges); got != 0 {
+		t.Fatalf("free ranges = %d, want 0", got)
+	}
+}
+
+// TestEvictionDrainsInFlightChunks is the drain contract: an evicted job's
+// bound chunk still completes (delivering its result), a NEW chunk is
+// refused with a counted Rejects.Draining and an AckDraining notice, and
+// the quiesced range returns to the free-list for the next admission.
+func TestEvictionDrainsInFlightChunks(t *testing.T) {
+	cfg := dynCfg(2, 2, 2, 1, 2)
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0 binds chunk 0; the chunk is now in flight.
+	if ds := sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 0, []float32{1.5})); ds != nil {
+		t.Fatalf("lone add delivered: %v", ds)
+	}
+	if err := sw.Evict(0); err != nil {
+		t.Fatal(err)
+	}
+	if ph := sw.JobPhaseOf(0); ph != PhaseDraining {
+		t.Fatalf("phase = %v, want draining", ph)
+	}
+	// A new chunk bind during the drain is refused and the worker told.
+	ds := sw.Handle(cfg.Port(0, 1), EncodeAdd(0, 1, []float32{9}))
+	if len(ds) != 1 {
+		t.Fatalf("draining bind: deliveries %v", ds)
+	}
+	if job, status, err := DecodeJobAck(ds[0].Packet); err != nil || job != 0 || status != AckDraining {
+		t.Fatalf("draining notice: job=%d status=%v err=%v", job, status, err)
+	}
+	if r := sw.Rejects(); r.Draining != 1 {
+		t.Fatalf("Draining rejects = %d, want 1", r.Draining)
+	}
+	// The in-flight chunk still completes, with the correct sum.
+	ds = sw.Handle(cfg.Port(0, 1), EncodeAdd(0, 0, []float32{2.25}))
+	if len(ds) != cfg.Workers {
+		t.Fatalf("in-flight completion: deliveries %v", ds)
+	}
+	if _, _, vals, _, err := DecodeResult(ds[0].Packet, 1); err != nil || vals[0] != 3.75 {
+		t.Fatalf("drained chunk sum: vals=%v err=%v", vals, err)
+	}
+	// That completion quiesced the job: the range is released.
+	if ph := sw.JobPhaseOf(0); ph != PhaseVacant {
+		t.Fatalf("phase after drain = %v, want vacant", ph)
+	}
+	// A straggler ADD for the evicted job gets an AckEvicted notice.
+	ds = sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 0, []float32{7}))
+	if len(ds) != 1 {
+		t.Fatalf("post-evict add: deliveries %v", ds)
+	}
+	if _, status, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckEvicted {
+		t.Fatalf("post-evict notice: status=%v err=%v", status, err)
+	}
+	// Re-admission reuses the freed range and starts clean: chunk 0
+	// aggregates only the new contributions.
+	if err := sw.Admit(0); err != nil {
+		t.Fatal(err)
+	}
+	sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 0, []float32{10}))
+	ds = sw.Handle(cfg.Port(0, 1), EncodeAdd(0, 0, []float32{20}))
+	if len(ds) != cfg.Workers {
+		t.Fatalf("fresh incarnation: deliveries %v", ds)
+	}
+	if _, _, vals, _, err := DecodeResult(ds[0].Packet, 1); err != nil || vals[0] != 30 {
+		t.Fatalf("fresh incarnation sum: vals=%v err=%v (stale state leaked across eviction?)", vals, err)
+	}
+	st, _ := sw.JobStats(0)
+	if st.Completions != 1 || st.Adds != 2 {
+		t.Fatalf("fresh incarnation stats not zeroed at admit: %+v", st)
+	}
+}
+
+// TestDrainTimeoutForcesRelease: a drain whose in-flight chunks never
+// complete is bounded by DrainTimeout, after which the range is reclaimed.
+func TestDrainTimeoutForcesRelease(t *testing.T) {
+	cfg := dynCfg(2, 2, 2, 1, 1)
+	cfg.DrainTimeout = 30 * time.Millisecond
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 0, []float32{1})) // bind, partner never arrives
+	if err := sw.Evict(0); err != nil {
+		t.Fatal(err)
+	}
+	if ph := sw.JobPhaseOf(0); ph != PhaseDraining {
+		t.Fatalf("phase = %v", ph)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.JobPhaseOf(0) != PhaseVacant {
+		if time.Now().After(deadline) {
+			t.Fatal("drain timeout never released the range")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st, _ := sw.JobStats(0); st.Outstanding != 0 {
+		t.Fatalf("outstanding after forced release: %+v", st)
+	}
+	if err := sw.Admit(0); err != nil {
+		t.Fatalf("re-admit after forced release: %v", err)
+	}
+}
+
+// TestChurnWhileThirdJobReduces is the acceptance scenario: jobs are
+// admitted and evicted over the wire control plane while another job's
+// all-reduce runs uninterrupted — its result must be correct and no
+// cross-tenant rejects may fire.
+func TestChurnWhileThirdJobReduces(t *testing.T) {
+	const n = 96
+	cfg := dynCfg(3, 4, 4, 1, 3)
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := transport.NewMemory(transport.MemoryConfig{
+		Workers: cfg.Ports(), Handler: sw.Handle,
+		UplinkLoss: 0.05, DownlinkLoss: 0.05, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 0: the long-lived tenant, reducing throughout the churn.
+	vecs0 := gradients.NewGenerator(gradients.VGG19, 41).WorkerGradients(cfg.Workers, n)
+	results0 := make([][]float32, cfg.Workers)
+	errs0 := make([]error, cfg.Workers)
+	var wg0 sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg0.Add(1)
+		go func(w int) {
+			defer wg0.Done()
+			wk := NewJobWorker(0, w, fab, cfg)
+			wk.Timeout = 20 * time.Millisecond
+			wk.Retries = 1000
+			results0[w], errs0[w] = wk.Reduce(vecs0[w])
+		}(w)
+	}
+
+	// Control plane: admit job 1, reduce, evict it; then admit job 2 into
+	// the freed capacity and reduce there too — all through the observer
+	// wire messages, mid-flight of job 0.
+	control := func(pkt []byte, want AckStatus) {
+		t.Helper()
+		ds := sw.Handle(ObserverWorker, pkt)
+		if len(ds) != 1 {
+			t.Fatalf("control deliveries: %v", ds)
+		}
+		_, status, err := DecodeJobAck(ds[0].Packet)
+		if err != nil || status != want {
+			t.Fatalf("control ack: status=%v err=%v, want %v", status, err, want)
+		}
+	}
+	churnReduce := func(job int, seed int64) {
+		t.Helper()
+		vecs := gradients.NewGenerator(gradients.ResNet50, seed).WorkerGradients(cfg.Workers, 24)
+		res := make([][]float32, cfg.Workers)
+		errs := make([]error, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := NewJobWorker(job, w, fab, cfg)
+				wk.Timeout = 20 * time.Millisecond
+				wk.Retries = 1000
+				res[w], errs[w] = wk.Reduce(vecs[w])
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				t.Errorf("job %d worker %d: %v", job, w, err)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		for w := 1; w < cfg.Workers; w++ {
+			for i := range res[w] {
+				if res[w][i] != res[0][i] {
+					t.Fatalf("job %d: workers 0 and %d disagree at %d", job, w, i)
+				}
+			}
+		}
+	}
+
+	control(EncodeJobAdmit(1), AckAdmitted)
+	churnReduce(1, 51)
+	control(EncodeJobEvict(1), AckEvicting)
+	control(EncodeJobAdmit(2), AckAdmitted)
+	churnReduce(2, 52)
+	control(EncodeJobEvict(2), AckEvicting)
+
+	wg0.Wait()
+	for w, err := range errs0 {
+		if err != nil {
+			t.Fatalf("job 0 worker %d: %v", w, err)
+		}
+	}
+	for w := 1; w < cfg.Workers; w++ {
+		for i := range results0[w] {
+			if results0[w][i] != results0[0][i] {
+				t.Fatalf("job 0: workers 0 and %d disagree at %d", w, i)
+			}
+		}
+	}
+	st0, _ := sw.JobStats(0)
+	if st0.Completions != n {
+		t.Fatalf("job 0 completions = %d, want %d", st0.Completions, n)
+	}
+	if r := sw.Rejects(); r.CrossJob != 0 {
+		t.Fatalf("cross-tenant rejects during churn: %+v", r)
+	}
+}
+
+// TestWorkerReduceReturnsErrJobEvicted: a tenant evicted mid-reduce must
+// surface ErrJobEvicted from Reduce instead of retransmitting forever.
+func TestWorkerReduceReturnsErrJobEvicted(t *testing.T) {
+	cfg := dynCfg(2, 2, 2, 2, 2)
+	cfg.DrainTimeout = 50 * time.Millisecond
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := transport.NewMemory(transport.MemoryConfig{Workers: cfg.Ports(), Handler: sw.Handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	vecs := gradients.NewGenerator(gradients.BERT, 61).WorkerGradients(cfg.Workers, n)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := NewJobWorker(1, w, fab, cfg)
+			wk.Timeout = 20 * time.Millisecond
+			wk.Retries = 1000
+			_, errs[w] = wk.Reduce(vecs[w])
+		}(w)
+	}
+	// Let the reduce make progress, then pull the job out from under it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st, _ := sw.JobStats(1); st.Completions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never made progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := sw.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if !errors.Is(err, ErrJobEvicted) {
+			t.Errorf("worker %d error = %v, want ErrJobEvicted", w, err)
+		}
+	}
+	// The other tenant is untouched and the switch keeps serving it.
+	if ph := sw.JobPhaseOf(0); ph != PhaseAdmitted {
+		t.Fatalf("job 0 phase = %v", ph)
+	}
+}
+
+// TestResultCacheEvictedOnWindowAdvance is the cache-leak regression test:
+// once chunk c+Pool completes, every worker provably received chunk c's
+// result, so its cached RESULT is freed — CacheBytes stays bounded by the
+// live window instead of growing to the whole slot range.
+func TestResultCacheEvictedOnWindowAdvance(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 2, Modules: 1,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := resultBytes(cfg.Modules)
+	send := func(chunk uint32) {
+		t.Helper()
+		if ds := sw.Handle(0, EncodeAdd(0, chunk, []float32{float32(chunk)})); len(ds) != 1 {
+			t.Fatalf("chunk %d: deliveries %v", chunk, ds)
+		}
+	}
+	send(0)
+	send(1)
+	st, _ := sw.JobStats(0)
+	if st.CacheBytes != uint64(2*one) {
+		t.Fatalf("cache after 2 chunks = %d, want %d", st.CacheBytes, 2*one)
+	}
+	// Chunk 2 completes: chunk 0's cache (its bank partner) is evicted.
+	send(2)
+	st, _ = sw.JobStats(0)
+	if st.CacheBytes != uint64(2*one) {
+		t.Fatalf("cache after window advance = %d, want %d (chunk 0 not evicted?)", st.CacheBytes, 2*one)
+	}
+	// Drive a long run: the cache must stay bounded at Pool live entries.
+	for c := uint32(3); c < 64; c++ {
+		send(c)
+	}
+	st, _ = sw.JobStats(0)
+	if st.CacheBytes != uint64(cfg.Pool*one) {
+		t.Fatalf("cache after 64 chunks = %d, want %d", st.CacheBytes, cfg.Pool*one)
+	}
+	// A duplicate of a still-cached chunk replays from cache and counts a
+	// hit; a duplicate of an evicted chunk gets nothing (and no panic).
+	if ds := sw.Handle(0, EncodeAdd(0, 63, []float32{63})); len(ds) != 1 {
+		t.Fatalf("replay from cache: %v", ds)
+	}
+	st, _ = sw.JobStats(0)
+	if st.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.CacheHits)
+	}
+	if ds := sw.Handle(0, EncodeAdd(0, 60, []float32{60})); ds != nil {
+		t.Fatalf("evicted-cache duplicate produced deliveries: %v", ds)
+	}
+}
+
+// TestReleaseFreesCaches: evicting an idle job zeroes its cache gauge —
+// the "idle or evicted job's cache is never freed" half of the leak fix.
+func TestReleaseFreesCaches(t *testing.T) {
+	cfg := dynCfg(1, 4, 2, 1, 1)
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := uint32(0); c < 4; c++ {
+		sw.Handle(0, EncodeAdd(0, c, []float32{1}))
+	}
+	if st, _ := sw.JobStats(0); st.CacheBytes == 0 {
+		t.Fatal("no cache built up")
+	}
+	if err := sw.Evict(0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := sw.JobStats(0); st.CacheBytes != 0 {
+		t.Fatalf("cache survives eviction: %+v", st)
+	}
+	for _, sh := range sw.shards {
+		sh.mu.Lock()
+		for i := range sh.slot {
+			if sh.slot[i].cached != nil {
+				sh.mu.Unlock()
+				t.Fatalf("slot %d still caches a result after release", i)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// TestWireLifecycleGating: the wire control plane is observer-only and
+// opt-in; in-process Admit/Evict work regardless.
+func TestWireLifecycleGating(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 1, Modules: 1, Jobs: 1, Capacity: 2,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()} // Dynamic: false
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := sw.Handle(ObserverWorker, EncodeJobAdmit(1))
+	if len(ds) != 1 {
+		t.Fatalf("disabled admit deliveries: %v", ds)
+	}
+	if _, status, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckErrDisabled {
+		t.Fatalf("disabled admit ack: %v %v", status, err)
+	}
+	if err := sw.Admit(1); err != nil {
+		t.Fatalf("in-process admit on a static switch: %v", err)
+	}
+
+	dyn, err := NewSwitch(dynCfg(1, 1, 1, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A worker port must not drive the control plane.
+	before := dyn.Rejects().Malformed
+	if ds := dyn.Handle(0, EncodeJobAdmit(1)); ds != nil {
+		t.Fatalf("worker-port admit answered: %v", ds)
+	}
+	if got := dyn.Rejects().Malformed; got != before+1 {
+		t.Fatalf("Malformed %d → %d, want +1", before, got)
+	}
+	// The observer path drives the full round trip.
+	for _, step := range []struct {
+		pkt  []byte
+		want AckStatus
+	}{
+		{EncodeJobAdmit(1), AckAdmitted},
+		{EncodeJobAdmit(1), AckErrAlreadyAdmitted},
+		{EncodeJobEvict(1), AckEvicting},
+		{EncodeJobEvict(1), AckErrNotAdmitted},
+		{EncodeJobAdmit(9), AckErrUnknownJob},
+		{EncodeJobEvict(9), AckErrUnknownJob},
+	} {
+		ds := dyn.Handle(ObserverWorker, step.pkt)
+		if len(ds) != 1 {
+			t.Fatalf("step %v: deliveries %v", step.want, ds)
+		}
+		if _, status, err := DecodeJobAck(ds[0].Packet); err != nil || status != step.want {
+			t.Fatalf("ack = %v (err %v), want %v", status, err, step.want)
+		}
+	}
+	// Admit until the free-list runs dry.
+	dyn.Handle(ObserverWorker, EncodeJobEvict(0))
+	dyn.Handle(ObserverWorker, EncodeJobAdmit(0))
+	dyn.Handle(ObserverWorker, EncodeJobAdmit(1))
+	ds = dyn.Handle(ObserverWorker, EncodeJobAdmit(0))
+	if _, status, _ := DecodeJobAck(ds[0].Packet); status != AckErrAlreadyAdmitted {
+		t.Fatalf("ack = %v", status)
+	}
+}
+
+// TestOnLifecycleHook records the event stream for an admit → evict cycle.
+func TestOnLifecycleHook(t *testing.T) {
+	sw, err := NewSwitch(dynCfg(1, 1, 1, 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		job int
+		e   LifecycleEvent
+	}
+	var got []ev
+	sw.OnLifecycle = func(job int, e LifecycleEvent) { got = append(got, ev{job, e}) }
+	if err := sw.Admit(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Evict(1); err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{{1, EventAdmitted}, {1, EventDraining}, {1, EventEvicted}}
+	if len(got) != len(want) {
+		t.Fatalf("events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %v/%v, want %v/%v", i, got[i].job, got[i].e, want[i].job, want[i].e)
+		}
+	}
+}
+
+// TestStatsReplyRoundTrip pins the extended stats wire layout (phase and
+// cache counters) and the truncation hardening.
+func TestStatsReplyRoundTrip(t *testing.T) {
+	in := JobStats{
+		Phase: PhaseDraining, Adds: 12, Retransmits: 3, Completions: 4,
+		QuotaDrops: 5, Outstanding: -6, CacheHits: 7, CacheBytes: 80,
+	}
+	pkt := encodeStatsReply(259, in)
+	job, out, err := DecodeStatsReply(pkt)
+	if err != nil || job != 259 || out != in {
+		t.Fatalf("round trip: job=%d out=%+v err=%v", job, out, err)
+	}
+	for cut := 1; cut < len(pkt); cut++ {
+		_, _, err := DecodeStatsReply(pkt[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if cut >= 2 && !errors.Is(err, ErrTruncated) && cut >= statsReqBytes {
+			// Short frames below the header are generic wire errors; once
+			// the type is readable, truncation must be identified as such.
+			t.Fatalf("truncation at %d: %v, want ErrTruncated", cut, err)
+		}
+	}
+	if _, _, err := DecodeStatsReply(append(pkt, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := append([]byte(nil), pkt...)
+	bad[4] = 9 // unknown phase
+	if _, _, err := DecodeStatsReply(bad); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+}
+
+// TestJobAckRoundTrip pins the ack codec and its hardening.
+func TestJobAckRoundTrip(t *testing.T) {
+	for status := AckAdmitted; status <= AckErrDisabled; status++ {
+		pkt := EncodeJobAck(77, status)
+		job, got, err := DecodeJobAck(pkt)
+		if err != nil || job != 77 || got != status {
+			t.Fatalf("status %v: job=%d got=%v err=%v", status, job, got, err)
+		}
+	}
+	if _, _, err := DecodeJobAck(EncodeJobAck(0, AckAdmitted)[:4]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated ack: %v", err)
+	}
+	if _, _, err := DecodeJobAck(append(EncodeJobAck(0, AckAdmitted), 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, _, err := DecodeJobAck([]byte{WireVersion, MsgJobAck, 0, 0, 200}); err == nil {
+		t.Fatal("unknown status accepted")
+	}
+	if _, _, err := DecodeJobAck([]byte{MsgAdd, 0, 0, 0, 0}); !errors.Is(err, ErrLegacyWire) {
+		t.Fatalf("legacy framing: %v", err)
+	}
+	// Err round trip: every status maps to the sentinel the wire client
+	// needs for errors.Is parity with in-process callers.
+	if AckAdmitted.Err() != nil || AckEvicting.Err() != nil {
+		t.Fatal("success ack carries an error")
+	}
+	if !errors.Is(AckErrNoCapacity.Err(), ErrNoCapacity) || !errors.Is(AckEvicted.Err(), ErrJobEvicted) {
+		t.Fatal("ack error mapping broken")
+	}
+}
+
+// TestLifecycleValidation covers the new Config checks.
+func TestLifecycleValidation(t *testing.T) {
+	base := Config{Workers: 1, Pool: 2, Modules: 1, Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	for name, mutate := range map[string]func(*Config){
+		"negative capacity":   func(c *Config) { c.Capacity = -1 },
+		"capacity under jobs": func(c *Config) { c.Jobs = 3; c.Capacity = 2 },
+		"capacity over ids":   func(c *Config) { c.Capacity = MaxJobs + 1 },
+		"negative drain":      func(c *Config) { c.DrainTimeout = -time.Second },
+		"shards over cap":     func(c *Config) { c.Capacity = 2; c.Shards = 2*2*c.Pool + 1 },
+	} {
+		c := base
+		mutate(&c)
+		if _, err := NewSwitch(c); err == nil {
+			t.Errorf("%s accepted: %+v", name, c)
+		}
+	}
+	// Capacity widens the slot space exactly like extra jobs do.
+	c := base
+	c.Capacity = 3
+	c.Shards = 3 * 2 * c.Pool
+	if _, err := NewSwitch(c); err != nil {
+		t.Errorf("max shards with capacity 3 rejected: %v", err)
+	}
+}
+
+// TestLifecycleChurnRace hammers admit/evict against concurrent traffic on
+// every job id — run under -race this is the control-plane race test.
+func TestLifecycleChurnRace(t *testing.T) {
+	cfg := dynCfg(1, 4, 4, 2, 4)
+	cfg.DrainTimeout = 5 * time.Millisecond
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			job := g
+			for c := uint32(0); ; c++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sw.Handle(cfg.Port(job, 0), EncodeAdd(job, c%64, []float32{1}))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			job := i % 4
+			if sw.JobPhaseOf(job) == PhaseAdmitted {
+				_ = sw.Evict(job)
+			} else {
+				_ = sw.Admit(job)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	// Invariant: every range is accounted exactly once, free or assigned.
+	sw.lifeMu.Lock()
+	defer sw.lifeMu.Unlock()
+	seen := map[int]bool{}
+	for _, ri := range sw.freeRanges {
+		if seen[ri] {
+			t.Fatalf("range %d twice in the free-list", ri)
+		}
+		seen[ri] = true
+	}
+	for j := range sw.jobs {
+		if ri := int(sw.jobs[j].rangeIdx.Load()); ri >= 0 {
+			if seen[ri] {
+				t.Fatalf("range %d both free and assigned to job %d", ri, j)
+			}
+			seen[ri] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("%d of 4 ranges accounted", len(seen))
+	}
+}
