@@ -8,8 +8,10 @@ package fpisa
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fpisa/internal/aggservice"
 	"fpisa/internal/banzai"
@@ -21,6 +23,7 @@ import (
 	"fpisa/internal/query"
 	"fpisa/internal/tcam"
 	"fpisa/internal/train"
+	"fpisa/internal/transport"
 )
 
 // BenchmarkTable1_ALUSynthesis regenerates the synthesis cost model.
@@ -340,6 +343,143 @@ func BenchmarkShardedSwitch(b *testing.B) {
 				}
 			})
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkFabricThroughput measures raw fabric packet throughput at 8
+// workers: the ring-backed vectored path (SendBatch/RecvBatch with
+// reusable buffers) against the legacy copying shim (one packet, one
+// allocation, one lock round per call). The handler answers every request
+// with a canned immutable reply, so the numbers isolate fabric overhead —
+// the gap is the PR's zero-copy payoff.
+func BenchmarkFabricThroughput(b *testing.B) {
+	const (
+		workers  = 8
+		batch    = 32
+		paySize  = 64
+		ringSize = 4096
+	)
+	reply := make([]byte, paySize)
+	reply[0] = 0xF2
+	handler := func(w int, pkts [][]byte, out *transport.DeliveryList) {
+		for range pkts {
+			out.Unicast(w, reply)
+		}
+	}
+	payload := make([]byte, paySize)
+	run := func(b *testing.B, sendRecv func(fab *transport.Memory, w, n int)) {
+		fab, err := transport.NewMemory(transport.MemoryConfig{
+			Workers: workers, BatchHandler: handler, QueueDepth: ringSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fab.Close()
+		b.SetBytes(paySize)
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sendRecv(fab, w, b.N/workers)
+			}(w)
+		}
+		wg.Wait()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	}
+
+	b.Run("legacy-shim", func(b *testing.B) {
+		run(b, func(fab *transport.Memory, w, n int) {
+			for i := 0; i < n; i++ {
+				if err := transport.Send(fab, w, payload); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := transport.Recv(fab, w, time.Second); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+	b.Run("batched-ring", func(b *testing.B) {
+		pkts := make([][]byte, batch)
+		for i := range pkts {
+			pkts[i] = payload
+		}
+		run(b, func(fab *transport.Memory, w, n int) {
+			bufs := make([][]byte, batch)
+			for i := 0; i < n; i += batch {
+				if err := fab.SendBatch(w, pkts); err != nil {
+					b.Error(err)
+					return
+				}
+				for got := 0; got < batch; {
+					k, err := fab.RecvBatch(w, bufs[got:], time.Second)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					got += k
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkAdaptiveBatch measures a full single-worker all-reduce through
+// the vectored Memory fabric with the adaptive batch controller, on a
+// clean path and under 10% injected loss — the pkts/s the protocol
+// sustains while the batch size self-tunes, plus where it settles.
+func BenchmarkAdaptiveBatch(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		loss float64
+	}{
+		{"clean", 0},
+		{"loss10", 0.10},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := aggservice.Config{Workers: 1, Pool: 64, Modules: 1, Shards: 4,
+				Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+			vec := make([]float32, 4096)
+			for i := range vec {
+				vec[i] = float32(i%13) * 0.5
+			}
+			var pkts uint64
+			var lastBatch int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // switch construction is not the protocol cost
+				sw, err := aggservice.NewSwitch(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fab, err := transport.NewMemory(transport.MemoryConfig{
+					Workers: 1, BatchHandler: sw.HandleBatch,
+					UplinkLoss: tc.loss, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := aggservice.NewWorker(0, fab, cfg)
+				w.Batch = 32
+				w.Timeout = 2 * time.Millisecond
+				w.Retries = 100_000
+				b.StartTimer()
+				if _, err := w.Reduce(vec); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				pkts += w.SentPackets
+				lastBatch = w.LastBatch
+				fab.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(pkts)/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(lastBatch), "final-batch")
 		})
 	}
 }

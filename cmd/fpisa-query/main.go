@@ -162,7 +162,7 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 		// The switch answers stats requests for unknown jobs with an
 		// explicit lifecycle ack; surface it as the scriptable error.
 		if len(pkt) >= 2 && pkt[0] == aggservice.WireVersion && pkt[1] == aggservice.MsgJobAck {
-			gotJob, status, err := aggservice.DecodeJobAck(pkt)
+			gotJob, status, _, err := aggservice.DecodeJobAck(pkt)
 			if err != nil || gotJob != job {
 				return false, nil // stray or garbled ack: keep listening
 			}
@@ -203,12 +203,14 @@ func lifecycleRequest(w io.Writer, addr string, msgType byte, job int, timeout t
 		verb = "evict"
 	}
 	var status aggservice.AckStatus
+	var epoch uint8
 	err := observerExchange(addr, req, timeout, func(pkt []byte, attempt int) (bool, error) {
-		gotJob, got, err := aggservice.DecodeJobAck(pkt)
+		gotJob, got, gotEpoch, err := aggservice.DecodeJobAck(pkt)
 		if err != nil || gotJob != job {
 			return false, nil
 		}
 		status = got
+		epoch = gotEpoch
 		serr := got.Err()
 		if serr == nil {
 			return true, nil
@@ -232,6 +234,9 @@ func lifecycleRequest(w io.Writer, addr string, msgType byte, job int, timeout t
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "switch %s: job %d %s\n", addr, job, status)
+	// The echoed incarnation epoch is operational output: workers of a
+	// re-admitted job id must stamp it into their ADDs (Worker.Epoch) or
+	// the switch rejects their traffic as stale.
+	fmt.Fprintf(w, "switch %s: job %d %s (epoch %d)\n", addr, job, status, epoch)
 	return nil
 }

@@ -26,7 +26,7 @@ func startSwitch(t *testing.T, cfg aggservice.Config) (*aggservice.Switch, strin
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { conn.Close() })
-	go func() { _ = transport.ServeConn(conn, cfg.Ports(), sw.Handle) }()
+	go func() { _ = transport.ServeConn(conn, cfg.Ports(), sw.HandleBatch) }()
 	return sw, conn.LocalAddr().String()
 }
 

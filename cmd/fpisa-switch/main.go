@@ -206,7 +206,7 @@ func main() {
 		}()
 	}
 
-	if err := transport.ServeConn(conn, cfg.Ports(), sw.Handle); err != nil {
+	if err := transport.ServeConn(conn, cfg.Ports(), sw.HandleBatch); err != nil {
 		log.Fatalf("fpisa-switch: %v", err)
 	}
 	log.Fatal("fpisa-switch: socket closed")

@@ -35,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fab, err := transport.NewUDP(cfg.Ports(), sw.Handle)
+	fab, err := transport.NewUDP(cfg.Ports(), sw.HandleBatch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,8 +50,10 @@ func main() {
 	}
 
 	var results [jobs][][]float32
+	var wks [jobs][]*aggservice.Worker
 	for j := range results {
 		results[j] = make([][]float32, workers)
+		wks[j] = make([]*aggservice.Worker, workers)
 	}
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -62,6 +64,7 @@ func main() {
 				defer wg.Done()
 				wk := aggservice.NewJobWorker(j, w, fab, cfg)
 				wk.Timeout = 100 * time.Millisecond
+				wks[j][w] = wk
 				out, err := wk.Reduce(jobVecs[j][w])
 				if err != nil {
 					log.Fatalf("job %d worker %d: %v", j, w, err)
@@ -74,6 +77,19 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Printf("both jobs reduced %d elements each in %v over one shared switch\n",
 		vecLen, elapsed.Round(time.Millisecond))
+	for j := 0; j < jobs; j++ {
+		var pkts, dgrams, shrinks, grows uint64
+		last := 0
+		for _, wk := range wks[j] {
+			pkts += wk.SentPackets
+			dgrams += wk.SentDatagrams
+			shrinks += wk.BatchShrinks
+			grows += wk.BatchGrows
+			last = wk.LastBatch
+		}
+		fmt.Printf("job %d adaptive batching: %d ADDs in %d send vectors (%.1f chunks/vector), batch %d at finish (shrinks=%d grows=%d)\n",
+			j, pkts, dgrams, float64(pkts)/float64(max(dgrams, 1)), last, shrinks, grows)
+	}
 
 	for j := 0; j < jobs; j++ {
 		exact := gradients.AggregateExact(jobVecs[j])

@@ -46,7 +46,7 @@ func main() {
 		}
 		fmt.Printf("  [switch] job %d %s — range back on the free-list\n", job, ev)
 	}
-	fab, err := transport.NewUDP(cfg.Ports(), sw.Handle)
+	fab, err := transport.NewUDP(cfg.Ports(), sw.HandleBatch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,8 +55,10 @@ func main() {
 		fab.SwitchAddr(), sw.Shards(), sw.Jobs(), workers)
 
 	// The operator's control path: observer-framed datagrams to the same
-	// switch socket, exactly what `fpisa-query -admit/-evict` sends.
-	control := func(req []byte) aggservice.AckStatus {
+	// switch socket, exactly what `fpisa-query -admit/-evict` sends. The
+	// ack echoes the job's incarnation epoch — the octet the admitted
+	// job's workers must stamp into their ADDs.
+	control := func(req []byte) (aggservice.AckStatus, uint8) {
 		conn, err := net.DialUDP("udp", nil, fab.SwitchAddr())
 		if err != nil {
 			log.Fatal(err)
@@ -73,15 +75,15 @@ func main() {
 			if err != nil {
 				continue
 			}
-			if _, status, err := aggservice.DecodeJobAck(buf[:n]); err == nil {
-				return status
+			if _, status, epoch, err := aggservice.DecodeJobAck(buf[:n]); err == nil {
+				return status, epoch
 			}
 		}
 		log.Fatal("control plane: no ack")
-		return 0
+		return 0, 0
 	}
 
-	reduce := func(job int, vecs [][]float32) ([][]float32, []error) {
+	reduce := func(job int, epoch uint8, vecs [][]float32) ([][]float32, []error) {
 		out := make([][]float32, workers)
 		errs := make([]error, workers)
 		var wg sync.WaitGroup
@@ -91,11 +93,21 @@ func main() {
 				defer wg.Done()
 				wk := aggservice.NewJobWorker(job, w, fab, cfg)
 				wk.Timeout = 50 * time.Millisecond
+				wk.Epoch = epoch
 				out[w], errs[w] = wk.Reduce(vecs[w])
 			}(w)
 		}
 		wg.Wait()
 		return out, errs
+	}
+	admit := func(job int) uint8 {
+		status, epoch := control(aggservice.EncodeJobAdmit(job))
+		fmt.Printf("  [operator] admit job %d: %v (epoch %d)\n", job, status, epoch)
+		return epoch
+	}
+	evict := func(job int) {
+		status, _ := control(aggservice.EncodeJobEvict(job))
+		fmt.Printf("  [operator] evict job %d: %v\n", job, status)
 	}
 
 	// Job 0: the long-lived tenant, reducing throughout the churn below.
@@ -105,26 +117,26 @@ func main() {
 	done0 := make(chan struct{})
 	go func() {
 		defer close(done0)
-		results0, errs0 = reduce(0, vecs0)
+		results0, errs0 = reduce(0, 0, vecs0)
 	}()
 
 	// Churn: admit job 1, reduce, evict it; its freed slot range is then
 	// handed to job 2 — no restart, no disturbance to job 0.
 	fmt.Println("\n-- admit job 1 while job 0 reduces --")
-	fmt.Printf("  [operator] admit job 1: %v\n", control(aggservice.EncodeJobAdmit(1)))
+	epoch1 := admit(1)
 	vecs1 := gradients.NewGenerator(gradients.ResNet50, 2).WorkerGradients(workers, 128)
-	if _, errs := reduce(1, vecs1); firstErr(errs) != nil {
+	if _, errs := reduce(1, epoch1, vecs1); firstErr(errs) != nil {
 		log.Fatalf("job 1: %v", firstErr(errs))
 	}
 	st1, _ := sw.JobStats(1)
 	fmt.Printf("  job 1 reduced 128 elements: adds=%d chunks=%d cacheBytes=%d\n",
 		st1.Adds, st1.Completions, st1.CacheBytes)
-	fmt.Printf("  [operator] evict job 1: %v\n", control(aggservice.EncodeJobEvict(1)))
+	evict(1)
 
 	fmt.Println("\n-- admit job 2 into the recycled range --")
-	fmt.Printf("  [operator] admit job 2: %v\n", control(aggservice.EncodeJobAdmit(2)))
+	epoch2 := admit(2)
 	vecs2 := gradients.NewGenerator(gradients.BERT, 3).WorkerGradients(workers, 128)
-	if _, errs := reduce(2, vecs2); firstErr(errs) != nil {
+	if _, errs := reduce(2, epoch2, vecs2); firstErr(errs) != nil {
 		log.Fatalf("job 2: %v", firstErr(errs))
 	}
 	fmt.Println("  job 2 reduced 128 elements on job 1's former slots")
@@ -135,7 +147,7 @@ func main() {
 	bigVecs := gradients.NewGenerator(gradients.BERT, 4).WorkerGradients(workers, 100_000)
 	evicted := make(chan []error, 1)
 	go func() {
-		_, errs := reduce(2, bigVecs)
+		_, errs := reduce(2, epoch2, bigVecs)
 		evicted <- errs
 	}()
 	for { // wait until the reduce is demonstrably in flight
@@ -144,10 +156,28 @@ func main() {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	fmt.Printf("  [operator] evict job 2: %v\n", control(aggservice.EncodeJobEvict(2)))
+	evict(2)
 	for _, err := range <-evicted {
 		fmt.Printf("  reduce aborted: %v (ErrJobEvicted: %v)\n", err, errors.Is(err, aggservice.ErrJobEvicted))
 	}
+
+	// Re-admit job 2: the new incarnation's epoch makes any datagram still
+	// buffered from the evicted incarnation visibly stale — the wire-epoch
+	// fix for the limitation the old doc.go documented.
+	fmt.Println("\n-- re-admit job 2: stale datagrams from the old incarnation bounce --")
+	for sw.JobPhaseOf(2) != aggservice.PhaseVacant {
+		time.Sleep(5 * time.Millisecond) // let the drain release the range
+	}
+	epoch2b := admit(2)
+	wkStale := aggservice.NewJobWorker(2, 0, fab, cfg)
+	wkStale.Epoch = epoch2 // the evicted incarnation's octet
+	wkStale.Timeout = 20 * time.Millisecond
+	wkStale.Retries = 2
+	if _, err := wkStale.Reduce(vecs2[0]); errors.Is(err, aggservice.ErrJobEvicted) {
+		fmt.Printf("  stale epoch-%d worker refused: %v\n", epoch2, err)
+	}
+	staleRejects := sw.Rejects().Stale
+	fmt.Printf("  switch counted %d stale ADDs; fresh epoch is %d\n", staleRejects, epoch2b)
 
 	// Job 0 sailed through all of it.
 	<-done0

@@ -12,9 +12,14 @@
 //     and driven by packets, with the paper's resource accounting.
 //   - Sum / CompareKey — one-shot helpers.
 //
-// The substrates (pipeline simulator, protocol stacks, workload models,
-// benchmark harnesses) live under internal/; the cmd/fpisa-bench tool
-// regenerates every table and figure of the paper's evaluation.
+// The substrates live under internal/: the pipeline simulator, the
+// aggregation service (a multi-tenant sharded switch with a runtime job
+// lifecycle), and the transport fabrics it runs over — a vectored,
+// buffer-reusing I/O contract (internal/transport's SendBatch/RecvBatch/
+// BatchHandler) that moves packet vectors per pipeline pass instead of one
+// datagram and two copies at a time. The cmd/fpisa-bench tool regenerates
+// every table and figure of the paper's evaluation; cmd/fpisa-switch and
+// cmd/fpisa-query run and operate the service over real sockets.
 package fpisa
 
 import (
@@ -178,5 +183,6 @@ func MaxModules(extended bool) int {
 	return core.MaxModules(arch)
 }
 
-// Version identifies the reproduction.
-const Version = "fpisa-repro 1.0 (NSDI'22 reproduction)"
+// Version identifies the reproduction. 1.1 redesigned the transport layer
+// around vectored zero-copy I/O and adaptive batching.
+const Version = "fpisa-repro 1.1 (NSDI'22 reproduction)"

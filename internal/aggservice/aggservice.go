@@ -196,7 +196,7 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 
 // Wire layout (see doc.go for the rationale):
 //
-//	add    = [ver(1) type(1) job(2) chunk(4) values(4·M)]
+//	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(4·M)]
 //	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
@@ -204,8 +204,18 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 //	          drops(8) outstanding(8) cacheHits(8) cacheBytes(8)]
 //	admit  = [ver(1) type(1) job(2)]
 //	evict  = [ver(1) type(1) job(2)]
-//	ack    = [ver(1) type(1) job(2) status(1)]
+//	ack    = [ver(1) type(1) job(2) status(1) epoch(1)]
+//
+// The ADD's epoch octet is the job's incarnation: it is compared against
+// the switch's release counter (mod 256), so a datagram buffered from an
+// evicted incarnation of a re-admitted job id is rejected as stale instead
+// of binding a chunk into the fresh range. Lifecycle acks echo the
+// incarnation so newly admitted workers learn the octet to carry.
 const hdrBytes = 8
+
+// addValOff is the offset of an ADD's value vector: the shared header plus
+// the incarnation epoch octet.
+const addValOff = hdrBytes + 1
 
 // batchHdrBytes is the batch frame header; each framed message adds a
 // two-byte length prefix.
@@ -217,23 +227,26 @@ const (
 	statsReqBytes     = 4
 	statsReplyBytes   = 4 + 1 + 7*8
 	lifecycleReqBytes = 4
-	jobAckBytes       = 5
+	jobAckBytes       = 6
 )
 
 // maxDatagram is the largest payload the UDP fabric can carry.
 const maxDatagram = 65507
 
-func addBytes(modules int) int    { return hdrBytes + 4*modules }
+func addBytes(modules int) int    { return addValOff + 4*modules }
 func resultBytes(modules int) int { return hdrBytes + 4*modules + 1 }
 
-// maxBatchChunks bounds how many chunks fit in one batch. The binding
+// maxBatchChunks bounds how many chunks ride one wire batch. The binding
 // constraint is the *downlink*: a full ADD batch can complete every chunk
-// at once, and the coalesced RESULT batch (one byte larger per message)
-// plus the UDP fabric's one-byte worker frame must still fit a datagram —
-// an undeliverable result batch would stall the protocol for good.
+// at once, and the coalesced RESULT vector (one byte larger per message,
+// two bytes of length prefix each, four bytes of transport batch-frame
+// header) must still fit a datagram — an undeliverable result batch would
+// stall the protocol for good. The transport's own frame splitting keeps
+// the vectored path safe regardless; this bound also caps the legacy
+// MsgBatch coalescing, which cannot split after the fact.
 func maxBatchChunks(modules int) int {
-	const frameByte = 1 // transport.UDP worker-ID framing
-	n := (maxDatagram - frameByte - batchHdrBytes) / (2 + resultBytes(modules))
+	const frameHdr = 4 // transport batch-frame header (≥ MsgBatch's too)
+	n := (maxDatagram - frameHdr) / (2 + resultBytes(modules))
 	if n < 1 {
 		n = 1
 	}
@@ -263,12 +276,22 @@ func wireType(pkt []byte) (byte, error) {
 	return pkt[1], nil
 }
 
-// EncodeAdd builds a worker ADD packet for one job's chunk.
+// EncodeAdd builds a worker ADD packet for one job's chunk, carrying
+// incarnation epoch 0 — the first incarnation of every job id. Workers of
+// re-admitted jobs use EncodeAddEpoch with the octet echoed in the admit
+// ack.
 func EncodeAdd(job int, chunk uint32, vals []float32) []byte {
+	return EncodeAddEpoch(job, chunk, 0, vals)
+}
+
+// EncodeAddEpoch builds a worker ADD packet stamped with the job's
+// incarnation epoch.
+func EncodeAddEpoch(job int, chunk uint32, epoch uint8, vals []float32) []byte {
 	pkt := make([]byte, addBytes(len(vals)))
 	putHeader(pkt, MsgAdd, job, chunk)
+	pkt[hdrBytes] = epoch
 	for i, v := range vals {
-		binary.BigEndian.PutUint32(pkt[hdrBytes+4*i:], math.Float32bits(v))
+		binary.BigEndian.PutUint32(pkt[addValOff+4*i:], math.Float32bits(v))
 	}
 	return pkt
 }
@@ -451,6 +474,10 @@ type WireRejects struct {
 	// evicted; in-flight chunks still complete, new ones are refused with
 	// a MsgJobAck notice.
 	Draining uint64
+	// Stale counts ADDs whose incarnation epoch octet does not match the
+	// job's current incarnation — datagrams buffered in the network from
+	// an evicted incarnation of a re-admitted job id.
+	Stale uint64
 }
 
 // jobState is a job's live counters plus its lifecycle state; all atomic
@@ -518,7 +545,11 @@ type Switch struct {
 	freeRanges  []int
 	drainTimers []*time.Timer
 
-	rejLegacy, rejMalformed, rejBadJob, rejCrossJob, rejDraining atomic.Uint64
+	// scratchPool recycles the per-HandleBatch grouping state so the hot
+	// path does not allocate per packet vector.
+	scratchPool sync.Pool
+
+	rejLegacy, rejMalformed, rejBadJob, rejCrossJob, rejDraining, rejStale atomic.Uint64
 }
 
 // shard is one pipeline replica plus the protocol state for its slots.
@@ -583,6 +614,12 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 		s.shards = append(s.shards, sh)
 	}
+	s.scratchPool.New = func() any {
+		return &batchScratch{
+			byShard: make([][]int, nsh),
+			vals:    make([]float32, 0, cfg.Modules),
+		}
+	}
 	return s, nil
 }
 
@@ -605,44 +642,124 @@ func (s *Switch) slotOf(ri int, chunk uint32) int {
 	return ri*2*s.cfg.Pool + int(chunk%pool+pool*(chunk/pool%2))
 }
 
-// Handle implements transport.Handler. It is safe for concurrent use:
-// only the shard owning the packet's slot is locked. worker is the
-// transport port (job·Workers + worker-in-job), or ObserverWorker for
-// out-of-band stats requests.
+// Handle is the single-packet compatibility shim over HandleBatch, kept
+// for per-packet fabric paths and tests; it allocates the returned slice
+// per call, which the vectored path avoids.
 func (s *Switch) Handle(worker int, pkt []byte) []transport.Delivery {
+	var dl transport.DeliveryList
+	s.HandleBatch(worker, [][]byte{pkt}, &dl)
+	return dl.Take()
+}
+
+// HandleBatch implements transport.BatchHandler: it ingests one worker's
+// whole packet vector per invocation. ADDs (bare or riding a MsgBatch
+// frame) are validated, grouped by destination shard, and each shard's
+// group is processed under ONE lock acquisition — one lock round per shard
+// per batch instead of one per chunk — so a full protocol window costs as
+// many lock rounds as it spans shards. It is safe for concurrent use:
+// only the shards owning the batch's slots are locked, one at a time.
+// worker is the transport port (job·Workers + worker-in-job), or
+// ObserverWorker for out-of-band control traffic.
+func (s *Switch) HandleBatch(worker int, pkts [][]byte, out *transport.DeliveryList) {
 	if worker < ObserverWorker || worker >= s.cfg.Ports() {
-		return nil
+		return
 	}
-	typ, err := wireType(pkt)
-	if err != nil {
-		s.countWireErr(err)
-		return nil
-	}
-	if typ == MsgStats {
-		return s.handleStats(worker, pkt)
-	}
-	if typ == MsgJobAdmit || typ == MsgJobEvict {
-		return s.handleLifecycle(worker, typ, pkt)
-	}
-	if worker == ObserverWorker {
-		// Observers may only drive the stats/lifecycle control plane:
-		// anything else is refused.
-		s.rejMalformed.Add(1)
-		return nil
-	}
-	switch typ {
-	case MsgBatch:
-		msgs, err := DecodeBatch(pkt)
+	sc := s.scratchPool.Get().(*batchScratch)
+	defer s.putScratch(sc)
+	for _, pkt := range pkts {
+		typ, err := wireType(pkt)
 		if err != nil {
 			s.countWireErr(err)
-			return nil
+			continue
 		}
-		return s.handleBatch(worker, msgs)
-	case MsgAdd:
-		return s.handleAdd(worker, pkt)
+		if typ == MsgStats {
+			s.handleStats(worker, pkt, out)
+			continue
+		}
+		if typ == MsgJobAdmit || typ == MsgJobEvict {
+			s.handleLifecycle(worker, typ, pkt, out)
+			continue
+		}
+		if worker == ObserverWorker {
+			// Observers may only drive the stats/lifecycle control
+			// plane: anything else is refused.
+			s.rejMalformed.Add(1)
+			continue
+		}
+		switch typ {
+		case MsgBatch:
+			// Legacy wire batching: flatten the framed ADDs into the same
+			// shard groups a vectored uplink produces. Only ADDs may ride
+			// in a batch; DecodeBatch already refused nested batches, and
+			// stats traffic is kept out-of-band.
+			msgs, err := DecodeBatch(pkt)
+			if err != nil {
+				s.countWireErr(err)
+				continue
+			}
+			for _, m := range msgs {
+				mt, merr := wireType(m)
+				if merr != nil {
+					s.countWireErr(merr)
+					continue
+				}
+				if mt != MsgAdd {
+					s.rejMalformed.Add(1)
+					continue
+				}
+				s.classifyAdd(worker, m, sc, out)
+			}
+		case MsgAdd:
+			s.classifyAdd(worker, pkt, sc, out)
+		default:
+			s.rejMalformed.Add(1)
+		}
 	}
-	s.rejMalformed.Add(1)
-	return nil
+	s.processAdds(worker, sc, out)
+}
+
+// batchScratch is one HandleBatch invocation's reusable grouping state,
+// recycled through Switch.scratchPool.
+type batchScratch struct {
+	adds    []addReq
+	byShard [][]int // indices into adds, grouped by destination shard
+	touched []int   // shards with pending ADDs, in first-touch order
+	vals    []float32
+	frees   []freeReq // cross-shard cache frees, run after the shard unlock
+	drains  []int     // draining jobs that completed a chunk this round
+}
+
+// addReq is one validated ADD waiting for its shard's lock round.
+type addReq struct {
+	pkt   []byte
+	job   int
+	ri    int
+	epoch uint64
+	chunk uint32
+	gs    int
+}
+
+// freeReq is a deferred cross-shard result-cache free (see
+// freeCachedResult).
+type freeReq struct {
+	js     *jobState
+	epoch  uint64
+	gs     int
+	pchunk int64
+}
+
+func (s *Switch) putScratch(sc *batchScratch) {
+	for i := range sc.adds {
+		sc.adds[i].pkt = nil
+	}
+	sc.adds = sc.adds[:0]
+	for _, k := range sc.touched {
+		sc.byShard[k] = sc.byShard[k][:0]
+	}
+	sc.touched = sc.touched[:0]
+	sc.frees = sc.frees[:0]
+	sc.drains = sc.drains[:0]
+	s.scratchPool.Put(sc)
 }
 
 // countWireErr buckets a decode error into the reject counters.
@@ -658,106 +775,43 @@ func (s *Switch) countWireErr(err error) {
 // job id outside the switch's capacity is answered with an explicit
 // MsgJobAck error (and counted), so a probe can distinguish "unknown job"
 // from a lost datagram.
-func (s *Switch) handleStats(worker int, pkt []byte) []transport.Delivery {
+func (s *Switch) handleStats(worker int, pkt []byte, out *transport.DeliveryList) {
 	if len(pkt) != statsReqBytes {
 		s.rejMalformed.Add(1)
-		return nil
+		return
 	}
 	job := int(binary.BigEndian.Uint16(pkt[2:]))
 	if job >= s.ncap {
 		s.rejBadJob.Add(1)
-		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckErrUnknownJob)}}
+		out.Unicast(worker, EncodeJobAck(job, AckErrUnknownJob, 0))
+		return
 	}
 	st, _ := s.JobStats(job)
-	return []transport.Delivery{{Worker: worker, Packet: encodeStatsReply(job, st)}}
+	out.Unicast(worker, encodeStatsReply(job, st))
 }
 
-// handleBatch processes each framed ADD and coalesces the responses:
-// broadcasts merge into one batched broadcast, unicasts into one batched
-// packet per destination port.
-func (s *Switch) handleBatch(worker int, msgs [][]byte) []transport.Delivery {
-	var bcast [][]byte
-	ports := s.cfg.Ports()
-	uni := make([][][]byte, ports)
-	for _, m := range msgs {
-		// Only ADDs may ride in a batch; DecodeBatch already refused
-		// nested batches, and stats traffic is kept out-of-band.
-		typ, err := wireType(m)
-		if err != nil {
-			s.countWireErr(err)
-			continue
-		}
-		if typ != MsgAdd {
-			s.rejMalformed.Add(1)
-			continue
-		}
-		for _, d := range s.handleAdd(worker, m) {
-			switch {
-			case d.Broadcast:
-				bcast = append(bcast, d.Packet)
-			case d.Worker >= 0 && d.Worker < ports:
-				uni[d.Worker] = append(uni[d.Worker], d.Packet)
-			}
-		}
-	}
-	// Split on the same bound the workers use: a client free to exceed the
-	// worker-side cap must not provoke an undeliverable result batch.
-	per := maxBatchChunks(s.cfg.Modules)
-	var out []transport.Delivery
-	for _, group := range splitBatches(bcast, per) {
-		out = append(out, transport.Delivery{Broadcast: true, Packet: coalesce(group)})
-	}
-	for w, ms := range uni {
-		for _, group := range splitBatches(ms, per) {
-			out = append(out, transport.Delivery{Worker: w, Packet: coalesce(group)})
-		}
-	}
-	return out
-}
-
-// splitBatches cuts msgs into groups of at most per messages.
-func splitBatches(msgs [][]byte, per int) [][][]byte {
-	var groups [][][]byte
-	for len(msgs) > per {
-		groups = append(groups, msgs[:per])
-		msgs = msgs[per:]
-	}
-	if len(msgs) > 0 {
-		groups = append(groups, msgs)
-	}
-	return groups
-}
-
-// coalesce wraps several messages into a batch, passing a single message
-// through unframed.
-func coalesce(msgs [][]byte) []byte {
-	if len(msgs) == 1 {
-		return msgs[0]
-	}
-	return EncodeBatch(msgs)
-}
-
-// handleAdd validates one ADD message's tenancy and routes it to its
-// slot's shard.
-func (s *Switch) handleAdd(worker int, pkt []byte) []transport.Delivery {
+// classifyAdd validates one ADD message's tenancy and incarnation and
+// queues it for its slot's shard; refusals are counted (and acked) here so
+// the shard lock rounds only see bindable work.
+func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *transport.DeliveryList) {
 	// Exact-length check: an oversized payload would silently truncate a
 	// garbage ADD into a plausible one, so reject it outright along with
 	// short or mistyped packets.
 	if len(pkt) != addBytes(s.cfg.Modules) {
 		s.rejMalformed.Add(1)
-		return nil
+		return
 	}
 	job := int(binary.BigEndian.Uint16(pkt[2:]))
 	if job >= s.ncap {
 		s.rejBadJob.Add(1)
-		return nil
+		return
 	}
 	// The sending port is bound to its job partition: a packet claiming
 	// another tenant's job id would reach that tenant's slot range, so it
 	// is refused before any slot state is touched.
 	if worker/s.cfg.Workers != job {
 		s.rejCrossJob.Add(1)
-		return nil
+		return
 	}
 	js := &s.jobs[job]
 	// Snapshot the incarnation BEFORE the range: every shard-lock section
@@ -766,29 +820,64 @@ func (s *Switch) handleAdd(worker int, pkt []byte) []transport.Delivery {
 	// this same job id) in between.
 	epoch := js.epoch.Load()
 	ri := int(js.rangeIdx.Load())
+	// Eviction notices echo the OFFENDING packet's epoch octet, not the
+	// job's current one: a worker aborts only on a notice matching its own
+	// incarnation, so a notice provoked by one stale buffered datagram can
+	// never kill the re-admitted incarnation sharing the port.
 	if JobPhase(js.phase.Load()) == PhaseVacant || ri < 0 {
 		// An evicted (or never-admitted) job id on its own port: tell the
 		// worker so it can fail fast instead of retransmitting blind.
 		s.rejBadJob.Add(1)
-		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckEvicted)}}
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes]))
+		return
+	}
+	if pkt[hdrBytes] != uint8(epoch) {
+		// A datagram buffered in the network from an evicted incarnation
+		// of this (re-admitted) job id: without the epoch octet it would
+		// bind a stale chunk into the fresh range (see doc.go).
+		s.rejStale.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes]))
+		return
 	}
 	chunk := binary.BigEndian.Uint32(pkt[4:])
-	vals := make([]float32, s.cfg.Modules)
-	for i := range vals {
-		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
+	gs := s.slotOf(ri, chunk)
+	sc.queue(gs%s.nsh, addReq{pkt: pkt, job: job, ri: ri, epoch: epoch, chunk: chunk, gs: gs})
+}
+
+// queue appends an ADD to its shard's group, tracking first use.
+func (sc *batchScratch) queue(shard int, a addReq) {
+	if len(sc.byShard[shard]) == 0 {
+		sc.touched = append(sc.touched, shard)
 	}
-	ds, completed, partnerGs := s.slotHandle(job, ri, epoch, worker, chunk, vals)
-	if partnerGs >= 0 {
-		// The window provably advanced past chunk−Pool (its whole bank
-		// partner completed): free that slot's cached RESULT. Done after
-		// the owning shard's lock is released — the partner may live on a
-		// different shard.
-		s.freeCachedResult(js, epoch, partnerGs, int64(chunk)-int64(s.cfg.Pool))
+	sc.adds = append(sc.adds, a)
+	sc.byShard[shard] = append(sc.byShard[shard], len(sc.adds)-1)
+}
+
+// processAdds drives the queued ADDs shard by shard: one lock round per
+// shard covers that shard's whole share of the batch. Cross-shard cache
+// frees and drain completions collected under a shard's lock run right
+// after it is released (they take other locks).
+func (s *Switch) processAdds(worker int, sc *batchScratch, out *transport.DeliveryList) {
+	for _, k := range sc.touched {
+		sh := s.shards[k]
+		sh.mu.Lock()
+		for _, idx := range sc.byShard[k] {
+			s.slotHandleLocked(sh, &sc.adds[idx], worker, sc, out)
+		}
+		sh.mu.Unlock()
+		for _, fr := range sc.frees {
+			// The window provably advanced past chunk−Pool (its whole
+			// bank partner completed): free that slot's cached RESULT.
+			// Done after the owning shard's lock is released — the
+			// partner lives on a different shard.
+			s.freeCachedResult(fr.js, fr.epoch, fr.gs, fr.pchunk)
+		}
+		sc.frees = sc.frees[:0]
+		for _, job := range sc.drains {
+			s.maybeFinishDrain(job)
+		}
+		sc.drains = sc.drains[:0]
 	}
-	if completed && JobPhase(js.phase.Load()) == PhaseDraining {
-		s.maybeFinishDrain(job)
-	}
-	return ds
 }
 
 // freeCachedResult drops a slot's cached RESULT packet if it still holds
@@ -810,43 +899,41 @@ func (s *Switch) freeCachedResult(js *jobState, epoch uint64, gs int, pchunk int
 	}
 }
 
-// slotHandle runs the slot protocol for one ADD under the shard's lock.
-// It reports whether the ADD completed its chunk, and — when the
-// completion proves the window advanced past the slot's bank partner —
-// the partner's global slot so the caller can free its cached RESULT
-// (−1 when there is nothing to free, or when the partner shares this
-// shard and was freed inline).
-func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32, vals []float32) (ds []transport.Delivery, completed bool, partnerGs int) {
-	partnerGs = -1
-	js := &s.jobs[job]
+// slotHandleLocked runs the slot protocol for one queued ADD; the caller
+// holds the owning shard's lock for the whole shard group. Deliveries are
+// appended to out; deferred work that needs other locks (cross-shard cache
+// frees, drain completion) is queued on the scratch for after the unlock.
+func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScratch, out *transport.DeliveryList) {
+	js := &s.jobs[a.job]
 	wij := worker % s.cfg.Workers
-	gs := s.slotOf(ri, chunk)
-	sh := s.shards[gs%s.nsh]
-	li := gs / s.nsh
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	li := a.gs / s.nsh
 	// Revalidate the incarnation under the lock: a release bumps the
 	// epoch before resetting this range's slots under the same locks, so
 	// a racing eviction (even one followed by a re-admission of the very
 	// same range) cannot let this ADD touch a re-assigned slot.
-	if js.epoch.Load() != epoch {
+	if js.epoch.Load() != a.epoch {
+		// Notice epoch = the packet's incarnation (see classifyAdd), so
+		// only that incarnation's workers abort on it.
 		s.rejBadJob.Add(1)
-		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckEvicted)}}, false, -1
+		out.Unicast(worker, EncodeJobAck(a.job, AckEvicted, uint8(a.epoch)))
+		return
 	}
 	st := &sh.slot[li]
+	chunk := a.chunk
 
 	switch {
 	case int64(chunk) < st.chunk:
 		// Stale retransmit for a chunk every worker already completed
 		// (guaranteed by the self-clocked window); ignore.
-		return nil, false, -1
+		return
 	case int64(chunk) > st.chunk:
 		// First packet of a new chunk binds the slot (pool versioning).
 		// A draining job may finish chunks already in flight but binds
 		// nothing new — that is what lets its range quiesce.
 		if JobPhase(js.phase.Load()) == PhaseDraining {
 			s.rejDraining.Add(1)
-			return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, AckDraining)}}, false, -1
+			out.Unicast(worker, EncodeJobAck(a.job, AckDraining, uint8(a.epoch)))
+			return
 		}
 		// The bind is charged against the job's admission quota before
 		// any pipeline state moves: a tenant at its cap is dropped here
@@ -858,14 +945,14 @@ func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32,
 			if q := int64(s.cfg.MaxOutstanding); q > 0 && n > q {
 				js.outstanding.Add(-1)
 				js.quotaDrops.Add(1)
-				return nil, false, -1
+				return
 			}
 		}
 		if _, err := sh.pa.ReadReset(li); err != nil {
 			if charge {
 				js.outstanding.Add(-1)
 			}
-			return nil, false, -1
+			return
 		}
 		st.outstanding = true
 		st.chunk = int64(chunk)
@@ -884,10 +971,18 @@ func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32,
 		if st.cached != nil {
 			// The worker missed the broadcast; replay the result.
 			js.cacheHits.Add(1)
-			return []transport.Delivery{{Worker: worker, Packet: st.cached}}, false, -1
+			out.Unicast(worker, st.cached)
 		}
-		return nil, false, -1 // duplicate while aggregation is in progress
+		return // duplicate while aggregation is in progress
 	}
+
+	// Decode the values into the batch's reusable buffer — the pipeline
+	// serializes them into its own packet, so nothing retains the slice.
+	vals := sc.vals[:0]
+	for i := 0; i < s.cfg.Modules; i++ {
+		vals = append(vals, math.Float32frombits(binary.BigEndian.Uint32(a.pkt[addValOff+4*i:])))
+	}
+	sc.vals = vals
 
 	// Aggregate first, account afterwards: if the pipeline rejects the
 	// add, the slot must stay retransmittable — marking the worker seen
@@ -895,14 +990,14 @@ func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32,
 	// protocol believes it arrived, completing the chunk with a wrong sum.
 	res, err := sh.pa.Add(li, vals)
 	if err != nil {
-		return nil, false, -1
+		return
 	}
 	st.seen[wij] = true
 	st.nSeen++
 	js.adds.Add(1)
 
 	if st.nSeen < s.cfg.Workers {
-		return nil, false, -1
+		return
 	}
 
 	// Last worker: the running sums are the final aggregation.
@@ -911,23 +1006,23 @@ func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32,
 		js.outstanding.Add(-1)
 		st.outstanding = false
 	}
-	out := make([]byte, resultBytes(len(vals)))
-	putHeader(out, MsgResult, job, chunk)
+	pkt := make([]byte, resultBytes(len(vals)))
+	putHeader(pkt, MsgResult, a.job, chunk)
 	var anyOvf byte
 	for i, v := range res.Values {
-		binary.BigEndian.PutUint32(out[hdrBytes+4*i:], math.Float32bits(v))
+		binary.BigEndian.PutUint32(pkt[hdrBytes+4*i:], math.Float32bits(v))
 		if res.Overflow[i] {
 			anyOvf = 1
 		}
 	}
-	out[hdrBytes+4*len(vals)] = anyOvf
-	st.cached = out
-	js.cacheBytes.Add(int64(len(out)))
+	pkt[hdrBytes+4*len(vals)] = anyOvf
+	st.cached = pkt
+	js.cacheBytes.Add(int64(len(pkt)))
 	// Every worker sent chunk c, so every worker holds chunk c−Pool's
 	// result: the bank partner's cache (if it still holds c−Pool) can go.
 	if pool := s.cfg.Pool; chunk >= uint32(pool) {
-		pgs := s.slotOf(ri, chunk-uint32(pool))
-		if pgs%s.nsh == gs%s.nsh {
+		pgs := s.slotOf(a.ri, chunk-uint32(pool))
+		if pgs%s.nsh == a.gs%s.nsh {
 			// Same shard: free inline under the lock already held.
 			pst := &sh.slot[pgs/s.nsh]
 			if pst.chunk == int64(chunk)-int64(pool) && pst.cached != nil {
@@ -935,21 +1030,23 @@ func (s *Switch) slotHandle(job, ri int, epoch uint64, worker int, chunk uint32,
 				pst.cached = nil
 			}
 		} else {
-			partnerGs = pgs
+			sc.frees = append(sc.frees, freeReq{js: js, epoch: a.epoch, gs: pgs, pchunk: int64(chunk) - int64(pool)})
 		}
+	}
+	if JobPhase(js.phase.Load()) == PhaseDraining {
+		sc.drains = append(sc.drains, a.job)
 	}
 	if s.ncap == 1 {
 		// Single tenant: every port belongs to the job, broadcast.
-		return []transport.Delivery{{Broadcast: true, Packet: out}}, true, partnerGs
+		out.Broadcast(pkt)
+		return
 	}
 	// Multi-tenant: deliver to the job's own port range only, so one
 	// job's completions never consume another job's downlink.
-	ds = make([]transport.Delivery, s.cfg.Workers)
-	base := job * s.cfg.Workers
-	for i := range ds {
-		ds[i] = transport.Delivery{Worker: base + i, Packet: out}
+	base := a.job * s.cfg.Workers
+	for i := 0; i < s.cfg.Workers; i++ {
+		out.Unicast(base+i, pkt)
 	}
-	return ds, true, partnerGs
 }
 
 // Stats returns protocol counters summed across jobs: total values
@@ -996,6 +1093,7 @@ func (s *Switch) Rejects() WireRejects {
 		BadJob:    s.rejBadJob.Load(),
 		CrossJob:  s.rejCrossJob.Load(),
 		Draining:  s.rejDraining.Load(),
+		Stale:     s.rejStale.Load(),
 	}
 }
 
@@ -1034,15 +1132,34 @@ type Worker struct {
 	// applies DefaultRetries; zero gives up on the first stall without
 	// retransmitting (fail-fast).
 	Retries int
-	// Batch is the maximum number of chunks packed into one datagram.
-	// Values < 1 apply DefaultBatch; 1 disables batching.
+	// Batch is the maximum number of chunks packed into one send vector.
+	// Values < 1 apply DefaultBatch; 1 disables batching. The EFFECTIVE
+	// batch size adapts at runtime between 1 and Batch, sized from the
+	// observed ack/retransmit ratio: each retransmit round halves it
+	// (loss means smaller bursts recover faster), and a clean run of acks
+	// doubles it back toward Batch (see BatchShrinks/BatchGrows).
 	Batch int
+	// Epoch is the job incarnation octet stamped into every ADD. It is 0
+	// for a job's first incarnation; workers of a re-admitted job id must
+	// carry the epoch echoed in the admit ack (or Switch.JobEpoch), or
+	// the switch rejects their traffic as stale.
+	Epoch uint8
 	// SentPackets counts ADD messages transmitted (including
 	// retransmits), one per chunk transmission regardless of batching.
 	SentPackets uint64
-	// SentDatagrams counts wire packets: with batching it is smaller
-	// than SentPackets by up to the batch factor.
+	// SentDatagrams counts send-vector flushes — wire datagrams when the
+	// whole vector fits one (the fabric splits oversized vectors
+	// transparently). With batching it is smaller than SentPackets by up
+	// to the batch factor.
 	SentDatagrams uint64
+	// BatchShrinks and BatchGrows count the adaptive controller's
+	// halvings (on retransmit rounds) and doublings (on clean ack runs).
+	BatchShrinks, BatchGrows uint64
+	// LastBatch is the adaptive batch size Reduce last ran at; it seeds
+	// the next Reduce, so a worker on a lossy path stays conservative
+	// across rounds and recovers when the loss clears. 0 means start at
+	// the Batch ceiling.
+	LastBatch int
 }
 
 // NewWorker builds a job-0 worker with the default timeout, retry budget
@@ -1059,14 +1176,23 @@ func NewJobWorker(job, id int, fabric transport.Fabric, cfg Config) *Worker {
 	}
 }
 
+// recvVec is the receiver's reusable buffer-vector size: how many
+// deliveries one RecvBatch may drain. Buffers are recycled across calls,
+// so steady-state receiving allocates nothing.
+const recvVec = 64
+
 // Reduce aggregates vec with the job's other workers and returns the
 // summed vector. All of a job's workers must call Reduce with equal-length
 // vectors.
 //
 // A sender goroutine fills the self-clocked window (batching eligible
-// chunks into shared datagrams) while a receiver goroutine drains results
-// and acknowledges completions back to the sender, so uplink transmission
-// overlaps downlink processing.
+// chunks into shared send vectors the fabric coalesces) while a receiver
+// goroutine drains delivery vectors into reusable buffers and acknowledges
+// completions back to the sender, so uplink transmission overlaps downlink
+// processing. The effective batch size adapts between 1 and Batch: each
+// retransmit round halves it, a clean run of acks doubles it back — loss
+// shrinks bursts, a clean pipe amortizes datagram overhead (see
+// Worker.Batch).
 func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 	if w.Job < 0 || w.Job >= w.Cfg.capacity() {
 		return nil, fmt.Errorf("aggservice: job %d outside the switch's %d-job capacity", w.Job, w.Cfg.capacity())
@@ -1113,16 +1239,28 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 
 	var sendErr, recvErr error
 	var sentMsgs, sentDgrams uint64
+	var shrinks, grows uint64
+	finalBatch := batch
 	var wg sync.WaitGroup
 	wg.Add(2)
 
-	// Sender: owns the sent/done window view.
+	// Sender: owns the sent/done window view and the adaptive batch size.
 	go func() {
 		defer wg.Done()
 		defer abort()
 		sent := make([]bool, nChunks)
 		done := make([]bool, nChunks)
 		nDone := 0
+
+		// cur is the adaptive batch size, seeded from the last Reduce so
+		// a lossy path stays conservative across rounds; cleanAcks is the
+		// ack streak since the last stall, the grow signal.
+		cur := w.LastBatch
+		if cur < 1 || cur > batch {
+			cur = batch
+		}
+		cleanAcks := 0
+		defer func() { finalBatch = cur }()
 
 		var msgs [][]byte
 		flush := func() error {
@@ -1131,24 +1269,34 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 			}
 			sentMsgs += uint64(len(msgs))
 			sentDgrams++
-			err := w.Fabric.Send(port, coalesce(msgs))
+			err := w.Fabric.SendBatch(port, msgs)
 			msgs = msgs[:0]
 			return err
 		}
 		queue := func(c int) error {
-			msgs = append(msgs, EncodeAdd(w.Job, uint32(c), chunkVals(c)))
+			msgs = append(msgs, EncodeAddEpoch(w.Job, uint32(c), w.Epoch, chunkVals(c)))
 			sent[c] = true
-			if len(msgs) >= batch {
+			if len(msgs) >= cur {
 				return flush()
 			}
 			return nil
 		}
 		// ack marks chunk c complete and opens exactly chunk c+pool's
 		// window slot — per-slot self-clocking, so one straggling chunk
-		// never blocks the slots behind it.
+		// never blocks the slots behind it. A streak of clean acks twice
+		// the current batch doubles it back toward the ceiling.
 		ack := func(c int) error {
 			done[c] = true
 			nDone++
+			cleanAcks++
+			if cur < batch && cleanAcks >= 2*cur {
+				cur *= 2
+				if cur > batch {
+					cur = batch
+				}
+				grows++
+				cleanAcks = 0
+			}
 			if c+pool < nChunks {
 				return queue(c + pool)
 			}
@@ -1157,8 +1305,8 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 		retransmit := func() error {
 			for c := 0; c < nChunks; c++ {
 				if sent[c] && !done[c] {
-					msgs = append(msgs, EncodeAdd(w.Job, uint32(c), chunkVals(c)))
-					if len(msgs) >= batch {
+					msgs = append(msgs, EncodeAddEpoch(w.Job, uint32(c), w.Epoch, chunkVals(c)))
+					if len(msgs) >= cur {
 						if err := flush(); err != nil {
 							return err
 						}
@@ -1202,6 +1350,13 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 					return
 				}
 			case <-stallc:
+				// A stall means retransmits are due: halve the batch so
+				// the recovery burst is small, and restart the streak.
+				if cur > 1 {
+					cur /= 2
+					shrinks++
+				}
+				cleanAcks = 0
 				if sendErr = retransmit(); sendErr != nil {
 					return
 				}
@@ -1211,19 +1366,22 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 		}
 	}()
 
-	// Receiver: owns the output vector and completion marking.
+	// Receiver: owns the output vector and completion marking, draining
+	// delivery vectors into reusable buffers.
 	go func() {
 		defer wg.Done()
 		done := make([]bool, nChunks)
 		nDone := 0
 		stalls := 0
+		bufs := make([][]byte, recvVec)
+		var one [1][]byte
 		for nDone < nChunks {
 			select {
 			case <-quit:
 				return
 			default:
 			}
-			pkt, err := w.Fabric.Recv(port, timeout)
+			k, err := w.Fabric.RecvBatch(port, bufs, timeout)
 			if err == transport.ErrTimeout {
 				stalls++
 				if stalls > retries {
@@ -1242,38 +1400,45 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				abort()
 				return
 			}
-			msgs := [][]byte{pkt}
-			if typ, terr := wireType(pkt); terr == nil && typ == MsgBatch {
-				if msgs, err = DecodeBatch(pkt); err != nil {
-					continue
-				}
-			}
-			for _, msg := range msgs {
-				if len(msg) >= 2 && msg[0] == WireVersion && msg[1] == MsgJobAck {
-					// Lifecycle notice: the switch refuses our chunks
-					// because the job is draining or already evicted.
-					// There is no recovering by retransmit — fail fast.
-					if j, status, aerr := DecodeJobAck(msg); aerr == nil && j == w.Job &&
-						(status == AckEvicted || status == AckDraining) {
-						recvErr = fmt.Errorf("job %d worker %d: %w", w.Job, w.ID, ErrJobEvicted)
-						abort()
-						return
+			for _, pkt := range bufs[:k] {
+				one[0] = pkt
+				msgs := one[:]
+				if typ, terr := wireType(pkt); terr == nil && typ == MsgBatch {
+					if msgs, err = DecodeBatch(pkt); err != nil {
+						continue
 					}
-					continue
 				}
-				job, chunk, vals, _, err := DecodeResult(msg, modules)
-				if err != nil || job != w.Job {
-					continue // not for us
+				for _, msg := range msgs {
+					if len(msg) >= 2 && msg[0] == WireVersion && msg[1] == MsgJobAck {
+						// Lifecycle notice: the switch refuses our chunks
+						// because the job is draining or already evicted.
+						// There is no recovering by retransmit — fail fast.
+						// Only notices for OUR incarnation count: the
+						// switch echoes the offending ADD's epoch, so a
+						// notice bounced off a stale straggler's datagram
+						// must not abort this (fresh) worker.
+						if j, status, ep, aerr := DecodeJobAck(msg); aerr == nil && j == w.Job &&
+							ep == w.Epoch && (status == AckEvicted || status == AckDraining) {
+							recvErr = fmt.Errorf("job %d worker %d: %w", w.Job, w.ID, ErrJobEvicted)
+							abort()
+							return
+						}
+						continue
+					}
+					job, chunk, vals, _, err := DecodeResult(msg, modules)
+					if err != nil || job != w.Job {
+						continue // not for us
+					}
+					c := int(chunk)
+					if c >= nChunks || done[c] {
+						continue
+					}
+					stalls = 0
+					done[c] = true
+					nDone++
+					copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
+					acks <- c // buffered nChunks deep: never blocks
 				}
-				c := int(chunk)
-				if c >= nChunks || done[c] {
-					continue
-				}
-				stalls = 0
-				done[c] = true
-				nDone++
-				copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
-				acks <- c // buffered nChunks deep: never blocks
 			}
 		}
 	}()
@@ -1281,6 +1446,9 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 	wg.Wait()
 	w.SentPackets += sentMsgs
 	w.SentDatagrams += sentDgrams
+	w.BatchShrinks += shrinks
+	w.BatchGrows += grows
+	w.LastBatch = finalBatch
 	if sendErr != nil {
 		return nil, sendErr
 	}

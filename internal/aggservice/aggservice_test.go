@@ -186,8 +186,14 @@ func TestConfigValidation(t *testing.T) {
 
 func TestEncodeDecode(t *testing.T) {
 	pkt := EncodeAdd(0, 7, []float32{1.5, -2.5})
-	if pkt[0] != WireVersion || pkt[1] != MsgAdd || len(pkt) != 16 {
+	if pkt[0] != WireVersion || pkt[1] != MsgAdd || len(pkt) != 17 {
 		t.Fatalf("pkt = %v", pkt)
+	}
+	if pkt[hdrBytes] != 0 {
+		t.Fatalf("first-incarnation epoch octet = %d", pkt[hdrBytes])
+	}
+	if withEpoch := EncodeAddEpoch(0, 7, 5, []float32{1.5, -2.5}); withEpoch[hdrBytes] != 5 {
+		t.Fatalf("epoch octet = %d, want 5", withEpoch[hdrBytes])
 	}
 	if _, _, _, _, err := DecodeResult(pkt, 2); err == nil {
 		t.Error("DecodeResult accepted an ADD packet")

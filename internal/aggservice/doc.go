@@ -58,14 +58,23 @@
 //
 // In-process, each release bumps an incarnation epoch that every
 // shard-locked section revalidates, so a handler racing an eviction can
-// never touch a re-assigned range. One limitation remains on the wire:
-// ADDs carry no epoch, so a datagram from an evicted incarnation that is
-// still buffered in the network when the SAME job id is re-admitted is
-// indistinguishable from new traffic and can bind a stale (typically
-// far-ahead) chunk into the fresh range, wedging that slot until the next
-// eviction. Drain notices make live workers abort promptly, which keeps
-// the window small; operators should let the straggler window pass before
-// reusing an id, and a wire epoch is on the roadmap.
+// never touch a re-assigned range. The same incarnation is enforced on
+// the wire: every ADD carries the epoch octet (the release counter mod
+// 256), and an ADD whose octet disagrees with the job's current
+// incarnation is refused as stale (WireRejects.Stale, an AckEvicted
+// notice). A datagram buffered in the network from an evicted incarnation
+// of a re-admitted job id therefore bounces instead of binding a stale
+// chunk into the fresh range — the operator hands the admit ack's epoch
+// (fpisa-query prints it; Switch.JobEpoch serves the in-process path) to
+// the new incarnation's workers (Worker.Epoch). Control-plane acks echo
+// the job's CURRENT epoch (that is what an admit teaches the operator);
+// worker-facing eviction/draining notices echo the OFFENDING ADD's
+// octet, and a worker aborts only on a notice matching its own
+// incarnation — so a notice bounced off one stale straggler datagram can
+// never kill the fresh workers sharing the port. The
+// octet wraps at 256 releases; an id would need 256 evict/re-admit cycles
+// while one datagram stays buffered for a collision, orders of magnitude
+// beyond any straggler window a drain leaves open.
 //
 // # Wire format (version 2)
 //
@@ -76,7 +85,7 @@
 // type; ADD/RESULT carry a 16-bit big-endian job id next. All integers are
 // big-endian.
 //
-//	add    = [ver(1) type(1) job(2) chunk(4) values(4·M)]
+//	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(4·M)]
 //	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
@@ -85,7 +94,7 @@
 //	          cacheHits(8) cacheBytes(8)]
 //	admit  = [ver(1) type(1) job(2)]
 //	evict  = [ver(1) type(1) job(2)]
-//	ack    = [ver(1) type(1) job(2) status(1)]
+//	ack    = [ver(1) type(1) job(2) status(1) epoch(1)]
 //
 // A batch frames complete messages (each with its own version octet); a
 // batch framed inside a batch is rejected (ErrNestedBatch), so decoding
@@ -94,6 +103,12 @@
 // truncated frame returns a wire error wrapping ErrTruncated rather than
 // panicking the client, and the decoders are fuzzed alongside the batch
 // framing (FuzzDecodeStatsReply, FuzzDecodeJobAck).
+//
+// MsgBatch remains the in-protocol coalescing format for compatibility,
+// but the hot path no longer needs it: packets cross the transport as
+// VECTORS (transport.BatchHandler / Fabric.SendBatch), and the UDP fabric
+// coalesces a vector into its own batch-framed datagrams below this wire
+// format. Both shapes are accepted on ingest.
 //
 // The v2 layouts are versioned against v1, not against each other: they
 // evolve with the repository (this revision widened the stats reply), and
@@ -113,6 +128,14 @@
 // makes switch pipelines parallel. Shards: 1 (the default) reproduces the
 // single-pipeline switch.
 //
+// Ingest is vectored (Switch.HandleBatch, the transport.BatchHandler):
+// a worker's whole packet vector is validated once, grouped by
+// destination shard, and each shard's share of the batch runs under ONE
+// lock acquisition — one lock round per shard per batch rather than one
+// per chunk, the packet-vector-per-pipeline-pass shape SwitchML-class
+// data planes aggregate at. Switch.Handle remains as the single-packet
+// shim over the same path.
+//
 // # Slot protocol
 //
 // Slot management follows SwitchML's self-clocked pool with two banks:
@@ -130,8 +153,19 @@
 //
 // Worker.Reduce overlaps I/O: a sender goroutine fills the self-clocked
 // window while a receiver goroutine drains results, so transmission and
-// completion processing proceed concurrently. Both directions batch
-// several chunks per datagram (MsgBatch) to amortize per-packet overhead
-// on the UDP path. Workers carry their job id in every ADD and filter
-// results to their own job.
+// completion processing proceed concurrently. Both directions are
+// vectored — the sender submits eligible chunks as one Fabric.SendBatch
+// vector the transport coalesces into batch-framed datagrams, and the
+// receiver drains delivery vectors into reusable buffers
+// (Fabric.RecvBatch), so steady-state receiving allocates nothing.
+// Workers carry their job id and incarnation epoch in every ADD and
+// filter results to their own job.
+//
+// The batch size adapts to the observed ack/retransmit ratio between 1
+// and Worker.Batch: every retransmit round halves it (under loss, smaller
+// bursts localize the damage and recover faster) and a clean streak of
+// acks doubles it back (on a clean pipe, bigger vectors amortize
+// per-datagram overhead). The controller's activity is observable as
+// Worker.BatchShrinks/BatchGrows/LastBatch, and the size survives across
+// Reduce calls so a lossy path stays conservative between rounds.
 package aggservice

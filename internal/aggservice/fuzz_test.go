@@ -62,11 +62,11 @@ func FuzzDecodeStatsReply(f *testing.F) {
 		QuotaDrops: 4, Outstanding: 5, CacheHits: 6, CacheBytes: 7,
 	})
 	f.Add(valid)
-	f.Add(valid[:10])                                     // truncated counters
-	f.Add(append(append([]byte(nil), valid...), 0xaa))    // trailing byte
-	f.Add([]byte{WireVersion, MsgStatsReply})             // header only
-	f.Add([]byte{MsgResult, 0, 0, 0})                     // legacy framing
-	f.Add(append([]byte(nil), valid[:4]...))              // fields missing entirely
+	f.Add(valid[:10])                                                                 // truncated counters
+	f.Add(append(append([]byte(nil), valid...), 0xaa))                                // trailing byte
+	f.Add([]byte{WireVersion, MsgStatsReply})                                         // header only
+	f.Add([]byte{MsgResult, 0, 0, 0})                                                 // legacy framing
+	f.Add(append([]byte(nil), valid[:4]...))                                          // fields missing entirely
 	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }()) // bad phase
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
@@ -90,15 +90,15 @@ func FuzzDecodeStatsReply(f *testing.F) {
 // FuzzDecodeJobAck fuzzes the lifecycle ack codec with the same
 // invariants: no panics, truncation identified, accepted acks round-trip.
 func FuzzDecodeJobAck(f *testing.F) {
-	f.Add(EncodeJobAck(1, AckAdmitted))
-	f.Add(EncodeJobAck(65535, AckErrDisabled))
-	f.Add(EncodeJobAck(0, AckEvicted)[:3])
-	f.Add(append(EncodeJobAck(0, AckDraining), 1, 2))
-	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200}) // status out of range
-	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                // legacy framing
+	f.Add(EncodeJobAck(1, AckAdmitted, 0))
+	f.Add(EncodeJobAck(65535, AckErrDisabled, 255))
+	f.Add(EncodeJobAck(0, AckEvicted, 1)[:3])
+	f.Add(append(EncodeJobAck(0, AckDraining, 2), 1, 2))
+	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200, 0}) // status out of range
+	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                   // legacy framing
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
-		job, status, err := DecodeJobAck(pkt)
+		job, status, epoch, err := DecodeJobAck(pkt)
 		if err != nil {
 			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAck &&
 				len(pkt) < jobAckBytes && !errors.Is(err, ErrTruncated) {
@@ -106,7 +106,7 @@ func FuzzDecodeJobAck(f *testing.F) {
 			}
 			return
 		}
-		if re := EncodeJobAck(job, status); !bytes.Equal(re, pkt) {
+		if re := EncodeJobAck(job, status, epoch); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 		if status.Err() == nil && status != AckAdmitted && status != AckEvicting {

@@ -382,7 +382,7 @@ func TestStatsOverTheWire(t *testing.T) {
 	if len(ds) != 1 {
 		t.Fatalf("stats for unknown job: deliveries %v", ds)
 	}
-	job, status, err := DecodeJobAck(ds[0].Packet)
+	job, status, _, err := DecodeJobAck(ds[0].Packet)
 	if err != nil || job != 9 || status != AckErrUnknownJob {
 		t.Fatalf("unknown-job ack: job=%d status=%v err=%v", job, status, err)
 	}

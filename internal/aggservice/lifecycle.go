@@ -191,56 +191,63 @@ func encodeLifecycleReq(typ byte, job int) []byte {
 	return pkt
 }
 
-// EncodeJobAck builds a lifecycle status message.
-func EncodeJobAck(job int, status AckStatus) []byte {
+// EncodeJobAck builds a lifecycle status message carrying the job's
+// incarnation epoch octet — the value workers of a (re-)admitted job must
+// stamp into their ADDs (Worker.Epoch).
+func EncodeJobAck(job int, status AckStatus, epoch uint8) []byte {
 	pkt := make([]byte, jobAckBytes)
 	pkt[0] = WireVersion
 	pkt[1] = MsgJobAck
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	pkt[4] = uint8(status)
+	pkt[5] = epoch
 	return pkt
 }
 
 // DecodeJobAck parses a MsgJobAck. Like DecodeStatsReply it is safe on
 // arbitrary input: truncation returns a wire error wrapping ErrTruncated.
-func DecodeJobAck(pkt []byte) (job int, status AckStatus, err error) {
+func DecodeJobAck(pkt []byte) (job int, status AckStatus, epoch uint8, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
-		return 0, 0, fmt.Errorf("bad job ack: %w", terr)
+		return 0, 0, 0, fmt.Errorf("bad job ack: %w", terr)
 	} else if typ != MsgJobAck {
-		return 0, 0, fmt.Errorf("aggservice: bad job ack type")
+		return 0, 0, 0, fmt.Errorf("aggservice: bad job ack type")
 	}
 	if len(pkt) < jobAckBytes {
-		return 0, 0, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
+		return 0, 0, 0, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
 	}
 	if len(pkt) > jobAckBytes {
-		return 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
+		return 0, 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
 	}
 	status = AckStatus(pkt[4])
 	if status > AckErrDisabled {
-		return 0, 0, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
+		return 0, 0, 0, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
 	}
-	return int(binary.BigEndian.Uint16(pkt[2:])), status, nil
+	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], nil
 }
 
 // handleLifecycle serves a wire MsgJobAdmit/MsgJobEvict. Only the
 // out-of-band observer frame may drive the control plane — a tenant's
 // worker port must not be able to evict another tenant — and only when the
 // operator enabled Config.Dynamic.
-func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte) []transport.Delivery {
+func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transport.DeliveryList) {
 	if worker != ObserverWorker {
 		s.rejMalformed.Add(1)
-		return nil
+		return
 	}
 	if len(pkt) != lifecycleReqBytes {
 		s.rejMalformed.Add(1)
-		return nil
+		return
 	}
 	job := int(binary.BigEndian.Uint16(pkt[2:]))
-	ack := func(status AckStatus) []transport.Delivery {
-		return []transport.Delivery{{Worker: worker, Packet: EncodeJobAck(job, status)}}
+	ack := func(status AckStatus) {
+		// The echoed epoch is the incarnation the request landed on: for
+		// a successful admit that is the NEW incarnation's octet, which
+		// the operator hands to the job's workers.
+		out.Unicast(worker, EncodeJobAck(job, status, s.JobEpoch(job)))
 	}
 	if !s.cfg.Dynamic {
-		return ack(AckErrDisabled)
+		ack(AckErrDisabled)
+		return
 	}
 	var err error
 	ok := AckAdmitted
@@ -252,19 +259,20 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte) []transport.D
 	}
 	switch {
 	case err == nil:
-		return ack(ok)
+		ack(ok)
 	case errors.Is(err, ErrUnknownJob):
-		return ack(AckErrUnknownJob)
+		ack(AckErrUnknownJob)
 	case errors.Is(err, ErrNotAdmitted):
-		return ack(AckErrNotAdmitted)
+		ack(AckErrNotAdmitted)
 	case errors.Is(err, ErrAlreadyAdmitted):
-		return ack(AckErrAlreadyAdmitted)
+		ack(AckErrAlreadyAdmitted)
 	case errors.Is(err, ErrJobDraining):
-		return ack(AckErrDraining)
+		ack(AckErrDraining)
 	case errors.Is(err, ErrNoCapacity):
-		return ack(AckErrNoCapacity)
+		ack(AckErrNoCapacity)
+	default:
+		ack(AckErrUnknownJob)
 	}
-	return ack(AckErrUnknownJob)
 }
 
 // Admit brings a vacant job id live, allocating its slot range from the
@@ -412,4 +420,15 @@ func (s *Switch) JobPhaseOf(job int) JobPhase {
 		return PhaseVacant
 	}
 	return JobPhase(s.jobs[job].phase.Load())
+}
+
+// JobEpoch reports a job id's current wire incarnation epoch — the octet
+// its workers must stamp into their ADDs (0 for ids outside the capacity,
+// and for every job's first incarnation). The full release counter is
+// truncated to the eight bits the wire carries.
+func (s *Switch) JobEpoch(job int) uint8 {
+	if job < 0 || job >= s.ncap {
+		return 0
+	}
+	return uint8(s.jobs[job].epoch.Load())
 }

@@ -139,7 +139,7 @@ func TestEvictionDrainsInFlightChunks(t *testing.T) {
 	if len(ds) != 1 {
 		t.Fatalf("draining bind: deliveries %v", ds)
 	}
-	if job, status, err := DecodeJobAck(ds[0].Packet); err != nil || job != 0 || status != AckDraining {
+	if job, status, _, err := DecodeJobAck(ds[0].Packet); err != nil || job != 0 || status != AckDraining {
 		t.Fatalf("draining notice: job=%d status=%v err=%v", job, status, err)
 	}
 	if r := sw.Rejects(); r.Draining != 1 {
@@ -162,16 +162,35 @@ func TestEvictionDrainsInFlightChunks(t *testing.T) {
 	if len(ds) != 1 {
 		t.Fatalf("post-evict add: deliveries %v", ds)
 	}
-	if _, status, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckEvicted {
+	if _, status, _, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckEvicted {
 		t.Fatalf("post-evict notice: status=%v err=%v", status, err)
 	}
 	// Re-admission reuses the freed range and starts clean: chunk 0
-	// aggregates only the new contributions.
+	// aggregates only the new contributions. The fresh incarnation's wire
+	// epoch moved, so its workers must stamp the new octet...
 	if err := sw.Admit(0); err != nil {
 		t.Fatal(err)
 	}
-	sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 0, []float32{10}))
-	ds = sw.Handle(cfg.Port(0, 1), EncodeAdd(0, 0, []float32{20}))
+	epoch := sw.JobEpoch(0)
+	if epoch != 1 {
+		t.Fatalf("second incarnation epoch = %d, want 1", epoch)
+	}
+	// ...and a datagram still carrying the OLD epoch bounces as stale
+	// instead of binding into the fresh range. The notice echoes the
+	// OFFENDING (old) epoch, so only the evicted incarnation's workers
+	// abort on it — never the fresh ones sharing the port.
+	ds = sw.Handle(cfg.Port(0, 0), EncodeAdd(0, 9, []float32{666}))
+	if len(ds) != 1 {
+		t.Fatalf("stale-epoch add: deliveries %v", ds)
+	}
+	if _, status, ep, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckEvicted || ep != 0 {
+		t.Fatalf("stale-epoch notice: status=%v epoch=%d err=%v (want the stale packet's epoch 0)", status, ep, err)
+	}
+	if r := sw.Rejects(); r.Stale != 1 {
+		t.Fatalf("Stale rejects = %d, want 1", r.Stale)
+	}
+	sw.Handle(cfg.Port(0, 0), EncodeAddEpoch(0, 0, epoch, []float32{10}))
+	ds = sw.Handle(cfg.Port(0, 1), EncodeAddEpoch(0, 0, epoch, []float32{20}))
 	if len(ds) != cfg.Workers {
 		t.Fatalf("fresh incarnation: deliveries %v", ds)
 	}
@@ -259,7 +278,7 @@ func TestChurnWhileThirdJobReduces(t *testing.T) {
 		if len(ds) != 1 {
 			t.Fatalf("control deliveries: %v", ds)
 		}
-		_, status, err := DecodeJobAck(ds[0].Packet)
+		_, status, _, err := DecodeJobAck(ds[0].Packet)
 		if err != nil || status != want {
 			t.Fatalf("control ack: status=%v err=%v, want %v", status, err, want)
 		}
@@ -477,7 +496,7 @@ func TestWireLifecycleGating(t *testing.T) {
 	if len(ds) != 1 {
 		t.Fatalf("disabled admit deliveries: %v", ds)
 	}
-	if _, status, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckErrDisabled {
+	if _, status, _, err := DecodeJobAck(ds[0].Packet); err != nil || status != AckErrDisabled {
 		t.Fatalf("disabled admit ack: %v %v", status, err)
 	}
 	if err := sw.Admit(1); err != nil {
@@ -512,7 +531,7 @@ func TestWireLifecycleGating(t *testing.T) {
 		if len(ds) != 1 {
 			t.Fatalf("step %v: deliveries %v", step.want, ds)
 		}
-		if _, status, err := DecodeJobAck(ds[0].Packet); err != nil || status != step.want {
+		if _, status, _, err := DecodeJobAck(ds[0].Packet); err != nil || status != step.want {
 			t.Fatalf("ack = %v (err %v), want %v", status, err, step.want)
 		}
 	}
@@ -521,7 +540,7 @@ func TestWireLifecycleGating(t *testing.T) {
 	dyn.Handle(ObserverWorker, EncodeJobAdmit(0))
 	dyn.Handle(ObserverWorker, EncodeJobAdmit(1))
 	ds = dyn.Handle(ObserverWorker, EncodeJobAdmit(0))
-	if _, status, _ := DecodeJobAck(ds[0].Packet); status != AckErrAlreadyAdmitted {
+	if _, status, _, _ := DecodeJobAck(ds[0].Packet); status != AckErrAlreadyAdmitted {
 		t.Fatalf("ack = %v", status)
 	}
 }
@@ -591,22 +610,22 @@ func TestStatsReplyRoundTrip(t *testing.T) {
 // TestJobAckRoundTrip pins the ack codec and its hardening.
 func TestJobAckRoundTrip(t *testing.T) {
 	for status := AckAdmitted; status <= AckErrDisabled; status++ {
-		pkt := EncodeJobAck(77, status)
-		job, got, err := DecodeJobAck(pkt)
-		if err != nil || job != 77 || got != status {
-			t.Fatalf("status %v: job=%d got=%v err=%v", status, job, got, err)
+		pkt := EncodeJobAck(77, status, 3)
+		job, got, epoch, err := DecodeJobAck(pkt)
+		if err != nil || job != 77 || got != status || epoch != 3 {
+			t.Fatalf("status %v: job=%d got=%v epoch=%d err=%v", status, job, got, epoch, err)
 		}
 	}
-	if _, _, err := DecodeJobAck(EncodeJobAck(0, AckAdmitted)[:4]); !errors.Is(err, ErrTruncated) {
+	if _, _, _, err := DecodeJobAck(EncodeJobAck(0, AckAdmitted, 0)[:4]); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("truncated ack: %v", err)
 	}
-	if _, _, err := DecodeJobAck(append(EncodeJobAck(0, AckAdmitted), 1)); err == nil {
+	if _, _, _, err := DecodeJobAck(append(EncodeJobAck(0, AckAdmitted, 0), 1)); err == nil {
 		t.Fatal("trailing byte accepted")
 	}
-	if _, _, err := DecodeJobAck([]byte{WireVersion, MsgJobAck, 0, 0, 200}); err == nil {
+	if _, _, _, err := DecodeJobAck([]byte{WireVersion, MsgJobAck, 0, 0, 200}); err == nil {
 		t.Fatal("unknown status accepted")
 	}
-	if _, _, err := DecodeJobAck([]byte{MsgAdd, 0, 0, 0, 0}); !errors.Is(err, ErrLegacyWire) {
+	if _, _, _, err := DecodeJobAck([]byte{MsgAdd, 0, 0, 0, 0}); !errors.Is(err, ErrLegacyWire) {
 		t.Fatalf("legacy framing: %v", err)
 	}
 	// Err round trip: every status maps to the sentinel the wire client

@@ -205,19 +205,19 @@ func TestOversizedAddRejected(t *testing.T) {
 	}
 }
 
-// timeoutFabric never delivers anything: every Recv times out.
+// timeoutFabric never delivers anything: every RecvBatch times out.
 type timeoutFabric struct {
 	sent atomic.Uint64
 }
 
-func (f *timeoutFabric) Send(worker int, pkt []byte) error {
-	f.sent.Add(1)
+func (f *timeoutFabric) SendBatch(worker int, pkts [][]byte) error {
+	f.sent.Add(uint64(len(pkts)))
 	return nil
 }
 
-func (f *timeoutFabric) Recv(worker int, timeout time.Duration) ([]byte, error) {
+func (f *timeoutFabric) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, error) {
 	time.Sleep(timeout)
-	return nil, transport.ErrTimeout
+	return 0, transport.ErrTimeout
 }
 
 func (f *timeoutFabric) Close() error { return nil }
@@ -231,17 +231,10 @@ type holFabric struct {
 	replies chan []byte
 }
 
-func (f *holFabric) Send(worker int, pkt []byte) error {
-	msgs := [][]byte{pkt}
-	if pkt[1] == MsgBatch {
-		var err error
-		if msgs, err = DecodeBatch(pkt); err != nil {
-			return err
-		}
-	}
+func (f *holFabric) SendBatch(worker int, pkts [][]byte) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, m := range msgs {
+	for _, m := range pkts {
 		c := binary.BigEndian.Uint32(m[4:])
 		f.sent = append(f.sent, int(c))
 		if c == 0 && !f.dropped {
@@ -250,18 +243,19 @@ func (f *holFabric) Send(worker int, pkt []byte) error {
 		}
 		out := make([]byte, resultBytes(1))
 		putHeader(out, MsgResult, 0, c)
-		copy(out[hdrBytes:], m[hdrBytes:hdrBytes+4])
+		copy(out[hdrBytes:], m[addValOff:addValOff+4])
 		f.replies <- out
 	}
 	return nil
 }
 
-func (f *holFabric) Recv(worker int, timeout time.Duration) ([]byte, error) {
+func (f *holFabric) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, error) {
 	select {
 	case pkt := <-f.replies:
-		return pkt, nil
+		bufs[0] = append(bufs[0][:0], pkt...)
+		return 1, nil
 	case <-time.After(timeout):
-		return nil, transport.ErrTimeout
+		return 0, transport.ErrTimeout
 	}
 }
 
@@ -423,19 +417,46 @@ func TestMaxBatchFitsResultDatagram(t *testing.T) {
 	}
 }
 
-// TestSplitBatches covers the switch-side guard against clients that
-// exceed the worker-side batch cap.
-func TestSplitBatches(t *testing.T) {
-	msgs := make([][]byte, 7)
-	for i := range msgs {
-		msgs[i] = []byte{byte(i)}
+// TestHandleBatchGroupsShards pins the vectored ingest: a whole uplink
+// vector spanning every shard completes in ONE HandleBatch call, with the
+// same per-chunk results the per-packet path produced.
+func TestHandleBatchGroupsShards(t *testing.T) {
+	cfg := Config{Workers: 1, Pool: 8, Modules: 1, Shards: 4,
+		Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	groups := splitBatches(msgs, 3)
-	if len(groups) != 3 || len(groups[0]) != 3 || len(groups[1]) != 3 || len(groups[2]) != 1 {
-		t.Fatalf("groups = %v", groups)
+	const n = 8
+	pkts := make([][]byte, n)
+	for c := range pkts {
+		pkts[c] = EncodeAdd(0, uint32(c), []float32{float32(c) + 0.5})
 	}
-	if got := splitBatches(nil, 3); got != nil {
-		t.Fatalf("empty split = %v", got)
+	var dl transport.DeliveryList
+	sw.HandleBatch(0, pkts, &dl)
+	ds := dl.Deliveries()
+	if len(ds) != n {
+		t.Fatalf("%d deliveries for %d single-worker chunks", len(ds), n)
+	}
+	seen := make([]bool, n)
+	for _, d := range ds {
+		_, chunk, vals, _, err := DecodeResult(d.Packet, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float32(chunk) + 0.5; vals[0] != want {
+			t.Errorf("chunk %d = %g, want %g", chunk, vals[0], want)
+		}
+		seen[chunk] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Errorf("chunk %d never completed", c)
+		}
+	}
+	adds, _, completions := sw.Stats()
+	if adds != n || completions != n {
+		t.Errorf("adds=%d completions=%d, want %d each", adds, completions, n)
 	}
 }
 

@@ -19,7 +19,7 @@ func TestReduceOverUDP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fab, err := transport.NewUDP(cfg.Workers, sw.Handle)
+	fab, err := transport.NewUDP(cfg.Workers, sw.HandleBatch)
 	if err != nil {
 		t.Fatal(err)
 	}

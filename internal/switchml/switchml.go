@@ -253,7 +253,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 		pkt[0] = MsgExponent
 		binary.BigEndian.PutUint32(pkt[1:], uint32(c))
 		binary.BigEndian.PutUint16(pkt[hdr:], uint16(payload.MaxBiasedExp(chunkSlice(c))))
-		return w.Fabric.Send(w.ID, pkt)
+		return transport.Send(w.Fabric, w.ID, pkt)
 	}
 	sendData := func(c int) error {
 		w.SentPackets++
@@ -267,7 +267,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 			return err
 		}
 		w.QuantizeOps += uint64(cfg.Elems)
-		return w.Fabric.Send(w.ID, pkt)
+		return transport.Send(w.Fabric, w.ID, pkt)
 	}
 	canStart := func(c int) bool {
 		return c < nChunks && !started[c] && (c-cfg.Pool < 0 || stage[c-cfg.Pool] == stageDone)
@@ -283,7 +283,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				started[c] = true
 			}
 		}
-		pkt, err := w.Fabric.Recv(w.ID, timeout)
+		pkt, err := transport.Recv(w.Fabric, w.ID, timeout)
 		if err == transport.ErrTimeout {
 			stalls++
 			if stalls > retries {

@@ -1,0 +1,39 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSplitBatchFrame fuzzes the wire batch-frame codec: it must never
+// panic, every accepted frame must account for every byte, and re-encoding
+// the split packets must reproduce the frame exactly.
+func FuzzSplitBatchFrame(f *testing.F) {
+	f.Add(appendBatchFrame(nil, 3, [][]byte{{1, 2}, {}, {0xF2, 9, 9}}))
+	f.Add(appendBatchFrame(nil, 0, nil))
+	f.Add(appendBatchFrame(nil, 255, [][]byte{bytes.Repeat([]byte{7}, 600)}))
+	f.Add([]byte{BatchFrameID, 1, 0xff, 0xff})                   // count overstates packets
+	f.Add([]byte{BatchFrameID, 1, 0, 1, 0, 5, 1})                // length exceeds frame
+	f.Add(appendBatchFrame(nil, 9, [][]byte{{1}})[:5])           // truncated
+	f.Add(append(appendBatchFrame(nil, 9, [][]byte{{1}}), 0xaa)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		id, pkts, err := splitBatchFrame(frame, nil)
+		if err != nil {
+			return
+		}
+		if frame[0] != BatchFrameID {
+			t.Fatalf("accepted frame with leading byte 0x%02x", frame[0])
+		}
+		total := batchFrameHdr
+		for _, pkt := range pkts {
+			total += 2 + len(pkt)
+		}
+		if total != len(frame) {
+			t.Fatalf("packets cover %d of %d bytes", total, len(frame))
+		}
+		if re := appendBatchFrame(nil, id, pkts); !bytes.Equal(re, frame) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, frame)
+		}
+	})
+}

@@ -7,6 +7,9 @@ import (
 	"time"
 )
 
+// echoHandler answers each packet back to its sender, prefixed with the
+// worker index. Replies are fresh buffers: deliveries must not alias the
+// input vector (see the package ownership rules).
 func echoHandler(worker int, pkt []byte) []Delivery {
 	out := append([]byte{byte(worker)}, pkt...)
 	return []Delivery{{Worker: worker, Packet: out}}
@@ -18,29 +21,81 @@ func TestMemoryEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Send(1, []byte{9, 8}); err != nil {
+	if err := Send(m, 1, []byte{9, 8}); err != nil {
 		t.Fatal(err)
 	}
-	pkt, err := m.Recv(1, time.Second)
+	pkt, err := Recv(m, 1, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(pkt, []byte{1, 9, 8}) {
 		t.Errorf("pkt = %v", pkt)
 	}
-	if _, err := m.Recv(2, 10*time.Millisecond); err != ErrTimeout {
+	if _, err := Recv(m, 2, 10*time.Millisecond); err != ErrTimeout {
 		t.Errorf("expected timeout, got %v", err)
+	}
+}
+
+func TestMemoryBatchRoundTrip(t *testing.T) {
+	m, err := NewMemory(MemoryConfig{Workers: 2, BatchHandler: func(w int, pkts [][]byte, out *DeliveryList) {
+		for _, pkt := range pkts {
+			out.Unicast(w, append([]byte{byte(w)}, pkt...))
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	send := [][]byte{{10}, {11}, {12}}
+	if err := m.SendBatch(0, send); err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]byte, 8)
+	n, err := m.RecvBatch(0, bufs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("RecvBatch drained %d of 3", n)
+	}
+	for i, want := range []byte{10, 11, 12} {
+		if !bytes.Equal(bufs[i], []byte{0, want}) {
+			t.Errorf("pkt %d = %v", i, bufs[i])
+		}
+	}
+}
+
+// TestMemoryRecvBatchReusesBuffers pins the zero-copy contract: a second
+// RecvBatch writes into the same backing arrays the first call grew.
+func TestMemoryRecvBatchReusesBuffers(t *testing.T) {
+	m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler})
+	defer m.Close()
+	bufs := make([][]byte, 1)
+	Send(m, 0, []byte{1, 2, 3})
+	if _, err := m.RecvBatch(0, bufs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	first := &bufs[0][0]
+	Send(m, 0, []byte{4, 5, 6})
+	if _, err := m.RecvBatch(0, bufs, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if &bufs[0][0] != first {
+		t.Error("RecvBatch reallocated a buffer it could have reused")
+	}
+	if !bytes.Equal(bufs[0], []byte{0, 4, 5, 6}) {
+		t.Errorf("second recv = %v", bufs[0])
 	}
 }
 
 func TestMemoryBroadcast(t *testing.T) {
 	m, _ := NewMemory(MemoryConfig{Workers: 3, Handler: func(w int, pkt []byte) []Delivery {
-		return []Delivery{{Broadcast: true, Packet: pkt}}
+		return []Delivery{{Broadcast: true, Packet: append([]byte(nil), pkt...)}}
 	}})
 	defer m.Close()
-	m.Send(0, []byte{42})
+	Send(m, 0, []byte{42})
 	for w := 0; w < 3; w++ {
-		pkt, err := m.Recv(w, time.Second)
+		pkt, err := Recv(m, w, time.Second)
 		if err != nil || pkt[0] != 42 {
 			t.Fatalf("worker %d: %v %v", w, pkt, err)
 		}
@@ -51,7 +106,7 @@ func TestMemoryLossInjection(t *testing.T) {
 	m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler, UplinkLoss: 0.5, Seed: 1})
 	defer m.Close()
 	for i := 0; i < 200; i++ {
-		m.Send(0, []byte{1})
+		Send(m, 0, []byte{1})
 	}
 	sent, lostUp, _, delivered := m.Stats()
 	if sent != 200 {
@@ -70,7 +125,7 @@ func TestMemoryDeterministicLoss(t *testing.T) {
 		m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler, UplinkLoss: 0.3, Seed: 42})
 		defer m.Close()
 		for i := 0; i < 100; i++ {
-			m.Send(0, []byte{byte(i)})
+			Send(m, 0, []byte{byte(i)})
 		}
 		_, lost, _, _ := m.Stats()
 		return lost
@@ -90,24 +145,30 @@ func TestMemoryValidation(t *testing.T) {
 	if _, err := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler, UplinkLoss: 1.0}); err == nil {
 		t.Error("loss=1 accepted")
 	}
+	if _, err := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler,
+		BatchHandler: WrapHandler(echoHandler)}); err == nil {
+		t.Error("both handler kinds accepted")
+	}
 	m, _ := NewMemory(MemoryConfig{Workers: 1, Handler: echoHandler})
 	defer m.Close()
-	if err := m.Send(5, nil); err == nil {
+	if err := Send(m, 5, nil); err == nil {
 		t.Error("out-of-range worker accepted")
 	}
-	if _, err := m.Recv(-1, time.Millisecond); err == nil {
+	if _, err := Recv(m, -1, time.Millisecond); err == nil {
 		t.Error("negative worker accepted")
+	}
+	if _, err := m.RecvBatch(0, nil, time.Millisecond); err == nil {
+		t.Error("empty buffer vector accepted")
 	}
 }
 
 func TestMemoryConcurrentSenders(t *testing.T) {
 	var mu sync.Mutex
 	count := 0
-	m, _ := NewMemory(MemoryConfig{Workers: 4, Handler: func(w int, pkt []byte) []Delivery {
+	m, _ := NewMemory(MemoryConfig{Workers: 4, BatchHandler: func(w int, pkts [][]byte, out *DeliveryList) {
 		mu.Lock()
-		count++
+		count += len(pkts)
 		mu.Unlock()
-		return nil
 	}})
 	defer m.Close()
 	var wg sync.WaitGroup
@@ -115,53 +176,79 @@ func TestMemoryConcurrentSenders(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := 0; i < 100; i++ {
-				m.Send(w, []byte{byte(i)})
+			for i := 0; i < 25; i++ {
+				m.SendBatch(w, [][]byte{{byte(i)}, {byte(i + 1)}, {byte(i + 2)}, {byte(i + 3)}})
 			}
 		}(w)
 	}
 	wg.Wait()
 	if count != 400 {
-		t.Errorf("handler ran %d times, want 400", count)
+		t.Errorf("handler saw %d packets, want 400", count)
+	}
+}
+
+func TestBatchFrameRoundTrip(t *testing.T) {
+	pkts := [][]byte{{1, 2, 3}, {}, {0xF2, 9}, bytes.Repeat([]byte{7}, 300)}
+	frame := appendBatchFrame(nil, 17, pkts)
+	id, got, err := splitBatchFrame(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 17 {
+		t.Errorf("id = %d", id)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("%d packets of %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if !bytes.Equal(got[i], pkts[i]) {
+			t.Errorf("pkt %d = %v, want %v", i, got[i], pkts[i])
+		}
+	}
+	// Corruptions must error, not panic.
+	for _, bad := range [][]byte{frame[:2], frame[:len(frame)-1], append(append([]byte(nil), frame...), 9)} {
+		if _, _, err := splitBatchFrame(bad, nil); err == nil {
+			t.Errorf("corrupt frame %d bytes accepted", len(bad))
+		}
 	}
 }
 
 func TestUDPFabric(t *testing.T) {
-	u, err := NewUDP(2, func(w int, pkt []byte) []Delivery {
+	u, err := NewUDP(2, WrapHandler(func(w int, pkt []byte) []Delivery {
 		if len(pkt) > 0 && pkt[0] == 99 {
 			return []Delivery{{Broadcast: true, Packet: []byte{byte(w), 1}}}
 		}
 		return []Delivery{{Worker: w, Packet: append([]byte{byte(w)}, pkt...)}}
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer u.Close()
 
 	// Register both workers (the switch learns addresses from traffic).
-	if err := u.Send(0, []byte{7}); err != nil {
+	if err := Send(u, 0, []byte{7}); err != nil {
 		t.Fatal(err)
 	}
-	pkt, err := u.Recv(0, time.Second)
+	pkt, err := Recv(u, 0, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(pkt, []byte{0, 7}) {
 		t.Errorf("echo = %v", pkt)
 	}
-	if err := u.Send(1, []byte{8}); err != nil {
+	if err := Send(u, 1, []byte{8}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := u.Recv(1, time.Second); err != nil {
+	if _, err := Recv(u, 1, time.Second); err != nil {
 		t.Fatal(err)
 	}
 
 	// Broadcast reaches both.
-	if err := u.Send(0, []byte{99}); err != nil {
+	if err := Send(u, 0, []byte{99}); err != nil {
 		t.Fatal(err)
 	}
 	for w := 0; w < 2; w++ {
-		pkt, err := u.Recv(w, time.Second)
+		pkt, err := Recv(u, w, time.Second)
 		if err != nil {
 			t.Fatalf("worker %d missed broadcast: %v", w, err)
 		}
@@ -170,7 +257,82 @@ func TestUDPFabric(t *testing.T) {
 		}
 	}
 
-	if _, err := u.Recv(0, 20*time.Millisecond); err != ErrTimeout {
+	if _, err := Recv(u, 0, 20*time.Millisecond); err != ErrTimeout {
 		t.Errorf("expected timeout, got %v", err)
+	}
+}
+
+// TestUDPBatchCoalescing pins the wire shape: a send vector crosses as one
+// batch-framed datagram, is handled as one vector, and the coalesced
+// replies drain in one RecvBatch.
+func TestUDPBatchCoalescing(t *testing.T) {
+	var mu sync.Mutex
+	var vecSizes []int
+	u, err := NewUDP(1, func(w int, pkts [][]byte, out *DeliveryList) {
+		mu.Lock()
+		vecSizes = append(vecSizes, len(pkts))
+		mu.Unlock()
+		for _, pkt := range pkts {
+			out.Unicast(w, append([]byte{0xF2}, pkt...)) // fresh buffers
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+
+	send := [][]byte{{1}, {2}, {3}, {4}, {5}}
+	if err := u.SendBatch(0, send); err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]byte, 8)
+	got := 0
+	for got < 5 {
+		n, err := u.RecvBatch(0, bufs[got:], time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if want := byte(got + i + 1); !bytes.Equal(bufs[got+i], []byte{0xF2, want}) {
+				t.Errorf("pkt %d = %v", got+i, bufs[got+i])
+			}
+		}
+		got += n
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(vecSizes) != 1 || vecSizes[0] != 5 {
+		t.Errorf("handler invocations %v, want one vector of 5", vecSizes)
+	}
+}
+
+// TestUDPRecvBatchCarryover: a batch frame larger than the caller's buffer
+// vector must not drop packets — the overflow is served by the next call.
+func TestUDPRecvBatchCarryover(t *testing.T) {
+	u, err := NewUDP(1, func(w int, pkts [][]byte, out *DeliveryList) {
+		for _, pkt := range pkts {
+			out.Unicast(w, append([]byte{0xF2}, pkt...))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	if err := u.SendBatch(0, [][]byte{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[byte]bool{}
+	two := make([][]byte, 2)
+	for len(seen) < 3 {
+		n, err := u.RecvBatch(0, two, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			seen[two[i][1]] = true
+		}
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Errorf("carryover lost packets: %v", seen)
 	}
 }

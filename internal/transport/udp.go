@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -13,33 +14,95 @@ import (
 // fpisa-query's stats probe): the handler is invoked with worker index
 // ObserverWorker (-1), the sender's address is NOT learned as a worker
 // return path, and every delivery the handler returns is written straight
-// back to the sender. Worker IDs are therefore limited to 0..254.
+// back to the sender.
 const (
 	ObserverID     = 0xFF
 	ObserverWorker = -1
 )
 
+// BatchFrameID is the reserved frame byte that marks a batch-framed
+// datagram: several packets coalesced into one wire datagram,
+//
+//	batch frame = [BatchFrameID(1) id(1) count(2) { len(2) pkt }·count]
+//
+// where id is the sending worker on the uplink and ignored on the
+// downlink. Downlink single packets are written raw (unframed), so
+// payloads must not begin with BatchFrameID — the aggservice wire format
+// (version octet 0xF2) satisfies this by construction.
+const BatchFrameID = 0xFE
+
+// batchFrameHdr is the fixed batch-frame header; each framed packet adds a
+// two-byte length prefix.
+const batchFrameHdr = 4
+
+// maxUDPPayload is the largest datagram payload a batch frame may occupy.
+const maxUDPPayload = 65507
+
 // MaxWorkers is the largest worker count the one-byte frame can address,
-// with ObserverID reserved.
-const MaxWorkers = 255
+// with ObserverID and BatchFrameID reserved.
+const MaxWorkers = 254
+
+// appendBatchFrame appends one batch frame carrying pkts to dst.
+func appendBatchFrame(dst []byte, id byte, pkts [][]byte) []byte {
+	dst = append(dst, BatchFrameID, id, 0, 0)
+	binary.BigEndian.PutUint16(dst[len(dst)-2:], uint16(len(pkts)))
+	for _, pkt := range pkts {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(pkt)))
+		dst = append(dst, l[:]...)
+		dst = append(dst, pkt...)
+	}
+	return dst
+}
+
+// splitBatchFrame parses a batch frame, appending packet slices (aliasing
+// frame) onto into[:0].
+func splitBatchFrame(frame []byte, into [][]byte) (id byte, pkts [][]byte, err error) {
+	if len(frame) < batchFrameHdr || frame[0] != BatchFrameID {
+		return 0, nil, fmt.Errorf("transport: bad batch frame header")
+	}
+	id = frame[1]
+	count := int(binary.BigEndian.Uint16(frame[2:]))
+	pkts = into[:0]
+	off := batchFrameHdr
+	for i := 0; i < count; i++ {
+		if off+2 > len(frame) {
+			return 0, nil, fmt.Errorf("transport: batch frame truncated at packet %d", i)
+		}
+		l := int(binary.BigEndian.Uint16(frame[off:]))
+		off += 2
+		if off+l > len(frame) {
+			return 0, nil, fmt.Errorf("transport: batch frame packet %d exceeds datagram", i)
+		}
+		pkts = append(pkts, frame[off:off+l])
+		off += l
+	}
+	if off != len(frame) {
+		return 0, nil, fmt.Errorf("transport: %d trailing bytes after batch frame", len(frame)-off)
+	}
+	return id, pkts, nil
+}
 
 // ServeConn drains a switch-side UDP socket with a pool of reader
-// goroutines (one per CPU, capped at 8). Each datagram is framed
-// [workerID(1) payload]; the sender's address is learned as that worker's
-// return path, and handler deliveries are written back out the same
-// socket, broadcasts going to every learned address. Frames carrying
-// ObserverID are handled out-of-band (see ObserverID). Destination
-// addresses are snapshotted under the lock but written outside it, so
-// replies from different readers (and shards) proceed in parallel.
+// goroutines (one per CPU, capped at 8), each owning a reusable read
+// buffer, delivery list and write buffer — the serve loop allocates
+// nothing per datagram in steady state. Datagrams are framed either
+// [workerID(1) payload] or as batch frames (BatchFrameID); the sender's
+// address is learned as that worker's return path, and handler deliveries
+// are coalesced per destination into batch-framed datagrams (single
+// deliveries are written raw), broadcasts going to every learned address.
+// Frames carrying ObserverID are handled out-of-band (see ObserverID).
+// Destination addresses are snapshotted under the lock but written outside
+// it, so replies from different readers (and shards) proceed in parallel.
 //
 // ServeConn blocks until the socket is closed (returning nil) and errors
 // immediately on a worker count the one-byte frame cannot address;
 // transient read errors are skipped. It is the shared serve loop of the
 // UDP fabric and the fpisa-switch daemon.
-func ServeConn(conn *net.UDPConn, workers int, handler Handler) error {
+func ServeConn(conn *net.UDPConn, workers int, handler BatchHandler) error {
 	if workers < 1 || workers > MaxWorkers {
-		return fmt.Errorf("transport: %d workers outside the 1..%d the one-byte frame addresses (0x%02x is reserved)",
-			workers, MaxWorkers, ObserverID)
+		return fmt.Errorf("transport: %d workers outside the 1..%d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
+			workers, MaxWorkers, BatchFrameID, ObserverID)
 	}
 	var mu sync.Mutex
 	addrs := make([]*net.UDPAddr, workers)
@@ -59,10 +122,25 @@ func ServeConn(conn *net.UDPConn, workers int, handler Handler) error {
 	return nil
 }
 
-func serveReader(conn *net.UDPConn, workers int, handler Handler, mu *sync.Mutex, addrs []*net.UDPAddr) {
-	buf := make([]byte, 65536)
+// serveState is one reader goroutine's reusable scratch.
+type serveState struct {
+	buf    []byte    // datagram read buffer
+	split  [][]byte  // batch-frame packet slices (aliasing buf)
+	one    [1][]byte // single-packet vector (aliasing buf)
+	dl     DeliveryList
+	groups destGroups     // delivery packets grouped per destination worker
+	dst    []*net.UDPAddr // destination snapshot, filled under the lock
+	wbuf   []byte         // batch-frame write buffer
+}
+
+func serveReader(conn *net.UDPConn, workers int, handler BatchHandler, mu *sync.Mutex, addrs []*net.UDPAddr) {
+	st := &serveState{
+		buf: make([]byte, 65536),
+		dst: make([]*net.UDPAddr, workers),
+	}
+	st.groups.init(workers)
 	for {
-		n, src, err := conn.ReadFromUDP(buf)
+		n, src, err := conn.ReadFromUDP(st.buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
@@ -76,72 +154,161 @@ func serveReader(conn *net.UDPConn, workers int, handler Handler, mu *sync.Mutex
 		if n < 1 {
 			continue
 		}
-		if buf[0] == ObserverID {
+		st.dl.Reset()
+		switch st.buf[0] {
+		case ObserverID:
 			// Out-of-band observer: replies go to the sender only, and
 			// its address never becomes a worker return path.
-			pkt := append([]byte(nil), buf[1:n]...)
-			for _, d := range handler(ObserverWorker, pkt) {
+			st.one[0] = st.buf[1:n]
+			handler(ObserverWorker, st.one[:], &st.dl)
+			for _, d := range st.dl.Deliveries() {
 				_, _ = conn.WriteToUDP(d.Packet, src)
 			}
 			continue
+		case BatchFrameID:
+			id, pkts, err := splitBatchFrame(st.buf[:n], st.split)
+			st.split = pkts[:0]
+			if err != nil || int(id) >= workers {
+				continue
+			}
+			worker := int(id)
+			mu.Lock()
+			addrs[worker] = src
+			mu.Unlock()
+			handler(worker, pkts, &st.dl)
+		default:
+			worker := int(st.buf[0])
+			if worker >= workers {
+				continue
+			}
+			mu.Lock()
+			addrs[worker] = src
+			mu.Unlock()
+			st.one[0] = st.buf[1:n]
+			handler(worker, st.one[:], &st.dl)
 		}
-		worker := int(buf[0])
-		if worker >= workers {
+		deliver(conn, workers, mu, addrs, st)
+	}
+}
+
+// deliver routes the reader's accumulated deliveries: grouped per
+// destination, coalesced into batch frames (singles written raw), written
+// outside the address lock.
+func deliver(conn *net.UDPConn, workers int, mu *sync.Mutex, addrs []*net.UDPAddr, st *serveState) {
+	ds := st.dl.Deliveries()
+	if len(ds) == 0 {
+		return
+	}
+	for _, d := range ds {
+		if d.Broadcast {
+			for w := 0; w < workers; w++ {
+				st.groups.route(w, d.Packet)
+			}
 			continue
 		}
-		mu.Lock()
-		addrs[worker] = src
-		mu.Unlock()
-
-		pkt := append([]byte(nil), buf[1:n]...)
-		for _, d := range handler(worker, pkt) {
-			targets := []int{d.Worker}
-			if d.Broadcast {
-				targets = targets[:0]
-				for w := 0; w < workers; w++ {
-					targets = append(targets, w)
-				}
-			}
-			dsts := make([]*net.UDPAddr, 0, len(targets))
-			mu.Lock()
-			for _, t := range targets {
-				if t >= 0 && t < workers && addrs[t] != nil {
-					dsts = append(dsts, addrs[t])
-				}
-			}
-			mu.Unlock()
-			for _, dst := range dsts {
-				_, _ = conn.WriteToUDP(d.Packet, dst)
-			}
+		if d.Worker >= 0 && d.Worker < workers {
+			st.groups.route(d.Worker, d.Packet)
 		}
 	}
+	mu.Lock()
+	for _, w := range st.groups.touched {
+		st.dst[w] = addrs[w]
+	}
+	mu.Unlock()
+	for _, w := range st.groups.touched {
+		if st.dst[w] != nil {
+			writeCoalesced(conn, st.dst[w], 0, st.groups.perDst[w], false, &st.wbuf)
+		}
+	}
+	st.groups.reset()
+}
+
+// writeCoalesced writes pkts to dst in as few datagrams as possible: a
+// batch frame per full group (split when a group would exceed the UDP
+// payload), a lone packet as a single frame — [id payload] when frameSingle
+// is set (uplink), raw otherwise (downlink). wbuf is the caller's reusable
+// write buffer.
+func writeCoalesced(conn *net.UDPConn, dst *net.UDPAddr, id byte, pkts [][]byte, frameSingle bool, wbuf *[]byte) error {
+	writeOne := func(pkt []byte) error {
+		if !frameSingle {
+			_, err := conn.WriteToUDP(pkt, dst)
+			return err
+		}
+		*wbuf = append((*wbuf)[:0], id)
+		*wbuf = append(*wbuf, pkt...)
+		_, err := conn.WriteToUDP(*wbuf, dst)
+		return err
+	}
+	for len(pkts) > 0 {
+		// Greedy split: take the longest prefix that fits one datagram.
+		k := 0
+		size := batchFrameHdr
+		for k < len(pkts) && size+2+len(pkts[k]) <= maxUDPPayload {
+			size += 2 + len(pkts[k])
+			k++
+		}
+		if k <= 1 {
+			// A single packet (or one too large to share a frame): send
+			// it alone and move on.
+			if err := writeOne(pkts[0]); err != nil {
+				return err
+			}
+			pkts = pkts[1:]
+			continue
+		}
+		*wbuf = appendBatchFrame((*wbuf)[:0], id, pkts[:k])
+		if _, err := conn.WriteToUDP(*wbuf, dst); err != nil {
+			return err
+		}
+		pkts = pkts[k:]
+	}
+	return nil
 }
 
 // UDP is a Fabric over real UDP sockets on loopback (or any network): one
 // switch socket, one socket per worker. Worker identity is carried in a
 // one-byte frame header so the switch can map datagrams to logical ports,
 // like the ingress-port metadata a real switch derives from the wire.
+// SendBatch coalesces the packet vector into batch-framed datagrams and
+// RecvBatch drains the worker socket into the caller's reusable buffers,
+// so a full protocol window crosses the wire in a handful of datagrams.
 //
 // The switch socket is drained by ServeConn's reader pool, so concurrent
 // datagrams reach the handler in parallel — the handler must be
-// concurrency-safe (see Handler).
+// concurrency-safe (see BatchHandler).
 type UDP struct {
 	workers  int
-	handler  Handler
 	swConn   *net.UDPConn
 	conns    []*net.UDPConn
+	send     []sendState
+	recv     []recvState
 	closedMu sync.Mutex
 	closed   bool
 }
 
+// sendState is one worker's reusable uplink write buffer.
+type sendState struct {
+	mu   sync.Mutex
+	wbuf []byte
+}
+
+// recvState is one worker's reusable downlink read buffer plus the
+// overflow queue for batch frames larger than the caller's buffer vector.
+type recvState struct {
+	mu      sync.Mutex
+	rbuf    []byte
+	split   [][]byte
+	pending [][]byte // owned copies carried over to the next RecvBatch
+}
+
 // NewUDP starts a switch socket on 127.0.0.1 and one socket per worker.
-func NewUDP(workers int, handler Handler) (*UDP, error) {
+func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("transport: workers %d", workers)
 	}
 	if workers > MaxWorkers {
-		return nil, fmt.Errorf("transport: %d workers exceed the %d the one-byte frame addresses (0x%02x is reserved)",
-			workers, MaxWorkers, ObserverID)
+		return nil, fmt.Errorf("transport: %d workers exceed the %d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
+			workers, MaxWorkers, BatchFrameID, ObserverID)
 	}
 	if handler == nil {
 		return nil, fmt.Errorf("transport: nil handler")
@@ -152,9 +319,10 @@ func NewUDP(workers int, handler Handler) (*UDP, error) {
 	}
 	u := &UDP{
 		workers: workers,
-		handler: handler,
 		swConn:  sw,
 		conns:   make([]*net.UDPConn, workers),
+		send:    make([]sendState, workers),
+		recv:    make([]recvState, workers),
 	}
 	for i := range u.conns {
 		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -172,36 +340,98 @@ func NewUDP(workers int, handler Handler) (*UDP, error) {
 // SwitchAddr returns the switch socket's address.
 func (u *UDP) SwitchAddr() *net.UDPAddr { return u.swConn.LocalAddr().(*net.UDPAddr) }
 
-// Send implements Fabric, framing the worker ID ahead of the payload.
-func (u *UDP) Send(worker int, pkt []byte) error {
+// SendBatch implements Fabric, coalescing the vector into batch-framed
+// datagrams (a lone packet rides the legacy [workerID payload] frame).
+func (u *UDP) SendBatch(worker int, pkts [][]byte) error {
 	if worker < 0 || worker >= u.workers {
 		return fmt.Errorf("transport: worker %d out of range", worker)
 	}
-	frame := make([]byte, 1+len(pkt))
-	frame[0] = byte(worker)
-	copy(frame[1:], pkt)
-	_, err := u.conns[worker].WriteToUDP(frame, u.SwitchAddr())
-	return err
+	if len(pkts) == 0 {
+		return nil
+	}
+	st := &u.send[worker]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return writeCoalesced(u.conns[worker], u.SwitchAddr(), byte(worker), pkts, true, &st.wbuf)
 }
 
-// Recv implements Fabric.
-func (u *UDP) Recv(worker int, timeout time.Duration) ([]byte, error) {
+// RecvBatch implements Fabric: it blocks up to timeout for the first
+// datagram, then keeps draining the socket without blocking until the
+// buffer vector is full or the socket is empty. Batch frames are split
+// into their packets; packets beyond len(bufs) are carried over to the
+// next call rather than dropped.
+func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, error) {
 	if worker < 0 || worker >= u.workers {
-		return nil, fmt.Errorf("transport: worker %d out of range", worker)
+		return 0, fmt.Errorf("transport: worker %d out of range", worker)
+	}
+	if len(bufs) == 0 {
+		return 0, fmt.Errorf("transport: RecvBatch needs at least one buffer")
+	}
+	st := &u.recv[worker]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.rbuf == nil {
+		st.rbuf = make([]byte, 65536)
+	}
+	n := 0
+	for n < len(bufs) && len(st.pending) > 0 {
+		bufs[n] = append(bufs[n][:0], st.pending[0]...)
+		st.pending = st.pending[1:]
+		n++
 	}
 	c := u.conns[worker]
-	if err := c.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, err
-	}
-	buf := make([]byte, 65536)
-	n, _, err := c.ReadFromUDP(buf)
-	if err != nil {
-		if ne, ok := err.(net.Error); ok && ne.Timeout() {
-			return nil, ErrTimeout
+	// The blocking deadline is absolute, computed ONCE: a stream of
+	// malformed or zero-length datagrams must consume the caller's
+	// timeout, not restart it — otherwise garbage traffic could stall the
+	// receiver (and its retransmit machinery) indefinitely.
+	deadline := time.Now().Add(timeout)
+	for n < len(bufs) {
+		// The first packet blocks up to the deadline; once something
+		// arrived, an already-expired deadline turns further reads into a
+		// non-blocking drain of whatever the socket already buffered.
+		dl := deadline
+		if n > 0 {
+			dl = time.Now()
 		}
-		return nil, err
+		if err := c.SetReadDeadline(dl); err != nil {
+			return n, err
+		}
+		k, _, err := c.ReadFromUDP(st.rbuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				if n == 0 {
+					return 0, ErrTimeout
+				}
+				return n, nil
+			}
+			if n > 0 {
+				return n, nil
+			}
+			return 0, err
+		}
+		if k < 1 {
+			continue
+		}
+		if st.rbuf[0] == BatchFrameID {
+			_, pkts, err := splitBatchFrame(st.rbuf[:k], st.split)
+			st.split = pkts[:0]
+			if err != nil {
+				continue // malformed frame: drop, like a corrupt datagram
+			}
+			for _, pkt := range pkts {
+				if n < len(bufs) {
+					bufs[n] = append(bufs[n][:0], pkt...)
+					n++
+				} else {
+					st.pending = append(st.pending, append([]byte(nil), pkt...))
+				}
+			}
+			continue
+		}
+		bufs[n] = append(bufs[n][:0], st.rbuf[:k]...)
+		n++
 	}
-	return append([]byte(nil), buf[:n]...), nil
+	return n, nil
 }
 
 // Close implements Fabric. Closing the switch socket terminates the
