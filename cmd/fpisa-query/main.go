@@ -8,10 +8,13 @@
 // the out-of-band observer frame (so the probe never disturbs a worker's
 // learned return path). -job queries one tenant job's live stats; -admit
 // and -evict drive the runtime lifecycle control plane (the daemon must
-// run with -dynamic):
+// run with -dynamic). -weight sets the admitted job's fair-scheduler
+// weight; the command prints the weight and incarnation epoch the switch
+// actually applied (echoed in the ack) and exits non-zero if the switch
+// clamped a requested weight of 0:
 //
 //	fpisa-query -switch 127.0.0.1:9099 -job 1
-//	fpisa-query -switch 127.0.0.1:9099 -admit 2
+//	fpisa-query -switch 127.0.0.1:9099 -admit 2 -weight 4
 //	fpisa-query -switch 127.0.0.1:9099 -evict 1
 //
 // All switch operations exit non-zero with the error on stderr when the
@@ -43,19 +46,31 @@ func main() {
 	swAddr := flag.String("switch", "", "address of a running fpisa-switch to operate on instead")
 	job := flag.Int("job", 0, "job id to query (with -switch)")
 	admit := flag.Int("admit", -1, "admit this job id at runtime (with -switch)")
+	weight := flag.Int("weight", 1, "fair-scheduler weight for -admit (0 is clamped to 1 by the switch)")
 	evict := flag.Int("evict", -1, "evict this job id at runtime (with -switch)")
 	timeout := flag.Duration("timeout", time.Second, "per-probe reply timeout (with -switch)")
 	flag.Parse()
+	weightSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "weight" {
+			weightSet = true
+		}
+	})
 
 	if *swAddr != "" {
 		var err error
 		switch {
 		case *admit >= 0 && *evict >= 0:
 			err = fmt.Errorf("-admit and -evict are mutually exclusive")
+		case weightSet && *admit < 0:
+			// Only -admit consumes a weight; silently discarding one on an
+			// evict or stats probe would let an operator believe they
+			// reweighted a tenant.
+			err = fmt.Errorf("-weight only applies to -admit")
 		case *admit >= 0:
-			err = lifecycleRequest(os.Stdout, *swAddr, aggservice.MsgJobAdmit, *admit, *timeout)
+			err = admitRequest(os.Stdout, *swAddr, *admit, *weight, *timeout)
 		case *evict >= 0:
-			err = lifecycleRequest(os.Stdout, *swAddr, aggservice.MsgJobEvict, *evict, *timeout)
+			err = evictRequest(os.Stdout, *swAddr, *evict, *timeout)
 		default:
 			err = queryJobStats(os.Stdout, *swAddr, *job, *timeout)
 		}
@@ -162,7 +177,7 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 		// The switch answers stats requests for unknown jobs with an
 		// explicit lifecycle ack; surface it as the scriptable error.
 		if len(pkt) >= 2 && pkt[0] == aggservice.WireVersion && pkt[1] == aggservice.MsgJobAck {
-			gotJob, status, _, err := aggservice.DecodeJobAck(pkt)
+			gotJob, status, _, _, err := aggservice.DecodeJobAck(pkt)
 			if err != nil || gotJob != job {
 				return false, nil // stray or garbled ack: keep listening
 			}
@@ -179,38 +194,36 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 		return err
 	}
 	fmt.Fprintf(w, "switch %s, job %d (%s)\n", addr, job, st.Phase)
+	fmt.Fprintf(w, "%-22s %d\n", "scheduler weight", st.Weight)
 	fmt.Fprintf(w, "%-22s %d\n", "values aggregated", st.Adds)
 	fmt.Fprintf(w, "%-22s %d\n", "chunks completed", st.Completions)
 	fmt.Fprintf(w, "%-22s %d\n", "retransmits observed", st.Retransmits)
 	fmt.Fprintf(w, "%-22s %d\n", "quota drops", st.QuotaDrops)
+	fmt.Fprintf(w, "%-22s %d\n", "scheduler defers", st.SchedDefers)
 	fmt.Fprintf(w, "%-22s %d\n", "slots outstanding", st.Outstanding)
 	fmt.Fprintf(w, "%-22s %d\n", "result-cache hits", st.CacheHits)
 	fmt.Fprintf(w, "%-22s %d\n", "result-cache bytes", st.CacheBytes)
 	return nil
 }
 
-// lifecycleRequest drives one admit or evict round trip against a running
-// switch and reports the acknowledged transition. Error statuses (unknown
-// job, no capacity, lifecycle disabled, …) become the command's error.
-func lifecycleRequest(w io.Writer, addr string, msgType byte, job int, timeout time.Duration) error {
-	if job < 0 || job >= aggservice.MaxJobs {
-		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
-	}
-	req := aggservice.EncodeJobAdmit(job)
+// lifecycleExchange drives one admit or evict round trip against a running
+// switch and returns the acknowledged status plus the echoed incarnation
+// epoch and scheduler weight. Error statuses (unknown job, no capacity,
+// lifecycle disabled, …) become the returned error. The operation is read
+// from the request frame itself, so the diagnostics can never disagree
+// with what was sent.
+func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) (status aggservice.AckStatus, epoch uint8, weight int, err error) {
+	msgType := req[1]
 	verb := "admit"
 	if msgType == aggservice.MsgJobEvict {
-		req = aggservice.EncodeJobEvict(job)
 		verb = "evict"
 	}
-	var status aggservice.AckStatus
-	var epoch uint8
-	err := observerExchange(addr, req, timeout, func(pkt []byte, attempt int) (bool, error) {
-		gotJob, got, gotEpoch, err := aggservice.DecodeJobAck(pkt)
-		if err != nil || gotJob != job {
+	err = observerExchange(addr, req, timeout, func(pkt []byte, attempt int) (bool, error) {
+		gotJob, got, gotEpoch, gotWeight, derr := aggservice.DecodeJobAck(pkt)
+		if derr != nil || gotJob != job {
 			return false, nil
 		}
-		status = got
-		epoch = gotEpoch
+		status, epoch, weight = got, gotEpoch, gotWeight
 		serr := got.Err()
 		if serr == nil {
 			return true, nil
@@ -231,12 +244,46 @@ func lifecycleRequest(w io.Writer, addr string, msgType byte, job int, timeout t
 		}
 		return true, fmt.Errorf("switch %s refuses to %s job %d: %w", addr, verb, job, serr)
 	})
+	return status, epoch, weight, err
+}
+
+// admitRequest admits a job with a fair-scheduler weight and reports the
+// weight and incarnation epoch the switch actually applied (echoed in the
+// ack). A requested weight of 0 that the switch clamps to its floor is an
+// error — the operator asked for something the scheduler cannot grant, and
+// a script must see that rather than a silently reweighted tenant.
+func admitRequest(w io.Writer, addr string, job, weight int, timeout time.Duration) error {
+	if job < 0 || job >= aggservice.MaxJobs {
+		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
+	}
+	if weight < 0 || weight > aggservice.MaxWeight {
+		return fmt.Errorf("weight %d outside the 16-bit weight space", weight)
+	}
+	req := aggservice.EncodeJobAdmitWeight(job, weight)
+	status, epoch, gotWeight, err := lifecycleExchange(addr, req, job, timeout)
 	if err != nil {
 		return err
 	}
-	// The echoed incarnation epoch is operational output: workers of a
-	// re-admitted job id must stamp it into their ADDs (Worker.Epoch) or
-	// the switch rejects their traffic as stale.
+	// The echoed incarnation epoch and weight are operational output:
+	// workers of a re-admitted job id must stamp the epoch into their ADDs
+	// (Worker.Epoch), and the weight is the share the scheduler will
+	// actually enforce.
+	fmt.Fprintf(w, "switch %s: job %d %s (weight %d, epoch %d)\n", addr, job, status, gotWeight, epoch)
+	if weight == 0 && gotWeight != 0 {
+		return fmt.Errorf("switch %s clamped the requested weight 0 to %d for job %d", addr, gotWeight, job)
+	}
+	return nil
+}
+
+// evictRequest drives one evict round trip and reports the transition.
+func evictRequest(w io.Writer, addr string, job int, timeout time.Duration) error {
+	if job < 0 || job >= aggservice.MaxJobs {
+		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
+	}
+	status, epoch, _, err := lifecycleExchange(addr, aggservice.EncodeJobEvict(job), job, timeout)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "switch %s: job %d %s (epoch %d)\n", addr, job, status, epoch)
 	return nil
 }

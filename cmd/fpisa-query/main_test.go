@@ -46,7 +46,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	const probeTimeout = 500 * time.Millisecond
 
 	var out strings.Builder
-	if err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 1, probeTimeout); err != nil {
+	if err := admitRequest(&out, addr, 1, 1, probeTimeout); err != nil {
 		t.Fatalf("admit: %v", err)
 	}
 	if !strings.Contains(out.String(), "job 1 admitted") {
@@ -66,22 +66,74 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	}
 
 	// Double admit is refused with the sentinel a script can gate on.
-	if err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 1, probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
+	if err := admitRequest(&out, addr, 1, 1, probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
 		t.Fatalf("double admit: %v", err)
 	}
 
 	out.Reset()
-	if err := lifecycleRequest(&out, addr, aggservice.MsgJobEvict, 1, probeTimeout); err != nil {
+	if err := evictRequest(&out, addr, 1, probeTimeout); err != nil {
 		t.Fatalf("evict: %v", err)
 	}
 	if !strings.Contains(out.String(), "job 1 evicting") {
 		t.Fatalf("evict output: %q", out.String())
 	}
-	if err := lifecycleRequest(&out, addr, aggservice.MsgJobEvict, 1, probeTimeout); !errors.Is(err, aggservice.ErrNotAdmitted) {
+	if err := evictRequest(&out, addr, 1, probeTimeout); !errors.Is(err, aggservice.ErrNotAdmitted) {
 		t.Fatalf("double evict: %v", err)
 	}
-	if err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 9, probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
+	if err := admitRequest(&out, addr, 9, 1, probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
 		t.Fatalf("admit unknown: %v", err)
+	}
+}
+
+// TestAdmitWithWeight drives a weighted admission over real UDP: the ack
+// must echo the applied weight and epoch, the job's stats must report the
+// weight, and a requested weight of 0 — which the switch clamps to 1 —
+// must surface as a non-zero-exit error rather than a silent default.
+func TestAdmitWithWeight(t *testing.T) {
+	sw, addr := startSwitch(t, dynConfig())
+	const probeTimeout = 500 * time.Millisecond
+
+	var out strings.Builder
+	if err := admitRequest(&out, addr, 1, 4, probeTimeout); err != nil {
+		t.Fatalf("weighted admit: %v", err)
+	}
+	if !strings.Contains(out.String(), "job 1 admitted (weight 4, epoch 0)") {
+		t.Fatalf("weighted admit output: %q", out.String())
+	}
+	if got := sw.JobWeight(1); got != 4 {
+		t.Fatalf("switch applied weight %d, want 4", got)
+	}
+	out.Reset()
+	if err := queryJobStats(&out, addr, 1, probeTimeout); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "scheduler weight") || !strings.Contains(out.String(), " 4") {
+		t.Fatalf("stats output lacks the weight: %q", out.String())
+	}
+
+	// The clamp case: weight 0 is admitted at the floor 1, and the command
+	// reports the clamp as an error a script can gate on.
+	if err := evictRequest(&out, addr, 1, probeTimeout); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err := admitRequest(&out, addr, 1, 0, probeTimeout)
+	if err == nil || !strings.Contains(err.Error(), "clamped") {
+		t.Fatalf("weight-0 clamp not surfaced: err=%v", err)
+	}
+	if !strings.Contains(out.String(), "(weight 1, epoch 1)") {
+		t.Fatalf("clamp output: %q", out.String())
+	}
+	if got := sw.JobWeight(1); got != 1 {
+		t.Fatalf("clamped weight = %d, want 1", got)
+	}
+
+	// Out-of-space weights are refused locally, before any datagram.
+	if err := admitRequest(&out, addr, 2, aggservice.MaxWeight+1, time.Millisecond); err == nil {
+		t.Fatal("oversized weight accepted")
+	}
+	if err := admitRequest(&out, addr, 2, -1, time.Millisecond); err == nil {
+		t.Fatal("negative weight accepted")
 	}
 }
 
@@ -113,7 +165,7 @@ func TestLifecycleDisabledOverWire(t *testing.T) {
 	cfg.Dynamic = false
 	_, addr := startSwitch(t, cfg)
 	var out strings.Builder
-	err := lifecycleRequest(&out, addr, aggservice.MsgJobAdmit, 1, 500*time.Millisecond)
+	err := admitRequest(&out, addr, 1, 1, 500*time.Millisecond)
 	if !errors.Is(err, aggservice.ErrLifecycleDisabled) {
 		t.Fatalf("disabled admit: %v", err)
 	}

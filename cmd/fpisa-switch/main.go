@@ -9,9 +9,13 @@
 // start, each owning a slot-pool partition through the lifecycle
 // indirection table, -workers workers (job j's worker i sends on port
 // j·workers+i) and its own stats, with -quota capping each job's
-// outstanding slots. Legacy v1 (job-less) clients are rejected and
-// counted. Per-job stats can be queried out-of-band with fpisa-query
-// -switch (the 0xFF observer frame).
+// outstanding slots. Pipeline time is shared by a per-job deficit-round-
+// robin scheduler: -weights assigns comma-separated weights to the initial
+// jobs (e.g. -jobs 3 -weights 1,2,4; missing entries default to 1), and
+// jobs admitted at runtime carry the weight named in fpisa-query -admit
+// -weight. Legacy v1 (job-less) clients are rejected and counted. Per-job
+// stats can be queried out-of-band with fpisa-query -switch (the 0xFF
+// observer frame).
 //
 // With -dynamic the runtime job lifecycle control plane is enabled: an
 // operator admits and evicts jobs without restarting the switch
@@ -34,6 +38,8 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"fpisa/internal/aggservice"
@@ -51,6 +57,7 @@ type options struct {
 	workers      int
 	pool         int
 	quota        int
+	weights      []int
 	modules      int
 	shards       int
 	dynamic      bool
@@ -70,6 +77,7 @@ func parseOptions(args []string) (*options, error) {
 	fs.IntVar(&o.workers, "workers", 4, "number of workers per job")
 	fs.IntVar(&o.pool, "pool", 8, "aggregation slot pool per job")
 	fs.IntVar(&o.quota, "quota", 0, "max outstanding slots per job (0 = unlimited)")
+	weights := fs.String("weights", "", "comma-separated fair-scheduler weights for the initial jobs, e.g. 1,2,4 (missing = 1)")
 	fs.IntVar(&o.modules, "modules", 1, "vector elements per packet")
 	fs.IntVar(&o.shards, "shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at capacity*2*pool)")
 	fs.BoolVar(&o.dynamic, "dynamic", false, "enable the runtime admit/evict control plane (fpisa-query -admit/-evict)")
@@ -82,6 +90,18 @@ func parseOptions(args []string) (*options, error) {
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *weights != "" {
+		for _, field := range strings.Split(*weights, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				return nil, fmt.Errorf("-weights %q: %v", *weights, err)
+			}
+			o.weights = append(o.weights, w)
+		}
+		if len(o.weights) > o.jobs {
+			return nil, fmt.Errorf("-weights names %d jobs but -jobs admits %d", len(o.weights), o.jobs)
+		}
 	}
 	return o, nil
 }
@@ -111,7 +131,7 @@ func (o *options) switchConfig() (aggservice.Config, error) {
 	cfg := aggservice.Config{
 		Workers: o.workers, Pool: o.pool, Modules: o.modules, Shards: o.shards,
 		Jobs: o.jobs, Capacity: capacity, MaxOutstanding: o.quota,
-		Dynamic: o.dynamic, DrainTimeout: o.drainTimeout,
+		Weights: o.weights, Dynamic: o.dynamic, DrainTimeout: o.drainTimeout,
 		Mode: mode, Arch: arch,
 	}
 	cfg.ClampShards()
@@ -177,8 +197,8 @@ func main() {
 		o.modeName(), cfg.Arch.Name, sw.Shards(), conn.LocalAddr(), o.jobs, sw.Jobs(), o.workers, o.quota, dyn)
 	for j := 0; j < sw.Jobs(); j++ {
 		if base, n, ok := sw.JobRange(j); ok {
-			log.Printf("  job %d: ports %d..%d, slots %d..%d", j,
-				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1)
+			log.Printf("  job %d: ports %d..%d, slots %d..%d, weight %d", j,
+				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1, sw.JobWeight(j))
 		}
 	}
 	log.Printf("pipeline resource report:\n%s", sw.Utilization())
@@ -193,14 +213,14 @@ func main() {
 					if st.Phase == aggservice.PhaseVacant && st.Adds == 0 {
 						continue
 					}
-					log.Printf("job %d (%s): adds=%d retrans=%d chunks=%d quotaDrops=%d outstanding=%d cacheHits=%d cacheBytes=%d",
-						j, st.Phase, st.Adds, st.Retransmits, st.Completions, st.QuotaDrops,
-						st.Outstanding, st.CacheHits, st.CacheBytes)
+					log.Printf("job %d (%s, weight %d): adds=%d retrans=%d chunks=%d quotaDrops=%d schedDefers=%d outstanding=%d cacheHits=%d cacheBytes=%d",
+						j, st.Phase, st.Weight, st.Adds, st.Retransmits, st.Completions, st.QuotaDrops,
+						st.SchedDefers, st.Outstanding, st.CacheHits, st.CacheBytes)
 				}
 				r := sw.Rejects()
-				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob+r.Draining > 0 {
-					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d draining=%d",
-						r.Legacy, r.Malformed, r.BadJob, r.CrossJob, r.Draining)
+				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob+r.Draining+r.Backpressure > 0 {
+					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d draining=%d backpressure=%d",
+						r.Legacy, r.Malformed, r.BadJob, r.CrossJob, r.Draining, r.Backpressure)
 				}
 			}
 		}()

@@ -55,6 +55,45 @@ func TestParseOptionsRejectsGarbage(t *testing.T) {
 	if _, err := parseOptions([]string{"-draintimeout", "soon"}); err == nil {
 		t.Error("unparseable duration accepted")
 	}
+	if _, err := parseOptions([]string{"-weights", "1,heavy"}); err == nil {
+		t.Error("unparseable weight accepted")
+	}
+	if _, err := parseOptions([]string{"-jobs", "2", "-weights", "1,2,4"}); err == nil {
+		t.Error("more weights than jobs accepted")
+	}
+}
+
+func TestParseOptionsWeights(t *testing.T) {
+	o, err := parseOptions([]string{"-jobs", "3", "-weights", "1, 2,4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.weights) != 3 || o.weights[0] != 1 || o.weights[1] != 2 || o.weights[2] != 4 {
+		t.Fatalf("weights = %v", o.weights)
+	}
+	cfg, err := o.switchConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Weights) != 3 || cfg.Weights[2] != 4 {
+		t.Fatalf("config weights = %v", cfg.Weights)
+	}
+	// Fewer weights than jobs: the tail defaults to 1 at admission.
+	o, err = parseOptions([]string{"-jobs", "3", "-weights", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.weights) != 1 || o.weights[0] != 5 {
+		t.Fatalf("partial weights = %v", o.weights)
+	}
+	if _, err := o.switchConfig(); err != nil {
+		t.Fatalf("partial weights rejected: %v", err)
+	}
+	// A negative weight is caught by Config.Validate.
+	o, _ = parseOptions([]string{"-jobs", "1", "-weights", "-2"})
+	if _, err := o.switchConfig(); err == nil {
+		t.Error("negative weight accepted")
+	}
 }
 
 func TestSwitchConfigValidation(t *testing.T) {

@@ -6,10 +6,16 @@
 // for the next tenant (watch the slot ranges move through the indirection
 // table). A final eviction lands mid-reduce to show workers surfacing
 // ErrJobEvicted instead of retransmitting forever.
+//
+// The churn tenants are admitted as WEIGHTED jobs (-weight, default 4):
+// each admit carries a deficit-round-robin scheduler weight the switch
+// echoes in its ack, so while they run alongside the long-lived job 0
+// (weight 1) their new-chunk binds get -weight shares of pipeline time.
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"net"
@@ -29,6 +35,8 @@ const (
 )
 
 func main() {
+	weight := flag.Int("weight", 4, "fair-scheduler weight for the churn tenants (job 0 keeps weight 1)")
+	flag.Parse()
 	cfg := aggservice.Config{
 		Workers: workers, Pool: 4, Modules: 1, Shards: 4,
 		Jobs: 1, Capacity: 3, Dynamic: true,
@@ -58,7 +66,7 @@ func main() {
 	// switch socket, exactly what `fpisa-query -admit/-evict` sends. The
 	// ack echoes the job's incarnation epoch — the octet the admitted
 	// job's workers must stamp into their ADDs.
-	control := func(req []byte) (aggservice.AckStatus, uint8) {
+	control := func(req []byte) (aggservice.AckStatus, uint8, int) {
 		conn, err := net.DialUDP("udp", nil, fab.SwitchAddr())
 		if err != nil {
 			log.Fatal(err)
@@ -75,12 +83,12 @@ func main() {
 			if err != nil {
 				continue
 			}
-			if _, status, epoch, err := aggservice.DecodeJobAck(buf[:n]); err == nil {
-				return status, epoch
+			if _, status, epoch, w, err := aggservice.DecodeJobAck(buf[:n]); err == nil {
+				return status, epoch, w
 			}
 		}
 		log.Fatal("control plane: no ack")
-		return 0, 0
+		return 0, 0, 0
 	}
 
 	reduce := func(job int, epoch uint8, vecs [][]float32) ([][]float32, []error) {
@@ -101,12 +109,15 @@ func main() {
 		return out, errs
 	}
 	admit := func(job int) uint8 {
-		status, epoch := control(aggservice.EncodeJobAdmit(job))
-		fmt.Printf("  [operator] admit job %d: %v (epoch %d)\n", job, status, epoch)
+		// The admit names the tenant's scheduler weight; the ack echoes the
+		// weight the switch applied alongside the incarnation epoch — both
+		// are what the operator hands to the job's workers.
+		status, epoch, w := control(aggservice.EncodeJobAdmitWeight(job, *weight))
+		fmt.Printf("  [operator] admit job %d: %v (weight %d, epoch %d)\n", job, status, w, epoch)
 		return epoch
 	}
 	evict := func(job int) {
-		status, _ := control(aggservice.EncodeJobEvict(job))
+		status, _, _ := control(aggservice.EncodeJobEvict(job))
 		fmt.Printf("  [operator] evict job %d: %v\n", job, status)
 	}
 
@@ -195,8 +206,8 @@ func main() {
 	fmt.Printf("\njob 0 finished untouched: adds=%d chunks=%d, worst |error| %.3g vs exact\n",
 		st0.Adds, st0.Completions, worst)
 	r := sw.Rejects()
-	fmt.Printf("rejects: crossJob=%d (must be 0), draining=%d (job 2's refused binds), badJob=%d (stragglers after eviction)\n",
-		r.CrossJob, r.Draining, r.BadJob)
+	fmt.Printf("rejects: crossJob=%d (must be 0), draining=%d (job 2's refused binds), badJob=%d (stragglers after eviction), backpressure=%d (fair-scheduler defers)\n",
+		r.CrossJob, r.Draining, r.BadJob, r.Backpressure)
 	if r.CrossJob != 0 {
 		log.Fatal("tenant isolation violated")
 	}

@@ -93,11 +93,26 @@ type Config struct {
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
 	// MaxOutstanding caps the slots a single job may hold in the
-	// aggregating state at once — the admission quota that stops one
-	// misbehaving tenant from pinning the whole pool. ADDs that would bind
-	// a slot beyond the cap are dropped (counted as quota drops) and
-	// recovered by the sender's normal retransmit path. 0 disables the cap.
+	// aggregating state at once — a hard ceiling layered on top of the
+	// deficit-round-robin scheduler for operators who also want an absolute
+	// bound. ADDs that would bind a slot beyond the cap are dropped
+	// (counted as quota drops) and recovered by the sender's normal
+	// retransmit path. 0 disables the cap; fair sharing of pipeline time
+	// does not depend on it (see Weights and sched.go).
 	MaxOutstanding int
+	// Weights assigns deficit-round-robin scheduler weights to the
+	// initially admitted jobs: job j gets Weights[j]. Missing entries and
+	// zero mean weight 1; jobs admitted at runtime carry the weight named
+	// in their admit request (Switch.AdmitWeighted / MsgJobAdmit). A
+	// weight-w tenant's new-chunk binds converge to w shares of pipeline
+	// time under contention.
+	Weights []int
+	// SchedRoundAge bounds a scheduler round's lifetime once a bind has
+	// been deferred: when a tenant that showed demand this round holds
+	// unspent deficit but stops binding (dead workers, quota-blocked),
+	// deferred tenants wait at most this long before the round is forced
+	// over. 0 means DefaultSchedRoundAge.
+	SchedRoundAge time.Duration
 	// Mode selects FPISA or FPISA-A.
 	Mode core.Mode
 	// Arch is the switch architecture.
@@ -126,6 +141,17 @@ func (c Config) Validate() error {
 	}
 	if c.MaxOutstanding < 0 {
 		return fmt.Errorf("aggservice: max outstanding %d", c.MaxOutstanding)
+	}
+	if len(c.Weights) > c.jobs() {
+		return fmt.Errorf("aggservice: %d weights for %d initially admitted jobs", len(c.Weights), c.jobs())
+	}
+	for j, w := range c.Weights {
+		if w < 0 || w > MaxWeight {
+			return fmt.Errorf("aggservice: job %d weight %d outside [0, %d]", j, w, MaxWeight)
+		}
+	}
+	if c.SchedRoundAge < 0 {
+		return fmt.Errorf("aggservice: scheduler round age %v", c.SchedRoundAge)
 	}
 	if c.Capacity < 0 {
 		return fmt.Errorf("aggservice: capacity %d", c.Capacity)
@@ -177,6 +203,23 @@ func (c Config) drainTimeout() time.Duration {
 	return c.DrainTimeout
 }
 
+// schedRoundAge returns the effective scheduler round-age bound.
+func (c Config) schedRoundAge() time.Duration {
+	if c.SchedRoundAge == 0 {
+		return DefaultSchedRoundAge
+	}
+	return c.SchedRoundAge
+}
+
+// weightOf returns the effective scheduler weight of initially admitted
+// job j (missing and zero entries mean 1).
+func (c Config) weightOf(j int) int {
+	if j >= len(c.Weights) || c.Weights[j] == 0 {
+		return 1
+	}
+	return c.Weights[j]
+}
+
 // Ports returns the total transport port count: Capacity · Workers (ports
 // for admissible jobs are provisioned up front). Job j's worker i sends
 // and receives on port j·Workers + i.
@@ -200,11 +243,12 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 //	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
-//	reply  = [ver(1) type(1) job(2) phase(1) adds(8) retrans(8) done(8)
-//	          drops(8) outstanding(8) cacheHits(8) cacheBytes(8)]
-//	admit  = [ver(1) type(1) job(2)]
+//	reply  = [ver(1) type(1) job(2) phase(1) weight(2) adds(8) retrans(8)
+//	          done(8) drops(8) defers(8) outstanding(8) cacheHits(8)
+//	          cacheBytes(8)]
+//	admit  = [ver(1) type(1) job(2) weight(2)]
 //	evict  = [ver(1) type(1) job(2)]
-//	ack    = [ver(1) type(1) job(2) status(1) epoch(1)]
+//	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2)]
 //
 // The ADD's epoch octet is the job's incarnation: it is compared against
 // the switch's release counter (mod 256), so a datagram buffered from an
@@ -222,12 +266,14 @@ const addValOff = hdrBytes + 1
 const batchHdrBytes = 4
 
 // statsReqBytes and statsReplyBytes size the stats exchange;
-// lifecycleReqBytes and jobAckBytes size the control plane's.
+// lifecycleReqBytes (evict), jobAdmitBytes (admit, which also carries the
+// scheduler weight) and jobAckBytes size the control plane's.
 const (
 	statsReqBytes     = 4
-	statsReplyBytes   = 4 + 1 + 7*8
+	statsReplyBytes   = 4 + 1 + 2 + 8*8
 	lifecycleReqBytes = 4
-	jobAckBytes       = 6
+	jobAdmitBytes     = 6
+	jobAckBytes       = 8
 )
 
 // maxDatagram is the largest payload the UDP fabric can carry.
@@ -399,13 +445,15 @@ func DecodeStatsReply(pkt []byte) (job int, st JobStats, err error) {
 		return 0, JobStats{}, fmt.Errorf("aggservice: unknown job phase %d in stats reply", pkt[4])
 	}
 	st.Phase = JobPhase(pkt[4])
-	st.Adds = binary.BigEndian.Uint64(pkt[5:])
-	st.Retransmits = binary.BigEndian.Uint64(pkt[13:])
-	st.Completions = binary.BigEndian.Uint64(pkt[21:])
-	st.QuotaDrops = binary.BigEndian.Uint64(pkt[29:])
-	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[37:]))
-	st.CacheHits = binary.BigEndian.Uint64(pkt[45:])
-	st.CacheBytes = binary.BigEndian.Uint64(pkt[53:])
+	st.Weight = int(binary.BigEndian.Uint16(pkt[5:]))
+	st.Adds = binary.BigEndian.Uint64(pkt[7:])
+	st.Retransmits = binary.BigEndian.Uint64(pkt[15:])
+	st.Completions = binary.BigEndian.Uint64(pkt[23:])
+	st.QuotaDrops = binary.BigEndian.Uint64(pkt[31:])
+	st.SchedDefers = binary.BigEndian.Uint64(pkt[39:])
+	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[47:]))
+	st.CacheHits = binary.BigEndian.Uint64(pkt[55:])
+	st.CacheBytes = binary.BigEndian.Uint64(pkt[63:])
 	return job, st, nil
 }
 
@@ -415,13 +463,15 @@ func encodeStatsReply(job int, st JobStats) []byte {
 	pkt[1] = MsgStatsReply
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	pkt[4] = uint8(st.Phase)
-	binary.BigEndian.PutUint64(pkt[5:], st.Adds)
-	binary.BigEndian.PutUint64(pkt[13:], st.Retransmits)
-	binary.BigEndian.PutUint64(pkt[21:], st.Completions)
-	binary.BigEndian.PutUint64(pkt[29:], st.QuotaDrops)
-	binary.BigEndian.PutUint64(pkt[37:], uint64(st.Outstanding))
-	binary.BigEndian.PutUint64(pkt[45:], st.CacheHits)
-	binary.BigEndian.PutUint64(pkt[53:], st.CacheBytes)
+	binary.BigEndian.PutUint16(pkt[5:], uint16(st.Weight))
+	binary.BigEndian.PutUint64(pkt[7:], st.Adds)
+	binary.BigEndian.PutUint64(pkt[15:], st.Retransmits)
+	binary.BigEndian.PutUint64(pkt[23:], st.Completions)
+	binary.BigEndian.PutUint64(pkt[31:], st.QuotaDrops)
+	binary.BigEndian.PutUint64(pkt[39:], st.SchedDefers)
+	binary.BigEndian.PutUint64(pkt[47:], uint64(st.Outstanding))
+	binary.BigEndian.PutUint64(pkt[55:], st.CacheHits)
+	binary.BigEndian.PutUint64(pkt[63:], st.CacheBytes)
 	return pkt
 }
 
@@ -436,6 +486,10 @@ type aggregator interface {
 type JobStats struct {
 	// Phase is the job's lifecycle state (vacant/admitted/draining).
 	Phase JobPhase
+	// Weight is the job's deficit-round-robin scheduler weight (0 while
+	// vacant): its share of pipeline time relative to the other admitted
+	// jobs under contention.
+	Weight int
 	// Adds counts values aggregated into the pipeline for this job.
 	Adds uint64
 	// Retransmits counts duplicate ADDs observed — the switch-side view
@@ -445,6 +499,11 @@ type JobStats struct {
 	Completions uint64
 	// QuotaDrops counts ADDs rejected by the MaxOutstanding admission cap.
 	QuotaDrops uint64
+	// SchedDefers counts new-chunk binds deferred by the deficit-round-
+	// robin scheduler (the job was over its deficit while other tenants
+	// held unspent budget); each was answered with an AckBackpressure
+	// notice and recovered by the sender's retransmit path.
+	SchedDefers uint64
 	// Outstanding is the gauge of slots currently aggregating.
 	Outstanding int64
 	// CacheHits counts duplicate ADDs answered from a slot's cached
@@ -474,6 +533,11 @@ type WireRejects struct {
 	// evicted; in-flight chunks still complete, new ones are refused with
 	// a MsgJobAck notice.
 	Draining uint64
+	// Backpressure counts ADDs deferred by the deficit-round-robin
+	// scheduler across all jobs (the sum of every job's SchedDefers):
+	// over-deficit new-chunk binds dropped with an AckBackpressure notice
+	// while other tenants held unspent budget.
+	Backpressure uint64
 	// Stale counts ADDs whose incarnation epoch octet does not match the
 	// job's current incarnation — datagrams buffered in the network from
 	// an evicted incarnation of a re-admitted job id.
@@ -485,9 +549,14 @@ type WireRejects struct {
 // a shared lock.
 type jobState struct {
 	adds, retransmits, completions, quotaDrops atomic.Uint64
+	schedDefers                                atomic.Uint64
 	cacheHits                                  atomic.Uint64
 	cacheBytes                                 atomic.Int64
 	outstanding                                atomic.Int64
+	// weight is the job's scheduler weight for its current incarnation
+	// (0 while vacant); set under lifeMu at admission, read lock-free by
+	// the hot path to size the deficit quantum.
+	weight atomic.Int32
 	// phase is the JobPhase; rangeIdx is the indirection-table entry
 	// mapping the job to its 2·Pool slot range (-1 when vacant). The
 	// admit path stores rangeIdx before flipping phase to admitted; the
@@ -510,10 +579,15 @@ func (js *jobState) reset() {
 	js.retransmits.Store(0)
 	js.completions.Store(0)
 	js.quotaDrops.Store(0)
+	js.schedDefers.Store(0)
 	js.cacheHits.Store(0)
 	js.cacheBytes.Store(0)
 	js.outstanding.Store(0)
 }
+
+// quantum is the job's per-round deficit replenishment: weight · the
+// per-weight-unit bind budget.
+func (js *jobState) quantum() int64 { return int64(js.weight.Load()) * drrQuantum }
 
 // Switch is the service's switch side: N parallel FPISA pipeline replicas,
 // each owning a partition of the global slot pool plus that partition's
@@ -550,13 +624,16 @@ type Switch struct {
 	scratchPool sync.Pool
 
 	rejLegacy, rejMalformed, rejBadJob, rejCrossJob, rejDraining, rejStale atomic.Uint64
+	rejBackpressure                                                        atomic.Uint64
 }
 
-// shard is one pipeline replica plus the protocol state for its slots.
+// shard is one pipeline replica plus the protocol state for its slots and
+// its deficit-round-robin scheduler instance (all guarded by mu).
 type shard struct {
-	mu   sync.Mutex
-	pa   aggregator
-	slot []slotState
+	mu    sync.Mutex
+	pa    aggregator
+	slot  []slotState
+	sched drrSched
 }
 
 type slotState struct {
@@ -594,6 +671,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	for j := 0; j < ncap; j++ {
 		if j < njobs {
 			s.jobs[j].rangeIdx.Store(int32(j))
+			s.jobs[j].weight.Store(int32(cfg.weightOf(j)))
 			s.jobs[j].phase.Store(int32(PhaseAdmitted))
 		} else {
 			s.jobs[j].rangeIdx.Store(-1)
@@ -607,7 +685,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 		// Shard k owns global slots k, k+nsh, k+2·nsh, …
 		nSlots := (slots - k + nsh - 1) / nsh
-		sh := &shard{pa: pa, slot: make([]slotState, nSlots)}
+		sh := &shard{pa: pa, slot: make([]slotState, nSlots), sched: newDRRSched(ncap, cfg.schedRoundAge())}
 		for i := range sh.slot {
 			sh.slot[i].chunk = -1
 			sh.slot[i].seen = make([]bool, cfg.Workers)
@@ -783,7 +861,7 @@ func (s *Switch) handleStats(worker int, pkt []byte, out *transport.DeliveryList
 	job := int(binary.BigEndian.Uint16(pkt[2:]))
 	if job >= s.ncap {
 		s.rejBadJob.Add(1)
-		out.Unicast(worker, EncodeJobAck(job, AckErrUnknownJob, 0))
+		out.Unicast(worker, EncodeJobAck(job, AckErrUnknownJob, 0, 0))
 		return
 	}
 	st, _ := s.JobStats(job)
@@ -828,7 +906,7 @@ func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *tran
 		// An evicted (or never-admitted) job id on its own port: tell the
 		// worker so it can fail fast instead of retransmitting blind.
 		s.rejBadJob.Add(1)
-		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes]))
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes], 0))
 		return
 	}
 	if pkt[hdrBytes] != uint8(epoch) {
@@ -836,7 +914,7 @@ func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *tran
 		// of this (re-admitted) job id: without the epoch octet it would
 		// bind a stale chunk into the fresh range (see doc.go).
 		s.rejStale.Add(1)
-		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes]))
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes], 0))
 		return
 	}
 	chunk := binary.BigEndian.Uint32(pkt[4:])
@@ -915,7 +993,7 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		// Notice epoch = the packet's incarnation (see classifyAdd), so
 		// only that incarnation's workers abort on it.
 		s.rejBadJob.Add(1)
-		out.Unicast(worker, EncodeJobAck(a.job, AckEvicted, uint8(a.epoch)))
+		out.Unicast(worker, EncodeJobAck(a.job, AckEvicted, uint8(a.epoch), 0))
 		return
 	}
 	st := &sh.slot[li]
@@ -932,19 +1010,34 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		// nothing new — that is what lets its range quiesce.
 		if JobPhase(js.phase.Load()) == PhaseDraining {
 			s.rejDraining.Add(1)
-			out.Unicast(worker, EncodeJobAck(a.job, AckDraining, uint8(a.epoch)))
+			out.Unicast(worker, EncodeJobAck(a.job, AckDraining, uint8(a.epoch), int(js.weight.Load())))
 			return
 		}
-		// The bind is charged against the job's admission quota before
+		// Binding a new chunk is the unit of pipeline time the deficit-
+		// round-robin scheduler meters: an over-deficit tenant is deferred
+		// while other demanding tenants hold unspent budget, told with an
+		// AckBackpressure notice (so its worker shrinks the adaptive batch
+		// instead of hammering retransmits), and recovers the chunk through
+		// its normal retransmit path in a later round. Retransmits of
+		// in-flight chunks never reach this branch and stay free.
+		if !sh.sched.charge(a.job, js.quantum()) {
+			s.rejBackpressure.Add(1)
+			js.schedDefers.Add(1)
+			out.Unicast(worker, EncodeJobAck(a.job, AckBackpressure, uint8(a.epoch), int(js.weight.Load())))
+			return
+		}
+		// The bind is also charged against the job's admission quota before
 		// any pipeline state moves: a tenant at its cap is dropped here
 		// and recovers through its own retransmit path, never holding a
-		// slot.
+		// slot. The scheduler refunds a bind the quota (or the pipeline)
+		// vetoed — the job is not billed for work that never ran.
 		charge := !st.outstanding
 		if charge {
 			n := js.outstanding.Add(1)
 			if q := int64(s.cfg.MaxOutstanding); q > 0 && n > q {
 				js.outstanding.Add(-1)
 				js.quotaDrops.Add(1)
+				sh.sched.refund(a.job)
 				return
 			}
 		}
@@ -952,6 +1045,7 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 			if charge {
 				js.outstanding.Add(-1)
 			}
+			sh.sched.refund(a.job)
 			return
 		}
 		st.outstanding = true
@@ -1075,10 +1169,12 @@ func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
 	}
 	return JobStats{
 		Phase:       JobPhase(js.phase.Load()),
+		Weight:      int(js.weight.Load()),
 		Adds:        js.adds.Load(),
 		Retransmits: js.retransmits.Load(),
 		Completions: js.completions.Load(),
 		QuotaDrops:  js.quotaDrops.Load(),
+		SchedDefers: js.schedDefers.Load(),
 		Outstanding: js.outstanding.Load(),
 		CacheHits:   js.cacheHits.Load(),
 		CacheBytes:  uint64(cb),
@@ -1088,12 +1184,13 @@ func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
 // Rejects returns the wire-level reject counters.
 func (s *Switch) Rejects() WireRejects {
 	return WireRejects{
-		Legacy:    s.rejLegacy.Load(),
-		Malformed: s.rejMalformed.Load(),
-		BadJob:    s.rejBadJob.Load(),
-		CrossJob:  s.rejCrossJob.Load(),
-		Draining:  s.rejDraining.Load(),
-		Stale:     s.rejStale.Load(),
+		Legacy:       s.rejLegacy.Load(),
+		Malformed:    s.rejMalformed.Load(),
+		BadJob:       s.rejBadJob.Load(),
+		CrossJob:     s.rejCrossJob.Load(),
+		Draining:     s.rejDraining.Load(),
+		Stale:        s.rejStale.Load(),
+		Backpressure: s.rejBackpressure.Load(),
 	}
 }
 
@@ -1153,8 +1250,15 @@ type Worker struct {
 	// to the batch factor.
 	SentDatagrams uint64
 	// BatchShrinks and BatchGrows count the adaptive controller's
-	// halvings (on retransmit rounds) and doublings (on clean ack runs).
+	// halvings (on retransmit rounds and scheduler backpressure notices)
+	// and doublings (on clean ack runs).
 	BatchShrinks, BatchGrows uint64
+	// BackpressureAcks counts AckBackpressure notices received: the
+	// switch's deficit-round-robin scheduler deferred one of this worker's
+	// new-chunk binds. Each notice backs the adaptive batch off (see
+	// BatchShrinks); the deferred chunk is recovered by the normal
+	// retransmit path once the job's deficit replenishes.
+	BackpressureAcks uint64
 	// LastBatch is the adaptive batch size Reduce last ran at; it seeds
 	// the next Reduce, so a worker on a lossy path stays conservative
 	// across rounds and recovers when the loss clears. 0 means start at
@@ -1233,6 +1337,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 
 	acks := make(chan int, nChunks) // receiver → sender: completed chunks
 	stallc := make(chan struct{}, 1)
+	bpc := make(chan struct{}, 1) // receiver → sender: scheduler backpressure
 	quit := make(chan struct{})
 	var quitOnce sync.Once
 	abort := func() { quitOnce.Do(func() { close(quit) }) }
@@ -1240,6 +1345,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 	var sendErr, recvErr error
 	var sentMsgs, sentDgrams uint64
 	var shrinks, grows uint64
+	var bpAcks uint64
 	finalBatch := batch
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -1360,6 +1466,18 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				if sendErr = retransmit(); sendErr != nil {
 					return
 				}
+			case <-bpc:
+				// The switch's scheduler deferred a bind: our job is over
+				// its deficit while other tenants hold budget. Back the
+				// batch off so the next burst fits the replenished deficit,
+				// but do NOT retransmit — the deferred chunk is recovered
+				// by the timeout path once the round turns over, and
+				// hammering it now would only be deferred again.
+				if cur > 1 {
+					cur /= 2
+					shrinks++
+				}
+				cleanAcks = 0
 			case <-quit:
 				return
 			}
@@ -1410,18 +1528,35 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 				}
 				for _, msg := range msgs {
 					if len(msg) >= 2 && msg[0] == WireVersion && msg[1] == MsgJobAck {
-						// Lifecycle notice: the switch refuses our chunks
-						// because the job is draining or already evicted.
-						// There is no recovering by retransmit — fail fast.
-						// Only notices for OUR incarnation count: the
-						// switch echoes the offending ADD's epoch, so a
-						// notice bounced off a stale straggler's datagram
-						// must not abort this (fresh) worker.
-						if j, status, ep, aerr := DecodeJobAck(msg); aerr == nil && j == w.Job &&
-							ep == w.Epoch && (status == AckEvicted || status == AckDraining) {
+						// Lifecycle or scheduler notice. Only notices for
+						// OUR incarnation count: the switch echoes the
+						// offending ADD's epoch, so a notice bounced off a
+						// stale straggler's datagram must not steer this
+						// (fresh) worker.
+						j, status, ep, _, aerr := DecodeJobAck(msg)
+						if aerr != nil || j != w.Job || ep != w.Epoch {
+							continue
+						}
+						switch status {
+						case AckEvicted, AckDraining:
+							// The switch refuses our chunks because the job
+							// is draining or already evicted. There is no
+							// recovering by retransmit — fail fast.
 							recvErr = fmt.Errorf("job %d worker %d: %w", w.Job, w.ID, ErrJobEvicted)
 							abort()
 							return
+						case AckBackpressure:
+							// The scheduler deferred a bind: signal the
+							// sender to back its batch off. The switch is
+							// demonstrably alive and the job admitted, so
+							// this round of waiting must not eat the
+							// retry budget.
+							bpAcks++
+							stalls = 0
+							select {
+							case bpc <- struct{}{}:
+							default:
+							}
 						}
 						continue
 					}
@@ -1448,6 +1583,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 	w.SentDatagrams += sentDgrams
 	w.BatchShrinks += shrinks
 	w.BatchGrows += grows
+	w.BackpressureAcks += bpAcks
 	w.LastBatch = finalBatch
 	if sendErr != nil {
 		return nil, sendErr

@@ -58,16 +58,18 @@ func FuzzDecodeBatch(f *testing.F) {
 // truncation with ErrTruncated, and round-trip every accepted reply.
 func FuzzDecodeStatsReply(f *testing.F) {
 	valid := encodeStatsReply(3, JobStats{
-		Phase: PhaseAdmitted, Adds: 1, Retransmits: 2, Completions: 3,
-		QuotaDrops: 4, Outstanding: 5, CacheHits: 6, CacheBytes: 7,
+		Phase: PhaseAdmitted, Weight: 4, Adds: 1, Retransmits: 2, Completions: 3,
+		QuotaDrops: 4, SchedDefers: 9, Outstanding: 5, CacheHits: 6, CacheBytes: 7,
 	})
 	f.Add(valid)
 	f.Add(valid[:10])                                                                 // truncated counters
+	f.Add(valid[:4+1+7*8])                                                            // the pre-scheduler width
 	f.Add(append(append([]byte(nil), valid...), 0xaa))                                // trailing byte
 	f.Add([]byte{WireVersion, MsgStatsReply})                                         // header only
 	f.Add([]byte{MsgResult, 0, 0, 0})                                                 // legacy framing
 	f.Add(append([]byte(nil), valid[:4]...))                                          // fields missing entirely
 	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }()) // bad phase
+	f.Add(encodeStatsReply(0, JobStats{Weight: MaxWeight, SchedDefers: 1 << 40}))     // extreme scheduler fields
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		job, st, err := DecodeStatsReply(pkt)
@@ -89,16 +91,20 @@ func FuzzDecodeStatsReply(f *testing.F) {
 
 // FuzzDecodeJobAck fuzzes the lifecycle ack codec with the same
 // invariants: no panics, truncation identified, accepted acks round-trip.
+// The ack was widened to carry the scheduler weight, so the seeds cover
+// both the weight field and the pre-widening (now truncated) length.
 func FuzzDecodeJobAck(f *testing.F) {
-	f.Add(EncodeJobAck(1, AckAdmitted, 0))
-	f.Add(EncodeJobAck(65535, AckErrDisabled, 255))
-	f.Add(EncodeJobAck(0, AckEvicted, 1)[:3])
-	f.Add(append(EncodeJobAck(0, AckDraining, 2), 1, 2))
-	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200, 0}) // status out of range
-	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                   // legacy framing
+	f.Add(EncodeJobAck(1, AckAdmitted, 0, 1))
+	f.Add(EncodeJobAck(65535, AckErrDisabled, 255, MaxWeight))
+	f.Add(EncodeJobAck(7, AckBackpressure, 3, 4))
+	f.Add(EncodeJobAck(0, AckEvicted, 1, 0)[:3])
+	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:6]) // the old 6-byte layout
+	f.Add(append(EncodeJobAck(0, AckDraining, 2, 1), 1, 2))
+	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200, 0, 0, 0}) // status out of range
+	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                         // legacy framing
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
-		job, status, epoch, err := DecodeJobAck(pkt)
+		job, status, epoch, weight, err := DecodeJobAck(pkt)
 		if err != nil {
 			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAck &&
 				len(pkt) < jobAckBytes && !errors.Is(err, ErrTruncated) {
@@ -106,11 +112,44 @@ func FuzzDecodeJobAck(f *testing.F) {
 			}
 			return
 		}
-		if re := EncodeJobAck(job, status, epoch); !bytes.Equal(re, pkt) {
+		if re := EncodeJobAck(job, status, epoch, weight); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 		if status.Err() == nil && status != AckAdmitted && status != AckEvicting {
 			t.Fatalf("status %v decoded but maps to no error and no success", status)
+		}
+	})
+}
+
+// FuzzDecodeJobAdmit fuzzes the weight-carrying admit codec: no panics,
+// truncation identified as ErrTruncated, every accepted frame round-trips
+// byte for byte (the decoder must NOT clamp — that is the admission
+// path's job, or the round trip would lie about what rode the wire).
+func FuzzDecodeJobAdmit(f *testing.F) {
+	f.Add(EncodeJobAdmit(0))
+	f.Add(EncodeJobAdmitWeight(1, 4))
+	f.Add(EncodeJobAdmitWeight(65535, MaxWeight))
+	f.Add(EncodeJobAdmitWeight(2, 0))   // weight 0: carried, clamped later
+	f.Add(EncodeJobAdmit(3)[:4])        // the old weightless layout
+	f.Add(EncodeJobAdmit(0)[:1])        // short v2
+	f.Add(append(EncodeJobAdmit(0), 7)) // trailing byte
+	f.Add(EncodeJobEvict(1))            // wrong type
+	f.Add([]byte{MsgAdd, 0, 0, 0})      // legacy framing
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		job, weight, err := DecodeJobAdmit(pkt)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAdmit &&
+				len(pkt) < jobAdmitBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short admit error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if len(pkt) != jobAdmitBytes {
+			t.Fatalf("accepted a %d-byte admit", len(pkt))
+		}
+		if re := EncodeJobAdmitWeight(job, weight); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 	})
 }

@@ -382,7 +382,7 @@ func TestStatsOverTheWire(t *testing.T) {
 	if len(ds) != 1 {
 		t.Fatalf("stats for unknown job: deliveries %v", ds)
 	}
-	job, status, _, err := DecodeJobAck(ds[0].Packet)
+	job, status, _, _, err := DecodeJobAck(ds[0].Packet)
 	if err != nil || job != 9 || status != AckErrUnknownJob {
 		t.Fatalf("unknown-job ack: job=%d status=%v err=%v", job, status, err)
 	}
@@ -456,6 +456,17 @@ func TestJobsValidation(t *testing.T) {
 	}
 }
 
+// delivered reports whether any delivery in ds carries a v2 message of the
+// given type.
+func delivered(ds []transport.Delivery, typ byte) bool {
+	for _, d := range ds {
+		if len(d.Packet) >= 2 && d.Packet[0] == WireVersion && d.Packet[1] == typ {
+			return true
+		}
+	}
+	return false
+}
+
 // TestManyJobsHammerSharded drives eight goroutines across four jobs on
 // one sharded switch with direct Handle calls — the shard/job accounting
 // stress test (meaningful chiefly under -race).
@@ -474,7 +485,16 @@ func TestManyJobsHammerSharded(t *testing.T) {
 			defer wg.Done()
 			job := g % cfg.jobs()
 			for c := g / cfg.jobs(); c < perJob; c += 2 {
-				sw.Handle(cfg.Port(job, 0), EncodeAdd(job, uint32(c), []float32{float32(c)}))
+				// Resend until the chunk demonstrably completed: with four
+				// jobs hammering one switch the fair scheduler may defer a
+				// bind (AckBackpressure), and this loop is the test's stand-
+				// in for the worker's retransmit path.
+				for {
+					ds := sw.Handle(cfg.Port(job, 0), EncodeAdd(job, uint32(c), []float32{float32(c)}))
+					if delivered(ds, MsgResult) {
+						break
+					}
+				}
 			}
 		}(g)
 	}

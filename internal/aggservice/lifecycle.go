@@ -43,6 +43,15 @@ var (
 	// ErrJobEvicted is what a Worker's Reduce wraps when the switch
 	// refuses its chunks because the job was evicted (or is draining).
 	ErrJobEvicted = errors.New("aggservice: job evicted from the switch")
+	// ErrBadWeight marks an admit with a scheduler weight outside what the
+	// 16-bit wire field carries.
+	ErrBadWeight = errors.New("aggservice: scheduler weight outside [0, MaxWeight]")
+	// ErrBackpressure is what AckBackpressure maps to: the scheduler
+	// deferred a new-chunk bind because the job is over its deficit while
+	// other tenants hold unspent budget. It is transient by construction —
+	// the deficit replenishes next round — and workers recover through
+	// their retransmit path rather than surfacing it.
+	ErrBackpressure = errors.New("aggservice: bind deferred by the fair scheduler (over deficit)")
 )
 
 // JobPhase is a job id's lifecycle state.
@@ -123,6 +132,12 @@ const (
 	AckErrNoCapacity
 	// AckErrDisabled: the switch does not enable the wire control plane.
 	AckErrDisabled
+	// AckBackpressure is the unsolicited notice sent to a worker whose ADD
+	// tried to bind a new chunk while its job was over its deficit-round-
+	// robin budget: the bind is deferred, not lost — the worker backs its
+	// adaptive batch off and recovers the chunk by retransmit once the
+	// scheduler round turns over.
+	AckBackpressure
 )
 
 func (a AckStatus) String() string {
@@ -147,6 +162,8 @@ func (a AckStatus) String() string {
 		return "error: no capacity"
 	case AckErrDisabled:
 		return "error: lifecycle disabled"
+	case AckBackpressure:
+		return "backpressure"
 	}
 	return fmt.Sprintf("AckStatus(%d)", uint8(a))
 }
@@ -173,56 +190,91 @@ func (a AckStatus) Err() error {
 		return ErrNoCapacity
 	case AckErrDisabled:
 		return ErrLifecycleDisabled
+	case AckBackpressure:
+		return ErrBackpressure
 	}
 	return fmt.Errorf("aggservice: unknown ack status %d", uint8(a))
 }
 
-// EncodeJobAdmit builds an operator request to admit job at runtime.
-func EncodeJobAdmit(job int) []byte { return encodeLifecycleReq(MsgJobAdmit, job) }
+// EncodeJobAdmit builds an operator request to admit job at runtime with
+// the default scheduler weight 1.
+func EncodeJobAdmit(job int) []byte { return EncodeJobAdmitWeight(job, 1) }
+
+// EncodeJobAdmitWeight builds an operator request to admit job with the
+// given deficit-round-robin scheduler weight. The switch clamps weight 0
+// to 1 (the ack reveals the clamp: it echoes the weight actually applied).
+func EncodeJobAdmitWeight(job, weight int) []byte {
+	pkt := make([]byte, jobAdmitBytes)
+	pkt[0] = WireVersion
+	pkt[1] = MsgJobAdmit
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	binary.BigEndian.PutUint16(pkt[4:], uint16(weight))
+	return pkt
+}
+
+// DecodeJobAdmit parses a MsgJobAdmit. Safe on arbitrary input: truncation
+// returns a wire error wrapping ErrTruncated, oversized frames are
+// rejected. The weight is returned as carried — the admission path, not
+// the decoder, clamps 0 to 1, so a round trip is byte-exact.
+func DecodeJobAdmit(pkt []byte) (job, weight int, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, fmt.Errorf("bad job admit: %w", terr)
+	} else if typ != MsgJobAdmit {
+		return 0, 0, fmt.Errorf("aggservice: bad job admit type")
+	}
+	if len(pkt) < jobAdmitBytes {
+		return 0, 0, fmt.Errorf("job admit %d of %d bytes: %w", len(pkt), jobAdmitBytes, ErrTruncated)
+	}
+	if len(pkt) > jobAdmitBytes {
+		return 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job admit", len(pkt)-jobAdmitBytes)
+	}
+	return int(binary.BigEndian.Uint16(pkt[2:])), int(binary.BigEndian.Uint16(pkt[4:])), nil
+}
 
 // EncodeJobEvict builds an operator request to evict (drain) job.
-func EncodeJobEvict(job int) []byte { return encodeLifecycleReq(MsgJobEvict, job) }
-
-func encodeLifecycleReq(typ byte, job int) []byte {
+func EncodeJobEvict(job int) []byte {
 	pkt := make([]byte, lifecycleReqBytes)
 	pkt[0] = WireVersion
-	pkt[1] = typ
+	pkt[1] = MsgJobEvict
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	return pkt
 }
 
 // EncodeJobAck builds a lifecycle status message carrying the job's
 // incarnation epoch octet — the value workers of a (re-)admitted job must
-// stamp into their ADDs (Worker.Epoch).
-func EncodeJobAck(job int, status AckStatus, epoch uint8) []byte {
+// stamp into their ADDs (Worker.Epoch) — and its scheduler weight (the
+// weight an admit actually applied; 0 on notices where no live weight
+// exists, e.g. an evicted or unknown job).
+func EncodeJobAck(job int, status AckStatus, epoch uint8, weight int) []byte {
 	pkt := make([]byte, jobAckBytes)
 	pkt[0] = WireVersion
 	pkt[1] = MsgJobAck
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	pkt[4] = uint8(status)
 	pkt[5] = epoch
+	binary.BigEndian.PutUint16(pkt[6:], uint16(weight))
 	return pkt
 }
 
 // DecodeJobAck parses a MsgJobAck. Like DecodeStatsReply it is safe on
 // arbitrary input: truncation returns a wire error wrapping ErrTruncated.
-func DecodeJobAck(pkt []byte) (job int, status AckStatus, epoch uint8, err error) {
+func DecodeJobAck(pkt []byte) (job int, status AckStatus, epoch uint8, weight int, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
-		return 0, 0, 0, fmt.Errorf("bad job ack: %w", terr)
+		return 0, 0, 0, 0, fmt.Errorf("bad job ack: %w", terr)
 	} else if typ != MsgJobAck {
-		return 0, 0, 0, fmt.Errorf("aggservice: bad job ack type")
+		return 0, 0, 0, 0, fmt.Errorf("aggservice: bad job ack type")
 	}
 	if len(pkt) < jobAckBytes {
-		return 0, 0, 0, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
+		return 0, 0, 0, 0, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
 	}
 	if len(pkt) > jobAckBytes {
-		return 0, 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
+		return 0, 0, 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
 	}
 	status = AckStatus(pkt[4])
-	if status > AckErrDisabled {
-		return 0, 0, 0, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
+	if status > AckBackpressure {
+		return 0, 0, 0, 0, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
 	}
-	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], nil
+	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], int(binary.BigEndian.Uint16(pkt[6:])), nil
 }
 
 // handleLifecycle serves a wire MsgJobAdmit/MsgJobEvict. Only the
@@ -234,16 +286,27 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 		s.rejMalformed.Add(1)
 		return
 	}
-	if len(pkt) != lifecycleReqBytes {
-		s.rejMalformed.Add(1)
-		return
+	var job, weight int
+	if typ == MsgJobAdmit {
+		var derr error
+		if job, weight, derr = DecodeJobAdmit(pkt); derr != nil {
+			s.rejMalformed.Add(1)
+			return
+		}
+	} else {
+		if len(pkt) != lifecycleReqBytes {
+			s.rejMalformed.Add(1)
+			return
+		}
+		job = int(binary.BigEndian.Uint16(pkt[2:]))
 	}
-	job := int(binary.BigEndian.Uint16(pkt[2:]))
 	ack := func(status AckStatus) {
-		// The echoed epoch is the incarnation the request landed on: for
-		// a successful admit that is the NEW incarnation's octet, which
-		// the operator hands to the job's workers.
-		out.Unicast(worker, EncodeJobAck(job, status, s.JobEpoch(job)))
+		// The echoed epoch and weight are the incarnation the request
+		// landed on: for a successful admit that is the NEW incarnation's
+		// octet — which the operator hands to the job's workers — and the
+		// weight the scheduler actually applied (a requested 0 comes back
+		// as the clamped 1, so the client can detect the clamp).
+		out.Unicast(worker, EncodeJobAck(job, status, s.JobEpoch(job), s.JobWeight(job)))
 	}
 	if !s.cfg.Dynamic {
 		ack(AckErrDisabled)
@@ -252,7 +315,7 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 	var err error
 	ok := AckAdmitted
 	if typ == MsgJobAdmit {
-		err = s.Admit(job)
+		err = s.AdmitWeighted(job, weight)
 	} else {
 		ok = AckEvicting
 		err = s.Evict(job)
@@ -275,11 +338,25 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 	}
 }
 
-// Admit brings a vacant job id live, allocating its slot range from the
-// free-list and zeroing its counters for the new incarnation.
-func (s *Switch) Admit(job int) error {
+// Admit brings a vacant job id live with the default scheduler weight 1,
+// allocating its slot range from the free-list and zeroing its counters
+// for the new incarnation.
+func (s *Switch) Admit(job int) error { return s.AdmitWeighted(job, 1) }
+
+// AdmitWeighted brings a vacant job id live with the given deficit-round-
+// robin scheduler weight: under contention the job's new-chunk binds get
+// weight shares of pipeline time relative to the other admitted tenants.
+// A weight of 0 (the wire's "unspecified") is clamped to 1; weights above
+// MaxWeight are refused with ErrBadWeight.
+func (s *Switch) AdmitWeighted(job, weight int) error {
 	if job < 0 || job >= s.ncap {
 		return fmt.Errorf("%w: job %d of %d", ErrUnknownJob, job, s.ncap)
+	}
+	if weight < 0 || weight > MaxWeight {
+		return fmt.Errorf("%w: job %d weight %d", ErrBadWeight, job, weight)
+	}
+	if weight == 0 {
+		weight = 1
 	}
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
@@ -296,6 +373,7 @@ func (s *Switch) Admit(job int) error {
 	ri := s.freeRanges[len(s.freeRanges)-1]
 	s.freeRanges = s.freeRanges[:len(s.freeRanges)-1]
 	js.reset()
+	js.weight.Store(int32(weight))
 	// Publish range before phase: the hot path loads phase first, so it
 	// never sees an admitted job without its range.
 	js.rangeIdx.Store(int32(ri))
@@ -393,6 +471,17 @@ func (s *Switch) release(job int) {
 		}
 		s.freeRanges = append(s.freeRanges, ri)
 	}
+	// Return the job's unspent scheduler deficit on every shard: a
+	// released tenant must neither keep blocking the current round for the
+	// tenants still running nor seed its id's next incarnation with
+	// leftover budget. Safe against racing binds — the epoch moved above,
+	// so no ADD for this incarnation can charge after this pass.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.sched.forfeit(job)
+		sh.mu.Unlock()
+	}
+	js.weight.Store(0)
 	js.outstanding.Store(0)
 	js.cacheBytes.Store(0)
 	if s.OnLifecycle != nil {
@@ -431,4 +520,14 @@ func (s *Switch) JobEpoch(job int) uint8 {
 		return 0
 	}
 	return uint8(s.jobs[job].epoch.Load())
+}
+
+// JobWeight reports a job id's current deficit-round-robin scheduler
+// weight: 0 for vacant ids (and ids outside the capacity), the weight the
+// admission applied otherwise.
+func (s *Switch) JobWeight(job int) int {
+	if job < 0 || job >= s.ncap {
+		return 0
+	}
+	return int(s.jobs[job].weight.Load())
 }
