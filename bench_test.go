@@ -345,6 +345,29 @@ func BenchmarkShardedSwitch(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 		})
 	}
+	// Profile variant: the same 8-shard switch, but the tenant negotiated
+	// truncating bfloat16 at admission — half-width ADD values through the
+	// per-range aggregator bank instead of the compiled default pipeline.
+	b.Run("8shard-bf16", func(b *testing.B) {
+		prof := core.NumericProfile{Format: core.FormatBF16}
+		cfg := aggservice.Config{Workers: 1, Pool: 512, Modules: 1, Shards: 8,
+			Profiles: []core.NumericProfile{prof},
+			Mode:     core.ModeApprox, Arch: pisa.BaseArch()}
+		sw, err := aggservice.NewSwitch(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var next atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			vals := []float32{1.5}
+			for pb.Next() {
+				c := uint32(next.Add(1) - 1)
+				sw.Handle(0, aggservice.EncodeAddProfile(0, c, 0, prof, vals))
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+	})
 }
 
 // BenchmarkFabricThroughput measures raw fabric packet throughput at 8
@@ -368,7 +391,7 @@ func BenchmarkFabricThroughput(b *testing.B) {
 		}
 	}
 	payload := make([]byte, paySize)
-	run := func(b *testing.B, sendRecv func(fab *transport.Memory, w, n int)) {
+	run := func(b *testing.B, pktSize int, sendRecv func(fab *transport.Memory, w, n int)) {
 		fab, err := transport.NewMemory(transport.MemoryConfig{
 			Workers: workers, BatchHandler: handler, QueueDepth: ringSize,
 		})
@@ -376,7 +399,7 @@ func BenchmarkFabricThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer fab.Close()
-		b.SetBytes(paySize)
+		b.SetBytes(int64(pktSize))
 		b.ResetTimer()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -391,7 +414,7 @@ func BenchmarkFabricThroughput(b *testing.B) {
 	}
 
 	b.Run("legacy-shim", func(b *testing.B) {
-		run(b, func(fab *transport.Memory, w, n int) {
+		run(b, paySize, func(fab *transport.Memory, w, n int) {
 			for i := 0; i < n; i++ {
 				if err := transport.Send(fab, w, payload); err != nil {
 					b.Error(err)
@@ -409,7 +432,7 @@ func BenchmarkFabricThroughput(b *testing.B) {
 		for i := range pkts {
 			pkts[i] = payload
 		}
-		run(b, func(fab *transport.Memory, w, n int) {
+		run(b, paySize, func(fab *transport.Memory, w, n int) {
 			bufs := make([][]byte, batch)
 			for i := 0; i < n; i += batch {
 				if err := fab.SendBatch(w, pkts); err != nil {
@@ -427,6 +450,41 @@ func BenchmarkFabricThroughput(b *testing.B) {
 			}
 		})
 	})
+	// Profile-width variants: the vectored path carrying real wire ADDs
+	// (8 modules) in f32 vs truncating bf16 — the 16-bit profile's halved
+	// value payload shows up directly in the bytes moved per packet.
+	for _, pv := range []struct {
+		name string
+		prof core.NumericProfile
+	}{
+		{"batched-ring-f32add", core.DefaultProfile},
+		{"batched-ring-bf16add", core.NumericProfile{Format: core.FormatBF16}},
+	} {
+		b.Run(pv.name, func(b *testing.B) {
+			add := aggservice.EncodeAddProfile(0, 0, 0, pv.prof, make([]float32, 8))
+			pkts := make([][]byte, batch)
+			for i := range pkts {
+				pkts[i] = add
+			}
+			run(b, len(add), func(fab *transport.Memory, w, n int) {
+				bufs := make([][]byte, batch)
+				for i := 0; i < n; i += batch {
+					if err := fab.SendBatch(w, pkts); err != nil {
+						b.Error(err)
+						return
+					}
+					for got := 0; got < batch; {
+						k, err := fab.RecvBatch(w, bufs[got:], time.Second)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						got += k
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkAdaptiveBatch measures a full single-worker all-reduce through

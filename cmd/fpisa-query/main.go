@@ -9,12 +9,14 @@
 // learned return path). -job queries one tenant job's live stats; -admit
 // and -evict drive the runtime lifecycle control plane (the daemon must
 // run with -dynamic). -weight sets the admitted job's fair-scheduler
-// weight; the command prints the weight and incarnation epoch the switch
+// weight and -profile its numeric profile (e.g. bf16/trunc or f32/rne/g2);
+// the command prints the weight, profile and incarnation epoch the switch
 // actually applied (echoed in the ack) and exits non-zero if the switch
-// clamped a requested weight of 0:
+// clamped a requested weight of 0 or applied a different profile than the
+// one requested:
 //
 //	fpisa-query -switch 127.0.0.1:9099 -job 1
-//	fpisa-query -switch 127.0.0.1:9099 -admit 2 -weight 4
+//	fpisa-query -switch 127.0.0.1:9099 -admit 2 -weight 4 -profile bf16/trunc
 //	fpisa-query -switch 127.0.0.1:9099 -evict 1
 //
 // All switch operations exit non-zero with the error on stderr when the
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"fpisa/internal/aggservice"
+	"fpisa/internal/core"
 	"fpisa/internal/transport"
 
 	"fpisa/internal/query"
@@ -47,13 +50,17 @@ func main() {
 	job := flag.Int("job", 0, "job id to query (with -switch)")
 	admit := flag.Int("admit", -1, "admit this job id at runtime (with -switch)")
 	weight := flag.Int("weight", 1, "fair-scheduler weight for -admit (0 is clamped to 1 by the switch)")
+	profile := flag.String("profile", "", `numeric profile for -admit, e.g. "f32/rne/g2" or "bf16/trunc" (empty = f32/trunc)`)
 	evict := flag.Int("evict", -1, "evict this job id at runtime (with -switch)")
 	timeout := flag.Duration("timeout", time.Second, "per-probe reply timeout (with -switch)")
 	flag.Parse()
-	weightSet := false
+	weightSet, profileSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "weight" {
+		switch f.Name {
+		case "weight":
 			weightSet = true
+		case "profile":
+			profileSet = true
 		}
 	})
 
@@ -67,8 +74,12 @@ func main() {
 			// evict or stats probe would let an operator believe they
 			// reweighted a tenant.
 			err = fmt.Errorf("-weight only applies to -admit")
+		case profileSet && *admit < 0:
+			// Same guard for -profile: an ignored precision request must
+			// not look applied.
+			err = fmt.Errorf("-profile only applies to -admit")
 		case *admit >= 0:
-			err = admitRequest(os.Stdout, *swAddr, *admit, *weight, *timeout)
+			err = admitRequest(os.Stdout, *swAddr, *admit, *weight, *profile, *timeout)
 		case *evict >= 0:
 			err = evictRequest(os.Stdout, *swAddr, *evict, *timeout)
 		default:
@@ -195,6 +206,7 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 	}
 	fmt.Fprintf(w, "switch %s, job %d (%s)\n", addr, job, st.Phase)
 	fmt.Fprintf(w, "%-22s %d\n", "scheduler weight", st.Weight)
+	fmt.Fprintf(w, "%-22s %s\n", "numeric profile", st.Profile)
 	fmt.Fprintf(w, "%-22s %d\n", "values aggregated", st.Adds)
 	fmt.Fprintf(w, "%-22s %d\n", "chunks completed", st.Completions)
 	fmt.Fprintf(w, "%-22s %d\n", "retransmits observed", st.Retransmits)
@@ -208,22 +220,22 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 
 // lifecycleExchange drives one admit or evict round trip against a running
 // switch and returns the acknowledged status plus the echoed incarnation
-// epoch and scheduler weight. Error statuses (unknown job, no capacity,
-// lifecycle disabled, …) become the returned error. The operation is read
-// from the request frame itself, so the diagnostics can never disagree
-// with what was sent.
-func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) (status aggservice.AckStatus, epoch uint8, weight int, err error) {
+// epoch, scheduler weight and numeric profile. Error statuses (unknown
+// job, no capacity, lifecycle disabled, …) become the returned error. The
+// operation is read from the request frame itself, so the diagnostics can
+// never disagree with what was sent.
+func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) (status aggservice.AckStatus, epoch uint8, weight int, prof core.NumericProfile, err error) {
 	msgType := req[1]
 	verb := "admit"
 	if msgType == aggservice.MsgJobEvict {
 		verb = "evict"
 	}
 	err = observerExchange(addr, req, timeout, func(pkt []byte, attempt int) (bool, error) {
-		gotJob, got, gotEpoch, gotWeight, derr := aggservice.DecodeJobAck(pkt)
+		gotJob, got, gotEpoch, gotWeight, gotProf, derr := aggservice.DecodeJobAckProfile(pkt)
 		if derr != nil || gotJob != job {
 			return false, nil
 		}
-		status, epoch, weight = got, gotEpoch, gotWeight
+		status, epoch, weight, prof = got, gotEpoch, gotWeight, gotProf
 		serr := got.Err()
 		if serr == nil {
 			return true, nil
@@ -244,33 +256,46 @@ func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) 
 		}
 		return true, fmt.Errorf("switch %s refuses to %s job %d: %w", addr, verb, job, serr)
 	})
-	return status, epoch, weight, err
+	return status, epoch, weight, prof, err
 }
 
-// admitRequest admits a job with a fair-scheduler weight and reports the
-// weight and incarnation epoch the switch actually applied (echoed in the
-// ack). A requested weight of 0 that the switch clamps to its floor is an
-// error — the operator asked for something the scheduler cannot grant, and
-// a script must see that rather than a silently reweighted tenant.
-func admitRequest(w io.Writer, addr string, job, weight int, timeout time.Duration) error {
+// admitRequest admits a job with a fair-scheduler weight and a numeric
+// profile, and reports the weight, profile and incarnation epoch the
+// switch actually applied (echoed in the ack). A requested weight of 0
+// that the switch clamps to its floor is an error, and so is an echoed
+// profile that differs from the one requested — the operator asked for
+// something the switch did not grant, and a script must see that rather
+// than a silently re-negotiated tenant.
+func admitRequest(w io.Writer, addr string, job, weight int, profile string, timeout time.Duration) error {
 	if job < 0 || job >= aggservice.MaxJobs {
 		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
 	}
 	if weight < 0 || weight > aggservice.MaxWeight {
 		return fmt.Errorf("weight %d outside the 16-bit weight space", weight)
 	}
-	req := aggservice.EncodeJobAdmitWeight(job, weight)
-	status, epoch, gotWeight, err := lifecycleExchange(addr, req, job, timeout)
+	prof := core.DefaultProfile
+	if profile != "" {
+		var err error
+		if prof, err = core.ParseProfile(profile); err != nil {
+			return err
+		}
+	}
+	req := aggservice.EncodeJobAdmitProfile(job, weight, prof)
+	status, epoch, gotWeight, gotProf, err := lifecycleExchange(addr, req, job, timeout)
 	if err != nil {
 		return err
 	}
-	// The echoed incarnation epoch and weight are operational output:
-	// workers of a re-admitted job id must stamp the epoch into their ADDs
-	// (Worker.Epoch), and the weight is the share the scheduler will
+	// The echoed incarnation epoch, weight and profile are operational
+	// output: workers of a re-admitted job id must stamp the epoch into
+	// their ADDs (Worker.Epoch) and speak the echoed profile's wire format
+	// (Worker.Profile), and the weight is the share the scheduler will
 	// actually enforce.
-	fmt.Fprintf(w, "switch %s: job %d %s (weight %d, epoch %d)\n", addr, job, status, gotWeight, epoch)
+	fmt.Fprintf(w, "switch %s: job %d %s (weight %d, profile %s, epoch %d)\n", addr, job, status, gotWeight, gotProf, epoch)
 	if weight == 0 && gotWeight != 0 {
 		return fmt.Errorf("switch %s clamped the requested weight 0 to %d for job %d", addr, gotWeight, job)
+	}
+	if gotProf != prof {
+		return fmt.Errorf("switch %s applied profile %s for job %d, not the requested %s", addr, gotProf, job, prof)
 	}
 	return nil
 }
@@ -280,7 +305,7 @@ func evictRequest(w io.Writer, addr string, job int, timeout time.Duration) erro
 	if job < 0 || job >= aggservice.MaxJobs {
 		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
 	}
-	status, epoch, _, err := lifecycleExchange(addr, aggservice.EncodeJobEvict(job), job, timeout)
+	status, epoch, _, _, err := lifecycleExchange(addr, aggservice.EncodeJobEvict(job), job, timeout)
 	if err != nil {
 		return err
 	}

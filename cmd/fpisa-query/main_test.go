@@ -46,7 +46,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	const probeTimeout = 500 * time.Millisecond
 
 	var out strings.Builder
-	if err := admitRequest(&out, addr, 1, 1, probeTimeout); err != nil {
+	if err := admitRequest(&out, addr, 1, 1, "", probeTimeout); err != nil {
 		t.Fatalf("admit: %v", err)
 	}
 	if !strings.Contains(out.String(), "job 1 admitted") {
@@ -66,7 +66,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	}
 
 	// Double admit is refused with the sentinel a script can gate on.
-	if err := admitRequest(&out, addr, 1, 1, probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
+	if err := admitRequest(&out, addr, 1, 1, "", probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
 		t.Fatalf("double admit: %v", err)
 	}
 
@@ -80,7 +80,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	if err := evictRequest(&out, addr, 1, probeTimeout); !errors.Is(err, aggservice.ErrNotAdmitted) {
 		t.Fatalf("double evict: %v", err)
 	}
-	if err := admitRequest(&out, addr, 9, 1, probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
+	if err := admitRequest(&out, addr, 9, 1, "", probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
 		t.Fatalf("admit unknown: %v", err)
 	}
 }
@@ -94,10 +94,10 @@ func TestAdmitWithWeight(t *testing.T) {
 	const probeTimeout = 500 * time.Millisecond
 
 	var out strings.Builder
-	if err := admitRequest(&out, addr, 1, 4, probeTimeout); err != nil {
+	if err := admitRequest(&out, addr, 1, 4, "", probeTimeout); err != nil {
 		t.Fatalf("weighted admit: %v", err)
 	}
-	if !strings.Contains(out.String(), "job 1 admitted (weight 4, epoch 0)") {
+	if !strings.Contains(out.String(), "job 1 admitted (weight 4, profile f32/trunc, epoch 0)") {
 		t.Fatalf("weighted admit output: %q", out.String())
 	}
 	if got := sw.JobWeight(1); got != 4 {
@@ -117,11 +117,11 @@ func TestAdmitWithWeight(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	err := admitRequest(&out, addr, 1, 0, probeTimeout)
+	err := admitRequest(&out, addr, 1, 0, "", probeTimeout)
 	if err == nil || !strings.Contains(err.Error(), "clamped") {
 		t.Fatalf("weight-0 clamp not surfaced: err=%v", err)
 	}
-	if !strings.Contains(out.String(), "(weight 1, epoch 1)") {
+	if !strings.Contains(out.String(), "(weight 1, profile f32/trunc, epoch 1)") {
 		t.Fatalf("clamp output: %q", out.String())
 	}
 	if got := sw.JobWeight(1); got != 1 {
@@ -129,11 +129,51 @@ func TestAdmitWithWeight(t *testing.T) {
 	}
 
 	// Out-of-space weights are refused locally, before any datagram.
-	if err := admitRequest(&out, addr, 2, aggservice.MaxWeight+1, time.Millisecond); err == nil {
+	if err := admitRequest(&out, addr, 2, aggservice.MaxWeight+1, "", time.Millisecond); err == nil {
 		t.Fatal("oversized weight accepted")
 	}
-	if err := admitRequest(&out, addr, 2, -1, time.Millisecond); err == nil {
+	if err := admitRequest(&out, addr, 2, -1, "", time.Millisecond); err == nil {
 		t.Fatal("negative weight accepted")
+	}
+}
+
+// TestAdmitWithProfile drives a profile-carrying admission over real UDP:
+// the ack must echo the applied profile, the stats probe must report it,
+// and a profile the switch refuses must surface the sentinel. A malformed
+// -profile string fails locally before any datagram.
+func TestAdmitWithProfile(t *testing.T) {
+	sw, addr := startSwitch(t, dynConfig())
+	const probeTimeout = 500 * time.Millisecond
+
+	var out strings.Builder
+	if err := admitRequest(&out, addr, 1, 2, "bf16/trunc", probeTimeout); err != nil {
+		t.Fatalf("profiled admit: %v", err)
+	}
+	if !strings.Contains(out.String(), "job 1 admitted (weight 2, profile bf16/trunc, epoch 0)") {
+		t.Fatalf("profiled admit output: %q", out.String())
+	}
+	if got := sw.JobProfile(1); got.String() != "bf16/trunc" {
+		t.Fatalf("switch applied profile %s", got)
+	}
+	out.Reset()
+	if err := queryJobStats(&out, addr, 1, probeTimeout); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "numeric profile") || !strings.Contains(out.String(), "bf16/trunc") {
+		t.Fatalf("stats output lacks the profile: %q", out.String())
+	}
+
+	// An invalid profile — RNE with no guard bit to round on — is caught
+	// by ParseProfile on the client, before any datagram leaves (the
+	// switch would refuse it with AckErrBadProfile anyway; the admit
+	// fuzzer and aggservice's rejection tests cover that wire path).
+	out.Reset()
+	err := admitRequest(&out, addr, 0, 1, "f16/rne", time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "guard") {
+		t.Fatalf("invalid profile not refused locally: %v", err)
+	}
+	if err := admitRequest(&out, addr, 0, 1, "f8/chop", time.Millisecond); err == nil {
+		t.Fatal("garbage profile accepted")
 	}
 }
 
@@ -165,7 +205,7 @@ func TestLifecycleDisabledOverWire(t *testing.T) {
 	cfg.Dynamic = false
 	_, addr := startSwitch(t, cfg)
 	var out strings.Builder
-	err := admitRequest(&out, addr, 1, 1, 500*time.Millisecond)
+	err := admitRequest(&out, addr, 1, 1, "", 500*time.Millisecond)
 	if !errors.Is(err, aggservice.ErrLifecycleDisabled) {
 		t.Fatalf("disabled admit: %v", err)
 	}

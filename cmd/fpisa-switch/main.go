@@ -13,7 +13,11 @@
 // robin scheduler: -weights assigns comma-separated weights to the initial
 // jobs (e.g. -jobs 3 -weights 1,2,4; missing entries default to 1), and
 // jobs admitted at runtime carry the weight named in fpisa-query -admit
-// -weight. Legacy v1 (job-less) clients are rejected and counted. Per-job
+// -weight. Precision is likewise per-tenant: -profiles assigns
+// comma-separated numeric profiles to the initial jobs (e.g. -jobs 2
+// -profiles f32/rne/g2,bf16/trunc; missing entries default to f32/trunc),
+// and jobs admitted at runtime carry the profile named in fpisa-query
+// -admit -profile. Legacy v1 (job-less) clients are rejected and counted. Per-job
 // stats can be queried out-of-band with fpisa-query -switch (the 0xFF
 // observer frame).
 //
@@ -58,6 +62,7 @@ type options struct {
 	pool         int
 	quota        int
 	weights      []int
+	profiles     []core.NumericProfile
 	modules      int
 	shards       int
 	dynamic      bool
@@ -78,6 +83,7 @@ func parseOptions(args []string) (*options, error) {
 	fs.IntVar(&o.pool, "pool", 8, "aggregation slot pool per job")
 	fs.IntVar(&o.quota, "quota", 0, "max outstanding slots per job (0 = unlimited)")
 	weights := fs.String("weights", "", "comma-separated fair-scheduler weights for the initial jobs, e.g. 1,2,4 (missing = 1)")
+	profiles := fs.String("profiles", "", "comma-separated numeric profiles for the initial jobs, e.g. f32/rne/g2,bf16/trunc (missing = f32/trunc)")
 	fs.IntVar(&o.modules, "modules", 1, "vector elements per packet")
 	fs.IntVar(&o.shards, "shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at capacity*2*pool)")
 	fs.BoolVar(&o.dynamic, "dynamic", false, "enable the runtime admit/evict control plane (fpisa-query -admit/-evict)")
@@ -101,6 +107,18 @@ func parseOptions(args []string) (*options, error) {
 		}
 		if len(o.weights) > o.jobs {
 			return nil, fmt.Errorf("-weights names %d jobs but -jobs admits %d", len(o.weights), o.jobs)
+		}
+	}
+	if *profiles != "" {
+		for _, field := range strings.Split(*profiles, ",") {
+			p, err := core.ParseProfile(strings.TrimSpace(field))
+			if err != nil {
+				return nil, fmt.Errorf("-profiles %q: %v", *profiles, err)
+			}
+			o.profiles = append(o.profiles, p)
+		}
+		if len(o.profiles) > o.jobs {
+			return nil, fmt.Errorf("-profiles names %d jobs but -jobs admits %d", len(o.profiles), o.jobs)
 		}
 	}
 	return o, nil
@@ -131,7 +149,8 @@ func (o *options) switchConfig() (aggservice.Config, error) {
 	cfg := aggservice.Config{
 		Workers: o.workers, Pool: o.pool, Modules: o.modules, Shards: o.shards,
 		Jobs: o.jobs, Capacity: capacity, MaxOutstanding: o.quota,
-		Weights: o.weights, Dynamic: o.dynamic, DrainTimeout: o.drainTimeout,
+		Weights: o.weights, Profiles: o.profiles,
+		Dynamic: o.dynamic, DrainTimeout: o.drainTimeout,
 		Mode: mode, Arch: arch,
 	}
 	cfg.ClampShards()
@@ -197,8 +216,8 @@ func main() {
 		o.modeName(), cfg.Arch.Name, sw.Shards(), conn.LocalAddr(), o.jobs, sw.Jobs(), o.workers, o.quota, dyn)
 	for j := 0; j < sw.Jobs(); j++ {
 		if base, n, ok := sw.JobRange(j); ok {
-			log.Printf("  job %d: ports %d..%d, slots %d..%d, weight %d", j,
-				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1, sw.JobWeight(j))
+			log.Printf("  job %d: ports %d..%d, slots %d..%d, weight %d, profile %s", j,
+				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1, sw.JobWeight(j), sw.JobProfile(j))
 		}
 	}
 	log.Printf("pipeline resource report:\n%s", sw.Utilization())

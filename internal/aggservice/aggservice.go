@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,6 +106,14 @@ type Config struct {
 	// weight-w tenant's new-chunk binds converge to w shares of pipeline
 	// time under contention.
 	Weights []int
+	// Profiles assigns numeric profiles to the initially admitted jobs:
+	// job j computes under Profiles[j]. Missing entries mean the zero
+	// profile (f32, no guard bits, truncating read-out — the paper's
+	// standard arithmetic); jobs admitted at runtime carry the profile
+	// named in their admit request (Switch.AdmitProfile / MsgJobAdmit).
+	// Where Weights share pipeline time, Profiles share precision: each
+	// tenant's slots run the arithmetic it negotiated.
+	Profiles []core.NumericProfile
 	// SchedRoundAge bounds a scheduler round's lifetime once a bind has
 	// been deferred: when a tenant that showed demand this round holds
 	// unspent deficit but stops binding (dead workers, quota-blocked),
@@ -152,6 +159,14 @@ func (c Config) Validate() error {
 	}
 	if c.SchedRoundAge < 0 {
 		return fmt.Errorf("aggservice: scheduler round age %v", c.SchedRoundAge)
+	}
+	if len(c.Profiles) > c.jobs() {
+		return fmt.Errorf("aggservice: %d profiles for %d initially admitted jobs", len(c.Profiles), c.jobs())
+	}
+	for j, p := range c.Profiles {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("aggservice: job %d profile: %w", j, err)
+		}
 	}
 	if c.Capacity < 0 {
 		return fmt.Errorf("aggservice: capacity %d", c.Capacity)
@@ -220,6 +235,15 @@ func (c Config) weightOf(j int) int {
 	return c.Weights[j]
 }
 
+// profileOf returns the numeric profile of initially admitted job j
+// (missing entries mean the zero profile: f32/trunc).
+func (c Config) profileOf(j int) core.NumericProfile {
+	if j >= len(c.Profiles) {
+		return core.DefaultProfile
+	}
+	return c.Profiles[j]
+}
+
 // Ports returns the total transport port count: Capacity · Workers (ports
 // for admissible jobs are provisioned up front). Job j's worker i sends
 // and receives on port j·Workers + i.
@@ -239,16 +263,23 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 
 // Wire layout (see doc.go for the rationale):
 //
-//	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(4·M)]
-//	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
+//	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(W·M)]
+//	result = [ver(1) type(1) job(2) chunk(4) values(W·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
-//	reply  = [ver(1) type(1) job(2) phase(1) weight(2) adds(8) retrans(8)
-//	          done(8) drops(8) defers(8) outstanding(8) cacheHits(8)
-//	          cacheBytes(8)]
-//	admit  = [ver(1) type(1) job(2) weight(2)]
+//	reply  = [ver(1) type(1) job(2) phase(1) weight(2) fmt(1) guard(1)
+//	          round(1) adds(8) retrans(8) done(8) drops(8) defers(8)
+//	          outstanding(8) cacheHits(8) cacheBytes(8)]
+//	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)]
 //	evict  = [ver(1) type(1) job(2)]
-//	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2)]
+//	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2) fmt(1)
+//	          guard(1) round(1)]
+//
+// W is the job's negotiated value width: 4 bytes under the default f32
+// profile, 2 under the 16-bit formats — so a bf16 tenant's ADDs carry half
+// the payload. The fmt/guard/round octets are the job's NumericProfile
+// descriptor (core.ProfileFormat, guard-bit count, core.ProfileRounding),
+// negotiated in the admit request and echoed in acks and stats replies.
 //
 // The ADD's epoch octet is the job's incarnation: it is compared against
 // the switch's release counter (mod 256), so a datagram buffered from an
@@ -270,17 +301,47 @@ const batchHdrBytes = 4
 // scheduler weight) and jobAckBytes size the control plane's.
 const (
 	statsReqBytes     = 4
-	statsReplyBytes   = 4 + 1 + 2 + 8*8
+	statsReplyBytes   = 4 + 1 + 2 + profileBytes + 8*8
 	lifecycleReqBytes = 4
-	jobAdmitBytes     = 6
-	jobAckBytes       = 8
+	jobAdmitBytes     = 6 + profileBytes
+	jobAckBytes       = 8 + profileBytes
 )
+
+// profileBytes is the wire width of a NumericProfile descriptor: one octet
+// each for format, guard bits and rounding.
+const profileBytes = 3
+
+// putProfile/getProfile move a profile descriptor through its three wire
+// octets. getProfile returns the octets as carried: decoders never validate
+// or clamp (round trips stay byte-exact); the admission path validates.
+func putProfile(dst []byte, p core.NumericProfile) {
+	dst[0] = uint8(p.Format)
+	dst[1] = p.Guard
+	dst[2] = uint8(p.Rounding)
+}
+
+func getProfile(src []byte) core.NumericProfile {
+	return core.NumericProfile{
+		Format:   core.ProfileFormat(src[0]),
+		Guard:    src[1],
+		Rounding: core.ProfileRounding(src[2]),
+	}
+}
 
 // maxDatagram is the largest payload the UDP fabric can carry.
 const maxDatagram = 65507
 
+// addBytes/resultBytes size the default-profile (f32) messages; the
+// profile-aware forms size a job's negotiated wire format.
 func addBytes(modules int) int    { return addValOff + 4*modules }
 func resultBytes(modules int) int { return hdrBytes + 4*modules + 1 }
+
+func addBytesProf(modules int, prof core.NumericProfile) int {
+	return addValOff + prof.ValueBytes()*modules
+}
+func resultBytesProf(modules int, prof core.NumericProfile) int {
+	return hdrBytes + prof.ValueBytes()*modules + 1
+}
 
 // maxBatchChunks bounds how many chunks ride one wire batch. The binding
 // constraint is the *downlink*: a full ADD batch can complete every chunk
@@ -331,31 +392,46 @@ func EncodeAdd(job int, chunk uint32, vals []float32) []byte {
 }
 
 // EncodeAddEpoch builds a worker ADD packet stamped with the job's
-// incarnation epoch.
+// incarnation epoch, carrying f32 (default-profile) values.
 func EncodeAddEpoch(job int, chunk uint32, epoch uint8, vals []float32) []byte {
-	pkt := make([]byte, addBytes(len(vals)))
+	return EncodeAddProfile(job, chunk, epoch, core.DefaultProfile, vals)
+}
+
+// EncodeAddProfile builds a worker ADD packet with the values narrowed to
+// the job's negotiated wire format — 16-bit formats halve the payload.
+func EncodeAddProfile(job int, chunk uint32, epoch uint8, prof core.NumericProfile, vals []float32) []byte {
+	w := prof.ValueBytes()
+	pkt := make([]byte, addValOff+w*len(vals))
 	putHeader(pkt, MsgAdd, job, chunk)
 	pkt[hdrBytes] = epoch
 	for i, v := range vals {
-		binary.BigEndian.PutUint32(pkt[addValOff+4*i:], math.Float32bits(v))
+		prof.PutValue(pkt[addValOff+w*i:], v)
 	}
 	return pkt
 }
 
-// DecodeResult parses a RESULT packet.
+// DecodeResult parses a RESULT packet carrying f32 (default-profile)
+// values.
 func DecodeResult(pkt []byte, modules int) (job int, chunk uint32, vals []float32, overflow bool, err error) {
+	return DecodeResultProfile(pkt, modules, core.DefaultProfile)
+}
+
+// DecodeResultProfile parses a RESULT packet in the job's negotiated wire
+// format, widening 16-bit values to float32 exactly.
+func DecodeResultProfile(pkt []byte, modules int, prof core.NumericProfile) (job int, chunk uint32, vals []float32, overflow bool, err error) {
+	w := prof.ValueBytes()
 	if typ, terr := wireType(pkt); terr != nil {
 		return 0, 0, nil, false, fmt.Errorf("bad result packet: %w", terr)
-	} else if typ != MsgResult || len(pkt) != resultBytes(modules) {
+	} else if typ != MsgResult || len(pkt) != resultBytesProf(modules, prof) {
 		return 0, 0, nil, false, fmt.Errorf("aggservice: bad result packet")
 	}
 	job = int(binary.BigEndian.Uint16(pkt[2:]))
 	chunk = binary.BigEndian.Uint32(pkt[4:])
 	vals = make([]float32, modules)
 	for i := range vals {
-		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[hdrBytes+4*i:]))
+		vals[i] = prof.GetValue(pkt[hdrBytes+w*i:])
 	}
-	overflow = pkt[hdrBytes+4*modules] != 0
+	overflow = pkt[hdrBytes+w*modules] != 0
 	return job, chunk, vals, overflow, nil
 }
 
@@ -446,14 +522,15 @@ func DecodeStatsReply(pkt []byte) (job int, st JobStats, err error) {
 	}
 	st.Phase = JobPhase(pkt[4])
 	st.Weight = int(binary.BigEndian.Uint16(pkt[5:]))
-	st.Adds = binary.BigEndian.Uint64(pkt[7:])
-	st.Retransmits = binary.BigEndian.Uint64(pkt[15:])
-	st.Completions = binary.BigEndian.Uint64(pkt[23:])
-	st.QuotaDrops = binary.BigEndian.Uint64(pkt[31:])
-	st.SchedDefers = binary.BigEndian.Uint64(pkt[39:])
-	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[47:]))
-	st.CacheHits = binary.BigEndian.Uint64(pkt[55:])
-	st.CacheBytes = binary.BigEndian.Uint64(pkt[63:])
+	st.Profile = getProfile(pkt[7:])
+	st.Adds = binary.BigEndian.Uint64(pkt[10:])
+	st.Retransmits = binary.BigEndian.Uint64(pkt[18:])
+	st.Completions = binary.BigEndian.Uint64(pkt[26:])
+	st.QuotaDrops = binary.BigEndian.Uint64(pkt[34:])
+	st.SchedDefers = binary.BigEndian.Uint64(pkt[42:])
+	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[50:]))
+	st.CacheHits = binary.BigEndian.Uint64(pkt[58:])
+	st.CacheBytes = binary.BigEndian.Uint64(pkt[66:])
 	return job, st, nil
 }
 
@@ -464,14 +541,15 @@ func encodeStatsReply(job int, st JobStats) []byte {
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	pkt[4] = uint8(st.Phase)
 	binary.BigEndian.PutUint16(pkt[5:], uint16(st.Weight))
-	binary.BigEndian.PutUint64(pkt[7:], st.Adds)
-	binary.BigEndian.PutUint64(pkt[15:], st.Retransmits)
-	binary.BigEndian.PutUint64(pkt[23:], st.Completions)
-	binary.BigEndian.PutUint64(pkt[31:], st.QuotaDrops)
-	binary.BigEndian.PutUint64(pkt[39:], st.SchedDefers)
-	binary.BigEndian.PutUint64(pkt[47:], uint64(st.Outstanding))
-	binary.BigEndian.PutUint64(pkt[55:], st.CacheHits)
-	binary.BigEndian.PutUint64(pkt[63:], st.CacheBytes)
+	putProfile(pkt[7:], st.Profile)
+	binary.BigEndian.PutUint64(pkt[10:], st.Adds)
+	binary.BigEndian.PutUint64(pkt[18:], st.Retransmits)
+	binary.BigEndian.PutUint64(pkt[26:], st.Completions)
+	binary.BigEndian.PutUint64(pkt[34:], st.QuotaDrops)
+	binary.BigEndian.PutUint64(pkt[42:], st.SchedDefers)
+	binary.BigEndian.PutUint64(pkt[50:], uint64(st.Outstanding))
+	binary.BigEndian.PutUint64(pkt[58:], st.CacheHits)
+	binary.BigEndian.PutUint64(pkt[66:], st.CacheBytes)
 	return pkt
 }
 
@@ -490,6 +568,10 @@ type JobStats struct {
 	// vacant): its share of pipeline time relative to the other admitted
 	// jobs under contention.
 	Weight int
+	// Profile is the numeric profile the job's admission negotiated (the
+	// zero profile while vacant): the wire format, guard bits and rounding
+	// its slot range computes under.
+	Profile core.NumericProfile
 	// Adds counts values aggregated into the pipeline for this job.
 	Adds uint64
 	// Retransmits counts duplicate ADDs observed — the switch-side view
@@ -557,6 +639,11 @@ type jobState struct {
 	// (0 while vacant); set under lifeMu at admission, read lock-free by
 	// the hot path to size the deficit quantum.
 	weight atomic.Int32
+	// profBits is the job's packed NumericProfile (core.Pack form) for its
+	// current incarnation (the zero profile while vacant); set under
+	// lifeMu at admission before the range publishes, read lock-free by
+	// the hot path to size and decode ADD payloads.
+	profBits atomic.Uint32
 	// phase is the JobPhase; rangeIdx is the indirection-table entry
 	// mapping the job to its 2·Pool slot range (-1 when vacant). The
 	// admit path stores rangeIdx before flipping phase to admitted; the
@@ -597,14 +684,23 @@ func (js *jobState) quantum() int64 { return int64(js.weight.Load()) * drrQuantu
 // and each job's range is striped across the shard replicas. Handle may be
 // called concurrently; packets for different shards proceed in parallel.
 type Switch struct {
-	cfg   Config
-	nsh   int
-	njobs int // initially admitted jobs
-	ncap  int // slot-range capacity = admissible job-id space
-	util  pisa.Utilization
+	cfg      Config
+	nsh      int
+	njobs    int // initially admitted jobs
+	ncap     int // slot-range capacity = admissible job-id space
+	perRange int // aggregator slots per (range, shard) bank
+	util     pisa.Utilization
 
 	shards []*shard
 	jobs   []jobState
+
+	// protos caches one compiled ProfileAggregator prototype per distinct
+	// numeric profile (guarded by lifeMu): admissions replicate a cached
+	// prototype — fresh registers, shared program — so a profile compiles
+	// once for the switch's lifetime no matter how many jobs or shards run
+	// it. The default profile's prototype is built at construction and is
+	// never evicted (it also supplies the Utilization report).
+	protos map[core.NumericProfile]*core.ProfileAggregator
 
 	// OnLifecycle, when set before the switch starts handling traffic, is
 	// called on every admit / drain-begin / release transition (under the
@@ -627,11 +723,16 @@ type Switch struct {
 	rejBackpressure                                                        atomic.Uint64
 }
 
-// shard is one pipeline replica plus the protocol state for its slots and
-// its deficit-round-robin scheduler instance (all guarded by mu).
+// shard is a bank of per-job pipeline replicas plus the protocol state for
+// the shard's slots and its deficit-round-robin scheduler instance (all
+// guarded by mu). agg is indexed by slot-range index: range ri's slots on
+// this shard are driven by agg[ri], installed at admission with the job's
+// negotiated profile and nil while the range is free — the slot-range
+// indirection that used to pick a slot inside ONE aggregator now also picks
+// WHICH aggregator, which is what lets tenants run different arithmetic.
 type shard struct {
 	mu    sync.Mutex
-	pa    aggregator
+	agg   []aggregator
 	slot  []slotState
 	sched drrSched
 }
@@ -646,8 +747,9 @@ type slotState struct {
 	outstanding bool
 }
 
-// NewSwitch compiles the FPISA program once and instantiates the shard
-// replicas from it.
+// NewSwitch compiles the FPISA program once per distinct profile and
+// instantiates each admitted job's per-shard replica bank from the cached
+// prototypes.
 func NewSwitch(cfg Config) (*Switch, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -656,15 +758,19 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	njobs := cfg.jobs()
 	ncap := cfg.capacity()
 	slots := ncap * 2 * cfg.Pool
-	perShard := (slots + nsh - 1) / nsh
-	pa0, err := core.NewPipelineAggregator(core.DefaultFP32(cfg.Mode), cfg.Modules, perShard, cfg.Arch)
+	// One (range, shard) bank covers the range's slots striped onto that
+	// shard — at most ceil(2·Pool / shards) of them.
+	perRange := (2*cfg.Pool + nsh - 1) / nsh
+	pa0, err := core.NewProfileAggregator(core.DefaultProfile, cfg.Mode, cfg.Modules, perRange, cfg.Arch)
 	if err != nil {
 		return nil, err
 	}
 	s := &Switch{
-		cfg: cfg, nsh: nsh, njobs: njobs, ncap: ncap, util: pa0.Utilization(),
+		cfg: cfg, nsh: nsh, njobs: njobs, ncap: ncap, perRange: perRange,
+		util:        pa0.Utilization(),
 		jobs:        make([]jobState, ncap),
 		drainTimers: make([]*time.Timer, ncap),
+		protos:      map[core.NumericProfile]*core.ProfileAggregator{core.DefaultProfile: pa0},
 	}
 	// Initially admitted jobs take the identity ranges; the rest of the
 	// capacity sits in the free-list for runtime admission.
@@ -672,6 +778,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		if j < njobs {
 			s.jobs[j].rangeIdx.Store(int32(j))
 			s.jobs[j].weight.Store(int32(cfg.weightOf(j)))
+			s.jobs[j].profBits.Store(cfg.profileOf(j).Pack())
 			s.jobs[j].phase.Store(int32(PhaseAdmitted))
 		} else {
 			s.jobs[j].rangeIdx.Store(-1)
@@ -679,18 +786,25 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 	}
 	for k := 0; k < nsh; k++ {
-		pa := pa0
-		if k > 0 {
-			pa = pa0.Replicate()
-		}
 		// Shard k owns global slots k, k+nsh, k+2·nsh, …
 		nSlots := (slots - k + nsh - 1) / nsh
-		sh := &shard{pa: pa, slot: make([]slotState, nSlots), sched: newDRRSched(ncap, cfg.schedRoundAge())}
+		sh := &shard{agg: make([]aggregator, ncap), slot: make([]slotState, nSlots), sched: newDRRSched(ncap, cfg.schedRoundAge())}
 		for i := range sh.slot {
 			sh.slot[i].chunk = -1
 			sh.slot[i].seen = make([]bool, cfg.Workers)
 		}
 		s.shards = append(s.shards, sh)
+	}
+	// Install the initially admitted jobs' aggregator banks: distinct
+	// profiles compile once, every (job, shard) bank is a replica.
+	for j := 0; j < njobs; j++ {
+		proto, err := s.getProtoLocked(cfg.profileOf(j))
+		if err != nil {
+			return nil, fmt.Errorf("aggservice: job %d profile: %w", j, err)
+		}
+		for _, sh := range s.shards {
+			sh.agg[j] = proto.Replicate()
+		}
 	}
 	s.scratchPool.New = func() any {
 		return &batchScratch{
@@ -699,6 +813,21 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 	}
 	return s, nil
+}
+
+// getProtoLocked returns (building and caching on first use) the compiled
+// prototype for a profile. Caller holds lifeMu (or is still constructing
+// the switch).
+func (s *Switch) getProtoLocked(p core.NumericProfile) (*core.ProfileAggregator, error) {
+	if proto, ok := s.protos[p]; ok {
+		return proto, nil
+	}
+	proto, err := core.NewProfileAggregator(p, s.cfg.Mode, s.cfg.Modules, s.perRange, s.cfg.Arch)
+	if err != nil {
+		return nil, err
+	}
+	s.protos[p] = proto
+	return proto, nil
 }
 
 // Utilization exposes the compiled pipeline's resource report (identical
@@ -813,6 +942,7 @@ type addReq struct {
 	job   int
 	ri    int
 	epoch uint64
+	prof  core.NumericProfile
 	chunk uint32
 	gs    int
 }
@@ -872,10 +1002,10 @@ func (s *Switch) handleStats(worker int, pkt []byte, out *transport.DeliveryList
 // queues it for its slot's shard; refusals are counted (and acked) here so
 // the shard lock rounds only see bindable work.
 func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *transport.DeliveryList) {
-	// Exact-length check: an oversized payload would silently truncate a
-	// garbage ADD into a plausible one, so reject it outright along with
-	// short or mistyped packets.
-	if len(pkt) != addBytes(s.cfg.Modules) {
+	// The exact payload length depends on the job's negotiated profile, so
+	// only the fixed header (through the epoch octet) is checked before the
+	// job is known.
+	if len(pkt) < addValOff {
 		s.rejMalformed.Add(1)
 		return
 	}
@@ -892,11 +1022,12 @@ func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *tran
 		return
 	}
 	js := &s.jobs[job]
-	// Snapshot the incarnation BEFORE the range: every shard-lock section
-	// below re-checks the epoch, so state read here can never be applied
-	// to a range that was released (and possibly re-assigned — even to
-	// this same job id) in between.
+	// Snapshot the incarnation BEFORE the range (and the profile): every
+	// shard-lock section below re-checks the epoch, so state read here can
+	// never be applied to a range that was released (and possibly
+	// re-assigned — even to this same job id) in between.
 	epoch := js.epoch.Load()
+	prof := core.UnpackProfile(js.profBits.Load())
 	ri := int(js.rangeIdx.Load())
 	// Eviction notices echo the OFFENDING packet's epoch octet, not the
 	// job's current one: a worker aborts only on a notice matching its own
@@ -917,9 +1048,19 @@ func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *tran
 		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes], 0))
 		return
 	}
+	// Exact-length check against the incarnation's profile: an oversized
+	// payload would silently truncate a garbage ADD into a plausible one,
+	// so it is rejected outright along with short packets. (If the job was
+	// re-admitted under a different profile between the epoch snapshot and
+	// here, the packet is at worst mis-measured and dropped — the epoch
+	// revalidation under the shard lock keeps state safe.)
+	if len(pkt) != addBytesProf(s.cfg.Modules, prof) {
+		s.rejMalformed.Add(1)
+		return
+	}
 	chunk := binary.BigEndian.Uint32(pkt[4:])
 	gs := s.slotOf(ri, chunk)
-	sc.queue(gs%s.nsh, addReq{pkt: pkt, job: job, ri: ri, epoch: epoch, chunk: chunk, gs: gs})
+	sc.queue(gs%s.nsh, addReq{pkt: pkt, job: job, ri: ri, epoch: epoch, prof: prof, chunk: chunk, gs: gs})
 }
 
 // queue appends an ADD to its shard's group, tracking first use.
@@ -984,7 +1125,11 @@ func (s *Switch) freeCachedResult(js *jobState, epoch uint64, gs int, pchunk int
 func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScratch, out *transport.DeliveryList) {
 	js := &s.jobs[a.job]
 	wij := worker % s.cfg.Workers
+	// The shard-local protocol slot is globally striped; the aggregator
+	// index is local to the range's per-shard bank (consecutive for the
+	// range's slots on this shard).
 	li := a.gs / s.nsh
+	ai := (a.gs - a.ri*2*s.cfg.Pool) / s.nsh
 	// Revalidate the incarnation under the lock: a release bumps the
 	// epoch before resetting this range's slots under the same locks, so
 	// a racing eviction (even one followed by a re-admission of the very
@@ -994,6 +1139,13 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		// only that incarnation's workers abort on it.
 		s.rejBadJob.Add(1)
 		out.Unicast(worker, EncodeJobAck(a.job, AckEvicted, uint8(a.epoch), 0))
+		return
+	}
+	agg := sh.agg[a.ri]
+	if agg == nil {
+		// Unreachable while the epoch holds — the bank is installed before
+		// the range publishes — but a nil bank must not panic the switch.
+		s.rejBadJob.Add(1)
 		return
 	}
 	st := &sh.slot[li]
@@ -1041,7 +1193,7 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 				return
 			}
 		}
-		if _, err := sh.pa.ReadReset(li); err != nil {
+		if _, err := agg.ReadReset(ai); err != nil {
 			if charge {
 				js.outstanding.Add(-1)
 			}
@@ -1070,11 +1222,13 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		return // duplicate while aggregation is in progress
 	}
 
-	// Decode the values into the batch's reusable buffer — the pipeline
+	// Decode the values (widened from the job's wire format — exact for
+	// the 16-bit formats) into the batch's reusable buffer; the pipeline
 	// serializes them into its own packet, so nothing retains the slice.
+	vw := a.prof.ValueBytes()
 	vals := sc.vals[:0]
 	for i := 0; i < s.cfg.Modules; i++ {
-		vals = append(vals, math.Float32frombits(binary.BigEndian.Uint32(a.pkt[addValOff+4*i:])))
+		vals = append(vals, a.prof.GetValue(a.pkt[addValOff+vw*i:]))
 	}
 	sc.vals = vals
 
@@ -1082,7 +1236,7 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 	// add, the slot must stay retransmittable — marking the worker seen
 	// before a failed add would drop its contribution for good while the
 	// protocol believes it arrived, completing the chunk with a wrong sum.
-	res, err := sh.pa.Add(li, vals)
+	res, err := agg.Add(ai, vals)
 	if err != nil {
 		return
 	}
@@ -1100,16 +1254,19 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		js.outstanding.Add(-1)
 		st.outstanding = false
 	}
-	pkt := make([]byte, resultBytes(len(vals)))
+	// The RESULT travels in the job's wire format too: the values are
+	// already representable in it (the aggregator read them out under the
+	// profile), so the re-narrowing is the identity.
+	pkt := make([]byte, resultBytesProf(len(vals), a.prof))
 	putHeader(pkt, MsgResult, a.job, chunk)
 	var anyOvf byte
 	for i, v := range res.Values {
-		binary.BigEndian.PutUint32(pkt[hdrBytes+4*i:], math.Float32bits(v))
+		a.prof.PutValue(pkt[hdrBytes+vw*i:], v)
 		if res.Overflow[i] {
 			anyOvf = 1
 		}
 	}
-	pkt[hdrBytes+4*len(vals)] = anyOvf
+	pkt[hdrBytes+vw*len(vals)] = anyOvf
 	st.cached = pkt
 	js.cacheBytes.Add(int64(len(pkt)))
 	// Every worker sent chunk c, so every worker holds chunk c−Pool's
@@ -1170,6 +1327,7 @@ func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
 	return JobStats{
 		Phase:       JobPhase(js.phase.Load()),
 		Weight:      int(js.weight.Load()),
+		Profile:     core.UnpackProfile(js.profBits.Load()),
 		Adds:        js.adds.Load(),
 		Retransmits: js.retransmits.Load(),
 		Completions: js.completions.Load(),
@@ -1241,6 +1399,13 @@ type Worker struct {
 	// carry the epoch echoed in the admit ack (or Switch.JobEpoch), or
 	// the switch rejects their traffic as stale.
 	Epoch uint8
+	// Profile is the job's negotiated numeric profile: ADD values are
+	// narrowed to its wire format (halving the payload for the 16-bit
+	// formats) and RESULTs are decoded under it. It must match what the
+	// job's admission applied (the admit ack echoes it, as does
+	// Switch.JobProfile), or the switch rejects the ADDs as malformed.
+	// The zero value is the default f32 profile.
+	Profile core.NumericProfile
 	// SentPackets counts ADD messages transmitted (including
 	// retransmits), one per chunk transmission regardless of batching.
 	SentPackets uint64
@@ -1272,11 +1437,14 @@ func NewWorker(id int, fabric transport.Fabric, cfg Config) *Worker {
 	return NewJobWorker(0, id, fabric, cfg)
 }
 
-// NewJobWorker builds a worker for one tenant job with the default tuning.
+// NewJobWorker builds a worker for one tenant job with the default tuning,
+// carrying the profile Config assigns the job (runtime-admitted jobs are
+// not in Config.Profiles — their workers set Profile from the admit ack).
 func NewJobWorker(job, id int, fabric transport.Fabric, cfg Config) *Worker {
 	return &Worker{
 		ID: id, Job: job, Fabric: fabric, Cfg: cfg,
 		Timeout: DefaultTimeout, Retries: DefaultRetries, Batch: DefaultBatch,
+		Profile: cfg.profileOf(job),
 	}
 }
 
@@ -1307,6 +1475,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 	port := w.Cfg.Port(w.Job, w.ID)
 	modules := w.Cfg.Modules
 	pool := w.Cfg.Pool
+	prof := w.Profile
 	timeout := w.Timeout
 	if timeout <= 0 {
 		timeout = DefaultTimeout
@@ -1380,7 +1549,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 			return err
 		}
 		queue := func(c int) error {
-			msgs = append(msgs, EncodeAddEpoch(w.Job, uint32(c), w.Epoch, chunkVals(c)))
+			msgs = append(msgs, EncodeAddProfile(w.Job, uint32(c), w.Epoch, prof, chunkVals(c)))
 			sent[c] = true
 			if len(msgs) >= cur {
 				return flush()
@@ -1411,7 +1580,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 		retransmit := func() error {
 			for c := 0; c < nChunks; c++ {
 				if sent[c] && !done[c] {
-					msgs = append(msgs, EncodeAddEpoch(w.Job, uint32(c), w.Epoch, chunkVals(c)))
+					msgs = append(msgs, EncodeAddProfile(w.Job, uint32(c), w.Epoch, prof, chunkVals(c)))
 					if len(msgs) >= cur {
 						if err := flush(); err != nil {
 							return err
@@ -1560,7 +1729,7 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 						}
 						continue
 					}
-					job, chunk, vals, _, err := DecodeResult(msg, modules)
+					job, chunk, vals, _, err := DecodeResultProfile(msg, modules, prof)
 					if err != nil || job != w.Job {
 						continue // not for us
 					}

@@ -1,8 +1,9 @@
 // Package aggservice is the FPISA in-network aggregation service: the
 // "SwitchML enhanced with FPISA" system of paper §5. Workers stream raw
-// FP32 gradient chunks to the switch in a single round; the switch
-// aggregates them with the FPISA pipeline program (internal/core) and
-// broadcasts each chunk's sum when the last worker's packet arrives.
+// floating-point gradient chunks to the switch in a single round; the
+// switch aggregates them with the arithmetic the job negotiated at
+// admission (internal/core) and broadcasts each chunk's sum when the last
+// worker's packet arrives.
 //
 // Compared to the SwitchML baseline (internal/switchml) there is no
 // quantization, no scaling-factor round and no host-side format conversion
@@ -63,6 +64,34 @@
 // tenant's unspent deficit on every shard — a leaving job can neither
 // block the round nor hand leftover budget to the id's next incarnation.
 //
+// # Numeric profiles (per-job compiled arithmetic)
+//
+// Precision is a per-tenant resource, negotiated at admission the same way
+// pipeline time is: weights share time, profiles share precision. A
+// core.NumericProfile names the wire value format (f32, f16 or bf16), the
+// accumulator guard bits (paper Appendix A.1's swamping protection) and
+// the rounding mode (truncate or round-to-nearest-even). Initial jobs take
+// theirs from Config.Profiles (fpisa-switch -profiles); runtime admissions
+// carry one in the widened MsgJobAdmit (Switch.AdmitProfile, fpisa-query
+// -admit -profile). The admission validates before any state moves —
+// unknown octets, guard bits that leave the mantissa register no headroom
+// (Headroom() < 1) and RNE without a guard bit to round on are refused
+// with AckErrBadProfile/ErrBadProfile — and the ack echoes the profile
+// actually applied, the operator's receipt to hand to the job's workers
+// (Worker.Profile).
+//
+// On the switch, the one-pipeline-per-switch assumption is gone: each
+// shard holds a BANK of aggregators, one per slot range, installed at
+// admission and torn down at release. Compiled programs are shared, state
+// is not — the switch keeps one prototype aggregator per distinct profile
+// (one P4 compile each, cached across churn; core.ProfileAggregator) and
+// stamps per-range register banks off it (Replicate), so two jobs with the
+// same profile share a program and two jobs with different profiles run
+// different arithmetic side by side on one switch. On the wire, ADD values
+// and RESULT sums are carried in the job's negotiated format — the 16-bit
+// formats halve the value payload — and a worker speaking the wrong width
+// for its job is refused as malformed rather than mis-decoded.
+//
 // # Job lifecycle (runtime control plane)
 //
 // The switch is a long-lived shared resource: jobs join and leave without
@@ -120,22 +149,28 @@
 // type; ADD/RESULT carry a 16-bit big-endian job id next. All integers are
 // big-endian.
 //
-//	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(4·M)]
-//	result = [ver(1) type(1) job(2) chunk(4) values(4·M) overflow(1)]
+//	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(W·M)]
+//	result = [ver(1) type(1) job(2) chunk(4) values(W·M) overflow(1)]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
-//	reply  = [ver(1) type(1) job(2) phase(1) weight(2) adds(8)
-//	          retransmits(8) completions(8) quotaDrops(8) schedDefers(8)
-//	          outstanding(8) cacheHits(8) cacheBytes(8)]
-//	admit  = [ver(1) type(1) job(2) weight(2)]
+//	reply  = [ver(1) type(1) job(2) phase(1) weight(2) fmt(1) guard(1)
+//	          round(1) adds(8) retransmits(8) completions(8) quotaDrops(8)
+//	          schedDefers(8) outstanding(8) cacheHits(8) cacheBytes(8)]
+//	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)]
 //	evict  = [ver(1) type(1) job(2)]
-//	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2)]
+//	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2) fmt(1)
+//	          guard(1) round(1)]
 //
-// The admit request names the tenant's scheduler weight, and every ack
-// echoes the job's live weight next to its incarnation epoch — a
-// successful admit's ack is the operator's receipt for the weight the
-// scheduler will actually enforce (a requested 0 comes back as the
-// clamped 1).
+// W is the job's negotiated value width: 4 bytes under the f32 profile, 2
+// under f16/bf16 — an ADD whose length disagrees with its job's profile is
+// rejected as malformed. The admit request names the tenant's scheduler
+// weight and numeric profile (the fmt/guard/round octets), and every ack
+// echoes the job's live weight and profile next to its incarnation epoch —
+// a successful admit's ack is the operator's receipt for what the switch
+// will actually enforce (a requested weight 0 comes back as the clamped
+// 1). Decoders return the profile octets exactly as carried; validation is
+// the admission path's job, so a decode/encode round trip is byte-exact
+// even for frames the switch would refuse.
 //
 // A batch frames complete messages (each with its own version octet); a
 // batch framed inside a batch is rejected (ErrNestedBatch), so decoding
@@ -153,9 +188,10 @@
 //
 // The v2 layouts are versioned against v1, not against each other: they
 // evolve with the repository (this revision widened the stats reply, the
-// admit request and the ack with the scheduler's weight fields), and
-// peers are expected to be built from the same commit — mixed-commit
-// deployments are not supported.
+// admit request and the ack with the numeric-profile octets, after the
+// previous revision added the scheduler's weight fields), and peers are
+// expected to be built from the same commit — mixed-commit deployments are
+// not supported.
 //
 // # Sharded switch
 //

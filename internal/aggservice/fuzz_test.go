@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"fpisa/internal/core"
 )
 
 // FuzzDecodeBatch fuzzes the framing decoder: it must never panic, never
@@ -58,18 +60,22 @@ func FuzzDecodeBatch(f *testing.F) {
 // truncation with ErrTruncated, and round-trip every accepted reply.
 func FuzzDecodeStatsReply(f *testing.F) {
 	valid := encodeStatsReply(3, JobStats{
-		Phase: PhaseAdmitted, Weight: 4, Adds: 1, Retransmits: 2, Completions: 3,
+		Phase: PhaseAdmitted, Weight: 4,
+		Profile: core.NumericProfile{Format: core.FormatBF16, Guard: 2, Rounding: core.RoundingRNE},
+		Adds:    1, Retransmits: 2, Completions: 3,
 		QuotaDrops: 4, SchedDefers: 9, Outstanding: 5, CacheHits: 6, CacheBytes: 7,
 	})
 	f.Add(valid)
-	f.Add(valid[:10])                                                                 // truncated counters
-	f.Add(valid[:4+1+7*8])                                                            // the pre-scheduler width
-	f.Add(append(append([]byte(nil), valid...), 0xaa))                                // trailing byte
-	f.Add([]byte{WireVersion, MsgStatsReply})                                         // header only
-	f.Add([]byte{MsgResult, 0, 0, 0})                                                 // legacy framing
-	f.Add(append([]byte(nil), valid[:4]...))                                          // fields missing entirely
-	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }()) // bad phase
-	f.Add(encodeStatsReply(0, JobStats{Weight: MaxWeight, SchedDefers: 1 << 40}))     // extreme scheduler fields
+	f.Add(valid[:10])                                                                    // truncated counters
+	f.Add(valid[:4+1+2+8*8])                                                             // the pre-profile width
+	f.Add(valid[:4+1+7*8])                                                               // the pre-scheduler width
+	f.Add(append(append([]byte(nil), valid...), 0xaa))                                   // trailing byte
+	f.Add([]byte{WireVersion, MsgStatsReply})                                            // header only
+	f.Add([]byte{MsgResult, 0, 0, 0})                                                    // legacy framing
+	f.Add(append([]byte(nil), valid[:4]...))                                             // fields missing entirely
+	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }())    // bad phase
+	f.Add(func() []byte { p := append([]byte(nil), valid...); p[7] = 0xEE; return p }()) // junk format octet: carried, not clamped
+	f.Add(encodeStatsReply(0, JobStats{Weight: MaxWeight, SchedDefers: 1 << 40}))        // extreme scheduler fields
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		job, st, err := DecodeStatsReply(pkt)
@@ -91,20 +97,24 @@ func FuzzDecodeStatsReply(f *testing.F) {
 
 // FuzzDecodeJobAck fuzzes the lifecycle ack codec with the same
 // invariants: no panics, truncation identified, accepted acks round-trip.
-// The ack was widened to carry the scheduler weight, so the seeds cover
-// both the weight field and the pre-widening (now truncated) length.
+// The ack was widened twice — first for the scheduler weight, then for the
+// echoed numeric profile — so the seeds cover both prior (now truncated)
+// layouts alongside the current one.
 func FuzzDecodeJobAck(f *testing.F) {
+	rne := core.NumericProfile{Format: core.FormatF16, Guard: 3, Rounding: core.RoundingRNE}
 	f.Add(EncodeJobAck(1, AckAdmitted, 0, 1))
-	f.Add(EncodeJobAck(65535, AckErrDisabled, 255, MaxWeight))
-	f.Add(EncodeJobAck(7, AckBackpressure, 3, 4))
+	f.Add(EncodeJobAckProfile(65535, AckErrDisabled, 255, MaxWeight, rne))
+	f.Add(EncodeJobAckProfile(7, AckBackpressure, 3, 4, core.NumericProfile{Format: core.FormatBF16}))
+	f.Add(EncodeJobAckProfile(2, AckErrBadProfile, 0, 1, core.NumericProfile{Format: 0xFF, Guard: 0xFF, Rounding: 0xFF})) // junk octets: carried, not clamped
 	f.Add(EncodeJobAck(0, AckEvicted, 1, 0)[:3])
-	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:6]) // the old 6-byte layout
-	f.Add(append(EncodeJobAck(0, AckDraining, 2, 1), 1, 2))
-	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200, 0, 0, 0}) // status out of range
-	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                         // legacy framing
+	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:6]) // the pre-weight 6-byte layout
+	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:8]) // the pre-profile 8-byte layout
+	f.Add(append(EncodeJobAckProfile(0, AckDraining, 2, 1, rne), 1, 2))
+	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200, 0, 0, 0, 0, 0, 0}) // status out of range
+	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                                  // legacy framing
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
-		job, status, epoch, weight, err := DecodeJobAck(pkt)
+		job, status, epoch, weight, prof, err := DecodeJobAckProfile(pkt)
 		if err != nil {
 			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAck &&
 				len(pkt) < jobAckBytes && !errors.Is(err, ErrTruncated) {
@@ -112,7 +122,7 @@ func FuzzDecodeJobAck(f *testing.F) {
 			}
 			return
 		}
-		if re := EncodeJobAck(job, status, epoch, weight); !bytes.Equal(re, pkt) {
+		if re := EncodeJobAckProfile(job, status, epoch, weight, prof); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 		if status.Err() == nil && status != AckAdmitted && status != AckEvicting {
@@ -121,23 +131,29 @@ func FuzzDecodeJobAck(f *testing.F) {
 	})
 }
 
-// FuzzDecodeJobAdmit fuzzes the weight-carrying admit codec: no panics,
+// FuzzDecodeJobAdmit fuzzes the profile-carrying admit codec: no panics,
 // truncation identified as ErrTruncated, every accepted frame round-trips
-// byte for byte (the decoder must NOT clamp — that is the admission
-// path's job, or the round trip would lie about what rode the wire).
+// byte for byte (the decoder must NOT clamp or validate — that is the
+// admission path's job, or the round trip would lie about what rode the
+// wire; an invalid profile must survive decoding so the switch can refuse
+// it with AckErrBadProfile).
 func FuzzDecodeJobAdmit(f *testing.F) {
 	f.Add(EncodeJobAdmit(0))
 	f.Add(EncodeJobAdmitWeight(1, 4))
-	f.Add(EncodeJobAdmitWeight(65535, MaxWeight))
-	f.Add(EncodeJobAdmitWeight(2, 0))   // weight 0: carried, clamped later
-	f.Add(EncodeJobAdmit(3)[:4])        // the old weightless layout
-	f.Add(EncodeJobAdmit(0)[:1])        // short v2
-	f.Add(append(EncodeJobAdmit(0), 7)) // trailing byte
-	f.Add(EncodeJobEvict(1))            // wrong type
-	f.Add([]byte{MsgAdd, 0, 0, 0})      // legacy framing
+	f.Add(EncodeJobAdmitProfile(65535, MaxWeight,
+		core.NumericProfile{Format: core.FormatBF16, Guard: 4, Rounding: core.RoundingRNE}))
+	f.Add(EncodeJobAdmitProfile(5, 1, core.NumericProfile{Format: core.FormatF16}))
+	f.Add(EncodeJobAdmitProfile(6, 1, core.NumericProfile{Format: 0x7F, Guard: 0xFF, Rounding: 9})) // invalid: carried, refused later
+	f.Add(EncodeJobAdmitWeight(2, 0))                                                               // weight 0: carried, clamped later
+	f.Add(EncodeJobAdmit(3)[:4])                                                                    // the old weightless layout
+	f.Add(EncodeJobAdmit(3)[:6])                                                                    // the pre-profile layout
+	f.Add(EncodeJobAdmit(0)[:1])                                                                    // short v2
+	f.Add(append(EncodeJobAdmit(0), 7))                                                             // trailing byte
+	f.Add(EncodeJobEvict(1))                                                                        // wrong type
+	f.Add([]byte{MsgAdd, 0, 0, 0})                                                                  // legacy framing
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
-		job, weight, err := DecodeJobAdmit(pkt)
+		job, weight, prof, err := DecodeJobAdmitProfile(pkt)
 		if err != nil {
 			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAdmit &&
 				len(pkt) < jobAdmitBytes && !errors.Is(err, ErrTruncated) {
@@ -148,7 +164,7 @@ func FuzzDecodeJobAdmit(f *testing.F) {
 		if len(pkt) != jobAdmitBytes {
 			t.Fatalf("accepted a %d-byte admit", len(pkt))
 		}
-		if re := EncodeJobAdmitWeight(job, weight); !bytes.Equal(re, pkt) {
+		if re := EncodeJobAdmitProfile(job, weight, prof); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 	})

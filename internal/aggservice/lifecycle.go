@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"fpisa/internal/core"
 	"fpisa/internal/transport"
 )
 
@@ -46,6 +47,11 @@ var (
 	// ErrBadWeight marks an admit with a scheduler weight outside what the
 	// 16-bit wire field carries.
 	ErrBadWeight = errors.New("aggservice: scheduler weight outside [0, MaxWeight]")
+	// ErrBadProfile marks an admit whose numeric profile does not validate:
+	// an unknown format or rounding octet, guard bits that leave the
+	// mantissa register no headroom (Headroom() < 1), or
+	// round-to-nearest-even without a guard bit to round with.
+	ErrBadProfile = errors.New("aggservice: invalid numeric profile")
 	// ErrBackpressure is what AckBackpressure maps to: the scheduler
 	// deferred a new-chunk bind because the job is over its deficit while
 	// other tenants hold unspent budget. It is transient by construction —
@@ -138,6 +144,9 @@ const (
 	// adaptive batch off and recovers the chunk by retransmit once the
 	// scheduler round turns over.
 	AckBackpressure
+	// AckErrBadProfile: the admit carried a numeric profile that does not
+	// validate (unknown octet, no headroom, or RNE without guard bits).
+	AckErrBadProfile
 )
 
 func (a AckStatus) String() string {
@@ -164,6 +173,8 @@ func (a AckStatus) String() string {
 		return "error: lifecycle disabled"
 	case AckBackpressure:
 		return "backpressure"
+	case AckErrBadProfile:
+		return "error: bad numeric profile"
 	}
 	return fmt.Sprintf("AckStatus(%d)", uint8(a))
 }
@@ -192,6 +203,8 @@ func (a AckStatus) Err() error {
 		return ErrLifecycleDisabled
 	case AckBackpressure:
 		return ErrBackpressure
+	case AckErrBadProfile:
+		return ErrBadProfile
 	}
 	return fmt.Errorf("aggservice: unknown ack status %d", uint8(a))
 }
@@ -201,34 +214,51 @@ func (a AckStatus) Err() error {
 func EncodeJobAdmit(job int) []byte { return EncodeJobAdmitWeight(job, 1) }
 
 // EncodeJobAdmitWeight builds an operator request to admit job with the
-// given deficit-round-robin scheduler weight. The switch clamps weight 0
-// to 1 (the ack reveals the clamp: it echoes the weight actually applied).
+// given deficit-round-robin scheduler weight and the default (f32) numeric
+// profile. The switch clamps weight 0 to 1 (the ack reveals the clamp: it
+// echoes the weight actually applied).
 func EncodeJobAdmitWeight(job, weight int) []byte {
+	return EncodeJobAdmitProfile(job, weight, core.DefaultProfile)
+}
+
+// EncodeJobAdmitProfile builds an operator request to admit job with a
+// scheduler weight and a numeric profile. The switch validates the profile
+// at admission (AckErrBadProfile on refusal) and echoes the applied profile
+// in the ack, so the operator learns exactly what arithmetic the job got.
+func EncodeJobAdmitProfile(job, weight int, prof core.NumericProfile) []byte {
 	pkt := make([]byte, jobAdmitBytes)
 	pkt[0] = WireVersion
 	pkt[1] = MsgJobAdmit
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	binary.BigEndian.PutUint16(pkt[4:], uint16(weight))
+	putProfile(pkt[6:], prof)
 	return pkt
 }
 
-// DecodeJobAdmit parses a MsgJobAdmit. Safe on arbitrary input: truncation
-// returns a wire error wrapping ErrTruncated, oversized frames are
-// rejected. The weight is returned as carried — the admission path, not
-// the decoder, clamps 0 to 1, so a round trip is byte-exact.
+// DecodeJobAdmit parses a MsgJobAdmit, dropping the profile descriptor.
 func DecodeJobAdmit(pkt []byte) (job, weight int, err error) {
+	job, weight, _, err = DecodeJobAdmitProfile(pkt)
+	return job, weight, err
+}
+
+// DecodeJobAdmitProfile parses a MsgJobAdmit. Safe on arbitrary input:
+// truncation returns a wire error wrapping ErrTruncated, oversized frames
+// are rejected. The weight and profile are returned as carried — the
+// admission path, not the decoder, clamps weight 0 to 1 and validates the
+// profile, so a round trip is byte-exact.
+func DecodeJobAdmitProfile(pkt []byte) (job, weight int, prof core.NumericProfile, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
-		return 0, 0, fmt.Errorf("bad job admit: %w", terr)
+		return 0, 0, prof, fmt.Errorf("bad job admit: %w", terr)
 	} else if typ != MsgJobAdmit {
-		return 0, 0, fmt.Errorf("aggservice: bad job admit type")
+		return 0, 0, prof, fmt.Errorf("aggservice: bad job admit type")
 	}
 	if len(pkt) < jobAdmitBytes {
-		return 0, 0, fmt.Errorf("job admit %d of %d bytes: %w", len(pkt), jobAdmitBytes, ErrTruncated)
+		return 0, 0, prof, fmt.Errorf("job admit %d of %d bytes: %w", len(pkt), jobAdmitBytes, ErrTruncated)
 	}
 	if len(pkt) > jobAdmitBytes {
-		return 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job admit", len(pkt)-jobAdmitBytes)
+		return 0, 0, prof, fmt.Errorf("aggservice: %d trailing bytes after job admit", len(pkt)-jobAdmitBytes)
 	}
-	return int(binary.BigEndian.Uint16(pkt[2:])), int(binary.BigEndian.Uint16(pkt[4:])), nil
+	return int(binary.BigEndian.Uint16(pkt[2:])), int(binary.BigEndian.Uint16(pkt[4:])), getProfile(pkt[6:]), nil
 }
 
 // EncodeJobEvict builds an operator request to evict (drain) job.
@@ -244,8 +274,16 @@ func EncodeJobEvict(job int) []byte {
 // incarnation epoch octet — the value workers of a (re-)admitted job must
 // stamp into their ADDs (Worker.Epoch) — and its scheduler weight (the
 // weight an admit actually applied; 0 on notices where no live weight
-// exists, e.g. an evicted or unknown job).
+// exists, e.g. an evicted or unknown job), with the default (zero) numeric
+// profile descriptor.
 func EncodeJobAck(job int, status AckStatus, epoch uint8, weight int) []byte {
+	return EncodeJobAckProfile(job, status, epoch, weight, core.DefaultProfile)
+}
+
+// EncodeJobAckProfile builds a lifecycle status message that also echoes
+// the job's numeric profile — on a successful admit, the profile actually
+// applied, which the operator hands to the job's workers (Worker.Profile).
+func EncodeJobAckProfile(job int, status AckStatus, epoch uint8, weight int, prof core.NumericProfile) []byte {
 	pkt := make([]byte, jobAckBytes)
 	pkt[0] = WireVersion
 	pkt[1] = MsgJobAck
@@ -253,28 +291,37 @@ func EncodeJobAck(job int, status AckStatus, epoch uint8, weight int) []byte {
 	pkt[4] = uint8(status)
 	pkt[5] = epoch
 	binary.BigEndian.PutUint16(pkt[6:], uint16(weight))
+	putProfile(pkt[8:], prof)
 	return pkt
 }
 
-// DecodeJobAck parses a MsgJobAck. Like DecodeStatsReply it is safe on
-// arbitrary input: truncation returns a wire error wrapping ErrTruncated.
+// DecodeJobAck parses a MsgJobAck, dropping the profile descriptor.
 func DecodeJobAck(pkt []byte) (job int, status AckStatus, epoch uint8, weight int, err error) {
+	job, status, epoch, weight, _, err = DecodeJobAckProfile(pkt)
+	return job, status, epoch, weight, err
+}
+
+// DecodeJobAckProfile parses a MsgJobAck. Like DecodeStatsReply it is safe
+// on arbitrary input: truncation returns a wire error wrapping ErrTruncated.
+// The profile octets are returned as carried (never validated or clamped),
+// so a round trip is byte-exact.
+func DecodeJobAckProfile(pkt []byte) (job int, status AckStatus, epoch uint8, weight int, prof core.NumericProfile, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
-		return 0, 0, 0, 0, fmt.Errorf("bad job ack: %w", terr)
+		return 0, 0, 0, 0, prof, fmt.Errorf("bad job ack: %w", terr)
 	} else if typ != MsgJobAck {
-		return 0, 0, 0, 0, fmt.Errorf("aggservice: bad job ack type")
+		return 0, 0, 0, 0, prof, fmt.Errorf("aggservice: bad job ack type")
 	}
 	if len(pkt) < jobAckBytes {
-		return 0, 0, 0, 0, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
+		return 0, 0, 0, 0, prof, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
 	}
 	if len(pkt) > jobAckBytes {
-		return 0, 0, 0, 0, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
+		return 0, 0, 0, 0, prof, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
 	}
 	status = AckStatus(pkt[4])
-	if status > AckBackpressure {
-		return 0, 0, 0, 0, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
+	if status > AckErrBadProfile {
+		return 0, 0, 0, 0, prof, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
 	}
-	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], int(binary.BigEndian.Uint16(pkt[6:])), nil
+	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], int(binary.BigEndian.Uint16(pkt[6:])), getProfile(pkt[8:]), nil
 }
 
 // handleLifecycle serves a wire MsgJobAdmit/MsgJobEvict. Only the
@@ -287,9 +334,10 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 		return
 	}
 	var job, weight int
+	var prof core.NumericProfile
 	if typ == MsgJobAdmit {
 		var derr error
-		if job, weight, derr = DecodeJobAdmit(pkt); derr != nil {
+		if job, weight, prof, derr = DecodeJobAdmitProfile(pkt); derr != nil {
 			s.rejMalformed.Add(1)
 			return
 		}
@@ -301,12 +349,13 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 		job = int(binary.BigEndian.Uint16(pkt[2:]))
 	}
 	ack := func(status AckStatus) {
-		// The echoed epoch and weight are the incarnation the request
-		// landed on: for a successful admit that is the NEW incarnation's
-		// octet — which the operator hands to the job's workers — and the
-		// weight the scheduler actually applied (a requested 0 comes back
-		// as the clamped 1, so the client can detect the clamp).
-		out.Unicast(worker, EncodeJobAck(job, status, s.JobEpoch(job), s.JobWeight(job)))
+		// The echoed epoch, weight and profile are the incarnation the
+		// request landed on: for a successful admit that is the NEW
+		// incarnation's octet — which the operator hands to the job's
+		// workers — plus the weight and profile actually applied (a
+		// requested weight 0 comes back as the clamped 1, so the client
+		// can detect the clamp).
+		out.Unicast(worker, EncodeJobAckProfile(job, status, s.JobEpoch(job), s.JobWeight(job), s.JobProfile(job)))
 	}
 	if !s.cfg.Dynamic {
 		ack(AckErrDisabled)
@@ -315,7 +364,7 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 	var err error
 	ok := AckAdmitted
 	if typ == MsgJobAdmit {
-		err = s.AdmitWeighted(job, weight)
+		err = s.AdmitProfile(job, weight, prof)
 	} else {
 		ok = AckEvicting
 		err = s.Evict(job)
@@ -333,6 +382,8 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 		ack(AckErrDraining)
 	case errors.Is(err, ErrNoCapacity):
 		ack(AckErrNoCapacity)
+	case errors.Is(err, ErrBadProfile):
+		ack(AckErrBadProfile)
 	default:
 		ack(AckErrUnknownJob)
 	}
@@ -344,11 +395,27 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 func (s *Switch) Admit(job int) error { return s.AdmitWeighted(job, 1) }
 
 // AdmitWeighted brings a vacant job id live with the given deficit-round-
-// robin scheduler weight: under contention the job's new-chunk binds get
-// weight shares of pipeline time relative to the other admitted tenants.
-// A weight of 0 (the wire's "unspecified") is clamped to 1; weights above
-// MaxWeight are refused with ErrBadWeight.
+// robin scheduler weight and the default (f32, truncating) numeric profile.
 func (s *Switch) AdmitWeighted(job, weight int) error {
+	return s.AdmitProfile(job, weight, core.DefaultProfile)
+}
+
+// AdmitProfile brings a vacant job id live with the given deficit-round-
+// robin scheduler weight and numeric profile: under contention the job's
+// new-chunk binds get weight shares of pipeline time relative to the other
+// admitted tenants, and every value the job aggregates runs through the
+// arithmetic the profile names. A weight of 0 (the wire's "unspecified") is
+// clamped to 1; weights above MaxWeight are refused with ErrBadWeight; a
+// profile that does not validate (unknown octet, Headroom() < 1, or RNE
+// without guard bits) is refused with ErrBadProfile before any state moves.
+//
+// The profile's compiled aggregator is fetched from the switch's per-profile
+// program cache — distinct profiles compile once per switch, and every shard
+// of every job sharing a profile shares the compiled program, replicated
+// into per-range state. The banks are installed under each shard's lock
+// BEFORE the range and phase publish, so the hot path can never observe an
+// admitted job without its arithmetic.
+func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
 	if job < 0 || job >= s.ncap {
 		return fmt.Errorf("%w: job %d of %d", ErrUnknownJob, job, s.ncap)
 	}
@@ -357,6 +424,9 @@ func (s *Switch) AdmitWeighted(job, weight int) error {
 	}
 	if weight == 0 {
 		weight = 1
+	}
+	if err := prof.Validate(); err != nil {
+		return fmt.Errorf("%w: job %d: %v", ErrBadProfile, job, err)
 	}
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
@@ -370,10 +440,24 @@ func (s *Switch) AdmitWeighted(job, weight int) error {
 	if len(s.freeRanges) == 0 {
 		return fmt.Errorf("%w: job %d", ErrNoCapacity, job)
 	}
+	proto, err := s.getProtoLocked(prof)
+	if err != nil {
+		return fmt.Errorf("%w: job %d: %v", ErrBadProfile, job, err)
+	}
 	ri := s.freeRanges[len(s.freeRanges)-1]
 	s.freeRanges = s.freeRanges[:len(s.freeRanges)-1]
 	js.reset()
 	js.weight.Store(int32(weight))
+	js.profBits.Store(prof.Pack())
+	// Install the range's aggregator banks before the range publishes: the
+	// hot path loads phase, then the profile, then the range, and
+	// revalidates the epoch under the shard lock — so once it can see the
+	// range it is guaranteed to find the bank behind it.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.agg[ri] = proto.Replicate()
+		sh.mu.Unlock()
+	}
 	// Publish range before phase: the hot path loads phase first, so it
 	// never sees an admitted job without its range.
 	js.rangeIdx.Store(int32(ri))
@@ -471,16 +555,20 @@ func (s *Switch) release(job int) {
 		}
 		s.freeRanges = append(s.freeRanges, ri)
 	}
-	// Return the job's unspent scheduler deficit on every shard: a
-	// released tenant must neither keep blocking the current round for the
-	// tenants still running nor seed its id's next incarnation with
-	// leftover budget. Safe against racing binds — the epoch moved above,
+	// Return the job's unspent scheduler deficit on every shard, and tear
+	// down the range's aggregator banks — the compiled program stays cached
+	// on the switch (keyed by profile), only this incarnation's per-slot
+	// state is dropped. Safe against racing binds — the epoch moved above,
 	// so no ADD for this incarnation can charge after this pass.
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.sched.forfeit(job)
+		if ri >= 0 {
+			sh.agg[ri] = nil
+		}
 		sh.mu.Unlock()
 	}
+	js.profBits.Store(0)
 	js.weight.Store(0)
 	js.outstanding.Store(0)
 	js.cacheBytes.Store(0)
@@ -520,6 +608,16 @@ func (s *Switch) JobEpoch(job int) uint8 {
 		return 0
 	}
 	return uint8(s.jobs[job].epoch.Load())
+}
+
+// JobProfile reports a job id's current numeric profile: the profile the
+// admission applied for live jobs, the default (f32) profile for vacant ids
+// and ids outside the capacity.
+func (s *Switch) JobProfile(job int) core.NumericProfile {
+	if job < 0 || job >= s.ncap {
+		return core.DefaultProfile
+	}
+	return core.UnpackProfile(s.jobs[job].profBits.Load())
 }
 
 // JobWeight reports a job id's current deficit-round-robin scheduler

@@ -154,7 +154,7 @@ func TestAddFailureLeavesSlotRetransmittable(t *testing.T) {
 		t.Fatal(err)
 	}
 	sh := sw.shards[0]
-	sh.pa = &flakyAgg{aggregator: sh.pa, failNext: 1}
+	sh.agg[0] = &flakyAgg{aggregator: sh.agg[0], failNext: 1}
 
 	pkt := EncodeAdd(0, 0, []float32{1.5})
 	if ds := sw.Handle(0, pkt); ds != nil {

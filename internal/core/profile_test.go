@@ -1,0 +1,335 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fpisa/internal/pisa"
+)
+
+func TestProfileValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    NumericProfile
+		ok   bool
+	}{
+		{"default", NumericProfile{}, true},
+		{"f32-rne-g2", NumericProfile{Format: FormatF32, Guard: 2, Rounding: RoundingRNE}, true},
+		{"bf16-trunc", NumericProfile{Format: FormatBF16}, true},
+		{"f16-rne-g1", NumericProfile{Format: FormatF16, Guard: 1, Rounding: RoundingRNE}, true},
+		// f32 explicit mantissa is 24 bits; 7 guard bits leave headroom 0.
+		{"guard-zeroes-headroom", NumericProfile{Format: FormatF32, Guard: 7}, false},
+		{"guard-overflows-register", NumericProfile{Format: FormatBF16, Guard: 40}, false},
+		{"rne-without-guard", NumericProfile{Format: FormatF32, Rounding: RoundingRNE}, false},
+		{"unknown-format", NumericProfile{Format: 9}, false},
+		{"unknown-rounding", NumericProfile{Rounding: 7}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestProfileHeadroom(t *testing.T) {
+	// §3.3: FP32 in 32-bit registers has 7 spare bits; guard bits eat them
+	// one-for-one. BF16's 8-bit explicit mantissa leaves 23.
+	if got := (NumericProfile{}).Headroom(); got != 7 {
+		t.Fatalf("default profile headroom = %d, want 7", got)
+	}
+	if got := (NumericProfile{Guard: 4}).Headroom(); got != 3 {
+		t.Fatalf("f32/g4 headroom = %d, want 3", got)
+	}
+	if got := (NumericProfile{Format: FormatBF16}).Headroom(); got != 23 {
+		t.Fatalf("bf16 headroom = %d, want 23", got)
+	}
+}
+
+func TestProfileStringParseRoundTrip(t *testing.T) {
+	profiles := []NumericProfile{
+		{},
+		{Format: FormatF32, Guard: 2, Rounding: RoundingRNE},
+		{Format: FormatBF16},
+		{Format: FormatBF16, Guard: 3, Rounding: RoundingRNE},
+		{Format: FormatF16, Guard: 1, Rounding: RoundingRNE},
+	}
+	for _, p := range profiles {
+		got, err := ParseProfile(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProfile(%q) = %+v, %v; want %+v", p.String(), got, err, p)
+		}
+	}
+	// Spellings beyond the canonical one.
+	if p, err := ParseProfile("FP32/g2/RNE"); err != nil || (p != NumericProfile{Guard: 2, Rounding: RoundingRNE}) {
+		t.Errorf("ParseProfile(FP32/g2/RNE) = %+v, %v", p, err)
+	}
+	if p, err := ParseProfile("bf16"); err != nil || (p != NumericProfile{Format: FormatBF16}) {
+		t.Errorf("ParseProfile(bf16) = %+v, %v", p, err)
+	}
+	for _, bad := range []string{"", "f8", "f32/banana", "f32/g", "f32/g-1", "f32/rne", "f32/g9"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q) accepted", bad)
+		}
+	}
+}
+
+func TestProfilePackUnpack(t *testing.T) {
+	for _, p := range []NumericProfile{
+		{},
+		{Format: FormatF16, Guard: 255, Rounding: RoundingRNE},
+		{Format: FormatBF16, Guard: 7},
+	} {
+		if got := UnpackProfile(p.Pack()); got != p {
+			t.Errorf("Unpack(Pack(%+v)) = %+v", p, got)
+		}
+	}
+}
+
+func TestProfileValueRoundTrip(t *testing.T) {
+	// Every representable wire value must survive decode→encode exactly;
+	// that identity is what makes host-side reference arithmetic bit-exact.
+	profiles := []NumericProfile{
+		{},
+		{Format: FormatF16},
+		{Format: FormatF16, Guard: 1, Rounding: RoundingRNE},
+		{Format: FormatBF16},
+		{Format: FormatBF16, Guard: 2, Rounding: RoundingRNE},
+	}
+	for _, p := range profiles {
+		if p.Format == FormatF32 {
+			for _, v := range []float32{0, 1, -2.5, 3.14159e-7, 6.5e12} {
+				if got := p.DecodeValue(p.EncodeValue(v)); got != v {
+					t.Errorf("%v: f32 round trip %v -> %v", p, v, got)
+				}
+			}
+			continue
+		}
+		for u := 0; u <= 0xFFFF; u++ {
+			f := p.DecodeValue(uint32(u))
+			if f != f { // NaN: re-encode must stay NaN, payload may shrink
+				back := p.DecodeValue(p.EncodeValue(f))
+				if back == back {
+					t.Fatalf("%v: NaN %#04x re-encoded to non-NaN", p, u)
+				}
+				continue
+			}
+			if got := p.EncodeValue(f); got != uint32(u) {
+				t.Fatalf("%v: wire %#04x -> %v -> %#04x", p, u, f, got)
+			}
+		}
+	}
+}
+
+func TestProfileWirePutGet(t *testing.T) {
+	buf := make([]byte, 4)
+	p16 := NumericProfile{Format: FormatBF16}
+	if p16.ValueBytes() != 2 {
+		t.Fatalf("bf16 ValueBytes = %d", p16.ValueBytes())
+	}
+	p16.PutValue(buf, 1.5)
+	if got := p16.GetValue(buf); got != 1.5 {
+		t.Fatalf("bf16 wire round trip: %v", got)
+	}
+	p32 := NumericProfile{}
+	if p32.ValueBytes() != 4 {
+		t.Fatalf("f32 ValueBytes = %d", p32.ValueBytes())
+	}
+	p32.PutValue(buf, -0.3)
+	if got := p32.GetValue(buf); got != -0.3 {
+		t.Fatalf("f32 wire round trip: %v", got)
+	}
+}
+
+// TestProfileAggregatorDefaultMatchesPipeline pins the refactor invariant:
+// the default profile's aggregator IS the compiled pipeline, bit for bit.
+func TestProfileAggregatorDefaultMatchesPipeline(t *testing.T) {
+	pa, err := NewProfileAggregator(DefaultProfile, ModeApprox, 2, 4, pisa.ExtendedArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pa.Compiled() {
+		t.Fatal("default profile did not take the compiled path")
+	}
+	ref, err := NewPipelineAggregator(DefaultFP32(ModeApprox), 2, 4, pisa.ExtendedArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 64; n++ {
+		idx := rng.Intn(4)
+		vals := []float32{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+		got, err1 := pa.Add(idx, vals)
+		want, err2 := ref.Add(idx, vals)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for k := range want.Values {
+			if math.Float32bits(got.Values[k]) != math.Float32bits(want.Values[k]) {
+				t.Fatalf("add %d slot %d module %d: %v != %v", n, idx, k, got.Values[k], want.Values[k])
+			}
+		}
+	}
+	for idx := 0; idx < 4; idx++ {
+		got, _ := pa.ReadReset(idx)
+		want, _ := ref.ReadReset(idx)
+		for k := range want.Values {
+			if math.Float32bits(got.Values[k]) != math.Float32bits(want.Values[k]) {
+				t.Fatalf("readreset slot %d: %v != %v", idx, got.Values, want.Values)
+			}
+		}
+	}
+}
+
+// TestProfileAggregatorModelMatchesAccumulator pins the model path against a
+// hand-driven Accumulator fed the same narrowed wire bits.
+func TestProfileAggregatorModelMatchesAccumulator(t *testing.T) {
+	prof := NumericProfile{Format: FormatBF16}
+	const modules, slots = 3, 4
+	pa, err := NewProfileAggregator(prof, ModeApprox, modules, slots, pisa.BaseArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Compiled() {
+		t.Fatal("non-default profile took the compiled path")
+	}
+	ref := MustNewAccumulator(prof.Config(ModeApprox), modules*slots)
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n < 200; n++ {
+		idx := rng.Intn(slots)
+		vals := make([]float32, modules)
+		for k := range vals {
+			vals[k] = float32(rng.NormFloat64()) * float32(math.Pow(2, float64(rng.Intn(8)-4)))
+		}
+		res, err := pa.Add(idx, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range vals {
+			if err := ref.AddBits(idx*modules+k, prof.EncodeValue(v)); err != nil {
+				t.Fatal(err)
+			}
+			want := ref.ReadFloat32(idx*modules + k)
+			if math.Float32bits(res.Values[k]) != math.Float32bits(want) {
+				t.Fatalf("add %d slot %d module %d: got %v want %v", n, idx, k, res.Values[k], want)
+			}
+		}
+	}
+	// ReadReset drains both the sums and the counter.
+	res, err := pa.ReadReset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count == 0 {
+		t.Fatal("expected a nonzero count before reset")
+	}
+	res2, _ := pa.ReadReset(1)
+	if res2.Count != 0 {
+		t.Fatalf("count %d after reset", res2.Count)
+	}
+	for _, v := range res2.Values {
+		if v != 0 {
+			t.Fatalf("values %v after reset", res2.Values)
+		}
+	}
+}
+
+func TestProfileAggregatorReplicateIndependence(t *testing.T) {
+	for _, prof := range []NumericProfile{DefaultProfile, {Format: FormatBF16}} {
+		proto, err := NewProfileAggregator(prof, ModeApprox, 1, 2, pisa.BaseArch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := proto.Replicate(), proto.Replicate()
+		if _, err := a.Add(0, []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.ReadReset(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rb.Values[0] != 0 || rb.Count != 0 {
+			t.Fatalf("%v: replica b saw replica a's state: %+v", prof, rb)
+		}
+		ra, _ := a.ReadReset(0)
+		if ra.Values[0] != 1 {
+			t.Fatalf("%v: replica a lost its state: %+v", prof, ra)
+		}
+	}
+}
+
+// medianProfileError drives one profile over deterministic workloads and
+// returns the median relative error of the aggregated sums against an exact
+// float64 reference over the float32 inputs.
+func medianProfileError(t *testing.T, prof NumericProfile, seed int64) float64 {
+	t.Helper()
+	const slots, addsPerSlot = 48, 192
+	pa, err := NewProfileAggregator(prof, ModeFull, 1, slots, pisa.ExtendedArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	errs := make([]float64, 0, slots)
+	for s := 0; s < slots; s++ {
+		ref := 0.0
+		for n := 0; n < addsPerSlot; n++ {
+			// Gradient-like values with spread exponents, forcing the
+			// alignment shifts where guard bits matter (Appendix A.1).
+			v := float32(rng.NormFloat64() * math.Pow(2, float64(rng.Intn(10)-5)))
+			ref += float64(v)
+			if _, err := pa.Add(s, []float32{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := pa.ReadReset(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		denom := math.Abs(ref)
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		errs = append(errs, math.Abs(float64(res.Values[0])-ref)/denom)
+	}
+	sort.Float64s(errs)
+	return errs[len(errs)/2]
+}
+
+// TestGuardBitsBeatTruncation is the promoted BenchmarkAblationGuardBits: a
+// tier-1 assertion that for every supported format, the RNE + guard-bits
+// profile aggregates strictly closer to the exact float64 reference than the
+// plain truncating profile (Appendix A.1's ablation).
+func TestGuardBitsBeatTruncation(t *testing.T) {
+	cases := []struct {
+		name       string
+		trunc, rne NumericProfile
+	}{
+		{
+			"f32",
+			NumericProfile{Format: FormatF32},
+			NumericProfile{Format: FormatF32, Guard: 4, Rounding: RoundingRNE},
+		},
+		{
+			"f16",
+			NumericProfile{Format: FormatF16},
+			NumericProfile{Format: FormatF16, Guard: 4, Rounding: RoundingRNE},
+		},
+		{
+			"bf16",
+			NumericProfile{Format: FormatBF16},
+			NumericProfile{Format: FormatBF16, Guard: 4, Rounding: RoundingRNE},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Same seed: both profiles see identical input streams.
+			errTrunc := medianProfileError(t, tc.trunc, 1234)
+			errRNE := medianProfileError(t, tc.rne, 1234)
+			if errRNE >= errTrunc {
+				t.Fatalf("RNE+guard median error %.3e not better than truncation %.3e",
+					errRNE, errTrunc)
+			}
+		})
+	}
+}

@@ -24,9 +24,16 @@ func F32ToBF16(x float32) BFloat16 {
 }
 
 // F32ToBF16Truncate converts with simple truncation (round toward zero),
-// the cheap conversion some accelerators use.
+// the cheap conversion some accelerators use. Like F32ToBF16 it must keep a
+// NaN a NaN: a payload living only in the low 16 bits would otherwise
+// truncate to the +Inf pattern 0x7F80.
 func F32ToBF16Truncate(x float32) BFloat16 {
-	return BFloat16(math.Float32bits(x) >> 16)
+	b := math.Float32bits(x)
+	out := uint16(b >> 16)
+	if b&0x7F800000 == 0x7F800000 && b&0x7FFFFF != 0 && out&0x7F == 0 {
+		out |= 1
+	}
+	return BFloat16(out)
 }
 
 // Float32 converts a bfloat16 to float32 exactly.

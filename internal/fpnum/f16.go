@@ -51,6 +51,41 @@ func F32ToF16(x float32) Float16 {
 	return Float16(sign | out)
 }
 
+// F32ToF16Truncate converts a float32 to binary16 with round-toward-zero:
+// excess fraction bits are dropped rather than rounded. Values beyond the
+// FP16 range truncate to the largest finite magnitude (truncation never
+// rounds up into Inf), and NaN payloads keep at least one set bit.
+func F32ToF16Truncate(x float32) Float16 {
+	b := math.Float32bits(x)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	if exp == 0xFF { // Inf or NaN
+		if frac != 0 {
+			m := uint16(frac >> 13)
+			if m == 0 {
+				m = 1 // keep NaN a NaN after truncating the payload
+			}
+			return Float16(sign | 0x7C00 | m)
+		}
+		return Float16(sign | 0x7C00)
+	}
+
+	e := exp - 127 + 15
+	if e >= 0x1F { // too large: round toward zero stops at max finite
+		return Float16(sign | 0x7BFF)
+	}
+	if e <= 0 { // subnormal or zero in FP16
+		if e < -10 {
+			return Float16(sign) // underflows to zero
+		}
+		m := frac | 0x800000 // make the implicit 1 explicit
+		return Float16(sign | uint16(m>>uint32(14-e)))
+	}
+	return Float16(sign | uint16(e)<<10 | uint16(frac>>13))
+}
+
 // Float32 converts a binary16 value to float32 exactly (every FP16 value is
 // representable in FP32).
 func (h Float16) Float32() float32 {
