@@ -571,6 +571,128 @@ func BenchmarkMultiJobSwitch(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeAggregation measures the hierarchical composition end to
+// end: 8 workers reducing through one flat switch vs the same 8 workers
+// split across 4 leaf switches feeding a spine (each chunk crosses two
+// pipeline levels and an extra fabric round trip). The flat/tree gap is
+// the per-level latency cost; the payoff the topology buys is fan-in — the
+// spine sees 4 ADDs per chunk instead of 8, which is what lets a fixed
+// switch port budget scale past one rack.
+func BenchmarkTreeAggregation(b *testing.B) {
+	const (
+		totalWorkers = 8
+		nLeaves      = 4
+		vecLen       = 4096
+	)
+	vecs := make([][]float32, totalWorkers)
+	for w := range vecs {
+		vecs[w] = make([]float32, vecLen)
+		for i := range vecs[w] {
+			vecs[w][i] = float32((w*31+i)%17) * 0.25
+		}
+	}
+	reduceAll := func(b *testing.B, fabs []transport.Fabric, perFab int, cfg aggservice.Config) {
+		var wg sync.WaitGroup
+		for f := range fabs {
+			for w := 0; w < perFab; w++ {
+				wg.Add(1)
+				go func(f, w int) {
+					defer wg.Done()
+					wk := aggservice.NewJobWorker(0, w, fabs[f], cfg)
+					wk.Timeout = 10 * time.Millisecond
+					wk.Retries = 10_000
+					if _, err := wk.Reduce(vecs[f*perFab+w]); err != nil {
+						b.Error(err)
+					}
+				}(f, w)
+			}
+		}
+		wg.Wait()
+	}
+
+	b.Run("flat-8worker", func(b *testing.B) {
+		cfg := aggservice.Config{Workers: totalWorkers, Pool: 64, Modules: 1, Shards: 4,
+			Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer() // one reduce per incarnation: rebuild, don't rewind
+			sw, err := aggservice.NewSwitch(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fab, err := transport.NewMemory(transport.MemoryConfig{
+				Workers: totalWorkers, BatchHandler: sw.HandleBatch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			reduceAll(b, []transport.Fabric{fab}, totalWorkers, cfg)
+			b.StopTimer()
+			fab.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(b.N)*vecLen/b.Elapsed().Seconds(), "chunks/s")
+	})
+	b.Run("tree-4leaf-1spine", func(b *testing.B) {
+		leafCfg := aggservice.Config{Workers: totalWorkers / nLeaves, Pool: 64, Modules: 1, Shards: 2,
+			Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+		spineCfg := aggservice.Config{Workers: nLeaves, Pool: 64, Modules: 1, Shards: 4,
+			Mode: core.ModeApprox, Arch: pisa.BaseArch()}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			spine, err := aggservice.NewSwitch(spineCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spineFab, err := transport.NewMemory(transport.MemoryConfig{
+				Workers: nLeaves, BatchHandler: spine.HandleBatch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			leaves := make([]*aggservice.Switch, nLeaves)
+			fabs := make([]transport.Fabric, nLeaves)
+			for li := 0; li < nLeaves; li++ {
+				li := li
+				fab, err := transport.NewMemory(transport.MemoryConfig{
+					Workers: leafCfg.Workers,
+					BatchHandler: func(w int, pkts [][]byte, out *transport.DeliveryList) {
+						leaves[li].HandleBatch(w, pkts, out)
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				fabs[li] = fab
+				cfg := leafCfg
+				cfg.Uplink = &aggservice.UplinkConfig{
+					Fabric: spineFab, LeafID: li, Leaves: nLeaves,
+					Control: aggservice.SwitchControl{Parent: spine},
+					Push:    fab,
+				}
+				if leaves[li], err = aggservice.NewSwitch(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			reduceAll(b, fabs, leafCfg.Workers, leafCfg)
+			b.StopTimer()
+			for _, l := range leaves {
+				l.Close()
+			}
+			spine.Close()
+			for _, f := range fabs {
+				f.(*transport.Memory).Close()
+			}
+			spineFab.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(b.N)*vecLen/b.Elapsed().Seconds(), "chunks/s")
+	})
+}
+
 // BenchmarkPipelineReplicaConstruction contrasts a full program compile
 // against stamping a replica from an existing pipeline — the cost that
 // makes per-shard replicas viable.

@@ -215,6 +215,7 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 	fmt.Fprintf(w, "%-22s %d\n", "slots outstanding", st.Outstanding)
 	fmt.Fprintf(w, "%-22s %d\n", "result-cache hits", st.CacheHits)
 	fmt.Fprintf(w, "%-22s %d\n", "result-cache bytes", st.CacheBytes)
+	fmt.Fprintf(w, "%-22s %d\n", "coalesced results", st.Coalesced)
 	return nil
 }
 

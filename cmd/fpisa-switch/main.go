@@ -32,7 +32,19 @@
 // (-shards) and the socket is drained by transport.ServeConn's reader
 // pool, so packets for different slots aggregate concurrently.
 //
+// Switches compose into aggregation trees: -parent host:port makes this
+// switch a LEAF that re-emits each completed chunk upward as an ADD to
+// the parent switch (an ordinary fpisa-switch whose -workers equals the
+// leaf count) and releases results to its own workers only when the
+// parent's aggregate returns. -leaf/-leaves name this switch's worker
+// port at the parent; admission is negotiated up the tree (the leaf's
+// initial jobs are admitted at the parent over the 0xFF observer frame
+// before the leaf starts serving, echoing the parent incarnation epoch
+// that fences every cross-level datagram). Both levels must run the same
+// -pool. See examples/tree for a full 2-level deployment.
+//
 //	fpisa-switch -addr 127.0.0.1:9099 -jobs 2 -workers 4 -pool 8 -shards 4 -quota 8 -dynamic -capacity 4
+//	fpisa-switch -addr 127.0.0.1:9100 -workers 3 -parent 127.0.0.1:9099 -leaf 0 -leaves 4
 package main
 
 import (
@@ -70,6 +82,9 @@ type options struct {
 	extended     bool
 	full         bool
 	statsEvery   time.Duration
+	parent       string
+	leaf         int
+	leaves       int
 }
 
 // parseOptions parses args (no program name) into options.
@@ -91,11 +106,17 @@ func parseOptions(args []string) (*options, error) {
 	fs.BoolVar(&o.extended, "extended", false, "enable the §4.2 hardware extensions")
 	fs.BoolVar(&o.full, "full", false, "full FPISA (needs -extended)")
 	fs.DurationVar(&o.statsEvery, "statsevery", 0, "log per-job stats at this interval (0 = off)")
+	fs.StringVar(&o.parent, "parent", "", "parent switch address: run as a LEAF forwarding completed chunks upward")
+	fs.IntVar(&o.leaf, "leaf", 0, "this leaf's index at the parent (its worker port, with -parent)")
+	fs.IntVar(&o.leaves, "leaves", 1, "total leaves feeding the parent (the parent's -workers, with -parent)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.parent != "" && (o.leaves < 1 || o.leaf < 0 || o.leaf >= o.leaves) {
+		return nil, fmt.Errorf("-leaf %d -leaves %d: the leaf index must name one of the parent's worker ports", o.leaf, o.leaves)
 	}
 	if *weights != "" {
 		for _, field := range strings.Split(*weights, ",") {
@@ -181,6 +202,43 @@ func main() {
 	if err != nil {
 		log.Fatalf("switch: %v", err)
 	}
+
+	udpAddr, err := net.ResolveUDPAddr("udp", o.addr)
+	if err != nil {
+		log.Fatalf("resolve: %v", err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer conn.Close()
+	// The socket comes up before the switch: a leaf's uplink pushes the
+	// parent's finals back down through this server, and admission for the
+	// initial jobs is negotiated at the parent during NewSwitch.
+	srv, err := transport.NewUDPServer(conn, cfg.Ports())
+	if err != nil {
+		log.Fatalf("switch: %v", err)
+	}
+	if o.parent != "" {
+		parentAddr, err := net.ResolveUDPAddr("udp", o.parent)
+		if err != nil {
+			log.Fatalf("resolve -parent: %v", err)
+		}
+		// The uplink dials one parent worker port per job: job j sends on
+		// port j*leaves+leaf, so the client fabric must address the whole
+		// provisioned job set across every sibling leaf.
+		upFab, err := transport.DialUDP(parentAddr, cfg.Ports()/cfg.Workers*o.leaves)
+		if err != nil {
+			log.Fatalf("dial -parent: %v", err)
+		}
+		defer upFab.Close()
+		cfg.Uplink = &aggservice.UplinkConfig{
+			Fabric: upFab, LeafID: o.leaf, Leaves: o.leaves,
+			Control: aggservice.WireControl{Addr: parentAddr},
+			Push:    srv,
+		}
+		log.Printf("leaf %d/%d: forwarding aggregates to parent %s", o.leaf, o.leaves, parentAddr)
+	}
 	sw, err := aggservice.NewSwitch(cfg)
 	if err != nil {
 		log.Fatalf("switch: %v", err)
@@ -199,15 +257,6 @@ func main() {
 			job, ev, st.Adds, st.Completions, st.CacheHits)
 	}
 
-	udpAddr, err := net.ResolveUDPAddr("udp", o.addr)
-	if err != nil {
-		log.Fatalf("resolve: %v", err)
-	}
-	conn, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		log.Fatalf("listen: %v", err)
-	}
-	defer conn.Close()
 	dyn := "static tenant set"
 	if cfg.Dynamic {
 		dyn = "dynamic admit/evict enabled"
@@ -232,9 +281,9 @@ func main() {
 					if st.Phase == aggservice.PhaseVacant && st.Adds == 0 {
 						continue
 					}
-					log.Printf("job %d (%s, weight %d): adds=%d retrans=%d chunks=%d quotaDrops=%d schedDefers=%d outstanding=%d cacheHits=%d cacheBytes=%d",
+					log.Printf("job %d (%s, weight %d): adds=%d retrans=%d chunks=%d quotaDrops=%d schedDefers=%d outstanding=%d cacheHits=%d cacheBytes=%d coalesced=%d",
 						j, st.Phase, st.Weight, st.Adds, st.Retransmits, st.Completions, st.QuotaDrops,
-						st.SchedDefers, st.Outstanding, st.CacheHits, st.CacheBytes)
+						st.SchedDefers, st.Outstanding, st.CacheHits, st.CacheBytes, st.Coalesced)
 				}
 				r := sw.Rejects()
 				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob+r.Draining+r.Backpressure > 0 {
@@ -245,7 +294,7 @@ func main() {
 		}()
 	}
 
-	if err := transport.ServeConn(conn, cfg.Ports(), sw.HandleBatch); err != nil {
+	if err := srv.Serve(sw.HandleBatch); err != nil {
 		log.Fatalf("fpisa-switch: %v", err)
 	}
 	log.Fatal("fpisa-switch: socket closed")

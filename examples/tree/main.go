@@ -1,0 +1,324 @@
+// Tree: a 2-level aggregation hierarchy over real UDP sockets — two leaf
+// switches (3 workers each) feeding one spine, the topology FPISA's
+// multi-rack deployments compose (§5 scale-out: rack switches aggregate
+// their hosts, the spine aggregates the racks).
+//
+// Each leaf runs the full switch pipeline on its own socket; a completed
+// chunk is not released to the leaf's workers but re-emitted UPWARD as an
+// ADD on the leaf's uplink (the leaf dials the spine exactly like a
+// worker), and only the spine's aggregate fans back down. The demo proves
+// the tree transparent: running in full-FPISA mode on a dyadic-grid
+// gradient (every partial sum exact in f32), the 6 workers' tree results
+// are BIT-IDENTICAL to one flat 6-worker switch reducing the same
+// vectors.
+//
+// The lifecycle is plumbed through the hierarchy. One reduce runs per job
+// incarnation (the slot pool's chunk clock is a stream, not a counter to
+// rewind), so between runs the operator recycles the job — evict, then
+// re-admit at the leaves, which negotiates the job back up the tree. The
+// centerpiece: an operator evicts the job at the SPINE mid-reduce, the
+// eviction propagates down the uplinks (epoch-matched lifecycle notices
+// bounce the leaves' pending aggregates, each leaf drains and frees its
+// range), the workers surface ErrJobEvicted, and after re-admission the
+// re-run again matches the flat switch bit for bit.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"fpisa/internal/aggservice"
+	"fpisa/internal/core"
+	"fpisa/internal/pisa"
+	"fpisa/internal/transport"
+)
+
+const (
+	nLeaves = 2
+	workers = 3 // per leaf
+	vecLen  = 2048
+)
+
+// gridVecs builds gradients on the 2^-10 dyadic grid with |v| < 1: sums
+// of a few thousand such values are exactly representable in f32, so
+// addition is association-independent and the tree's different summation
+// order cannot change a single bit.
+func gridVecs(n, vecLen, salt int) [][]float32 {
+	vecs := make([][]float32, n)
+	for w := range vecs {
+		vecs[w] = make([]float32, vecLen)
+		for i := range vecs[w] {
+			vecs[w][i] = float32((w*131+i*7+salt)%257-128) / 1024
+		}
+	}
+	return vecs
+}
+
+func main() {
+	leafCfg := aggservice.Config{
+		Workers: workers, Pool: 8, Modules: 2, Shards: 4,
+		Dynamic: true, DrainTimeout: 300 * time.Millisecond,
+		Mode: core.ModeFull, Arch: pisa.ExtendedArch(),
+	}
+	spineCfg := aggservice.Config{
+		Workers: nLeaves, Pool: 8, Modules: 2, Shards: 4, // the SAME pool: levels self-clock in lockstep
+		Dynamic: true, DrainTimeout: 300 * time.Millisecond,
+		Mode: core.ModeFull, Arch: pisa.ExtendedArch(),
+	}
+
+	// The spine is an UNCHANGED switch whose "workers" are the two leaves.
+	spine, err := aggservice.NewSwitch(spineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spine.OnLifecycle = func(job int, ev aggservice.LifecycleEvent) {
+		fmt.Printf("  [spine] job %d %s\n", job, ev)
+	}
+	spineConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer spineConn.Close()
+	spineSrv, err := transport.NewUDPServer(spineConn, spineCfg.Ports())
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = spineSrv.Serve(spine.HandleBatch) }()
+	spineAddr := spineConn.LocalAddr().(*net.UDPAddr)
+
+	// Each leaf serves its own socket and dials the spine as its uplink;
+	// the leaf's initial job is negotiated at the spine during NewSwitch
+	// (the first leaf admits it there, the second joins the live
+	// incarnation). The leaf fabric doubles as the downlink Pusher: the
+	// spine's aggregate is pushed to the leaf's workers asynchronously.
+	leaves := make([]*aggservice.Switch, nLeaves)
+	leafFabs := make([]*transport.UDP, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		i := i
+		fab, err := transport.NewUDP(leafCfg.Ports(), func(w int, pkts [][]byte, out *transport.DeliveryList) {
+			leaves[i].HandleBatch(w, pkts, out)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fab.Close()
+		leafFabs[i] = fab
+		upFab, err := transport.DialUDP(spineAddr, leafCfg.Ports()/leafCfg.Workers*nLeaves)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer upFab.Close()
+		cfg := leafCfg
+		cfg.Uplink = &aggservice.UplinkConfig{
+			Fabric: upFab, LeafID: i, Leaves: nLeaves,
+			Control: aggservice.WireControl{Addr: spineAddr},
+			Push:    fab,
+		}
+		if leaves[i], err = aggservice.NewSwitch(cfg); err != nil {
+			log.Fatal(err)
+		}
+		defer leaves[i].Close()
+	}
+	defer spine.Close()
+	fmt.Printf("tree up: %d leaves x %d workers -> spine %s (full FPISA, pool %d at both levels)\n",
+		nLeaves, workers, spineAddr, leafCfg.Pool)
+
+	// treeReduce drives one all-reduce across every leaf's workers. Each
+	// run dials FRESH worker sockets at its leaf — worker processes come
+	// and go between training iterations; only the switches are long-lived.
+	treeReduce := func(epochs [nLeaves]uint8, vecs [][]float32) ([][]float32, []error) {
+		out := make([][]float32, nLeaves*workers)
+		errs := make([]error, nLeaves*workers)
+		var wg sync.WaitGroup
+		for li := 0; li < nLeaves; li++ {
+			wfab, err := transport.DialUDP(leafFabs[li].SwitchAddr(), leafCfg.Ports())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer wfab.Close()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(li, w int, fab transport.Fabric) {
+					defer wg.Done()
+					wk := aggservice.NewJobWorker(0, w, fab, leafCfg)
+					wk.Timeout = 50 * time.Millisecond
+					wk.Retries = 500
+					wk.Epoch = epochs[li]
+					idx := li*workers + w
+					out[idx], errs[idx] = wk.Reduce(vecs[idx])
+				}(li, w, wfab)
+			}
+		}
+		wg.Wait()
+		return out, errs
+	}
+	// flatReduce runs the reference: one switch, all six workers direct.
+	flatReduce := func(vecs [][]float32) [][]float32 {
+		flatCfg := leafCfg
+		flatCfg.Workers = nLeaves * workers
+		flatCfg.Uplink, flatCfg.Dynamic = nil, false
+		flat, err := aggservice.NewSwitch(flatCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer flat.Close()
+		fab, err := transport.NewUDP(flatCfg.Ports(), flat.HandleBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fab.Close()
+		out := make([][]float32, flatCfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < flatCfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := aggservice.NewJobWorker(0, w, fab, flatCfg)
+				wk.Timeout = 50 * time.Millisecond
+				wk.Retries = 500
+				var err error
+				if out[w], err = wk.Reduce(vecs[w]); err != nil {
+					log.Fatalf("flat worker %d: %v", w, err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+	bitIdentical := func(tree, flat [][]float32) bool {
+		for w := range tree {
+			for i := range tree[w] {
+				if tree[w][i] != flat[0][i] {
+					fmt.Printf("  MISMATCH worker %d elem %d: tree %g flat %g\n", w, i, tree[w][i], flat[0][i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// The operator's control path — the same observer frame fpisa-query
+	// sends, dialed at whichever switch the verb targets.
+	control := func(addr *net.UDPAddr, req []byte) aggservice.AckStatus {
+		conn, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer conn.Close()
+		frame := append([]byte{transport.ObserverID}, req...)
+		buf := make([]byte, 64)
+		for attempt := 0; attempt < 5; attempt++ {
+			if _, err := conn.Write(frame); err != nil {
+				log.Fatal(err)
+			}
+			conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			n, err := conn.Read(buf)
+			if err != nil {
+				continue
+			}
+			if _, status, _, _, err := aggservice.DecodeJobAck(buf[:n]); err == nil {
+				return status
+			}
+		}
+		log.Fatal("control plane: no ack")
+		return 0
+	}
+	waitVacant := func(switches ...*aggservice.Switch) {
+		for _, s := range switches {
+			for s.JobPhaseOf(0) != aggservice.PhaseVacant {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}
+	// recycle rotates the whole tree to a fresh incarnation of job 0: evict
+	// every level (the leaves are idle between runs, so the operator talks
+	// to each switch directly), then re-admit at the leaves — each leaf's
+	// admit negotiates up, so the spine's incarnation is re-created by the
+	// first leaf and joined by the second.
+	recycle := func() [nLeaves]uint8 {
+		for _, fab := range leafFabs {
+			control(fab.SwitchAddr(), aggservice.EncodeJobEvict(0))
+		}
+		control(spineAddr, aggservice.EncodeJobEvict(0))
+		waitVacant(append([]*aggservice.Switch{spine}, leaves...)...)
+		var epochs [nLeaves]uint8
+		for i, fab := range leafFabs {
+			st := control(fab.SwitchAddr(), aggservice.EncodeJobAdmit(0))
+			epochs[i] = leaves[i].JobEpoch(0)
+			fmt.Printf("  [operator] admit job 0 at leaf %d: %v (leaf epoch %d, spine epoch %d)\n",
+				i, st, epochs[i], spine.JobEpoch(0))
+		}
+		return epochs
+	}
+
+	fmt.Println("\n-- all-reduce through the tree vs one flat switch --")
+	vecs := gridVecs(nLeaves*workers, vecLen, 0)
+	results, errs := treeReduce([nLeaves]uint8{0, 0}, vecs)
+	for i, err := range errs {
+		if err != nil {
+			log.Fatalf("tree worker %d: %v", i, err)
+		}
+	}
+	if !bitIdentical(results, flatReduce(vecs)) {
+		log.Fatal("tree aggregate diverged from the flat switch")
+	}
+	for i, l := range leaves {
+		st, _ := l.JobStats(0)
+		fmt.Printf("  leaf %d: chunks=%d uplink retransmits=%d coalesced result-chunks=%d\n",
+			i, st.Completions, l.UplinkRetransmits(0), st.Coalesced)
+	}
+	spineSt, _ := spine.JobStats(0)
+	fmt.Printf("  spine aggregated %d chunks from %d leaf ADDs each; results BIT-IDENTICAL to the flat switch\n",
+		spineSt.Completions, nLeaves)
+
+	fmt.Println("\n-- recycle the incarnation tree-wide (one reduce per incarnation) --")
+	epochs := recycle()
+
+	fmt.Println("\n-- evict the job at the SPINE mid-reduce: the tree drains top-down --")
+	bigVecs := gridVecs(nLeaves*workers, 200_000, 1)
+	aborted := make(chan []error, 1)
+	go func() {
+		_, errs := treeReduce(epochs, bigVecs)
+		aborted <- errs
+	}()
+	for { // wait until aggregates are demonstrably crossing both levels
+		if st, _ := spine.JobStats(0); st.Completions > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status := control(spineAddr, aggservice.EncodeJobEvict(0))
+	fmt.Printf("  [operator] evict job 0 at the spine: %v\n", status)
+	nEvicted := 0
+	for _, err := range <-aborted {
+		if errors.Is(err, aggservice.ErrJobEvicted) {
+			nEvicted++
+		}
+	}
+	fmt.Printf("  %d/%d workers surfaced ErrJobEvicted; waiting for every level to drain...\n",
+		nEvicted, nLeaves*workers)
+	waitVacant(append([]*aggservice.Switch{spine}, leaves...)...)
+	pending := 0
+	for _, l := range leaves {
+		pending += l.UplinkPending(0)
+	}
+	fmt.Printf("  every level vacant, %d uplink chunks still owed (must be 0)\n", pending)
+
+	fmt.Println("\n-- re-admit and re-run: the tree survives the mid-run eviction --")
+	epochs = recycle()
+	vecs2 := gridVecs(nLeaves*workers, vecLen, 2)
+	results2, errs2 := treeReduce(epochs, vecs2)
+	for i, err := range errs2 {
+		if err != nil {
+			log.Fatalf("re-admitted tree worker %d: %v", i, err)
+		}
+	}
+	if !bitIdentical(results2, flatReduce(vecs2)) {
+		log.Fatal("re-admitted tree aggregate diverged from the flat switch")
+	}
+	fmt.Println("  re-run after mid-tree eviction: BIT-IDENTICAL to the flat switch again")
+}

@@ -29,6 +29,7 @@ const (
 	MsgJobAdmit   = 5 // observer → switch: admit a job at runtime
 	MsgJobEvict   = 6 // observer → switch: evict (drain) a job at runtime
 	MsgJobAck     = 7 // switch → requester/worker: lifecycle status
+	MsgResultRun  = 8 // switch → workers: a run of consecutive aggregated chunks
 )
 
 // MaxJobs bounds the job-id space: the wire carries a 16-bit job field.
@@ -124,6 +125,12 @@ type Config struct {
 	Mode core.Mode
 	// Arch is the switch architecture.
 	Arch pisa.Arch
+	// Uplink, when set, makes this switch a LEAF of an aggregation tree:
+	// each locally-completed chunk's partial sum is re-emitted as an ADD
+	// to the parent switch, and the job's workers only receive the final
+	// RESULT once the parent's tree-wide aggregate returns (see tree.go).
+	// The parent is an ordinary Switch whose Workers is the leaf count.
+	Uplink *UplinkConfig
 }
 
 // Validate checks the configuration.
@@ -182,6 +189,20 @@ func (c Config) Validate() error {
 	}
 	if slots := c.capacity() * 2 * c.Pool; c.Shards > slots {
 		return fmt.Errorf("aggservice: %d shards exceed the %d slots", c.Shards, slots)
+	}
+	if u := c.Uplink; u != nil {
+		if u.Fabric == nil {
+			return fmt.Errorf("aggservice: uplink without a fabric")
+		}
+		if u.Leaves < 1 {
+			return fmt.Errorf("aggservice: uplink leaves %d", u.Leaves)
+		}
+		if u.LeafID < 0 || u.LeafID >= u.Leaves {
+			return fmt.Errorf("aggservice: uplink leaf id %d of %d leaves", u.LeafID, u.Leaves)
+		}
+		if u.Timeout < 0 {
+			return fmt.Errorf("aggservice: uplink timeout %v", u.Timeout)
+		}
 	}
 	return nil
 }
@@ -265,11 +286,13 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 //
 //	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(W·M)]
 //	result = [ver(1) type(1) job(2) chunk(4) values(W·M) overflow(1)]
+//	run    = [ver(1) type(1) job(2) start(4) count(2)
+//	          { values(W·M) overflow(1) }·count]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
 //	reply  = [ver(1) type(1) job(2) phase(1) weight(2) fmt(1) guard(1)
 //	          round(1) adds(8) retrans(8) done(8) drops(8) defers(8)
-//	          outstanding(8) cacheHits(8) cacheBytes(8)]
+//	          outstanding(8) cacheHits(8) cacheBytes(8) coalesced(8)]
 //	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)]
 //	evict  = [ver(1) type(1) job(2)]
 //	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2) fmt(1)
@@ -301,11 +324,15 @@ const batchHdrBytes = 4
 // scheduler weight) and jobAckBytes size the control plane's.
 const (
 	statsReqBytes     = 4
-	statsReplyBytes   = 4 + 1 + 2 + profileBytes + 8*8
+	statsReplyBytes   = 4 + 1 + 2 + profileBytes + 9*8
 	lifecycleReqBytes = 4
 	jobAdmitBytes     = 6 + profileBytes
 	jobAckBytes       = 8 + profileBytes
 )
+
+// runHdrBytes is the MsgResultRun header: the shared [ver type job chunk]
+// header (chunk = the run's first chunk id) plus a two-byte item count.
+const runHdrBytes = hdrBytes + 2
 
 // profileBytes is the wire width of a NumericProfile descriptor: one octet
 // each for format, guard bits and rounding.
@@ -435,6 +462,60 @@ func DecodeResultProfile(pkt []byte, modules int, prof core.NumericProfile) (job
 	return job, chunk, vals, overflow, nil
 }
 
+// encodeResultRun splices consecutive chunks' RESULT payloads into one
+// run-length MsgResultRun reply: items[i] is chunk start+i's cached RESULT
+// packet, whose values+overflow tail is carried verbatim (the tail is
+// already in the job's wire format, so the splice is a copy, not a
+// re-encode).
+func encodeResultRun(job int, start uint32, items [][]byte) []byte {
+	n := runHdrBytes
+	for _, p := range items {
+		n += len(p) - hdrBytes
+	}
+	run := make([]byte, runHdrBytes, n)
+	putHeader(run, MsgResultRun, job, start)
+	binary.BigEndian.PutUint16(run[hdrBytes:], uint16(len(items)))
+	for _, p := range items {
+		run = append(run, p[hdrBytes:]...)
+	}
+	return run
+}
+
+// DecodeResultRun parses a MsgResultRun reply in the job's negotiated wire
+// format: item i carries chunk start+i's aggregated values and overflow
+// flag. Safe on arbitrary input — the item count is validated against the
+// packet length before anything is read.
+func DecodeResultRun(pkt []byte, modules int, prof core.NumericProfile) (job int, start uint32, vals [][]float32, ovfs []bool, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, nil, nil, fmt.Errorf("bad result run: %w", terr)
+	} else if typ != MsgResultRun {
+		return 0, 0, nil, nil, fmt.Errorf("aggservice: bad result run type")
+	}
+	if len(pkt) < runHdrBytes {
+		return 0, 0, nil, nil, fmt.Errorf("result run %d of %d header bytes: %w", len(pkt), runHdrBytes, ErrTruncated)
+	}
+	w := prof.ValueBytes()
+	item := w*modules + 1
+	count := int(binary.BigEndian.Uint16(pkt[hdrBytes:]))
+	if count < 1 || len(pkt) != runHdrBytes+count*item {
+		return 0, 0, nil, nil, fmt.Errorf("aggservice: bad result run (%d items, %d bytes)", count, len(pkt))
+	}
+	job = int(binary.BigEndian.Uint16(pkt[2:]))
+	start = binary.BigEndian.Uint32(pkt[4:])
+	vals = make([][]float32, count)
+	ovfs = make([]bool, count)
+	for i := 0; i < count; i++ {
+		body := pkt[runHdrBytes+i*item:]
+		vs := make([]float32, modules)
+		for m := range vs {
+			vs[m] = prof.GetValue(body[w*m:])
+		}
+		vals[i] = vs
+		ovfs[i] = body[w*modules] != 0
+	}
+	return job, start, vals, ovfs, nil
+}
+
 // EncodeBatch frames several messages into one BATCH datagram.
 func EncodeBatch(msgs [][]byte) []byte {
 	n := batchHdrBytes
@@ -531,6 +612,7 @@ func DecodeStatsReply(pkt []byte) (job int, st JobStats, err error) {
 	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[50:]))
 	st.CacheHits = binary.BigEndian.Uint64(pkt[58:])
 	st.CacheBytes = binary.BigEndian.Uint64(pkt[66:])
+	st.Coalesced = binary.BigEndian.Uint64(pkt[74:])
 	return job, st, nil
 }
 
@@ -550,6 +632,7 @@ func encodeStatsReply(job int, st JobStats) []byte {
 	binary.BigEndian.PutUint64(pkt[50:], uint64(st.Outstanding))
 	binary.BigEndian.PutUint64(pkt[58:], st.CacheHits)
 	binary.BigEndian.PutUint64(pkt[66:], st.CacheBytes)
+	binary.BigEndian.PutUint64(pkt[74:], st.Coalesced)
 	return pkt
 }
 
@@ -596,6 +679,11 @@ type JobStats struct {
 	// advances past it (chunk c+Pool completes: every worker sent c+Pool,
 	// so every worker received c) and when the job's range is released.
 	CacheBytes uint64
+	// Coalesced counts completed chunks whose RESULT rode a run-length
+	// MsgResultRun reply instead of its own per-chunk datagram — chunks
+	// that completed consecutively in one batch (or fanned down from a
+	// parent switch together) share one downlink message.
+	Coalesced uint64
 }
 
 // WireRejects counts datagrams Handle refused, by cause.
@@ -633,6 +721,7 @@ type jobState struct {
 	adds, retransmits, completions, quotaDrops atomic.Uint64
 	schedDefers                                atomic.Uint64
 	cacheHits                                  atomic.Uint64
+	coalesced                                  atomic.Uint64
 	cacheBytes                                 atomic.Int64
 	outstanding                                atomic.Int64
 	// weight is the job's scheduler weight for its current incarnation
@@ -668,6 +757,7 @@ func (js *jobState) reset() {
 	js.quotaDrops.Store(0)
 	js.schedDefers.Store(0)
 	js.cacheHits.Store(0)
+	js.coalesced.Store(0)
 	js.cacheBytes.Store(0)
 	js.outstanding.Store(0)
 }
@@ -715,6 +805,12 @@ type Switch struct {
 	freeRanges  []int
 	drainTimers []*time.Timer
 
+	// upMu guards uplinks, the per-job parent clients a tree leaf runs
+	// (nil / nil entries otherwise; see tree.go). Lock order: lifeMu →
+	// upMu; neither is ever taken under a shard lock.
+	upMu    sync.Mutex
+	uplinks []*uplinkJob
+
 	// scratchPool recycles the per-HandleBatch grouping state so the hot
 	// path does not allocate per packet vector.
 	scratchPool sync.Pool
@@ -745,6 +841,11 @@ type slotState struct {
 	// outstanding marks the slot charged against its job's admission
 	// quota (set at bind, cleared at completion).
 	outstanding bool
+	// upPending marks a locally-complete chunk whose final aggregate is
+	// still at the parent switch (tree leaves only): the partial sum was
+	// re-emitted up the tree and the slot caches nothing until the
+	// parent's RESULT comes back down (see tree.go).
+	upPending bool
 }
 
 // NewSwitch compiles the FPISA program once per distinct profile and
@@ -810,6 +911,20 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		return &batchScratch{
 			byShard: make([][]int, nsh),
 			vals:    make([]float32, 0, cfg.Modules),
+		}
+	}
+	// A tree leaf negotiates its initially admitted jobs up the tree and
+	// starts their uplink clients before any traffic flows.
+	if u := cfg.Uplink; u != nil {
+		for j := 0; j < njobs; j++ {
+			var pe uint8
+			if u.Control != nil {
+				if pe, err = u.Control.AdmitUp(j, cfg.weightOf(j), cfg.profileOf(j)); err != nil {
+					s.Close()
+					return nil, fmt.Errorf("aggservice: job %d parent admit: %w", j, err)
+				}
+			}
+			s.startUplinkLocked(j, pe)
 		}
 	}
 	return s, nil
@@ -934,6 +1049,29 @@ type batchScratch struct {
 	vals    []float32
 	frees   []freeReq // cross-shard cache frees, run after the shard unlock
 	drains  []int     // draining jobs that completed a chunk this round
+	done    []resDone // completed chunks awaiting run-coalesced delivery
+	ups     []upReq   // completed chunks awaiting uplink re-emission (tree leaves)
+	items   [][]byte  // run-splice scratch for emitResults
+}
+
+// resDone is one completed chunk's RESULT waiting for the batch-end
+// delivery pass, where consecutive chunks coalesce into run replies.
+type resDone struct {
+	job   int
+	chunk uint32
+	pkt   []byte
+}
+
+// upReq is one locally-complete chunk whose partial sum must be re-emitted
+// to the parent switch (see tree.go); pkt is the parent-bound ADD with the
+// epoch octet left for submitUplinks to stamp (the parent incarnation lives
+// on the uplink client, not under the shard lock).
+type upReq struct {
+	job   int
+	epoch uint64 // leaf incarnation the completion was observed under
+	chunk uint32
+	pkt   []byte
+	ovf   bool // leaf-level overflow, ORed into the final RESULT's flag
 }
 
 // addReq is one validated ADD waiting for its shard's lock round.
@@ -967,6 +1105,18 @@ func (s *Switch) putScratch(sc *batchScratch) {
 	sc.touched = sc.touched[:0]
 	sc.frees = sc.frees[:0]
 	sc.drains = sc.drains[:0]
+	for i := range sc.done {
+		sc.done[i].pkt = nil
+	}
+	sc.done = sc.done[:0]
+	for i := range sc.ups {
+		sc.ups[i].pkt = nil
+	}
+	sc.ups = sc.ups[:0]
+	for i := range sc.items {
+		sc.items[i] = nil
+	}
+	sc.items = sc.items[:0]
 	s.scratchPool.Put(sc)
 }
 
@@ -1097,6 +1247,8 @@ func (s *Switch) processAdds(worker int, sc *batchScratch, out *transport.Delive
 		}
 		sc.drains = sc.drains[:0]
 	}
+	s.emitResults(sc, out)
+	s.submitUplinks(sc)
 }
 
 // freeCachedResult drops a slot's cached RESULT packet if it still holds
@@ -1202,6 +1354,7 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		}
 		st.outstanding = true
 		st.chunk = int64(chunk)
+		st.upPending = false
 		for i := range st.seen {
 			st.seen[i] = false
 		}
@@ -1248,29 +1401,26 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 		return
 	}
 
-	// Last worker: the running sums are the final aggregation.
+	// Last worker: the running sums are the final aggregation (for a tree
+	// leaf, the final LOCAL aggregation — the tree-wide sum still needs
+	// the other leaves, so it comes back from the parent).
 	js.completions.Add(1)
 	if st.outstanding {
 		js.outstanding.Add(-1)
 		st.outstanding = false
 	}
-	// The RESULT travels in the job's wire format too: the values are
-	// already representable in it (the aggregator read them out under the
-	// profile), so the re-narrowing is the identity.
-	pkt := make([]byte, resultBytesProf(len(vals), a.prof))
-	putHeader(pkt, MsgResult, a.job, chunk)
 	var anyOvf byte
-	for i, v := range res.Values {
-		a.prof.PutValue(pkt[hdrBytes+vw*i:], v)
-		if res.Overflow[i] {
+	for _, o := range res.Overflow {
+		if o {
 			anyOvf = 1
+			break
 		}
 	}
-	pkt[hdrBytes+vw*len(vals)] = anyOvf
-	st.cached = pkt
-	js.cacheBytes.Add(int64(len(pkt)))
 	// Every worker sent chunk c, so every worker holds chunk c−Pool's
 	// result: the bank partner's cache (if it still holds c−Pool) can go.
+	// (On a tree leaf the self-clocked window gives the same guarantee —
+	// a worker only sends c after receiving c−Pool's FINAL result, which
+	// required the parent round trip.)
 	if pool := s.cfg.Pool; chunk >= uint32(pool) {
 		pgs := s.slotOf(a.ri, chunk-uint32(pool))
 		if pgs%s.nsh == a.gs%s.nsh {
@@ -1287,6 +1437,83 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 	if JobPhase(js.phase.Load()) == PhaseDraining {
 		sc.drains = append(sc.drains, a.job)
 	}
+	if s.cfg.Uplink != nil {
+		// Tree leaf: the local sum is a partial aggregate. Re-emit it as
+		// an ADD to the parent (queued for after the shard unlock — the
+		// uplink client does I/O) and cache nothing yet: the slot answers
+		// retransmits silently until the parent's aggregate returns and
+		// installs the final RESULT (see installFinal).
+		st.upPending = true
+		up := make([]byte, addBytesProf(len(res.Values), a.prof))
+		putHeader(up, MsgAdd, a.job, chunk)
+		for i, v := range res.Values {
+			a.prof.PutValue(up[addValOff+vw*i:], v)
+		}
+		sc.ups = append(sc.ups, upReq{job: a.job, epoch: a.epoch, chunk: chunk, pkt: up, ovf: anyOvf != 0})
+		return
+	}
+	// The RESULT travels in the job's wire format too: the values are
+	// already representable in it (the aggregator read them out under the
+	// profile), so the re-narrowing is the identity.
+	pkt := make([]byte, resultBytesProf(len(vals), a.prof))
+	putHeader(pkt, MsgResult, a.job, chunk)
+	for i, v := range res.Values {
+		a.prof.PutValue(pkt[hdrBytes+vw*i:], v)
+	}
+	pkt[hdrBytes+vw*len(vals)] = anyOvf
+	st.cached = pkt
+	js.cacheBytes.Add(int64(len(pkt)))
+	// Delivery is deferred to the batch-end pass so consecutive chunks
+	// completing in one batch share a run-length reply (see emitResults).
+	sc.done = append(sc.done, resDone{job: a.job, chunk: chunk, pkt: pkt})
+}
+
+// emitResults delivers a batch's completed chunks, coalescing runs of ≥ 2
+// consecutive chunks of one job into run-length MsgResultRun replies — the
+// per-chunk packets stay individually cached for the replay path, only the
+// broadcast downlink shares datagrams. Called after the shard lock rounds.
+func (s *Switch) emitResults(sc *batchScratch, out *transport.DeliveryList) {
+	if len(sc.done) == 0 {
+		return
+	}
+	// Insertion sort by (job, chunk): completion order already tracks
+	// chunk order closely, and sort.Slice would allocate on the hot path.
+	d := sc.done
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && (d[j].job < d[j-1].job ||
+			(d[j].job == d[j-1].job && d[j].chunk < d[j-1].chunk)); j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+	// A run reply must fit a datagram like a result batch would; the
+	// 16-bit item count bounds it regardless.
+	maxRun := maxBatchChunks(s.cfg.Modules)
+	if maxRun > 65535 {
+		maxRun = 65535
+	}
+	for i := 0; i < len(d); {
+		j := i + 1
+		for j < len(d) && j-i < maxRun && d[j].job == d[i].job &&
+			d[j].chunk == d[i].chunk+uint32(j-i) {
+			j++
+		}
+		if j-i == 1 {
+			s.deliverToJob(d[i].job, d[i].pkt, out)
+		} else {
+			items := sc.items[:0]
+			for k := i; k < j; k++ {
+				items = append(items, d[k].pkt)
+			}
+			sc.items = items
+			s.jobs[d[i].job].coalesced.Add(uint64(j - i))
+			s.deliverToJob(d[i].job, encodeResultRun(d[i].job, d[i].chunk, items), out)
+		}
+		i = j
+	}
+}
+
+// deliverToJob routes a downlink message to a job's own workers.
+func (s *Switch) deliverToJob(job int, pkt []byte, out *transport.DeliveryList) {
 	if s.ncap == 1 {
 		// Single tenant: every port belongs to the job, broadcast.
 		out.Broadcast(pkt)
@@ -1294,7 +1521,7 @@ func (s *Switch) slotHandleLocked(sh *shard, a *addReq, worker int, sc *batchScr
 	}
 	// Multi-tenant: deliver to the job's own port range only, so one
 	// job's completions never consume another job's downlink.
-	base := a.job * s.cfg.Workers
+	base := job * s.cfg.Workers
 	for i := 0; i < s.cfg.Workers; i++ {
 		out.Unicast(base+i, pkt)
 	}
@@ -1336,6 +1563,7 @@ func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
 		Outstanding: js.outstanding.Load(),
 		CacheHits:   js.cacheHits.Load(),
 		CacheBytes:  uint64(cb),
+		Coalesced:   js.coalesced.Load(),
 	}, true
 }
 
@@ -1662,6 +1890,18 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 		stalls := 0
 		bufs := make([][]byte, recvVec)
 		var one [1][]byte
+		// mark completes chunk c with its aggregated values, shared by the
+		// per-chunk RESULT and run-reply paths.
+		mark := func(c int, vals []float32) {
+			if c >= nChunks || done[c] {
+				return
+			}
+			stalls = 0
+			done[c] = true
+			nDone++
+			copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
+			acks <- c // buffered nChunks deep: never blocks
+		}
 		for nDone < nChunks {
 			select {
 			case <-quit:
@@ -1729,19 +1969,21 @@ func (w *Worker) Reduce(vec []float32) ([]float32, error) {
 						}
 						continue
 					}
+					if mt, _ := wireType(msg); mt == MsgResultRun {
+						job, start, rvals, _, rerr := DecodeResultRun(msg, modules, prof)
+						if rerr != nil || job != w.Job {
+							continue
+						}
+						for i := range rvals {
+							mark(int(start)+i, rvals[i])
+						}
+						continue
+					}
 					job, chunk, vals, _, err := DecodeResultProfile(msg, modules, prof)
 					if err != nil || job != w.Job {
 						continue // not for us
 					}
-					c := int(chunk)
-					if c >= nChunks || done[c] {
-						continue
-					}
-					stalls = 0
-					done[c] = true
-					nDone++
-					copy(out[c*modules:min(len(vec), (c+1)*modules)], vals)
-					acks <- c // buffered nChunks deep: never blocks
+					mark(int(chunk), vals)
 				}
 			}
 		}

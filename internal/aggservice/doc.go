@@ -151,15 +151,25 @@
 //
 //	add    = [ver(1) type(1) job(2) chunk(4) epoch(1) values(W·M)]
 //	result = [ver(1) type(1) job(2) chunk(4) values(W·M) overflow(1)]
+//	run    = [ver(1) type(1) job(2) start(4) count(2)
+//	          { values(W·M) overflow(1) }·count]
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
 //	reply  = [ver(1) type(1) job(2) phase(1) weight(2) fmt(1) guard(1)
 //	          round(1) adds(8) retransmits(8) completions(8) quotaDrops(8)
-//	          schedDefers(8) outstanding(8) cacheHits(8) cacheBytes(8)]
+//	          schedDefers(8) outstanding(8) cacheHits(8) cacheBytes(8)
+//	          coalesced(8)]
 //	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)]
 //	evict  = [ver(1) type(1) job(2)]
 //	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2) fmt(1)
 //	          guard(1) round(1)]
+//
+// The run reply (MsgResultRun) is the range-coalesced downlink: when one
+// batch completes consecutive chunks of a job, the switch answers a single
+// run carrying count ≥ 2 result bodies for chunks start..start+count−1
+// instead of count individual RESULTs (JobStats.Coalesced counts chunks
+// delivered this way). Each chunk's RESULT stays individually cached, so
+// retransmit-driven replays still answer per chunk.
 //
 // W is the job's negotiated value width: 4 bytes under the f32 profile, 2
 // under f16/bf16 — an ADD whose length disagrees with its job's profile is
@@ -226,6 +236,38 @@
 // received chunk c's result, so chunk c's cached packet is freed (its
 // size and replay hits are tracked per job as CacheBytes/CacheHits), and
 // a released slot range drops its caches wholesale.
+//
+// # Aggregation trees (uplink role)
+//
+// Switches compose into a multi-level aggregation tree — the paper's
+// rack → spine scale-out, where fan-in multiplies per level. A switch
+// configured with Config.Uplink is a LEAF: a locally-completed chunk is a
+// PARTIAL sum, so instead of answering its own workers the leaf re-emits
+// it as an ADD to a parent switch (UplinkConfig.Fabric, parent port
+// job·Leaves + LeafID) and releases the final RESULT downward only when
+// the parent's aggregate returns. The parent needs no tree code: it is an
+// ordinary Switch whose "workers" are the leaves, which is also what lets
+// trees nest — a mid-tier switch is both a parent to its children and a
+// leaf of its own Uplink. Levels must share one Pool so the self-clocked
+// windows stay in lockstep (see tree.go).
+//
+// Lifecycle and numeric-profile semantics thread through the hierarchy.
+// Admitting a job on a leaf first negotiates the same job, weight and
+// profile at the parent (ParentControl: SwitchControl in process,
+// WireControl over the observer frame; a job another leaf already
+// admitted is joined, a profile mismatch is refused before any local
+// state moves), and the parent's ack supplies the PARENT-LEVEL
+// incarnation epoch stamped into every uplink ADD — each tree level
+// fences stale cross-level datagrams with its own epoch octet, exactly
+// like worker traffic. An eviction at the parent propagates DOWN: the
+// leaf's uplink ADDs bounce off the draining parent as epoch-matched
+// AckDraining/AckEvicted notices, the uplink client evicts the job
+// locally, and the leaf's own drain machinery (with its free-list,
+// timers and epoch bump) runs unchanged. A leaf-local evict deliberately
+// does NOT propagate up — sibling leaves may still feed the parent's job.
+// An unreachable parent is bounded by UplinkConfig.Timeout/Retries:
+// after the retry budget passes with aggregates still owed, the leaf
+// evicts the job locally so its workers fail fast.
 //
 // # Host side
 //

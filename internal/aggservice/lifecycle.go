@@ -428,6 +428,20 @@ func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
 	if err := prof.Validate(); err != nil {
 		return fmt.Errorf("%w: job %d: %v", ErrBadProfile, job, err)
 	}
+	// A tree leaf negotiates the admission UP the tree before it takes
+	// effect locally: the parent must run the same job under the same
+	// profile before any partial sum can climb, and its ack names the
+	// parent-level incarnation epoch the uplink ADDs will stamp. Done
+	// before lifeMu — the negotiation is network I/O on a wire control
+	// path and must not stall other tenants' lifecycle transitions.
+	var parentEpoch uint8
+	if u := s.cfg.Uplink; u != nil && u.Control != nil {
+		pe, err := u.Control.AdmitUp(job, weight, prof)
+		if err != nil {
+			return fmt.Errorf("aggservice: job %d parent admit: %w", job, err)
+		}
+		parentEpoch = pe
+	}
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
 	js := &s.jobs[job]
@@ -462,6 +476,7 @@ func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
 	// never sees an admitted job without its range.
 	js.rangeIdx.Store(int32(ri))
 	js.phase.Store(int32(PhaseAdmitted))
+	s.startUplinkLocked(job, parentEpoch)
 	if s.OnLifecycle != nil {
 		s.OnLifecycle(job, EventAdmitted)
 	}
@@ -538,6 +553,10 @@ func (s *Switch) release(job int) {
 		t.Stop()
 		s.drainTimers[job] = nil
 	}
+	// Stop the incarnation's uplink client (tree leaves): aggregates the
+	// parent still owed it are stale now — the epoch moved — and a fresh
+	// admission starts a fresh client.
+	s.stopUplink(job)
 	if ri >= 0 {
 		base := ri * 2 * s.cfg.Pool
 		for gs := base; gs < base+2*s.cfg.Pool; gs++ {
@@ -551,6 +570,7 @@ func (s *Switch) release(job int) {
 			st.nSeen = 0
 			st.cached = nil
 			st.outstanding = false
+			st.upPending = false
 			sh.mu.Unlock()
 		}
 		s.freeRanges = append(s.freeRanges, ri)

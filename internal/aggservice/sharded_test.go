@@ -435,19 +435,41 @@ func TestHandleBatchGroupsShards(t *testing.T) {
 	var dl transport.DeliveryList
 	sw.HandleBatch(0, pkts, &dl)
 	ds := dl.Deliveries()
-	if len(ds) != n {
-		t.Fatalf("%d deliveries for %d single-worker chunks", len(ds), n)
+	// The n consecutive completions coalesce into run-length replies, so
+	// there are FEWER deliveries than chunks; every chunk must still be
+	// answered exactly once across them.
+	if len(ds) == 0 || len(ds) >= n {
+		t.Fatalf("%d deliveries for %d single-worker chunks (runs should coalesce)", len(ds), n)
 	}
 	seen := make([]bool, n)
+	record := func(chunk uint32, vals []float32) {
+		if want := float32(chunk) + 0.5; vals[0] != want {
+			t.Errorf("chunk %d = %g, want %g", chunk, vals[0], want)
+		}
+		if seen[chunk] {
+			t.Errorf("chunk %d delivered twice", chunk)
+		}
+		seen[chunk] = true
+	}
 	for _, d := range ds {
+		if typ, _ := wireType(d.Packet); typ == MsgResultRun {
+			_, start, rvals, _, err := DecodeResultRun(d.Packet, 1, core.DefaultProfile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range rvals {
+				record(start+uint32(i), rvals[i])
+			}
+			continue
+		}
 		_, chunk, vals, _, err := DecodeResult(d.Packet, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := float32(chunk) + 0.5; vals[0] != want {
-			t.Errorf("chunk %d = %g, want %g", chunk, vals[0], want)
-		}
-		seen[chunk] = true
+		record(chunk, vals)
+	}
+	if st, _ := sw.JobStats(0); st.Coalesced == 0 {
+		t.Error("no chunks counted as coalesced")
 	}
 	for c, ok := range seen {
 		if !ok {

@@ -1,0 +1,532 @@
+package aggservice
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fpisa/internal/core"
+	"fpisa/internal/transport"
+)
+
+// This file composes switches into an aggregation tree (the paper's
+// rack → spine scaling story): a switch configured with an Uplink is a
+// LEAF whose locally-completed chunks are PARTIAL sums. Instead of
+// answering its own workers, the leaf re-emits each completed chunk as an
+// ADD to a parent switch — playing the worker role one level up, on the
+// same wire protocol, fabrics and incarnation epochs the real workers use
+// — and fans the parent's aggregate back down to its own workers only when
+// it returns. The parent needs no tree code at all: it is an ordinary
+// Switch whose "workers" are the leaves (Workers = the leaf count), which
+// is also what lets trees nest — a mid-tier switch is simply both a parent
+// to its children and a leaf of its own Uplink.
+//
+// Lifecycle composes the same way. Admitting a job on a leaf first
+// negotiates the same job/weight/profile at the parent (ParentControl), so
+// the whole path a chunk climbs runs one arithmetic; the parent's admit
+// ack supplies the parent-level incarnation epoch the uplink ADDs must
+// stamp, fencing stale cross-level datagrams exactly like worker traffic.
+// An eviction at the parent propagates DOWN: the leaf's uplink ADDs bounce
+// off the draining parent with epoch-matched AckDraining/AckEvicted
+// notices, the uplink client evicts the job locally, and the leaf's own
+// vacant→admitted→draining machine drains its workers. A leaf-local evict
+// deliberately does NOT propagate up — other leaves may still feed the
+// parent's job.
+//
+// The self-clocked window needs no new machinery, but it does need the
+// SAME Pool at every level: a leaf worker only sends chunk c after
+// receiving chunk c−Pool's final result, which required the parent round
+// trip, so the leaf's uplink never runs more than Pool chunks ahead of the
+// parent's window. Configure tree levels with equal Pool.
+
+// UplinkConfig makes a Switch a leaf of an aggregation tree.
+type UplinkConfig struct {
+	// Fabric is the client fabric dialed to the parent switch (e.g.
+	// transport.DialUDP, or the shared Memory fabric in tests). The leaf
+	// sends job j's partial sums on parent port j·Leaves + LeafID.
+	Fabric transport.Fabric
+	// LeafID is this leaf's worker index at the parent, 0 ≤ LeafID < Leaves.
+	LeafID int
+	// Leaves is the parent's fan-in (its Config.Workers).
+	Leaves int
+	// Control, when set, negotiates every local admission up the tree
+	// before it takes effect locally (see ParentControl). When nil, the
+	// operator is responsible for admitting the job at the parent out of
+	// band, and uplink ADDs carry parent epoch 0.
+	Control ParentControl
+	// Push, when set, fans final RESULTs down to this leaf's own workers
+	// (transport.Memory and transport.UDPServer implement it). Parent
+	// results arrive on the uplink, outside any downlink handler
+	// invocation, so they cannot ride a handler's DeliveryList. When nil,
+	// finals are still installed in the result cache and workers pick
+	// them up through their retransmit→replay path — correct, just slow.
+	Push transport.Pusher
+	// Timeout is the uplink client's receive timeout per retransmit round
+	// (0 means DefaultTimeout); Retries bounds consecutive timed-out
+	// rounds with uplink ADDs owed before the client declares the parent
+	// unreachable and evicts the job locally (negative means
+	// DefaultRetries).
+	Timeout time.Duration
+	Retries int
+}
+
+// ParentControl negotiates a leaf's job admission with its parent switch.
+type ParentControl interface {
+	// AdmitUp admits (job, weight, prof) at the parent and returns the
+	// parent-level incarnation epoch the leaf's uplink ADDs must carry.
+	// An already-admitted parent job is success — another leaf negotiated
+	// first — PROVIDED the live profile matches; a mismatch is an error
+	// (the leaves would feed the parent undecodable ADDs).
+	AdmitUp(job, weight int, prof core.NumericProfile) (epoch uint8, err error)
+}
+
+// SwitchControl is the in-process ParentControl: it negotiates directly
+// against a parent Switch in the same process (tests, single-binary demos).
+type SwitchControl struct{ Parent *Switch }
+
+func (c SwitchControl) AdmitUp(job, weight int, prof core.NumericProfile) (uint8, error) {
+	err := c.Parent.AdmitProfile(job, weight, prof)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrAlreadyAdmitted):
+		if got := c.Parent.JobProfile(job); got != prof {
+			return 0, fmt.Errorf("%w: job %d live at the parent under profile %v, leaf wants %v",
+				ErrBadProfile, job, got, prof)
+		}
+	default:
+		return 0, err
+	}
+	return c.Parent.JobEpoch(job), nil
+}
+
+// WireControl is the UDP ParentControl: it drives the parent's observer
+// control plane (the same observer-framed datagrams fpisa-query sends).
+// The parent must enable Config.Dynamic.
+type WireControl struct {
+	// Addr is the parent switch's UDP address.
+	Addr *net.UDPAddr
+	// Timeout is the per-attempt ack deadline (0 means DefaultTimeout);
+	// Retries is the attempt budget (non-positive means 5).
+	Timeout time.Duration
+	Retries int
+}
+
+func (c WireControl) AdmitUp(job, weight int, prof core.NumericProfile) (uint8, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 5
+	}
+	conn, err := net.DialUDP("udp", nil, c.Addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	frame := append([]byte{transport.ObserverID}, EncodeJobAdmitProfile(job, weight, prof)...)
+	buf := make([]byte, 128)
+	for attempt := 0; attempt < retries; attempt++ {
+		if _, err := conn.Write(frame); err != nil {
+			return 0, err
+		}
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		j, status, epoch, _, got, aerr := DecodeJobAckProfile(buf[:n])
+		if aerr != nil || j != job {
+			continue
+		}
+		switch status {
+		case AckAdmitted:
+			return epoch, nil
+		case AckErrAlreadyAdmitted:
+			// The ack echoes the LIVE incarnation's epoch and profile, so
+			// the already-admitted case needs no second exchange.
+			if got != prof {
+				return 0, fmt.Errorf("%w: job %d live at the parent under profile %v, leaf wants %v",
+					ErrBadProfile, job, got, prof)
+			}
+			return epoch, nil
+		default:
+			return 0, fmt.Errorf("parent %s: %w", c.Addr, status.Err())
+		}
+	}
+	return 0, fmt.Errorf("parent %s: no admit ack after %d attempts", c.Addr, retries)
+}
+
+// uplinkJob is one job's live uplink client on a leaf: the Worker-like
+// state machine that re-emits the job's partial sums to the parent,
+// retransmits them on timeout, and installs the parent's aggregates as the
+// job's final RESULTs. One instance serves one LEAF incarnation of the
+// job; release stops it and a re-admission starts a fresh one.
+type uplinkJob struct {
+	s           *Switch
+	job         int
+	epoch       uint64 // leaf incarnation this client serves
+	parentEpoch uint8  // parent incarnation stamped into uplink ADDs
+	prof        core.NumericProfile
+	fab         transport.Fabric
+	port        int // parent port: job·Leaves + LeafID
+	timeout     time.Duration
+	retries     int
+
+	quit chan struct{}
+	once sync.Once
+
+	mu  sync.Mutex
+	out map[uint32]*upChunk // chunk → uplink ADD awaiting the parent
+
+	retrans atomic.Uint64
+}
+
+// upChunk is one in-flight uplink ADD.
+type upChunk struct {
+	pkt []byte
+	ovf bool // leaf-level overflow, ORed into the final RESULT's flag
+}
+
+func (u *uplinkJob) stop() { u.once.Do(func() { close(u.quit) }) }
+
+// submit registers a batch of partial sums and sends them up in one
+// vector. Register-then-send: once a chunk is in u.out the retransmit
+// round covers it, so a datagram lost here is recovered like any other.
+func (u *uplinkJob) submit(reqs []upReq) {
+	u.mu.Lock()
+	msgs := make([][]byte, 0, len(reqs))
+	for _, r := range reqs {
+		if r.epoch != u.epoch {
+			continue // a different leaf incarnation's completion
+		}
+		r.pkt[hdrBytes] = u.parentEpoch
+		u.out[r.chunk] = &upChunk{pkt: r.pkt, ovf: r.ovf}
+		msgs = append(msgs, r.pkt)
+	}
+	u.mu.Unlock()
+	if len(msgs) > 0 {
+		u.fab.SendBatch(u.port, msgs) // send errors recover via retransmit
+	}
+}
+
+func (u *uplinkJob) pending() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.out)
+}
+
+func (u *uplinkJob) retransmitPending() {
+	u.mu.Lock()
+	msgs := make([][]byte, 0, len(u.out))
+	for _, pc := range u.out {
+		msgs = append(msgs, pc.pkt)
+	}
+	u.mu.Unlock()
+	if len(msgs) == 0 {
+		return
+	}
+	u.retrans.Add(uint64(len(msgs)))
+	u.fab.SendBatch(u.port, msgs)
+}
+
+// run is the uplink receiver: it drains the parent's downlink (final
+// RESULTs, run replies, lifecycle notices) and drives the retransmit
+// clock. It exits on stop(), on a fabric error, or after evicting the job
+// over an unreachable parent.
+func (u *uplinkJob) run() {
+	bufs := make([][]byte, recvVec)
+	var one [1][]byte
+	stalls := 0
+	for {
+		select {
+		case <-u.quit:
+			return
+		default:
+		}
+		k, err := u.fab.RecvBatch(u.port, bufs, u.timeout)
+		if err == transport.ErrTimeout {
+			if u.pending() == 0 {
+				stalls = 0 // idle: nothing owed, a quiet parent is fine
+				continue
+			}
+			stalls++
+			if stalls > u.retries {
+				// The parent owes us aggregates and has answered nothing
+				// for the whole retry budget: declare it unreachable and
+				// tear the job down locally so the leaf's workers fail
+				// fast instead of stalling forever.
+				u.s.Evict(u.job)
+				return
+			}
+			u.retransmitPending()
+			continue
+		}
+		if err != nil {
+			return // fabric closed
+		}
+		var finals []resDone
+		for _, pkt := range bufs[:k] {
+			one[0] = pkt
+			msgs := one[:]
+			if typ, terr := wireType(pkt); terr == nil && typ == MsgBatch {
+				if msgs, err = DecodeBatch(pkt); err != nil {
+					continue
+				}
+			}
+			for _, msg := range msgs {
+				if len(msg) >= 2 && msg[0] == WireVersion && msg[1] == MsgJobAck {
+					j, status, ep, _, aerr := DecodeJobAck(msg)
+					if aerr != nil || j != u.job || ep != u.parentEpoch {
+						continue // another incarnation's notice
+					}
+					switch status {
+					case AckEvicted, AckDraining:
+						// A mid-tree eviction propagating down: the parent
+						// refuses this job's uplink, so drain the leaf too.
+						// Evict → release → stopUplink closes u.quit; push
+						// what already arrived first.
+						u.s.pushFinals(finals)
+						u.s.Evict(u.job)
+						return
+					case AckBackpressure:
+						// The parent's fair scheduler deferred a bind; the
+						// chunk stays pending and the retransmit clock
+						// recovers it next round. The parent is alive.
+						stalls = 0
+					}
+					continue
+				}
+				switch typ, _ := wireType(msg); typ {
+				case MsgResult:
+					job, chunk, vals, ovf, derr := DecodeResultProfile(msg, u.s.cfg.Modules, u.prof)
+					if derr != nil || job != u.job {
+						continue
+					}
+					stalls = 0
+					finals = u.takeFinal(chunk, vals, ovf, finals)
+				case MsgResultRun:
+					job, start, vals, ovfs, derr := DecodeResultRun(msg, u.s.cfg.Modules, u.prof)
+					if derr != nil || job != u.job {
+						continue
+					}
+					stalls = 0
+					for i := range vals {
+						finals = u.takeFinal(start+uint32(i), vals[i], ovfs[i], finals)
+					}
+				}
+			}
+		}
+		u.s.pushFinals(finals)
+	}
+}
+
+// takeFinal resolves one pending uplink chunk against a parent aggregate:
+// it ORs the leaf's overflow flag into the parent's, installs the final
+// RESULT into the slot's cache (unless the leaf incarnation moved), and
+// queues it for the fan-down push.
+func (u *uplinkJob) takeFinal(chunk uint32, vals []float32, parentOvf bool, finals []resDone) []resDone {
+	u.mu.Lock()
+	pc, ok := u.out[chunk]
+	if ok {
+		delete(u.out, chunk)
+	}
+	u.mu.Unlock()
+	if !ok {
+		return finals // duplicate parent result; the cache already has it
+	}
+	pkt, ok := u.s.installFinal(u.job, u.epoch, chunk, vals, parentOvf || pc.ovf)
+	if !ok {
+		return finals
+	}
+	return append(finals, resDone{job: u.job, chunk: chunk, pkt: pkt})
+}
+
+// installFinal writes a parent aggregate into its slot's result cache as
+// the chunk's final RESULT, with the same under-lock epoch revalidation
+// the ADD path uses: if the leaf released the range (or rebound the slot)
+// since the chunk went up, the stale aggregate is dropped.
+func (s *Switch) installFinal(job int, epoch uint64, chunk uint32, vals []float32, ovf bool) ([]byte, bool) {
+	js := &s.jobs[job]
+	if js.epoch.Load() != epoch {
+		return nil, false
+	}
+	prof := core.UnpackProfile(js.profBits.Load())
+	ri := int(js.rangeIdx.Load())
+	if ri < 0 {
+		return nil, false
+	}
+	gs := s.slotOf(ri, chunk)
+	sh := s.shards[gs%s.nsh]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if js.epoch.Load() != epoch {
+		return nil, false
+	}
+	st := &sh.slot[gs/s.nsh]
+	if st.chunk != int64(chunk) || !st.upPending {
+		return nil, false
+	}
+	w := prof.ValueBytes()
+	pkt := make([]byte, resultBytesProf(len(vals), prof))
+	putHeader(pkt, MsgResult, job, chunk)
+	for i, v := range vals {
+		prof.PutValue(pkt[hdrBytes+w*i:], v)
+	}
+	if ovf {
+		pkt[hdrBytes+w*len(vals)] = 1
+	}
+	st.cached = pkt
+	st.upPending = false
+	js.cacheBytes.Add(int64(len(pkt)))
+	return pkt, true
+}
+
+// pushFinals fans a round of final RESULTs down to the leaf's own workers
+// through the fabric's push path, coalescing consecutive chunks into run
+// replies exactly like the handler's delivery pass. With no Pusher
+// configured the finals stay in the result cache and the workers'
+// retransmit→replay path picks them up.
+func (s *Switch) pushFinals(finals []resDone) {
+	if len(finals) == 0 {
+		return
+	}
+	u := s.cfg.Uplink
+	if u == nil || u.Push == nil {
+		return
+	}
+	var dl transport.DeliveryList
+	sc := &batchScratch{done: finals}
+	s.emitResults(sc, &dl)
+	u.Push.Push(dl.Take())
+}
+
+// submitUplinks hands a batch's locally-completed chunks to their jobs'
+// uplink clients. Runs after the shard lock rounds — the clients do
+// fabric I/O.
+func (s *Switch) submitUplinks(sc *batchScratch) {
+	for i := 0; i < len(sc.ups); {
+		job := sc.ups[i].job
+		j := i + 1
+		for j < len(sc.ups) && sc.ups[j].job == job {
+			j++
+		}
+		s.upMu.Lock()
+		var cl *uplinkJob
+		if s.uplinks != nil {
+			cl = s.uplinks[job]
+		}
+		s.upMu.Unlock()
+		if cl != nil {
+			cl.submit(sc.ups[i:j])
+		}
+		i = j
+	}
+}
+
+// startUplinkLocked starts a job's uplink client for its current
+// incarnation. Caller holds lifeMu (or is still constructing the switch).
+func (s *Switch) startUplinkLocked(job int, parentEpoch uint8) {
+	u := s.cfg.Uplink
+	if u == nil {
+		return
+	}
+	timeout := u.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	retries := u.Retries
+	if retries < 0 {
+		retries = DefaultRetries
+	}
+	js := &s.jobs[job]
+	cl := &uplinkJob{
+		s: s, job: job,
+		epoch:       js.epoch.Load(),
+		parentEpoch: parentEpoch,
+		prof:        core.UnpackProfile(js.profBits.Load()),
+		fab:         u.Fabric,
+		port:        job*u.Leaves + u.LeafID,
+		timeout:     timeout,
+		retries:     retries,
+		quit:        make(chan struct{}),
+		out:         make(map[uint32]*upChunk),
+	}
+	s.upMu.Lock()
+	if s.uplinks == nil {
+		s.uplinks = make([]*uplinkJob, s.ncap)
+	}
+	s.uplinks[job] = cl
+	s.upMu.Unlock()
+	go cl.run()
+}
+
+// stopUplink detaches and stops a job's uplink client, if any.
+func (s *Switch) stopUplink(job int) {
+	s.upMu.Lock()
+	var cl *uplinkJob
+	if s.uplinks != nil {
+		cl = s.uplinks[job]
+		s.uplinks[job] = nil
+	}
+	s.upMu.Unlock()
+	if cl != nil {
+		cl.stop()
+	}
+}
+
+// UplinkRetransmits reports how many uplink ADDs the job's live uplink
+// client has retransmitted (0 for non-leaves and vacant jobs).
+func (s *Switch) UplinkRetransmits(job int) uint64 {
+	if job < 0 || job >= s.ncap {
+		return 0
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.uplinks == nil || s.uplinks[job] == nil {
+		return 0
+	}
+	return s.uplinks[job].retrans.Load()
+}
+
+// UplinkPending reports how many uplink ADDs await the parent's aggregate
+// (0 for non-leaves and vacant jobs); tests use it to audit that a drain
+// left nothing owed.
+func (s *Switch) UplinkPending(job int) int {
+	if job < 0 || job >= s.ncap {
+		return 0
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if s.uplinks == nil || s.uplinks[job] == nil {
+		return 0
+	}
+	return s.uplinks[job].pending()
+}
+
+// Close stops the switch's background machinery: every live uplink client
+// and every pending drain timer. The switch must not handle traffic after
+// Close; it exists so leaves (whose uplink receivers poll their fabric)
+// shut down cleanly with their process.
+func (s *Switch) Close() {
+	s.lifeMu.Lock()
+	for j, t := range s.drainTimers {
+		if t != nil {
+			t.Stop()
+			s.drainTimers[j] = nil
+		}
+	}
+	s.lifeMu.Unlock()
+	s.upMu.Lock()
+	cls := append([]*uplinkJob(nil), s.uplinks...)
+	s.upMu.Unlock()
+	for _, cl := range cls {
+		if cl != nil {
+			cl.stop()
+		}
+	}
+}

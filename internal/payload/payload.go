@@ -7,6 +7,12 @@
 //     100 Gbps;
 //   - SwitchML's quantization pipeline (§5): per-chunk scaling-factor
 //     computation, float→fixed-point conversion and back.
+//
+// Integration status: these kernels model the host-side cost argument; the
+// live aggservice wire path deliberately avoids them (values travel in the
+// job's negotiated numeric profile, no byte-swapping or fixed-point round
+// trip). Consumed by internal/switchml (the SwitchML baseline),
+// cmd/fpisa-bench (Fig. 6 regeneration), and bench_test.go.
 package payload
 
 import (

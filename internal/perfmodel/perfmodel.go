@@ -7,6 +7,12 @@
 // host core, where launches serialize, and which copy engines cap
 // throughput. The *shape* conclusions (who needs how many cores, where the
 // GPU curves cross) follow from the structure, not the constants.
+//
+// Integration status: analytic only — it predicts goodput from protocol
+// structure and is not yet cross-checked against the measured throughput
+// of the runtime switch (BenchmarkShardedSwitch, BenchmarkTreeAggregation);
+// closing that loop is a ROADMAP item. Consumed by cmd/fpisa-bench
+// (Fig. 10/11 regeneration) and bench_test.go.
 package perfmodel
 
 import (

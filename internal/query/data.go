@@ -8,6 +8,13 @@
 // benchmark's uservisits/rankings tables and the TPC-H tables used by Q3
 // and Q20, at a configurable scale (DESIGN.md §1); `adRevenue` and
 // `l_extendedprice` are FP32, the paper's datatype conversion.
+//
+// Integration status: the engine aggregates through the raw FPISA
+// accumulator (internal/core) on a single simulated switch — it predates
+// and bypasses the multi-tenant aggservice wire path, so queries see no
+// job lifecycle, fair scheduling, numeric profiles, or aggregation trees.
+// Consumed by cmd/fpisa-bench (Table 2 / Fig. 13 regeneration),
+// cmd/fpisa-query's -query mode, examples/dbquery, and bench_test.go.
 package query
 
 import "math/rand"

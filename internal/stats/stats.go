@@ -2,6 +2,12 @@
 // regenerate the paper's figures: log-scale frequency histograms (error
 // distributions, Fig. 8; max/min-ratio distributions, Fig. 7) and labelled
 // (x, y) series (goodput curves, accuracy curves).
+//
+// Integration status: a pure presentation layer with no dependency on the
+// aggregation service — it never sees wire packets, jobs, or trees.
+// Consumed by cmd/fpisa-bench and examples/allreduce for figure output,
+// and by internal/gradients, internal/train, and internal/perfmodel to
+// shape their analysis results.
 package stats
 
 import (

@@ -6,6 +6,12 @@
 // the key agrees with the value on every care bit. When several rows match,
 // the row with the highest priority wins, with earlier insertion breaking
 // ties — the same semantics as hardware TCAM row ordering.
+//
+// Integration status: fully wired into the data path — internal/pisa
+// compiles the FPISA exponent stage onto these tables, so every aggservice
+// switch (and therefore every tree level) exercises this package on each
+// ADD. The LPM table additionally backs the CLZ microbenchmark in
+// bench_test.go.
 package tcam
 
 import (

@@ -161,6 +161,19 @@ type Fabric interface {
 	Close() error
 }
 
+// Pusher is implemented by fabric switch sides that can deliver
+// switch-ORIGINATED packets outside a handler invocation: Memory routes
+// into the worker rings, UDPServer writes to the learned return paths. An
+// aggregation-tree leaf needs this seam — a parent's RESULT arrives on the
+// leaf's uplink, not inside any downlink handler call, and still has to
+// fan down to the leaf's own workers.
+type Pusher interface {
+	// Push routes deliveries exactly like handler output (per-destination
+	// coalescing, broadcast fan-out). Ownership of every Delivery.Packet
+	// passes to the fabric, as with handler deliveries.
+	Push(ds []Delivery) error
+}
+
 // Send is the single-packet compatibility shim over Fabric.SendBatch.
 func Send(f Fabric, worker int, pkt []byte) error {
 	return f.SendBatch(worker, [][]byte{pkt})
@@ -442,12 +455,18 @@ func (m *Memory) SendBatch(worker int, pkts [][]byte) error {
 	}
 
 	m.handler(worker, alive, &rs.dl)
-	ds := rs.dl.Deliveries()
-	if len(ds) == 0 {
-		return nil
-	}
+	m.routeDown(rs, rs.dl.Deliveries())
+	return nil
+}
 
-	// Downlink loss: again one lock round for the whole delivery vector.
+// routeDown runs the downlink half of a delivery vector: one loss-RNG lock
+// round for the whole vector, per-destination grouping, and one ring lock
+// per destination. Packets are enqueued by reference — the receiver copies
+// into its own buffers at RecvBatch time.
+func (m *Memory) routeDown(rs *routeState, ds []Delivery) {
+	if len(ds) == 0 {
+		return
+	}
 	rs.drops = rs.drops[:0]
 	if m.downP > 0 {
 		m.mu.Lock()
@@ -456,10 +475,6 @@ func (m *Memory) SendBatch(worker int, pkts [][]byte) error {
 		}
 		m.mu.Unlock()
 	}
-
-	// Group deliveries per destination ring, then push each group under a
-	// single ring lock. Packets are enqueued by reference — the receiver
-	// copies into its own buffers at RecvBatch time.
 	var lostDown uint64
 	for i, d := range ds {
 		if len(rs.drops) > 0 && rs.drops[i] {
@@ -488,6 +503,24 @@ func (m *Memory) SendBatch(worker int, pkts [][]byte) error {
 	m.delivered += delivered
 	m.lostDown += lostDown
 	m.mu.Unlock()
+}
+
+// Push implements Pusher: switch-originated deliveries enter the worker
+// rings through the same downlink path handler output takes, including the
+// seeded downlink loss — a pushed packet is as droppable as a replied one,
+// which is what the tree retransmit tests lean on.
+func (m *Memory) Push(ds []Delivery) error {
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	rs := m.routePool.Get().(*routeState)
+	defer m.putRoute(rs)
+	m.routeDown(rs, ds)
 	return nil
 }
 

@@ -98,14 +98,63 @@ func splitBatchFrame(frame []byte, into [][]byte) (id byte, pkts [][]byte, err e
 // ServeConn blocks until the socket is closed (returning nil) and errors
 // immediately on a worker count the one-byte frame cannot address;
 // transient read errors are skipped. It is the shared serve loop of the
-// UDP fabric and the fpisa-switch daemon.
+// UDP fabric and the fpisa-switch daemon. Callers that also need the
+// switch-originated Push downlink (aggregation-tree leaves fanning parent
+// results down outside a handler invocation) build a UDPServer instead —
+// ServeConn is NewUDPServer + Serve.
 func ServeConn(conn *net.UDPConn, workers int, handler BatchHandler) error {
+	srv, err := NewUDPServer(conn, workers)
+	if err != nil {
+		return err
+	}
+	return srv.Serve(handler)
+}
+
+// UDPServer is the switch side of the UDP fabric as a handle: Serve runs
+// the reader pool over the socket, and Push writes switch-ORIGINATED
+// deliveries to the learned worker return paths outside any handler
+// invocation — the Pusher a tree leaf hands its uplink so a parent's
+// RESULT can fan down to local workers the moment it arrives, instead of
+// waiting for their next retransmit to replay it.
+type UDPServer struct {
+	conn    *net.UDPConn
+	workers int
+
+	mu    sync.Mutex // guards addrs
+	addrs []*net.UDPAddr
+
+	// pushMu serializes Push calls so the scratch (groups, address
+	// snapshot, write buffer) has one owner; the reader pool's own
+	// deliveries do not go through it.
+	pushMu sync.Mutex
+	groups destGroups
+	dst    []*net.UDPAddr
+	wbuf   []byte
+}
+
+// NewUDPServer wraps a bound switch socket. The caller owns conn; closing
+// it terminates Serve.
+func NewUDPServer(conn *net.UDPConn, workers int) (*UDPServer, error) {
 	if workers < 1 || workers > MaxWorkers {
-		return fmt.Errorf("transport: %d workers outside the 1..%d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
+		return nil, fmt.Errorf("transport: %d workers outside the 1..%d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
 			workers, MaxWorkers, BatchFrameID, ObserverID)
 	}
-	var mu sync.Mutex
-	addrs := make([]*net.UDPAddr, workers)
+	s := &UDPServer{
+		conn:    conn,
+		workers: workers,
+		addrs:   make([]*net.UDPAddr, workers),
+		dst:     make([]*net.UDPAddr, workers),
+	}
+	s.groups.init(workers)
+	return s, nil
+}
+
+// Serve blocks draining the socket with the reader pool until the socket
+// is closed (returning nil); see ServeConn for the frame semantics.
+func (s *UDPServer) Serve(handler BatchHandler) error {
+	if handler == nil {
+		return fmt.Errorf("transport: nil handler")
+	}
 	readers := runtime.GOMAXPROCS(0)
 	if readers > 8 {
 		readers = 8
@@ -115,11 +164,51 @@ func ServeConn(conn *net.UDPConn, workers int, handler BatchHandler) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			serveReader(conn, workers, handler, &mu, addrs)
+			serveReader(s.conn, s.workers, handler, &s.mu, s.addrs)
 		}()
 	}
 	wg.Wait()
 	return nil
+}
+
+// Push implements Pusher: it routes switch-originated deliveries to the
+// worker return paths learned by the serve loop, coalescing per
+// destination exactly like handler deliveries. Workers whose address is
+// not yet learned (they never sent a datagram) are skipped — the result
+// cache replays the packet when they do.
+func (s *UDPServer) Push(ds []Delivery) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	for _, d := range ds {
+		if d.Broadcast {
+			for w := 0; w < s.workers; w++ {
+				s.groups.route(w, d.Packet)
+			}
+			continue
+		}
+		if d.Worker >= 0 && d.Worker < s.workers {
+			s.groups.route(d.Worker, d.Packet)
+		}
+	}
+	s.mu.Lock()
+	for _, w := range s.groups.touched {
+		s.dst[w] = s.addrs[w]
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, w := range s.groups.touched {
+		if s.dst[w] == nil {
+			continue
+		}
+		if err := writeCoalesced(s.conn, s.dst[w], 0, s.groups.perDst[w], false, &s.wbuf); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.groups.reset()
+	return firstErr
 }
 
 // serveState is one reader goroutine's reusable scratch.
@@ -276,9 +365,16 @@ func writeCoalesced(conn *net.UDPConn, dst *net.UDPAddr, id byte, pkts [][]byte,
 // The switch socket is drained by ServeConn's reader pool, so concurrent
 // datagrams reach the handler in parallel — the handler must be
 // concurrency-safe (see BatchHandler).
+//
+// A UDP fabric built by DialUDP has no switch side at all: it is the
+// worker half dialed at a REMOTE switch socket (another process's
+// fpisa-switch, or another switch in an aggregation tree), so swConn and
+// srv are nil and Push reports that there is nothing to push through.
 type UDP struct {
 	workers  int
+	swAddr   *net.UDPAddr
 	swConn   *net.UDPConn
+	srv      *UDPServer
 	conns    []*net.UDPConn
 	send     []sendState
 	recv     []recvState
@@ -303,13 +399,6 @@ type recvState struct {
 
 // NewUDP starts a switch socket on 127.0.0.1 and one socket per worker.
 func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
-	if workers < 1 {
-		return nil, fmt.Errorf("transport: workers %d", workers)
-	}
-	if workers > MaxWorkers {
-		return nil, fmt.Errorf("transport: %d workers exceed the %d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
-			workers, MaxWorkers, BatchFrameID, ObserverID)
-	}
 	if handler == nil {
 		return nil, fmt.Errorf("transport: nil handler")
 	}
@@ -317,9 +406,38 @@ func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
 	if err != nil {
 		return nil, err
 	}
+	u, err := DialUDP(sw.LocalAddr().(*net.UDPAddr), workers)
+	if err != nil {
+		sw.Close()
+		return nil, err
+	}
+	u.swConn = sw
+	// workers was validated by DialUDP, so NewUDPServer cannot error here.
+	u.srv, _ = NewUDPServer(sw, workers)
+	go func() { _ = u.srv.Serve(handler) }()
+	return u, nil
+}
+
+// DialUDP builds the worker half of a UDP fabric against a switch socket
+// served elsewhere — another process's fpisa-switch daemon, or the parent
+// switch of an aggregation tree (the leaf dials its parent exactly like a
+// worker). One local socket is bound per worker port; SendBatch writes to
+// addr and RecvBatch drains the local sockets. Push errors: a dialed
+// fabric has no switch side to originate deliveries from.
+func DialUDP(addr *net.UDPAddr, workers int) (*UDP, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("transport: workers %d", workers)
+	}
+	if workers > MaxWorkers {
+		return nil, fmt.Errorf("transport: %d workers exceed the %d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
+			workers, MaxWorkers, BatchFrameID, ObserverID)
+	}
+	if addr == nil {
+		return nil, fmt.Errorf("transport: nil switch address")
+	}
 	u := &UDP{
 		workers: workers,
-		swConn:  sw,
+		swAddr:  addr,
 		conns:   make([]*net.UDPConn, workers),
 		send:    make([]sendState, workers),
 		recv:    make([]recvState, workers),
@@ -332,13 +450,22 @@ func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
 		}
 		u.conns[i] = c
 	}
-	// workers was validated above, so ServeConn cannot error here.
-	go func() { _ = ServeConn(sw, workers, handler) }()
 	return u, nil
 }
 
-// SwitchAddr returns the switch socket's address.
-func (u *UDP) SwitchAddr() *net.UDPAddr { return u.swConn.LocalAddr().(*net.UDPAddr) }
+// SwitchAddr returns the switch socket's address (the dialed address for a
+// DialUDP fabric).
+func (u *UDP) SwitchAddr() *net.UDPAddr { return u.swAddr }
+
+// Push implements Pusher on the switch side of the fabric, delegating to
+// the serve loop's learned return paths; a DialUDP fabric has no switch
+// side and errors.
+func (u *UDP) Push(ds []Delivery) error {
+	if u.srv == nil {
+		return fmt.Errorf("transport: Push on a dialed (switchless) UDP fabric")
+	}
+	return u.srv.Push(ds)
+}
 
 // SendBatch implements Fabric, coalescing the vector into batch-framed
 // datagrams (a lone packet rides the legacy [workerID payload] frame).
@@ -352,7 +479,7 @@ func (u *UDP) SendBatch(worker int, pkts [][]byte) error {
 	st := &u.send[worker]
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return writeCoalesced(u.conns[worker], u.SwitchAddr(), byte(worker), pkts, true, &st.wbuf)
+	return writeCoalesced(u.conns[worker], u.swAddr, byte(worker), pkts, true, &st.wbuf)
 }
 
 // RecvBatch implements Fabric: it blocks up to timeout for the first
@@ -435,7 +562,8 @@ func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, 
 }
 
 // Close implements Fabric. Closing the switch socket terminates the
-// ServeConn reader pool.
+// ServeConn reader pool (a DialUDP fabric owns no switch socket and only
+// closes its worker sockets).
 func (u *UDP) Close() error {
 	u.closedMu.Lock()
 	defer u.closedMu.Unlock()
@@ -443,7 +571,9 @@ func (u *UDP) Close() error {
 		return nil
 	}
 	u.closed = true
-	u.swConn.Close()
+	if u.swConn != nil {
+		u.swConn.Close()
+	}
 	for _, c := range u.conns {
 		if c != nil {
 			c.Close()
