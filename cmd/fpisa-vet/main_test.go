@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles fpisa-vet into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fpisa-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVersionProbe checks the `-V=full` handshake go vet uses to identify
+// the tool for its action cache: at least three fields, "version" second,
+// third not "devel".
+func TestVersionProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[1] != "version" || f[2] == "devel" {
+		t.Fatalf("-V=full printed %q; want \"fpisa-vet version <id>\"", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Fatalf("-flags printed %q; want []", out)
+	}
+}
+
+// TestGoVetIntegration drives the real thing: `go vet -vettool` over the
+// whole module must come back clean.
+func TestGoVetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the module")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool failed: %v\n%s", err, out.String())
+	}
+}
+
+// TestStandaloneFindings runs the standalone mode against a fixture tree
+// with a known violation and checks the finding and exit status surface.
+func TestStandaloneFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool")
+	}
+	bin := buildTool(t)
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vetfixture\n\ngo 1.23\n")
+	write("fixture.go", `package vetfixture
+
+func DecodeThing(pkt []byte) byte {
+	return pkt[0]
+}
+`)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on findings, got %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "[wirebounds]") {
+		t.Fatalf("expected a wirebounds finding, got:\n%s", out.String())
+	}
+}

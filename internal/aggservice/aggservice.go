@@ -449,8 +449,14 @@ func DecodeResultProfile(pkt []byte, modules int, prof core.NumericProfile) (job
 	w := prof.ValueBytes()
 	if typ, terr := wireType(pkt); terr != nil {
 		return 0, 0, nil, false, fmt.Errorf("bad result packet: %w", terr)
-	} else if typ != MsgResult || len(pkt) != resultBytesProf(modules, prof) {
+	} else if typ != MsgResult {
 		return 0, 0, nil, false, fmt.Errorf("aggservice: bad result packet")
+	}
+	if n := resultBytesProf(modules, prof); len(pkt) != n {
+		if len(pkt) < n {
+			return 0, 0, nil, false, fmt.Errorf("result packet %d of %d bytes: %w", len(pkt), n, ErrTruncated)
+		}
+		return 0, 0, nil, false, fmt.Errorf("aggservice: result packet %d bytes, want %d", len(pkt), n)
 	}
 	job = int(binary.BigEndian.Uint16(pkt[2:]))
 	chunk = binary.BigEndian.Uint32(pkt[4:])
@@ -544,20 +550,23 @@ func DecodeBatch(pkt []byte) ([][]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bad batch packet: %w", err)
 	}
-	if typ != MsgBatch || len(pkt) < batchHdrBytes {
+	if typ != MsgBatch {
 		return nil, fmt.Errorf("aggservice: bad batch packet")
+	}
+	if len(pkt) < batchHdrBytes {
+		return nil, fmt.Errorf("batch header %d of %d bytes: %w", len(pkt), batchHdrBytes, ErrTruncated)
 	}
 	count := int(binary.BigEndian.Uint16(pkt[2:]))
 	msgs := make([][]byte, 0, count)
 	off := batchHdrBytes
 	for i := 0; i < count; i++ {
 		if off+2 > len(pkt) {
-			return nil, fmt.Errorf("aggservice: batch truncated at message %d", i)
+			return nil, fmt.Errorf("batch truncated at message %d: %w", i, ErrTruncated)
 		}
 		l := int(binary.BigEndian.Uint16(pkt[off:]))
 		off += 2
 		if off+l > len(pkt) {
-			return nil, fmt.Errorf("aggservice: batch message %d exceeds packet", i)
+			return nil, fmt.Errorf("batch message %d of %d bytes exceeds packet: %w", i, l, ErrTruncated)
 		}
 		m := pkt[off : off+l]
 		if len(m) >= 2 && m[0] == WireVersion && m[1] == MsgBatch {
@@ -899,6 +908,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	// Install the initially admitted jobs' aggregator banks: distinct
 	// profiles compile once, every (job, shard) bank is a replica.
 	for j := 0; j < njobs; j++ {
+		//fpisa:ignore lockedcall constructor: s is not yet published, and locking lifeMu here would deadlock the error path through Close
 		proto, err := s.getProtoLocked(cfg.profileOf(j))
 		if err != nil {
 			return nil, fmt.Errorf("aggservice: job %d profile: %w", j, err)
@@ -924,6 +934,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 					return nil, fmt.Errorf("aggservice: job %d parent admit: %w", j, err)
 				}
 			}
+			//fpisa:ignore lockedcall constructor: s is not yet published, and locking lifeMu here would deadlock the error path through Close
 			s.startUplinkLocked(j, pe)
 		}
 	}
@@ -1218,6 +1229,7 @@ func (sc *batchScratch) queue(shard int, a addReq) {
 	if len(sc.byShard[shard]) == 0 {
 		sc.touched = append(sc.touched, shard)
 	}
+	//fpisa:ignore retaincap scratch lifetime is bounded by the HandleBatch call: putScratch nils every pkt ref before pooling
 	sc.adds = append(sc.adds, a)
 	sc.byShard[shard] = append(sc.byShard[shard], len(sc.adds)-1)
 }

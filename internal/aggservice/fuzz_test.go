@@ -171,3 +171,125 @@ func FuzzDecodeJobAdmit(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeResultRun fuzzes the PR 7 run-length RESULT codec — the only
+// v2 message that was shipped without a fuzz target. Same invariants as
+// the rest of the suite: no panics on arbitrary input, header-level
+// truncation identified as ErrTruncated, and every accepted run
+// re-encodes byte for byte through encodeResultRun. The profile selector
+// byte steers decoding across the negotiated wire formats, since the item
+// stride (and so every bound) depends on the value width.
+func FuzzDecodeResultRun(f *testing.F) {
+	profiles := []core.NumericProfile{
+		core.DefaultProfile,
+		{Format: core.FormatF16, Guard: 3, Rounding: core.RoundingRNE},
+		{Format: core.FormatBF16, Guard: 2, Rounding: core.RoundingRNE},
+	}
+	const modules = 3
+	item := func(prof core.NumericProfile, job int, chunk uint32, vals []float32, ovf bool) []byte {
+		w := prof.ValueBytes()
+		pkt := make([]byte, resultBytesProf(len(vals), prof))
+		putHeader(pkt, MsgResult, job, chunk)
+		for i, v := range vals {
+			prof.PutValue(pkt[hdrBytes+w*i:], v)
+		}
+		if ovf {
+			pkt[hdrBytes+w*len(vals)] = 1
+		}
+		return pkt
+	}
+	for sel, prof := range profiles {
+		one := encodeResultRun(7, 42, [][]byte{
+			item(prof, 7, 42, []float32{1, -2, 0.5}, false),
+		})
+		three := encodeResultRun(9, 100, [][]byte{
+			item(prof, 9, 100, []float32{1, 2, 3}, false),
+			item(prof, 9, 101, []float32{-1, -2, -3}, true),
+			item(prof, 9, 102, []float32{0, 0, 0}, false),
+		})
+		f.Add(byte(sel), one)
+		f.Add(byte(sel), three)
+		f.Add(byte(sel), three[:len(three)-2])                          // truncated final item
+		f.Add(byte(sel), append(append([]byte(nil), one...), 0xbb))     // trailing byte
+		f.Add(byte(sel), one[:runHdrBytes-1])                           // truncated header
+		f.Add(byte(sel), one[:runHdrBytes])                             // header only, count 1, no items
+		f.Add(byte(sel), func() []byte {                                // count 0
+			p := append([]byte(nil), one...)
+			p[hdrBytes] = 0
+			p[hdrBytes+1] = 0
+			return p
+		}())
+		f.Add(byte(sel), func() []byte { // count overstates items
+			p := append([]byte(nil), three...)
+			p[hdrBytes+1] = 0xff
+			return p
+		}())
+	}
+	f.Add(byte(0), []byte{WireVersion, MsgResult, 0, 0})  // wrong type
+	f.Add(byte(0), []byte{MsgResult, 0, 0, 0})            // legacy framing
+	f.Add(byte(0), []byte{WireVersion})                   // short v2
+
+	f.Fuzz(func(t *testing.T, sel byte, pkt []byte) {
+		prof := profiles[int(sel)%len(profiles)]
+		job, start, vals, ovfs, err := DecodeResultRun(pkt, modules, prof)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgResultRun &&
+				len(pkt) < runHdrBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short run error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if len(vals) < 1 || len(vals) != len(ovfs) {
+			t.Fatalf("accepted run with %d value rows, %d overflow flags", len(vals), len(ovfs))
+		}
+		stride := prof.ValueBytes()*modules + 1
+		if len(pkt) != runHdrBytes+len(vals)*stride {
+			t.Fatalf("accepted a %d-byte run for %d items", len(pkt), len(vals))
+		}
+		items := make([][]byte, len(vals))
+		for i := range vals {
+			items[i] = item(prof, job, start+uint32(i), vals[i], ovfs[i])
+		}
+		// The overflow octet is a wire boolean: any nonzero byte decodes
+		// as true and canonically re-encodes as 1, so compare against the
+		// canonicalized packet. NaN payload bits are not preserved by the
+		// 16-bit widen/narrow pair, so runs carrying NaNs are checked
+		// semantically (decode∘encode is identity) instead of byte-exactly.
+		hasNaN := false
+		for _, vs := range vals {
+			for _, v := range vs {
+				if v != v {
+					hasNaN = true
+				}
+			}
+		}
+		re := encodeResultRun(job, start, items)
+		if !hasNaN {
+			canon := append([]byte(nil), pkt...)
+			for i := range vals {
+				if off := runHdrBytes + (i+1)*stride - 1; canon[off] != 0 {
+					canon[off] = 1
+				}
+			}
+			if !bytes.Equal(re, canon) {
+				t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, canon)
+			}
+			return
+		}
+		job2, start2, vals2, ovfs2, err := DecodeResultRun(re, modules, prof)
+		if err != nil || job2 != job || start2 != start || len(vals2) != len(vals) {
+			t.Fatalf("NaN run re-decode: job %d→%d start %d→%d err %v", job, job2, start, start2, err)
+		}
+		for i := range vals {
+			if ovfs2[i] != ovfs[i] {
+				t.Fatalf("NaN run re-decode: item %d overflow %v→%v", i, ovfs[i], ovfs2[i])
+			}
+			for m := range vals[i] {
+				a, b := vals[i][m], vals2[i][m]
+				if a != b && !(a != a && b != b) {
+					t.Fatalf("NaN run re-decode: item %d module %d %v→%v", i, m, a, b)
+				}
+			}
+		}
+	})
+}

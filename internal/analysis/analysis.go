@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one machine-checked invariant: a name (used on the command
+// line and in //fpisa:ignore directives), a doc string describing the rule,
+// and a Run function that inspects one type-checked package.
+//
+// The shape deliberately mirrors golang.org/x/tools/go/analysis so the
+// suite can be ported onto the upstream framework if the dependency ever
+// becomes available; this repo vendors no third-party code, so the driver
+// (load.go, cmd/fpisa-vet) is self-contained on go/parser + go/types +
+// `go list -export`.
+type Analyzer struct {
+	// Name identifies the analyzer: lowercase, no spaces.
+	Name string
+	// Doc states the enforced invariant, first line summary-style.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzers returns the full fpisa-vet suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockedCall, MixedAtomic, WireBounds, RetainCap}
+}
+
+// ByName resolves a comma-separated analyzer list ("lockedcall,wirebounds")
+// against the suite; an empty spec selects every analyzer.
+func ByName(spec string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if spec == "" {
+		return all, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q (have %s)", name, names(all))
+		}
+	}
+	return out, nil
+}
+
+func names(as []*Analyzer) string {
+	var ns []string
+	for _, a := range as {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// RunPackage runs the analyzers over one loaded package, applies the
+// package's //fpisa:ignore directives, and returns the surviving findings
+// (plus any directive-misuse findings) sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			findings:  &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	out := applyIgnores(pkg, analyzers, raw)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// Run loads the packages matching patterns (resolved in dir) and runs the
+// analyzers over every package in the main module.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return out, nil
+}
+
+// isByteSlice reports whether t is []byte.
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isByteSliceSlice reports whether t is [][]byte.
+func isByteSliceSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isByteSlice(s.Elem())
+}
+
+// inspectStack walks root like ast.Inspect but also hands f the stack of
+// enclosing nodes (outermost first, excluding n itself).
+func inspectStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			// Subtree pruned: ast.Inspect sends no nil pop for it, so
+			// nothing is pushed either.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testdata(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestLockedCall(t *testing.T) {
+	RunTest(t, testdata("lockedcall"), LockedCall)
+}
+
+func TestMixedAtomic(t *testing.T) {
+	RunTest(t, testdata("mixedatomic"), MixedAtomic)
+}
+
+func TestWireBounds(t *testing.T) {
+	RunTest(t, testdata("wirebounds"), WireBounds)
+}
+
+func TestRetainCap(t *testing.T) {
+	RunTest(t, testdata("retaincap"), RetainCap)
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("lockedcall,retaincap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "lockedcall" || as[1].Name != "retaincap" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuchanalyzer"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %v, %v", all, err)
+	}
+}
+
+// TestSuiteCleanOnRepo runs the full suite over the whole module — the
+// same gate the CI lint job enforces through cmd/fpisa-vet. Any finding
+// here means either a real invariant violation crept in or a false
+// positive needs a documented //fpisa:ignore.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	findings, err := Run(filepath.Join("..", ".."), []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A finding is a build error under fpisa-vet, so
+// false positives need an escape hatch — but an undocumented escape hatch
+// rots into a mute button. The driver therefore enforces the shape
+//
+//	//fpisa:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// where the reason is MANDATORY: a directive without one is itself reported
+// ("unexplained suppression"), as is a directive naming an unknown analyzer
+// or one that suppressed nothing (stale after a fix). A directive applies
+// to findings on its own line (trailing comment) or on the line directly
+// below (standalone comment line).
+const ignorePrefix = "//fpisa:ignore"
+
+// directiveAnalyzer names the pseudo-analyzer that reports directive misuse;
+// it cannot itself be suppressed.
+const directiveAnalyzer = "fpisa-ignore"
+
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// applyIgnores filters raw findings through the package's //fpisa:ignore
+// directives and appends directive-misuse findings (unexplained, unknown
+// analyzer, unused).
+func applyIgnores(pkg *Package, ran []*Analyzer, raw []Finding) []Finding {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	running := map[string]bool{}
+	for _, a := range ran {
+		running[a.Name] = true
+	}
+
+	// index: file → line → directives covering that line.
+	var directives []*ignoreDirective
+	covering := map[string]map[int][]*ignoreDirective{}
+	var misuse []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				pos := pkg.Fset.Position(c.Pos())
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //fpisa:ignoreXXX — not this directive
+				}
+				namesPart, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				d := &ignoreDirective{pos: pos, reason: strings.TrimSpace(reason)}
+				unknownName := false
+				for _, n := range strings.Split(namesPart, ",") {
+					n = strings.TrimSpace(n)
+					if n == "" {
+						continue
+					}
+					if !known[n] {
+						unknownName = true
+						misuse = append(misuse, Finding{
+							Analyzer: directiveAnalyzer,
+							Pos:      pos,
+							Message:  "//fpisa:ignore names unknown analyzer " + n,
+						})
+						continue
+					}
+					d.analyzers = append(d.analyzers, n)
+				}
+				if unknownName && len(d.analyzers) == 0 {
+					continue // already reported; nothing left to validate
+				}
+				if len(d.analyzers) == 0 {
+					misuse = append(misuse, Finding{
+						Analyzer: directiveAnalyzer,
+						Pos:      pos,
+						Message:  "//fpisa:ignore must name at least one analyzer",
+					})
+					continue
+				}
+				if d.reason == "" {
+					misuse = append(misuse, Finding{
+						Analyzer: directiveAnalyzer,
+						Pos:      pos,
+						Message:  "unexplained suppression: //fpisa:ignore requires a reason after the analyzer list",
+					})
+					continue
+				}
+				directives = append(directives, d)
+				byLine := covering[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*ignoreDirective{}
+					covering[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+			}
+		}
+	}
+
+	var out []Finding
+	for _, f := range raw {
+		suppressed := false
+		for _, d := range covering[f.Pos.Filename][f.Pos.Line] {
+			for _, name := range d.analyzers {
+				if name == f.Analyzer {
+					d.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range directives {
+		if d.used {
+			continue
+		}
+		// Only call a directive stale when every analyzer it names actually
+		// ran; a partial `-run` pass cannot judge the others' directives.
+		all := true
+		for _, name := range d.analyzers {
+			if !running[name] {
+				all = false
+			}
+		}
+		if all {
+			out = append(out, Finding{
+				Analyzer: directiveAnalyzer,
+				Pos:      d.pos,
+				Message:  "stale //fpisa:ignore: it suppressed nothing; delete it",
+			})
+		}
+	}
+	return append(out, misuse...)
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockedCall enforces the shard/lifecycle lock discipline from PR 1: a
+// function whose name ends in "Locked" documents that its caller holds the
+// relevant mutex, so it may only be invoked from another *Locked function
+// or from a function that visibly acquires a lock somewhere in its own
+// body. A call from a function that does neither is a latent data race —
+// the callee will touch guarded state with no lock held.
+var LockedCall = &Analyzer{
+	Name: "lockedcall",
+	Doc: `check that *Locked functions are called with a lock held
+
+A function named *Locked may only be called from another *Locked function,
+or from a function whose body acquires a mutex (Lock, RLock, TryLock,
+TryRLock). Calls from lock-free functions are reported.`,
+	Run: runLockedCall,
+}
+
+// lockAcquireNames are the selector names whose call counts as acquiring a
+// mutex in the caller's body. TryLock/TryRLock count even though they can
+// fail: a caller using them has a guarded path, and flow-sensitivity is
+// out of scope for this checker.
+var lockAcquireNames = map[string]bool{
+	"Lock":     true,
+	"RLock":    true,
+	"TryLock":  true,
+	"TryRLock": true,
+}
+
+func runLockedCall(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockedCalls(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkLockedCalls(pass *Pass, fn *ast.FuncDecl) {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		// *Locked → *Locked inherits the caller's obligation.
+		return
+	}
+	acquires := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && lockAcquireNames[sel.Sel.Name] {
+			acquires = true
+		}
+		return true
+	})
+	if acquires {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name != "" && strings.HasSuffix(name, "Locked") {
+			pass.Reportf(call.Pos(),
+				"call to %s from %s, which neither has the Locked suffix nor acquires a lock in its body",
+				name, fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare called-function name from a call, for both
+// plain calls (fooLocked()) and method/selector calls (s.fooLocked()).
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

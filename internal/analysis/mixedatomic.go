@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MixedAtomic enforces the all-or-nothing rule for atomic state: once a
+// struct field is accessed through sync/atomic anywhere in the package,
+// every access must be atomic — a single plain read or write reintroduces
+// the data race the atomics were meant to remove. It also flags
+// atomic.Int64-style typed values copied or passed by value, which
+// silently forks the counter (and trips the noCopy vet check only at the
+// whole-struct level).
+var MixedAtomic = &Analyzer{
+	Name: "mixedatomic",
+	Doc: `check for fields mixing sync/atomic and plain access
+
+A field whose address is passed to a sync/atomic function anywhere in the
+package must never be read or written plainly elsewhere. Values of the
+atomic.Int64-style wrapper types must only be used through their methods
+or by address, never copied by value.`,
+	Run: runMixedAtomic,
+}
+
+func runMixedAtomic(pass *Pass) error {
+	// Pass 1: collect every struct field whose address reaches a
+	// sync/atomic function, remembering one atomic-use site per field so
+	// the later report can point at it.
+	atomicUse := map[types.Object]token.Position{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPkgCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := selectedField(pass, un.X); obj != nil {
+					if _, seen := atomicUse[obj]; !seen {
+						atomicUse[obj] = pass.Fset.Position(arg.Pos())
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: any other access to those fields must itself be the &field
+	// argument of a sync/atomic call.
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := selectedField(pass, sel)
+			if obj == nil {
+				return true
+			}
+			use, tracked := atomicUse[obj]
+			if !tracked || atomicAddressContext(pass, stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed atomically at %s; every access must go through sync/atomic",
+				obj.Name(), use)
+			return true
+		})
+	}
+
+	// Pass 3: atomic.Int64-style values used by value. The only legal
+	// contexts for such an expression are taking its address and selecting
+	// a method or field off it.
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+			default:
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || !tv.IsValue() || !isAtomicWrapperType(tv.Type) {
+				return true
+			}
+			if len(stack) > 0 {
+				switch parent := stack[len(stack)-1].(type) {
+				case *ast.UnaryExpr:
+					if parent.Op == token.AND {
+						return true
+					}
+				case *ast.SelectorExpr:
+					if parent.X == e {
+						return true // x.counter.Load(), x.counter.f
+					}
+				}
+			}
+			pass.Reportf(e.Pos(),
+				"%s value used by value; use its methods or take its address", tv.Type)
+			return false
+		})
+	}
+	return nil
+}
+
+// isAtomicPkgCall reports whether call invokes a function from sync/atomic
+// (atomic.AddUint64, atomic.LoadInt32, ...).
+func isAtomicPkgCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// selectedField resolves e to the struct-field object it selects, or nil
+// if e is not a field selection.
+func selectedField(pass *Pass, e ast.Expr) types.Object {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// atomicAddressContext reports whether the innermost two enclosing nodes
+// are &<field> inside a sync/atomic call — the one plain appearance an
+// atomically accessed field is allowed.
+func atomicAddressContext(pass *Pass, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	un, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && isAtomicPkgCall(pass, call)
+}
+
+// isAtomicWrapperType reports whether t is one of sync/atomic's typed
+// wrappers (atomic.Int64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}

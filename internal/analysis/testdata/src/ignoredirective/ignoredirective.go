@@ -1,0 +1,38 @@
+// Package ignoredirective is fpisa-vet driver testdata: //fpisa:ignore
+// parsing, enforcement of reasons, and stale-directive detection. Expected
+// findings are asserted in ignore_test.go rather than want comments,
+// because directive-misuse findings land on the directive's own line.
+package ignoredirective
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) addLocked() { c.n++ }
+
+// suppressed: documented and used — no findings.
+func suppressed(c *counter) {
+	c.addLocked() //fpisa:ignore lockedcall fixture: caller locks by construction
+}
+
+// unexplained: directive without a reason is rejected, so the underlying
+// finding survives and the directive itself is reported.
+func unexplained(c *counter) {
+	c.addLocked() //fpisa:ignore lockedcall
+}
+
+// unknown: names a nonexistent analyzer.
+func unknown(c *counter) {
+	c.addLocked() //fpisa:ignore nosuchanalyzer because reasons
+}
+
+// stale: the lock acquisition already satisfies lockedcall, so the
+// directive suppresses nothing and must be deleted.
+func stale(c *counter) {
+	c.mu.Lock()
+	c.addLocked() //fpisa:ignore lockedcall the lock above already satisfies the checker
+	c.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+// Package lockedcall is fpisa-vet analyzer testdata: lock-suffix call
+// discipline, positive and negative cases.
+package lockedcall
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int
+}
+
+func (s *shard) bumpLocked() { s.count++ }
+
+func (s *shard) readLocked() int { return s.count }
+
+// flushLocked: *Locked calling *Locked inherits the caller's lock. OK.
+func (s *shard) flushLocked() {
+	s.bumpLocked()
+}
+
+// Bump acquires the mutex in its own body. OK.
+func (s *shard) Bump() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bumpLocked()
+}
+
+// Read acquires a read lock. OK.
+func (s *shard) Read() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.readLocked()
+}
+
+// TryBump: TryLock counts as acquiring. OK.
+func (s *shard) TryBump() bool {
+	if !s.mu.TryLock() {
+		return false
+	}
+	defer s.mu.Unlock()
+	s.bumpLocked()
+	return true
+}
+
+// Racy calls a *Locked helper with no lock anywhere in sight.
+func (s *shard) Racy() {
+	s.bumpLocked() // want `call to bumpLocked from Racy, which neither has the Locked suffix nor acquires a lock in its body`
+}
+
+func freeFunc(s *shard) int {
+	return s.readLocked() // want `call to readLocked from freeFunc, which neither has the Locked suffix nor acquires a lock in its body`
+}
+
+// Suppressed demonstrates the documented escape hatch.
+func (s *shard) Suppressed() {
+	s.bumpLocked() //fpisa:ignore lockedcall test fixture: caller holds mu by construction
+}

@@ -1,0 +1,46 @@
+// Package mixedatomic is fpisa-vet analyzer testdata: mixed atomic/plain
+// field access and by-value atomic wrapper misuse.
+package mixedatomic
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	drops uint64
+}
+
+// Hit and Peek access hits atomically. OK.
+func (c *counters) Hit() { atomic.AddUint64(&c.hits, 1) }
+
+func (c *counters) Peek() uint64 { return atomic.LoadUint64(&c.hits) }
+
+// Racy reads the same field plainly — the bug class this analyzer exists
+// for.
+func (c *counters) Racy() uint64 {
+	return c.hits // want `plain access to field hits, which is accessed atomically at`
+}
+
+func (c *counters) RacyWrite() {
+	c.hits = 0 // want `plain access to field hits, which is accessed atomically at`
+}
+
+// Drops is only ever accessed plainly. OK.
+func (c *counters) Drops() uint64 { return c.drops }
+
+type gauge struct {
+	val atomic.Int64
+}
+
+// Set and Get use the wrapper through its methods. OK.
+func (g *gauge) Set(v int64) { g.val.Store(v) }
+
+func (g *gauge) Get() int64 { return g.val.Load() }
+
+// Addr takes the wrapper's address. OK.
+func (g *gauge) Addr() *atomic.Int64 { return &g.val }
+
+// Leak copies the wrapper by value, forking the counter.
+func (g *gauge) Leak() int64 {
+	v := g.val // want `sync/atomic\.Int64 value used by value`
+	return v.Load()
+}

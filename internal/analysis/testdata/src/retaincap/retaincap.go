@@ -1,0 +1,124 @@
+// Package retaincap is fpisa-vet analyzer testdata: packet-buffer
+// retention by handlers, direct and through helpers.
+package retaincap
+
+// DeliveryList mimics the transport type: it batches packets for a later
+// delivery, so handing it a live packet slice aliases fabric memory.
+type DeliveryList struct {
+	pkts [][]byte
+}
+
+func (d *DeliveryList) Add(pkt []byte) {
+	d.pkts = append(d.pkts, pkt) // want `stores packet-derived slice into field pkts`
+}
+
+var lastPkt []byte
+
+type fieldSink struct {
+	last []byte
+}
+
+// Handle stores the delivered packet straight into a field.
+func (s *fieldSink) Handle(pkt []byte) {
+	s.last = pkt // want `stores packet-derived slice into field last, outliving the handler call`
+}
+
+type subsliceSink struct {
+	hdr []byte
+}
+
+// Handle stashes a subslice through a helper — the taint must survive both
+// the slicing and the call.
+func (s *subsliceSink) Handle(pkt []byte) {
+	s.stash(pkt[:8])
+}
+
+func (s *subsliceSink) stash(b []byte) {
+	s.hdr = b // want `stores packet-derived slice into field hdr, outliving the handler call`
+}
+
+type globalSink struct{}
+
+func (g *globalSink) Handle(pkt []byte) {
+	lastPkt = pkt // want `stores packet-derived slice in package-level variable lastPkt`
+}
+
+type chanSink struct {
+	ch chan []byte
+}
+
+func (c *chanSink) Handle(pkt []byte) {
+	c.ch <- pkt // want `sends packet-derived slice on a channel`
+}
+
+type goSink struct{}
+
+func (g *goSink) Handle(pkt []byte) {
+	go consume(pkt) // want `passes packet-derived slice to a goroutine that outlives the handler call`
+}
+
+type closureSink struct{}
+
+func (c *closureSink) Handle(pkt []byte) {
+	go func() { // want `goroutine closure captures a packet-derived slice and outlives the handler call`
+		consume(pkt)
+	}()
+}
+
+type listSink struct {
+	dl DeliveryList
+}
+
+func (l *listSink) Handle(pkt []byte) {
+	l.dl.Add(pkt) // want `hands packet-derived slice to DeliveryList\.Add`
+}
+
+type returnSink struct {
+	save []byte
+}
+
+// header returns packet memory; the taint flows back through the call.
+func header(p []byte) []byte { return p[:4] }
+
+func (r *returnSink) Handle(pkt []byte) {
+	r.save = header(pkt) // want `stores packet-derived slice into field save, outliving the handler call`
+}
+
+// copySink copies before storing — the whole point of the contract. OK.
+type copySink struct {
+	last []byte
+}
+
+func (c *copySink) Handle(pkt []byte) {
+	c.last = append([]byte(nil), pkt...)
+}
+
+// batchSink ranges over a batch and copies each packet. OK.
+type batchSink struct {
+	kept [][]byte
+}
+
+func (b *batchSink) HandleBatch(pkts [][]byte) error {
+	for _, p := range pkts {
+		b.kept = append(b.kept, append([]byte(nil), p...))
+	}
+	return nil
+}
+
+// deferSink passes the packet to a deferred call, which runs before the
+// handler returns, inside the buffer's lifetime. OK.
+type deferSink struct{}
+
+func (d *deferSink) Handle(pkt []byte) {
+	defer consume(pkt)
+}
+
+// localSink keeps everything on the stack. OK.
+type localSink struct{}
+
+func (l *localSink) Handle(pkt []byte) {
+	view := pkt[2:]
+	consume(view)
+}
+
+func consume(p []byte) { _ = len(p) }

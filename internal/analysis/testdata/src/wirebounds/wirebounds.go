@@ -1,0 +1,60 @@
+// Package wirebounds is fpisa-vet analyzer testdata: Decode* bounds-guard
+// ordering and ErrTruncated wrapping.
+package wirebounds
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated mirrors the protocol packages' truncation sentinel.
+var ErrTruncated = errors.New("truncated")
+
+// DecodeGood guards before indexing and wraps the sentinel. OK.
+func DecodeGood(pkt []byte) (byte, error) {
+	if len(pkt) < 2 {
+		return 0, fmt.Errorf("short packet: %w", ErrTruncated)
+	}
+	return pkt[1], nil
+}
+
+// DecodeSliceGood guards before slicing. OK.
+func DecodeSliceGood(pkt []byte) ([]byte, error) {
+	if len(pkt) < 4 {
+		return nil, fmt.Errorf("short packet: %w", ErrTruncated)
+	}
+	return pkt[2:4], nil
+}
+
+// DecodeDelegating never touches bytes itself. OK.
+func DecodeDelegating(pkt []byte) (byte, error) {
+	return DecodeGood(pkt)
+}
+
+// notADecoder is unguarded but not Decode*-named; out of scope. OK.
+func notADecoder(pkt []byte) byte {
+	return pkt[0]
+}
+
+// DecodeUnguarded indexes with no guard at all.
+func DecodeUnguarded(pkt []byte) byte { // want `DecodeUnguarded indexes its \[\]byte input but never returns an error wrapping ErrTruncated`
+	return pkt[0] // want `DecodeUnguarded indexes its \[\]byte input before any len\(\) guard`
+}
+
+// DecodeLate guards only after the first index.
+func DecodeLate(pkt []byte) (byte, error) {
+	b := pkt[0] // want `DecodeLate indexes its \[\]byte input before any len\(\) guard`
+	if len(pkt) < 2 {
+		return 0, fmt.Errorf("short packet: %w", ErrTruncated)
+	}
+	return b, nil
+}
+
+// DecodeNoSentinel guards, but its short path returns an anonymous error
+// callers cannot match.
+func DecodeNoSentinel(pkt []byte) (byte, error) { // want `DecodeNoSentinel indexes its \[\]byte input but never returns an error wrapping ErrTruncated`
+	if len(pkt) < 2 {
+		return 0, errors.New("short packet")
+	}
+	return pkt[1], nil
+}
