@@ -11,6 +11,13 @@
 //
 //	fpisa-benchstat -old baseline.txt -new bench.txt \
 //	    -gate '^BenchmarkShardedSwitch' -threshold 0.15
+//
+// The gate compares mean ns/op by default; -metric gates any reported
+// unit instead (e.g. -metric syscalls/op, -metric allocs/op) — benchmarks
+// that do not report the unit are skipped:
+//
+//	fpisa-benchstat -old baseline.txt -new bench.txt \
+//	    -gate '^BenchmarkUDPFabricThroughput' -metric syscalls/op
 package main
 
 import (
@@ -30,7 +37,8 @@ func main() {
 	oldFile := flag.String("old", "", "baseline bench output (with -new)")
 	newFile := flag.String("new", "", "candidate bench output (with -old)")
 	gate := flag.String("gate", "^BenchmarkShardedSwitch", "regexp of benchmarks the regression gate covers")
-	threshold := flag.Float64("threshold", 0.15, "mean ns/op regression ratio that fails the gate")
+	threshold := flag.Float64("threshold", 0.15, "mean regression ratio that fails the gate")
+	metric := flag.String("metric", "ns/op", "metric unit the gate compares (ns/op, allocs/op, syscalls/op, ...)")
 	flag.Parse()
 
 	switch {
@@ -39,7 +47,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *oldFile != "" && *newFile != "":
-		ok, err := runGate(*oldFile, *newFile, *gate, *threshold)
+		ok, err := runGate(*oldFile, *newFile, *gate, *threshold, *metric)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,7 +83,7 @@ func writeSummary(path, date string) error {
 	return enc.Encode(rep)
 }
 
-func runGate(oldPath, newPath, gate string, threshold float64) (bool, error) {
+func runGate(oldPath, newPath, gate string, threshold float64, metric string) (bool, error) {
 	pat, err := regexp.Compile(gate)
 	if err != nil {
 		return false, fmt.Errorf("bad -gate pattern: %v", err)
@@ -88,15 +96,15 @@ func runGate(oldPath, newPath, gate string, threshold float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	ds := benchparse.Compare(oldRep, newRep, pat)
+	ds := benchparse.CompareMetric(oldRep, newRep, pat, metric)
 	if len(ds) == 0 {
 		// A silent pass on an empty comparison would defeat the gate.
-		fmt.Printf("benchstat gate: no %q benchmarks in common between %s and %s; nothing gated\n",
-			gate, oldPath, newPath)
+		fmt.Printf("benchstat gate: no %q benchmarks reporting %s in common between %s and %s; nothing gated\n",
+			gate, metric, oldPath, newPath)
 		return true, nil
 	}
 	ok := true
-	fmt.Printf("%-45s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-45s %14s %14s %8s\n", "benchmark", "old "+metric, "new "+metric, "delta")
 	for _, d := range ds {
 		verdict := ""
 		if d.Regression(threshold) {
@@ -106,7 +114,7 @@ func runGate(oldPath, newPath, gate string, threshold float64) (bool, error) {
 		fmt.Printf("%-45s %14.1f %14.1f %+7.1f%%%s\n", d.Name, d.Old, d.New, 100*d.Ratio, verdict)
 	}
 	if !ok {
-		fmt.Printf("FAIL: gate %q exceeded the +%.0f%% ns/op threshold\n", gate, 100*threshold)
+		fmt.Printf("FAIL: gate %q exceeded the +%.0f%% %s threshold\n", gate, 100*threshold, metric)
 	}
 	return ok, nil
 }

@@ -30,7 +30,13 @@
 //
 // The aggregation service is sharded across parallel pipeline replicas
 // (-shards) and the socket is drained by transport.ServeConn's reader
-// pool, so packets for different slots aggregate concurrently.
+// pool, so packets for different slots aggregate concurrently. -mmsg
+// selects the kernel-batched wire backend (sendmmsg/recvmmsg, one syscall
+// per datagram burst; "auto" uses it where the platform supports it,
+// "off" forces the portable per-datagram loop); the resolved backend is
+// echoed in the startup banner and its syscall counters — including
+// failed downlink datagrams (sendErrors) — appear in the -statsevery
+// "wire:" line.
 //
 // Switches compose into aggregation trees: -parent host:port makes this
 // switch a LEAF that re-emits each completed chunk upward as an ADD to
@@ -85,6 +91,7 @@ type options struct {
 	parent       string
 	leaf         int
 	leaves       int
+	mmsg         transport.MmsgMode
 }
 
 // parseOptions parses args (no program name) into options.
@@ -109,9 +116,15 @@ func parseOptions(args []string) (*options, error) {
 	fs.StringVar(&o.parent, "parent", "", "parent switch address: run as a LEAF forwarding completed chunks upward")
 	fs.IntVar(&o.leaf, "leaf", 0, "this leaf's index at the parent (its worker port, with -parent)")
 	fs.IntVar(&o.leaves, "leaves", 1, "total leaves feeding the parent (the parent's -workers, with -parent)")
+	mmsg := fs.String("mmsg", "auto", "kernel-batched UDP I/O: auto (sendmmsg/recvmmsg where supported), on, off (per-datagram loop)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	mode, err := transport.ParseMmsgMode(*mmsg)
+	if err != nil {
+		return nil, fmt.Errorf("-mmsg %q: want auto, on or off", *mmsg)
+	}
+	o.mmsg = mode
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
@@ -215,7 +228,7 @@ func main() {
 	// The socket comes up before the switch: a leaf's uplink pushes the
 	// parent's finals back down through this server, and admission for the
 	// initial jobs is negotiated at the parent during NewSwitch.
-	srv, err := transport.NewUDPServer(conn, cfg.Ports())
+	srv, err := transport.NewUDPServer(conn, cfg.Ports(), transport.WithMmsg(o.mmsg))
 	if err != nil {
 		log.Fatalf("switch: %v", err)
 	}
@@ -227,7 +240,7 @@ func main() {
 		// The uplink dials one parent worker port per job: job j sends on
 		// port j*leaves+leaf, so the client fabric must address the whole
 		// provisioned job set across every sibling leaf.
-		upFab, err := transport.DialUDP(parentAddr, cfg.Ports()/cfg.Workers*o.leaves)
+		upFab, err := transport.DialUDP(parentAddr, cfg.Ports()/cfg.Workers*o.leaves, transport.WithMmsg(o.mmsg))
 		if err != nil {
 			log.Fatalf("dial -parent: %v", err)
 		}
@@ -263,6 +276,7 @@ func main() {
 	}
 	log.Printf("fpisa-switch (%s, %s, %d shards) listening on %s: %d/%d jobs admitted x %d workers (quota %d, %s)",
 		o.modeName(), cfg.Arch.Name, sw.Shards(), conn.LocalAddr(), o.jobs, sw.Jobs(), o.workers, o.quota, dyn)
+	log.Printf("wire I/O backend: %s (-mmsg %s)", srv.Backend(), o.mmsg)
 	for j := 0; j < sw.Jobs(); j++ {
 		if base, n, ok := sw.JobRange(j); ok {
 			log.Printf("  job %d: ports %d..%d, slots %d..%d, weight %d, profile %s", j,
@@ -290,6 +304,10 @@ func main() {
 					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d draining=%d backpressure=%d",
 						r.Legacy, r.Malformed, r.BadJob, r.CrossJob, r.Draining, r.Backpressure)
 				}
+				ss := srv.SyscallStats()
+				log.Printf("wire: syscalls=%d (sendmmsg=%d recvmmsg=%d fallback=%d) datagrams=%d dgrams/syscall=%.2f sendErrors=%d",
+					ss.Syscalls(), ss.Sendmmsg, ss.Recvmmsg, ss.SendFallback+ss.RecvFallback,
+					ss.SentDatagrams+ss.RecvDatagrams, ss.DatagramsPerSyscall(), ss.SendErrors)
 			}
 		}()
 	}

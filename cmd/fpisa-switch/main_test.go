@@ -19,6 +19,31 @@ func TestParseOptionsDefaults(t *testing.T) {
 	if o.dynamic || o.capacity != 0 || o.drainTimeout != 0 {
 		t.Fatalf("lifecycle defaults: %+v", o)
 	}
+	if o.mmsg != transport.MmsgAuto {
+		t.Fatalf("mmsg default: %v", o.mmsg)
+	}
+}
+
+func TestParseOptionsMmsg(t *testing.T) {
+	for _, tc := range []struct {
+		arg  string
+		want transport.MmsgMode
+	}{
+		{"auto", transport.MmsgAuto},
+		{"on", transport.MmsgOn},
+		{"off", transport.MmsgOff},
+	} {
+		o, err := parseOptions([]string{"-mmsg", tc.arg})
+		if err != nil {
+			t.Fatalf("-mmsg %s: %v", tc.arg, err)
+		}
+		if o.mmsg != tc.want {
+			t.Fatalf("-mmsg %s parsed as %v", tc.arg, o.mmsg)
+		}
+	}
+	if _, err := parseOptions([]string{"-mmsg", "always"}); err == nil {
+		t.Error("bad -mmsg value accepted")
+	}
 }
 
 func TestParseOptionsLifecycleFlags(t *testing.T) {

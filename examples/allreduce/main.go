@@ -129,6 +129,13 @@ func main() {
 	adds, dups, completions := sw.Stats()
 	fmt.Printf("switch totals: adds=%d dups=%d chunks=%d — per-job ledgers above sum to these\n",
 		adds, dups, completions)
+	// The wire-syscall ledger: how many kernel entries the whole run cost,
+	// and how many datagrams each one moved — the kernel-batching win the
+	// sendmmsg/recvmmsg backend buys over one syscall per datagram.
+	ss := fab.SyscallStats()
+	fmt.Printf("wire I/O (%s): %d syscalls moved %d datagrams — %.2f datagrams/syscall (sendmmsg=%d recvmmsg=%d fallback=%d sendErrors=%d)\n",
+		fab.Backend(), ss.Syscalls(), ss.SentDatagrams+ss.RecvDatagrams, ss.DatagramsPerSyscall(),
+		ss.Sendmmsg, ss.Recvmmsg, ss.SendFallback+ss.RecvFallback, ss.SendErrors)
 }
 
 func abs(x float64) float64 {

@@ -152,23 +152,41 @@ func (b *Benchmark) finish() {
 	}
 }
 
-// Delta is one benchmark's old-vs-new comparison.
+// Delta is one benchmark's old-vs-new comparison for one metric.
 type Delta struct {
 	Name     string
-	Old, New float64 // mean ns/op
-	// Ratio is (new-old)/old: positive = slower.
+	Old, New float64 // mean of the compared metric
+	// Ratio is (new-old)/old: positive = slower/costlier.
 	Ratio float64
 }
 
 // Regression reports whether the delta exceeds threshold (e.g. 0.15 for
-// +15% ns/op).
+// +15%).
 func (d Delta) Regression(threshold float64) bool { return d.Ratio > threshold }
 
-// Compare matches benchmarks by name across two reports, keeping those
-// whose name matches pattern (nil = all). Benchmarks present in only one
-// report are skipped: a brand-new benchmark has no baseline to regress
-// against.
+// Compare matches benchmarks by name across two reports and compares mean
+// ns/op, keeping those whose name matches pattern (nil = all). Benchmarks
+// present in only one report are skipped: a brand-new benchmark has no
+// baseline to regress against.
 func Compare(baseline, candidate *Report, pattern *regexp.Regexp) []Delta {
+	return CompareMetric(baseline, candidate, pattern, "ns/op")
+}
+
+// metricValue extracts one benchmark's mean for metric: "ns/op" reads the
+// primary summary, anything else reads the secondary-unit table (0 when
+// the benchmark never reported that unit).
+func (b *Benchmark) metricValue(metric string) float64 {
+	if metric == "ns/op" {
+		return b.NsPerOp.Mean
+	}
+	return b.Metrics[metric]
+}
+
+// CompareMetric is Compare over an arbitrary metric unit — "ns/op",
+// "allocs/op", "syscalls/op", any custom b.ReportMetric unit. Benchmark
+// pairs where either side lacks the metric (value 0) are skipped, so
+// gating a metric only constrains the benchmarks that actually report it.
+func CompareMetric(baseline, candidate *Report, pattern *regexp.Regexp, metric string) []Delta {
 	oldBy := map[string]*Benchmark{}
 	for _, b := range baseline.Benchmarks {
 		oldBy[b.Name] = b
@@ -179,14 +197,18 @@ func Compare(baseline, candidate *Report, pattern *regexp.Regexp) []Delta {
 			continue
 		}
 		ob := oldBy[nb.Name]
-		if ob == nil || ob.NsPerOp.Mean == 0 || nb.NsPerOp.Mean == 0 {
+		if ob == nil {
+			continue
+		}
+		ov, nv := ob.metricValue(metric), nb.metricValue(metric)
+		if ov == 0 || nv == 0 {
 			continue
 		}
 		ds = append(ds, Delta{
 			Name:  nb.Name,
-			Old:   ob.NsPerOp.Mean,
-			New:   nb.NsPerOp.Mean,
-			Ratio: (nb.NsPerOp.Mean - ob.NsPerOp.Mean) / ob.NsPerOp.Mean,
+			Old:   ov,
+			New:   nv,
+			Ratio: (nv - ov) / ov,
 		})
 	}
 	return ds

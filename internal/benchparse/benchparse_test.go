@@ -107,6 +107,46 @@ BenchmarkBrandNew-16              100      1 ns/op
 	}
 }
 
+func TestCompareMetric(t *testing.T) {
+	oldRep := parse(t, `
+BenchmarkUDPFabricThroughput/mmsg-8     100   1000 ns/op   2.0 syscalls/op   10 allocs/op
+BenchmarkUDPFabricThroughput/loop-8     100   1000 ns/op   8.0 syscalls/op
+BenchmarkFabricThroughput/ring-8        100    500 ns/op
+`)
+	newRep := parse(t, `
+BenchmarkUDPFabricThroughput/mmsg-8     100   1000 ns/op   2.5 syscalls/op   10 allocs/op
+BenchmarkUDPFabricThroughput/loop-8     100   1000 ns/op   8.0 syscalls/op
+BenchmarkFabricThroughput/ring-8        100    500 ns/op
+`)
+	ds := CompareMetric(oldRep, newRep, nil, "syscalls/op")
+	if len(ds) != 2 {
+		t.Fatalf("syscalls/op deltas: %+v", ds)
+	}
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	// 2.0 -> 2.5 is +25%: over a 15% gate.
+	if d := byName["BenchmarkUDPFabricThroughput/mmsg"]; !d.Regression(0.15) {
+		t.Fatalf("+25%% syscalls/op not flagged: %+v", d)
+	}
+	if d := byName["BenchmarkUDPFabricThroughput/loop"]; d.Regression(0.15) {
+		t.Fatalf("flat syscalls/op flagged: %+v", d)
+	}
+	// Benchmarks that never report the metric are skipped, not zero-div'd.
+	if _, ok := byName["BenchmarkFabricThroughput/ring"]; ok {
+		t.Fatal("metric-less benchmark compared")
+	}
+	// allocs/op is only reported by one subbench; the other is skipped.
+	if as := CompareMetric(oldRep, newRep, nil, "allocs/op"); len(as) != 1 {
+		t.Fatalf("allocs/op deltas: %+v", as)
+	}
+	// "ns/op" routes through the primary summary — same result as Compare.
+	if ns := CompareMetric(oldRep, newRep, nil, "ns/op"); len(ns) != 3 {
+		t.Fatalf("ns/op deltas: %+v", ns)
+	}
+}
+
 func TestParseRejectsMangledValues(t *testing.T) {
 	if _, err := Parse(strings.NewReader("BenchmarkX-8  10  abc ns/op\n")); err == nil {
 		t.Fatal("mangled value accepted")

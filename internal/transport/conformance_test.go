@@ -63,9 +63,20 @@ func fabricCases() []fabricCase {
 			closedErr: true,
 		},
 		{
-			name: "udp",
+			name: "udp-mmsg",
 			make: func(t *testing.T, workers int, h BatchHandler) Fabric {
-				u, err := NewUDP(workers, h)
+				u, err := NewUDP(workers, h, WithMmsg(MmsgOn))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return u
+			},
+			closedErr: true,
+		},
+		{
+			name: "udp-fallback",
+			make: func(t *testing.T, workers int, h BatchHandler) Fabric {
+				u, err := NewUDP(workers, h, WithMmsg(MmsgOff))
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,16 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+// Portable stub for platforms without the sendmmsg/recvmmsg backend
+// (non-Linux, and 32-bit targets whose msghdr layout the raw backend does
+// not declare): the fabric always runs the per-datagram loop, whatever
+// MmsgMode asked for.
+
+import "net"
+
+const mmsgSupported = false
+
+func newMmsgWriter(conn *net.UDPConn, stats *syscallCounters) batchWriter { return nil }
+
+func newMmsgReader(conn *net.UDPConn, stats *syscallCounters) batchReader { return nil }

@@ -1,0 +1,10 @@
+//go:build linux
+
+package transport
+
+// The frozen stdlib syscall package predates sendmmsg(2), so the syscall
+// numbers are declared here per architecture (linux/amd64 table).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

@@ -1,0 +1,10 @@
+//go:build linux
+
+package transport
+
+// The frozen stdlib syscall package predates sendmmsg(2), so the syscall
+// numbers are declared here per architecture (linux/arm64 table).
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -42,6 +42,29 @@ const maxUDPPayload = 65507
 // with ObserverID and BatchFrameID reserved.
 const MaxWorkers = 254
 
+// UDPOption configures a UDP fabric half (NewUDP, DialUDP, NewUDPServer).
+type UDPOption func(*udpOptions)
+
+type udpOptions struct {
+	mode MmsgMode
+}
+
+// WithMmsg selects the kernel-batched I/O backend: MmsgAuto (the default)
+// uses sendmmsg/recvmmsg where the platform has it, MmsgOn requests it
+// explicitly, MmsgOff forces the portable per-datagram loop (the
+// fpisa-switch -mmsg flag maps straight onto this).
+func WithMmsg(mode MmsgMode) UDPOption {
+	return func(o *udpOptions) { o.mode = mode }
+}
+
+func applyOptions(opts []UDPOption) udpOptions {
+	var o udpOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // appendBatchFrame appends one batch frame carrying pkts to dst.
 func appendBatchFrame(dst []byte, id byte, pkts [][]byte) []byte {
 	dst = append(dst, BatchFrameID, id, 0, 0)
@@ -83,17 +106,87 @@ func splitBatchFrame(frame []byte, into [][]byte) (id byte, pkts [][]byte, err e
 	return id, pkts, nil
 }
 
+// sendScratch is a sending context's reusable datagram-assembly arena: the
+// coalesced wire datagrams are materialized here so a whole vector can be
+// handed to the batch writer at once (one sendmmsg), instead of one
+// serially reused buffer per syscall.
+type sendScratch struct {
+	arena  []byte
+	spans  []dgramSpan
+	dgrams [][]byte
+}
+
+// dgramSpan is one assembled datagram's [off,end) range in the arena —
+// offsets, not slices, because the arena may reallocate while growing.
+type dgramSpan struct{ off, end int }
+
+// gatherCoalesced assembles the wire datagrams carrying pkts into sc and
+// returns the datagram vector (valid until the next call): a batch frame
+// per greedy ≤ maxUDPPayload group, a lone packet as a single frame —
+// [id payload] when frameSingle is set (uplink), raw otherwise (downlink).
+// An oversized single packet (> maxUDPPayload) is still emitted as its own
+// datagram so the send path can fail it loudly instead of dropping it.
+func gatherCoalesced(sc *sendScratch, id byte, pkts [][]byte, frameSingle bool) [][]byte {
+	sc.arena = sc.arena[:0]
+	sc.spans = sc.spans[:0]
+	for len(pkts) > 0 {
+		// Greedy split: take the longest prefix that fits one datagram.
+		k := 0
+		size := batchFrameHdr
+		for k < len(pkts) && size+2+len(pkts[k]) <= maxUDPPayload {
+			size += 2 + len(pkts[k])
+			k++
+		}
+		start := len(sc.arena)
+		if k <= 1 {
+			// A single packet (or one too large to share a frame) rides
+			// alone: framed on the uplink, raw on the downlink.
+			if frameSingle {
+				sc.arena = append(sc.arena, id)
+			}
+			sc.arena = append(sc.arena, pkts[0]...)
+			pkts = pkts[1:]
+		} else {
+			sc.arena = appendBatchFrame(sc.arena, id, pkts[:k])
+			pkts = pkts[k:]
+		}
+		sc.spans = append(sc.spans, dgramSpan{start, len(sc.arena)})
+	}
+	sc.dgrams = sc.dgrams[:0]
+	for _, s := range sc.spans {
+		sc.dgrams = append(sc.dgrams, sc.arena[s.off:s.end])
+	}
+	return sc.dgrams
+}
+
+// writeCoalesced coalesces pkts into wire datagrams and writes them to dst
+// through the backend writer — one sendmmsg for the whole vector on the
+// kernel-batched path, one syscall per datagram on the fallback. Every
+// datagram is attempted; the failed count and first error are returned so
+// fire-and-forget callers can account drops instead of losing them.
+func writeCoalesced(w batchWriter, dst *net.UDPAddr, id byte, pkts [][]byte, frameSingle bool, sc *sendScratch) (failed int, err error) {
+	dgrams := gatherCoalesced(sc, id, pkts, frameSingle)
+	failed, err = w.writeDatagrams(dst, dgrams)
+	for i := range sc.dgrams {
+		sc.dgrams[i] = nil
+	}
+	return failed, err
+}
+
 // ServeConn drains a switch-side UDP socket with a pool of reader
-// goroutines (one per CPU, capped at 8), each owning a reusable read
-// buffer, delivery list and write buffer — the serve loop allocates
-// nothing per datagram in steady state. Datagrams are framed either
-// [workerID(1) payload] or as batch frames (BatchFrameID); the sender's
-// address is learned as that worker's return path, and handler deliveries
-// are coalesced per destination into batch-framed datagrams (single
-// deliveries are written raw), broadcasts going to every learned address.
-// Frames carrying ObserverID are handled out-of-band (see ObserverID).
-// Destination addresses are snapshotted under the lock but written outside
-// it, so replies from different readers (and shards) proceed in parallel.
+// goroutines (one per CPU, capped at 8), each owning reusable pooled read
+// buffers, a delivery list and a datagram-assembly arena — the serve loop
+// allocates nothing per datagram in steady state. Datagrams are framed
+// either [workerID(1) payload] or as batch frames (BatchFrameID); the
+// sender's address is learned as that worker's return path, and handler
+// deliveries are coalesced per destination into batch-framed datagrams
+// (single deliveries are written raw), broadcasts going to every learned
+// address. On the kernel-batched backend each reader drains up to
+// serveRecvBatch datagrams per recvmmsg and writes each destination's
+// replies with one sendmmsg. Frames carrying ObserverID are handled
+// out-of-band (see ObserverID). Destination addresses are snapshotted
+// under the lock but written outside it, so replies from different readers
+// (and shards) proceed in parallel.
 //
 // ServeConn blocks until the socket is closed (returning nil) and errors
 // immediately on a worker count the one-byte frame cannot address;
@@ -102,8 +195,8 @@ func splitBatchFrame(frame []byte, into [][]byte) (id byte, pkts [][]byte, err e
 // switch-originated Push downlink (aggregation-tree leaves fanning parent
 // results down outside a handler invocation) build a UDPServer instead —
 // ServeConn is NewUDPServer + Serve.
-func ServeConn(conn *net.UDPConn, workers int, handler BatchHandler) error {
-	srv, err := NewUDPServer(conn, workers)
+func ServeConn(conn *net.UDPConn, workers int, handler BatchHandler, opts ...UDPOption) error {
+	srv, err := NewUDPServer(conn, workers, opts...)
 	if err != nil {
 		return err
 	}
@@ -119,35 +212,49 @@ func ServeConn(conn *net.UDPConn, workers int, handler BatchHandler) error {
 type UDPServer struct {
 	conn    *net.UDPConn
 	workers int
+	useMmsg bool
+	stats   *syscallCounters
 
 	mu    sync.Mutex // guards addrs
 	addrs []*net.UDPAddr
 
 	// pushMu serializes Push calls so the scratch (groups, address
-	// snapshot, write buffer) has one owner; the reader pool's own
+	// snapshot, writer arena) has one owner; the reader pool's own
 	// deliveries do not go through it.
 	pushMu sync.Mutex
+	pushW  batchWriter
 	groups destGroups
 	dst    []*net.UDPAddr
-	wbuf   []byte
+	sc     sendScratch
 }
 
 // NewUDPServer wraps a bound switch socket. The caller owns conn; closing
 // it terminates Serve.
-func NewUDPServer(conn *net.UDPConn, workers int) (*UDPServer, error) {
+func NewUDPServer(conn *net.UDPConn, workers int, opts ...UDPOption) (*UDPServer, error) {
 	if workers < 1 || workers > MaxWorkers {
 		return nil, fmt.Errorf("transport: %d workers outside the 1..%d the one-byte frame addresses (0x%02x and 0x%02x are reserved)",
 			workers, MaxWorkers, BatchFrameID, ObserverID)
 	}
+	o := applyOptions(opts)
 	s := &UDPServer{
 		conn:    conn,
 		workers: workers,
+		useMmsg: o.mode.enabled(),
+		stats:   &syscallCounters{},
 		addrs:   make([]*net.UDPAddr, workers),
 		dst:     make([]*net.UDPAddr, workers),
 	}
+	s.pushW = newBatchWriter(conn, s.useMmsg, s.stats)
 	s.groups.init(workers)
 	return s, nil
 }
+
+// Backend names the datagram I/O backend this server resolved to.
+func (s *UDPServer) Backend() string { return backendName(s.useMmsg) }
+
+// SyscallStats snapshots the server's wire syscall counters (including
+// the SendErrors drop counter for the fire-and-forget downlink).
+func (s *UDPServer) SyscallStats() SyscallStats { return s.stats.snapshot() }
 
 // Serve blocks draining the socket with the reader pool until the socket
 // is closed (returning nil); see ServeConn for the frame semantics.
@@ -164,7 +271,7 @@ func (s *UDPServer) Serve(handler BatchHandler) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			serveReader(s.conn, s.workers, handler, &s.mu, s.addrs)
+			serveReader(s, handler)
 		}()
 	}
 	wg.Wait()
@@ -203,7 +310,9 @@ func (s *UDPServer) Push(ds []Delivery) error {
 		if s.dst[w] == nil {
 			continue
 		}
-		if err := writeCoalesced(s.conn, s.dst[w], 0, s.groups.perDst[w], false, &s.wbuf); err != nil && firstErr == nil {
+		failed, err := writeCoalesced(s.pushW, s.dst[w], 0, s.groups.perDst[w], false, &s.sc)
+		s.stats.sendErrors.Add(uint64(failed))
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -213,23 +322,29 @@ func (s *UDPServer) Push(ds []Delivery) error {
 
 // serveState is one reader goroutine's reusable scratch.
 type serveState struct {
-	buf    []byte    // datagram read buffer
-	split  [][]byte  // batch-frame packet slices (aliasing buf)
-	one    [1][]byte // single-packet vector (aliasing buf)
-	dl     DeliveryList
+	bufs   [][]byte       // pooled datagram read buffers (cap maxUDPPayload)
+	srcs   []*net.UDPAddr // per-datagram source addresses
+	split  [][]byte       // batch-frame packet slices (aliasing a read buffer)
+	one    [1][]byte      // single-packet vector (aliasing a read buffer)
+	dl     DeliveryList   // worker deliveries, accumulated across one drain
+	odl    DeliveryList   // observer deliveries, reset per observer frame
 	groups destGroups     // delivery packets grouped per destination worker
 	dst    []*net.UDPAddr // destination snapshot, filled under the lock
-	wbuf   []byte         // batch-frame write buffer
+	sc     sendScratch    // datagram-assembly arena
 }
 
-func serveReader(conn *net.UDPConn, workers int, handler BatchHandler, mu *sync.Mutex, addrs []*net.UDPAddr) {
+func serveReader(s *UDPServer, handler BatchHandler) {
 	st := &serveState{
-		buf: make([]byte, 65536),
-		dst: make([]*net.UDPAddr, workers),
+		srcs: make([]*net.UDPAddr, serveRecvBatch),
+		dst:  make([]*net.UDPAddr, s.workers),
 	}
-	st.groups.init(workers)
+	st.bufs = getReadBufs(nil, serveRecvBatch)
+	defer putReadBufs(st.bufs)
+	st.groups.init(s.workers)
+	reader := newBatchReader(s.conn, s.useMmsg, s.stats)
+	writer := newBatchWriter(s.conn, s.useMmsg, s.stats)
 	for {
-		n, src, err := conn.ReadFromUDP(st.buf)
+		m, err := reader.readDatagrams(st.bufs, st.srcs)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return
@@ -240,118 +355,87 @@ func serveReader(conn *net.UDPConn, workers int, handler BatchHandler, mu *sync.
 			time.Sleep(time.Millisecond)
 			continue
 		}
-		if n < 1 {
-			continue
-		}
 		st.dl.Reset()
-		switch st.buf[0] {
-		case ObserverID:
-			// Out-of-band observer: replies go to the sender only, and
-			// its address never becomes a worker return path.
-			st.one[0] = st.buf[1:n]
-			handler(ObserverWorker, st.one[:], &st.dl)
-			for _, d := range st.dl.Deliveries() {
-				_, _ = conn.WriteToUDP(d.Packet, src)
-			}
-			continue
-		case BatchFrameID:
-			id, pkts, err := splitBatchFrame(st.buf[:n], st.split)
-			st.split = pkts[:0]
-			if err != nil || int(id) >= workers {
+		for i := 0; i < m; i++ {
+			buf, src := st.bufs[i], st.srcs[i]
+			if len(buf) < 1 || src == nil {
 				continue
 			}
-			worker := int(id)
-			mu.Lock()
-			addrs[worker] = src
-			mu.Unlock()
-			handler(worker, pkts, &st.dl)
-		default:
-			worker := int(st.buf[0])
-			if worker >= workers {
-				continue
+			switch buf[0] {
+			case ObserverID:
+				// Out-of-band observer: replies go to the sender only, and
+				// its address never becomes a worker return path.
+				st.odl.Reset()
+				st.one[0] = buf[1:]
+				handler(ObserverWorker, st.one[:], &st.odl)
+				for _, d := range st.odl.Deliveries() {
+					st.one[0] = d.Packet
+					if failed, _ := writer.writeDatagrams(src, st.one[:]); failed > 0 {
+						s.stats.sendErrors.Add(uint64(failed))
+					}
+				}
+			case BatchFrameID:
+				id, pkts, err := splitBatchFrame(buf, st.split)
+				st.split = pkts[:0]
+				if err != nil || int(id) >= s.workers {
+					continue
+				}
+				worker := int(id)
+				s.mu.Lock()
+				s.addrs[worker] = src
+				s.mu.Unlock()
+				handler(worker, pkts, &st.dl)
+			default:
+				worker := int(buf[0])
+				if worker >= s.workers {
+					continue
+				}
+				s.mu.Lock()
+				s.addrs[worker] = src
+				s.mu.Unlock()
+				st.one[0] = buf[1:]
+				handler(worker, st.one[:], &st.dl)
 			}
-			mu.Lock()
-			addrs[worker] = src
-			mu.Unlock()
-			st.one[0] = st.buf[1:n]
-			handler(worker, st.one[:], &st.dl)
 		}
-		deliver(conn, workers, mu, addrs, st)
+		// One delivery pass per drained burst: replies for every datagram
+		// the recvmmsg took are grouped per destination and written with
+		// one sendmmsg per destination.
+		deliver(s, writer, st)
 	}
 }
 
 // deliver routes the reader's accumulated deliveries: grouped per
 // destination, coalesced into batch frames (singles written raw), written
-// outside the address lock.
-func deliver(conn *net.UDPConn, workers int, mu *sync.Mutex, addrs []*net.UDPAddr, st *serveState) {
+// outside the address lock. Failed datagrams are counted (SendErrors), not
+// silently dropped.
+func deliver(s *UDPServer, writer batchWriter, st *serveState) {
 	ds := st.dl.Deliveries()
 	if len(ds) == 0 {
 		return
 	}
 	for _, d := range ds {
 		if d.Broadcast {
-			for w := 0; w < workers; w++ {
+			for w := 0; w < s.workers; w++ {
 				st.groups.route(w, d.Packet)
 			}
 			continue
 		}
-		if d.Worker >= 0 && d.Worker < workers {
+		if d.Worker >= 0 && d.Worker < s.workers {
 			st.groups.route(d.Worker, d.Packet)
 		}
 	}
-	mu.Lock()
+	s.mu.Lock()
 	for _, w := range st.groups.touched {
-		st.dst[w] = addrs[w]
+		st.dst[w] = s.addrs[w]
 	}
-	mu.Unlock()
+	s.mu.Unlock()
 	for _, w := range st.groups.touched {
 		if st.dst[w] != nil {
-			writeCoalesced(conn, st.dst[w], 0, st.groups.perDst[w], false, &st.wbuf)
+			failed, _ := writeCoalesced(writer, st.dst[w], 0, st.groups.perDst[w], false, &st.sc)
+			s.stats.sendErrors.Add(uint64(failed))
 		}
 	}
 	st.groups.reset()
-}
-
-// writeCoalesced writes pkts to dst in as few datagrams as possible: a
-// batch frame per full group (split when a group would exceed the UDP
-// payload), a lone packet as a single frame — [id payload] when frameSingle
-// is set (uplink), raw otherwise (downlink). wbuf is the caller's reusable
-// write buffer.
-func writeCoalesced(conn *net.UDPConn, dst *net.UDPAddr, id byte, pkts [][]byte, frameSingle bool, wbuf *[]byte) error {
-	writeOne := func(pkt []byte) error {
-		if !frameSingle {
-			_, err := conn.WriteToUDP(pkt, dst)
-			return err
-		}
-		*wbuf = append((*wbuf)[:0], id)
-		*wbuf = append(*wbuf, pkt...)
-		_, err := conn.WriteToUDP(*wbuf, dst)
-		return err
-	}
-	for len(pkts) > 0 {
-		// Greedy split: take the longest prefix that fits one datagram.
-		k := 0
-		size := batchFrameHdr
-		for k < len(pkts) && size+2+len(pkts[k]) <= maxUDPPayload {
-			size += 2 + len(pkts[k])
-			k++
-		}
-		if k <= 1 {
-			// A single packet (or one too large to share a frame): send
-			// it alone and move on.
-			if err := writeOne(pkts[0]); err != nil {
-				return err
-			}
-			pkts = pkts[1:]
-			continue
-		}
-		*wbuf = appendBatchFrame((*wbuf)[:0], id, pkts[:k])
-		if _, err := conn.WriteToUDP(*wbuf, dst); err != nil {
-			return err
-		}
-		pkts = pkts[k:]
-	}
-	return nil
 }
 
 // UDP is a Fabric over real UDP sockets on loopback (or any network): one
@@ -360,7 +444,9 @@ func writeCoalesced(conn *net.UDPConn, dst *net.UDPAddr, id byte, pkts [][]byte,
 // like the ingress-port metadata a real switch derives from the wire.
 // SendBatch coalesces the packet vector into batch-framed datagrams and
 // RecvBatch drains the worker socket into the caller's reusable buffers,
-// so a full protocol window crosses the wire in a handful of datagrams.
+// so a full protocol window crosses the wire in a handful of datagrams —
+// and, on the kernel-batched backend (WithMmsg), in a handful of syscalls:
+// one sendmmsg per destination per vector, one recvmmsg per drained burst.
 //
 // The switch socket is drained by ServeConn's reader pool, so concurrent
 // datagrams reach the handler in parallel — the handler must be
@@ -372,6 +458,8 @@ func writeCoalesced(conn *net.UDPConn, dst *net.UDPAddr, id byte, pkts [][]byte,
 // srv are nil and Push reports that there is nothing to push through.
 type UDP struct {
 	workers  int
+	useMmsg  bool
+	stats    *syscallCounters
 	swAddr   *net.UDPAddr
 	swConn   *net.UDPConn
 	srv      *UDPServer
@@ -382,23 +470,25 @@ type UDP struct {
 	closed   bool
 }
 
-// sendState is one worker's reusable uplink write buffer.
+// sendState is one worker's reusable uplink sending context.
 type sendState struct {
-	mu   sync.Mutex
-	wbuf []byte
+	mu     sync.Mutex
+	writer batchWriter
+	sc     sendScratch
 }
 
-// recvState is one worker's reusable downlink read buffer plus the
+// recvState is one worker's reusable downlink receiving context plus the
 // overflow queue for batch frames larger than the caller's buffer vector.
 type recvState struct {
 	mu      sync.Mutex
-	rbuf    []byte
+	reader  batchReader
+	kbufs   [][]byte // pooled per-call datagram buffers (headers reused)
 	split   [][]byte
 	pending [][]byte // owned copies carried over to the next RecvBatch
 }
 
 // NewUDP starts a switch socket on 127.0.0.1 and one socket per worker.
-func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
+func NewUDP(workers int, handler BatchHandler, opts ...UDPOption) (*UDP, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("transport: nil handler")
 	}
@@ -406,14 +496,18 @@ func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
 	if err != nil {
 		return nil, err
 	}
-	u, err := DialUDP(sw.LocalAddr().(*net.UDPAddr), workers)
+	u, err := DialUDP(sw.LocalAddr().(*net.UDPAddr), workers, opts...)
 	if err != nil {
 		sw.Close()
 		return nil, err
 	}
 	u.swConn = sw
 	// workers was validated by DialUDP, so NewUDPServer cannot error here.
-	u.srv, _ = NewUDPServer(sw, workers)
+	u.srv, _ = NewUDPServer(sw, workers, opts...)
+	// One counter set for the whole in-process fabric: the serve side's
+	// syscalls are part of this fabric's wire cost.
+	u.srv.stats = u.stats
+	u.srv.pushW = newBatchWriter(sw, u.srv.useMmsg, u.stats)
 	go func() { _ = u.srv.Serve(handler) }()
 	return u, nil
 }
@@ -424,7 +518,7 @@ func NewUDP(workers int, handler BatchHandler) (*UDP, error) {
 // worker). One local socket is bound per worker port; SendBatch writes to
 // addr and RecvBatch drains the local sockets. Push errors: a dialed
 // fabric has no switch side to originate deliveries from.
-func DialUDP(addr *net.UDPAddr, workers int) (*UDP, error) {
+func DialUDP(addr *net.UDPAddr, workers int, opts ...UDPOption) (*UDP, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("transport: workers %d", workers)
 	}
@@ -435,8 +529,11 @@ func DialUDP(addr *net.UDPAddr, workers int) (*UDP, error) {
 	if addr == nil {
 		return nil, fmt.Errorf("transport: nil switch address")
 	}
+	o := applyOptions(opts)
 	u := &UDP{
 		workers: workers,
+		useMmsg: o.mode.enabled(),
+		stats:   &syscallCounters{},
 		swAddr:  addr,
 		conns:   make([]*net.UDPConn, workers),
 		send:    make([]sendState, workers),
@@ -449,6 +546,8 @@ func DialUDP(addr *net.UDPAddr, workers int) (*UDP, error) {
 			return nil, err
 		}
 		u.conns[i] = c
+		u.send[i].writer = newBatchWriter(c, u.useMmsg, u.stats)
+		u.recv[i].reader = newBatchReader(c, u.useMmsg, u.stats)
 	}
 	return u, nil
 }
@@ -456,6 +555,32 @@ func DialUDP(addr *net.UDPAddr, workers int) (*UDP, error) {
 // SwitchAddr returns the switch socket's address (the dialed address for a
 // DialUDP fabric).
 func (u *UDP) SwitchAddr() *net.UDPAddr { return u.swAddr }
+
+// Backend names the datagram I/O backend this fabric resolved to —
+// "sendmmsg/recvmmsg" or "per-datagram".
+func (u *UDP) Backend() string { return backendName(u.useMmsg) }
+
+// SyscallStats snapshots the fabric's wire syscall counters. For a NewUDP
+// fabric the switch side's serve loop shares the counter set, so the
+// snapshot covers both halves of every round trip.
+func (u *UDP) SyscallStats() SyscallStats { return u.stats.snapshot() }
+
+// SetBuffers best-effort grows every socket's kernel send and receive
+// buffers to n bytes — loopback burst tests (and the UDP throughput
+// benchmark) drop fewer datagrams with deeper socket queues. Errors are
+// ignored; the kernel clamps to its rmem/wmem limits anyway.
+func (u *UDP) SetBuffers(n int) {
+	set := func(c *net.UDPConn) {
+		if c != nil {
+			_ = c.SetReadBuffer(n)
+			_ = c.SetWriteBuffer(n)
+		}
+	}
+	set(u.swConn)
+	for _, c := range u.conns {
+		set(c)
+	}
+}
 
 // Push implements Pusher on the switch side of the fabric, delegating to
 // the serve loop's learned return paths; a DialUDP fabric has no switch
@@ -468,7 +593,9 @@ func (u *UDP) Push(ds []Delivery) error {
 }
 
 // SendBatch implements Fabric, coalescing the vector into batch-framed
-// datagrams (a lone packet rides the legacy [workerID payload] frame).
+// datagrams (a lone packet rides the legacy [workerID payload] frame) and
+// submitting them with one sendmmsg on the kernel-batched backend. Failed
+// datagrams are counted in SyscallStats.SendErrors as well as returned.
 func (u *UDP) SendBatch(worker int, pkts [][]byte) error {
 	if worker < 0 || worker >= u.workers {
 		return fmt.Errorf("transport: worker %d out of range", worker)
@@ -479,14 +606,17 @@ func (u *UDP) SendBatch(worker int, pkts [][]byte) error {
 	st := &u.send[worker]
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	return writeCoalesced(u.conns[worker], u.swAddr, byte(worker), pkts, true, &st.wbuf)
+	failed, err := writeCoalesced(st.writer, u.swAddr, byte(worker), pkts, true, &st.sc)
+	u.stats.sendErrors.Add(uint64(failed))
+	return err
 }
 
 // RecvBatch implements Fabric: it blocks up to timeout for the first
 // datagram, then keeps draining the socket without blocking until the
-// buffer vector is full or the socket is empty. Batch frames are split
-// into their packets; packets beyond len(bufs) are carried over to the
-// next call rather than dropped.
+// buffer vector is full or the socket is empty (one recvmmsg can take a
+// whole burst on the kernel-batched backend). Batch frames are split into
+// their packets; packets beyond len(bufs) are carried over to the next
+// call rather than dropped.
 func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, error) {
 	if worker < 0 || worker >= u.workers {
 		return 0, fmt.Errorf("transport: worker %d out of range", worker)
@@ -497,15 +627,21 @@ func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, 
 	st := &u.recv[worker]
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if st.rbuf == nil {
-		st.rbuf = make([]byte, 65536)
-	}
 	n := 0
 	for n < len(bufs) && len(st.pending) > 0 {
 		bufs[n] = append(bufs[n][:0], st.pending[0]...)
 		st.pending = st.pending[1:]
 		n++
 	}
+	if n == len(bufs) {
+		return n, nil
+	}
+	k := len(bufs) - n
+	if k > workerRecvBatch {
+		k = workerRecvBatch
+	}
+	st.kbufs = getReadBufs(st.kbufs, k)
+	defer func() { putReadBufs(st.kbufs) }()
 	c := u.conns[worker]
 	// The blocking deadline is absolute, computed ONCE: a stream of
 	// malformed or zero-length datagrams must consume the caller's
@@ -514,8 +650,8 @@ func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, 
 	deadline := time.Now().Add(timeout)
 	for n < len(bufs) {
 		// The first packet blocks up to the deadline; once something
-		// arrived, an already-expired deadline turns further reads into a
-		// non-blocking drain of whatever the socket already buffered.
+		// arrived, the already-expired deadline makes further reads fail
+		// fast with a timeout, so the call returns what the socket had.
 		dl := deadline
 		if n > 0 {
 			dl = time.Now()
@@ -523,7 +659,7 @@ func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, 
 		if err := c.SetReadDeadline(dl); err != nil {
 			return n, err
 		}
-		k, _, err := c.ReadFromUDP(st.rbuf)
+		m, err := st.reader.readDatagrams(st.kbufs, nil)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				if n == 0 {
@@ -536,27 +672,34 @@ func (u *UDP) RecvBatch(worker int, bufs [][]byte, timeout time.Duration) (int, 
 			}
 			return 0, err
 		}
-		if k < 1 {
-			continue
-		}
-		if st.rbuf[0] == BatchFrameID {
-			_, pkts, err := splitBatchFrame(st.rbuf[:k], st.split)
-			st.split = pkts[:0]
-			if err != nil {
-				continue // malformed frame: drop, like a corrupt datagram
+		for i := 0; i < m; i++ {
+			dgram := st.kbufs[i]
+			if len(dgram) < 1 {
+				continue
 			}
-			for _, pkt := range pkts {
-				if n < len(bufs) {
-					bufs[n] = append(bufs[n][:0], pkt...)
-					n++
-				} else {
-					st.pending = append(st.pending, append([]byte(nil), pkt...))
+			if dgram[0] == BatchFrameID {
+				_, pkts, err := splitBatchFrame(dgram, st.split)
+				st.split = pkts[:0]
+				if err != nil {
+					continue // malformed frame: drop, like a corrupt datagram
 				}
+				for _, pkt := range pkts {
+					if n < len(bufs) {
+						bufs[n] = append(bufs[n][:0], pkt...)
+						n++
+					} else {
+						st.pending = append(st.pending, append([]byte(nil), pkt...))
+					}
+				}
+				continue
 			}
-			continue
+			if n < len(bufs) {
+				bufs[n] = append(bufs[n][:0], dgram...)
+				n++
+			} else {
+				st.pending = append(st.pending, append([]byte(nil), dgram...))
+			}
 		}
-		bufs[n] = append(bufs[n][:0], st.rbuf[:k]...)
-		n++
 	}
 	return n, nil
 }
