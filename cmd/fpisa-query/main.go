@@ -9,14 +9,21 @@
 // learned return path). -job queries one tenant job's live stats; -admit
 // and -evict drive the runtime lifecycle control plane (the daemon must
 // run with -dynamic). -weight sets the admitted job's fair-scheduler
-// weight and -profile its numeric profile (e.g. bf16/trunc or f32/rne/g2);
-// the command prints the weight, profile and incarnation epoch the switch
-// actually applied (echoed in the ack) and exits non-zero if the switch
-// clamped a requested weight of 0 or applied a different profile than the
-// one requested:
+// weight, -profile its numeric profile (e.g. bf16/trunc or f32/rne/g2)
+// and -class its workload class ("training", "query:TOPN:GROUPS" or
+// "telemetry:GROUPS" — analytics tenants get pruning registers, group
+// accumulators or telemetry sketches instead of the allreduce slot pool);
+// the command prints the weight, profile, class and incarnation epoch the
+// switch actually applied (echoed in the ack) and exits non-zero if the
+// switch clamped a requested weight of 0 or applied a different profile
+// or class than the one requested. -drain harvests (read-and-reset) an
+// analytics tenant's registers: -kind groups, hh or hist, with
+// -resetprune also clearing its pruning state:
 //
 //	fpisa-query -switch 127.0.0.1:9099 -job 1
 //	fpisa-query -switch 127.0.0.1:9099 -admit 2 -weight 4 -profile bf16/trunc
+//	fpisa-query -switch 127.0.0.1:9099 -admit 3 -class query:10:1024
+//	fpisa-query -switch 127.0.0.1:9099 -drain 3 -kind groups -resetprune
 //	fpisa-query -switch 127.0.0.1:9099 -evict 1
 //
 // All switch operations exit non-zero with the error on stderr when the
@@ -51,16 +58,22 @@ func main() {
 	admit := flag.Int("admit", -1, "admit this job id at runtime (with -switch)")
 	weight := flag.Int("weight", 1, "fair-scheduler weight for -admit (0 is clamped to 1 by the switch)")
 	profile := flag.String("profile", "", `numeric profile for -admit, e.g. "f32/rne/g2" or "bf16/trunc" (empty = f32/trunc)`)
+	class := flag.String("class", "", `workload class for -admit: "training", "query:TOPN:GROUPS" or "telemetry:GROUPS" (empty = training)`)
 	evict := flag.Int("evict", -1, "evict this job id at runtime (with -switch)")
+	drain := flag.Int("drain", -1, "drain this analytics job's state (with -switch and -kind)")
+	kind := flag.String("kind", "groups", `what -drain harvests: "groups" (sum/utilization registers), "hh" (heavy hitters) or "hist" (size histogram)`)
+	resetPrune := flag.Bool("resetprune", false, "with -drain: also clear the job's top-n and group-max pruning registers")
 	timeout := flag.Duration("timeout", time.Second, "per-probe reply timeout (with -switch)")
 	flag.Parse()
-	weightSet, profileSet := false, false
+	weightSet, profileSet, classSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "weight":
 			weightSet = true
 		case "profile":
 			profileSet = true
+		case "class":
+			classSet = true
 		}
 	})
 
@@ -78,10 +91,15 @@ func main() {
 			// Same guard for -profile: an ignored precision request must
 			// not look applied.
 			err = fmt.Errorf("-profile only applies to -admit")
+		case classSet && *admit < 0:
+			// And for -class: an ignored register ask must not look granted.
+			err = fmt.Errorf("-class only applies to -admit")
 		case *admit >= 0:
-			err = admitRequest(os.Stdout, *swAddr, *admit, *weight, *profile, *timeout)
+			err = admitRequest(os.Stdout, *swAddr, *admit, *weight, *profile, *class, *timeout)
 		case *evict >= 0:
 			err = evictRequest(os.Stdout, *swAddr, *evict, *timeout)
+		case *drain >= 0:
+			err = drainRequest(os.Stdout, *swAddr, *drain, *kind, *resetPrune, *timeout)
 		default:
 			err = queryJobStats(os.Stdout, *swAddr, *job, *timeout)
 		}
@@ -207,6 +225,7 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 	fmt.Fprintf(w, "switch %s, job %d (%s)\n", addr, job, st.Phase)
 	fmt.Fprintf(w, "%-22s %d\n", "scheduler weight", st.Weight)
 	fmt.Fprintf(w, "%-22s %s\n", "numeric profile", st.Profile)
+	fmt.Fprintf(w, "%-22s %v\n", "workload class", st.Class)
 	fmt.Fprintf(w, "%-22s %d\n", "values aggregated", st.Adds)
 	fmt.Fprintf(w, "%-22s %d\n", "chunks completed", st.Completions)
 	fmt.Fprintf(w, "%-22s %d\n", "retransmits observed", st.Retransmits)
@@ -225,18 +244,18 @@ func queryJobStats(w io.Writer, addr string, job int, timeout time.Duration) err
 // job, no capacity, lifecycle disabled, …) become the returned error. The
 // operation is read from the request frame itself, so the diagnostics can
 // never disagree with what was sent.
-func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) (status aggservice.AckStatus, epoch uint8, weight int, prof core.NumericProfile, err error) {
+func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) (status aggservice.AckStatus, epoch uint8, weight int, prof core.NumericProfile, class aggservice.AdmitClass, err error) {
 	msgType := req[1]
 	verb := "admit"
 	if msgType == aggservice.MsgJobEvict {
 		verb = "evict"
 	}
 	err = observerExchange(addr, req, timeout, func(pkt []byte, attempt int) (bool, error) {
-		gotJob, got, gotEpoch, gotWeight, gotProf, derr := aggservice.DecodeJobAckProfile(pkt)
+		gotJob, got, gotEpoch, gotWeight, gotProf, gotClass, derr := aggservice.DecodeJobAckClass(pkt)
 		if derr != nil || gotJob != job {
 			return false, nil
 		}
-		status, epoch, weight, prof = got, gotEpoch, gotWeight, gotProf
+		status, epoch, weight, prof, class = got, gotEpoch, gotWeight, gotProf, gotClass
 		serr := got.Err()
 		if serr == nil {
 			return true, nil
@@ -257,7 +276,7 @@ func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) 
 		}
 		return true, fmt.Errorf("switch %s refuses to %s job %d: %w", addr, verb, job, serr)
 	})
-	return status, epoch, weight, prof, err
+	return status, epoch, weight, prof, class, err
 }
 
 // admitRequest admits a job with a fair-scheduler weight and a numeric
@@ -267,7 +286,7 @@ func lifecycleExchange(addr string, req []byte, job int, timeout time.Duration) 
 // profile that differs from the one requested — the operator asked for
 // something the switch did not grant, and a script must see that rather
 // than a silently re-negotiated tenant.
-func admitRequest(w io.Writer, addr string, job, weight int, profile string, timeout time.Duration) error {
+func admitRequest(w io.Writer, addr string, job, weight int, profile, class string, timeout time.Duration) error {
 	if job < 0 || job >= aggservice.MaxJobs {
 		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
 	}
@@ -281,22 +300,31 @@ func admitRequest(w io.Writer, addr string, job, weight int, profile string, tim
 			return err
 		}
 	}
-	req := aggservice.EncodeJobAdmitProfile(job, weight, prof)
-	status, epoch, gotWeight, gotProf, err := lifecycleExchange(addr, req, job, timeout)
+	ac, err := aggservice.ParseClass(class)
 	if err != nil {
 		return err
 	}
-	// The echoed incarnation epoch, weight and profile are operational
-	// output: workers of a re-admitted job id must stamp the epoch into
-	// their ADDs (Worker.Epoch) and speak the echoed profile's wire format
-	// (Worker.Profile), and the weight is the share the scheduler will
-	// actually enforce.
-	fmt.Fprintf(w, "switch %s: job %d %s (weight %d, profile %s, epoch %d)\n", addr, job, status, gotWeight, gotProf, epoch)
+	req := aggservice.EncodeJobAdmitClass(job, weight, prof, ac)
+	status, epoch, gotWeight, gotProf, gotClass, err := lifecycleExchange(addr, req, job, timeout)
+	if err != nil {
+		return err
+	}
+	// The echoed incarnation epoch, weight, profile and class are
+	// operational output: workers of a re-admitted job id must stamp the
+	// epoch into their ADDs (Worker.Epoch) and speak the echoed profile's
+	// wire format (Worker.Profile), the weight is the share the scheduler
+	// will actually enforce, and the class names the data path the switch
+	// provisioned.
+	fmt.Fprintf(w, "switch %s: job %d %s (weight %d, profile %s, class %v, epoch %d)\n",
+		addr, job, status, gotWeight, gotProf, gotClass, epoch)
 	if weight == 0 && gotWeight != 0 {
 		return fmt.Errorf("switch %s clamped the requested weight 0 to %d for job %d", addr, gotWeight, job)
 	}
 	if gotProf != prof {
 		return fmt.Errorf("switch %s applied profile %s for job %d, not the requested %s", addr, gotProf, job, prof)
+	}
+	if gotClass != ac {
+		return fmt.Errorf("switch %s applied class %v for job %d, not the requested %v", addr, gotClass, job, ac)
 	}
 	return nil
 }
@@ -306,10 +334,50 @@ func evictRequest(w io.Writer, addr string, job int, timeout time.Duration) erro
 	if job < 0 || job >= aggservice.MaxJobs {
 		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
 	}
-	status, epoch, _, _, err := lifecycleExchange(addr, aggservice.EncodeJobEvict(job), job, timeout)
+	status, epoch, _, _, _, err := lifecycleExchange(addr, aggservice.EncodeJobEvict(job), job, timeout)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "switch %s: job %d %s (epoch %d)\n", addr, job, status, epoch)
+	return nil
+}
+
+// drainRequest harvests one kind of analytics state from a running switch
+// (read-and-reset on the switch; the library layer retries by nonce, so a
+// lost reply never costs the interval) and prints the entries.
+func drainRequest(w io.Writer, addr string, job int, kindName string, resetPrune bool, timeout time.Duration) error {
+	if job < 0 || job >= aggservice.MaxJobs {
+		return fmt.Errorf("job %d outside the 16-bit job-id space", job)
+	}
+	var kind aggservice.DrainKind
+	switch kindName {
+	case "groups":
+		kind = aggservice.DrainGroups
+	case "hh":
+		kind = aggservice.DrainHeavyHitters
+	case "hist":
+		kind = aggservice.DrainHistogram
+	default:
+		return fmt.Errorf("-kind %q: want groups, hh or hist", kindName)
+	}
+	var flags uint8
+	if resetPrune {
+		flags |= aggservice.DrainFlagResetPrune
+	}
+	entries, err := aggservice.ObserverDrain(addr, job, kind, flags, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "switch %s: job %d drained %d %s entries\n", addr, job, len(entries), kindName)
+	for _, e := range entries {
+		switch kind {
+		case aggservice.DrainHistogram:
+			fmt.Fprintf(w, "  2^%-3d %g\n", e.Key, e.Val)
+		case aggservice.DrainHeavyHitters:
+			fmt.Fprintf(w, "  0x%08X %g\n", e.Key, e.Val)
+		default:
+			fmt.Fprintf(w, "  %-10d %g\n", e.Key, e.Val)
+		}
+	}
 	return nil
 }

@@ -46,7 +46,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	const probeTimeout = 500 * time.Millisecond
 
 	var out strings.Builder
-	if err := admitRequest(&out, addr, 1, 1, "", probeTimeout); err != nil {
+	if err := admitRequest(&out, addr, 1, 1, "", "", probeTimeout); err != nil {
 		t.Fatalf("admit: %v", err)
 	}
 	if !strings.Contains(out.String(), "job 1 admitted") {
@@ -66,7 +66,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	}
 
 	// Double admit is refused with the sentinel a script can gate on.
-	if err := admitRequest(&out, addr, 1, 1, "", probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
+	if err := admitRequest(&out, addr, 1, 1, "", "", probeTimeout); !errors.Is(err, aggservice.ErrAlreadyAdmitted) {
 		t.Fatalf("double admit: %v", err)
 	}
 
@@ -80,7 +80,7 @@ func TestAdmitEvictRoundTrip(t *testing.T) {
 	if err := evictRequest(&out, addr, 1, probeTimeout); !errors.Is(err, aggservice.ErrNotAdmitted) {
 		t.Fatalf("double evict: %v", err)
 	}
-	if err := admitRequest(&out, addr, 9, 1, "", probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
+	if err := admitRequest(&out, addr, 9, 1, "", "", probeTimeout); !errors.Is(err, aggservice.ErrUnknownJob) {
 		t.Fatalf("admit unknown: %v", err)
 	}
 }
@@ -94,10 +94,10 @@ func TestAdmitWithWeight(t *testing.T) {
 	const probeTimeout = 500 * time.Millisecond
 
 	var out strings.Builder
-	if err := admitRequest(&out, addr, 1, 4, "", probeTimeout); err != nil {
+	if err := admitRequest(&out, addr, 1, 4, "", "", probeTimeout); err != nil {
 		t.Fatalf("weighted admit: %v", err)
 	}
-	if !strings.Contains(out.String(), "job 1 admitted (weight 4, profile f32/trunc, epoch 0)") {
+	if !strings.Contains(out.String(), "job 1 admitted (weight 4, profile f32/trunc, class training, epoch 0)") {
 		t.Fatalf("weighted admit output: %q", out.String())
 	}
 	if got := sw.JobWeight(1); got != 4 {
@@ -117,11 +117,11 @@ func TestAdmitWithWeight(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	err := admitRequest(&out, addr, 1, 0, "", probeTimeout)
+	err := admitRequest(&out, addr, 1, 0, "", "", probeTimeout)
 	if err == nil || !strings.Contains(err.Error(), "clamped") {
 		t.Fatalf("weight-0 clamp not surfaced: err=%v", err)
 	}
-	if !strings.Contains(out.String(), "(weight 1, profile f32/trunc, epoch 1)") {
+	if !strings.Contains(out.String(), "(weight 1, profile f32/trunc, class training, epoch 1)") {
 		t.Fatalf("clamp output: %q", out.String())
 	}
 	if got := sw.JobWeight(1); got != 1 {
@@ -129,10 +129,10 @@ func TestAdmitWithWeight(t *testing.T) {
 	}
 
 	// Out-of-space weights are refused locally, before any datagram.
-	if err := admitRequest(&out, addr, 2, aggservice.MaxWeight+1, "", time.Millisecond); err == nil {
+	if err := admitRequest(&out, addr, 2, aggservice.MaxWeight+1, "", "", time.Millisecond); err == nil {
 		t.Fatal("oversized weight accepted")
 	}
-	if err := admitRequest(&out, addr, 2, -1, "", time.Millisecond); err == nil {
+	if err := admitRequest(&out, addr, 2, -1, "", "", time.Millisecond); err == nil {
 		t.Fatal("negative weight accepted")
 	}
 }
@@ -146,10 +146,10 @@ func TestAdmitWithProfile(t *testing.T) {
 	const probeTimeout = 500 * time.Millisecond
 
 	var out strings.Builder
-	if err := admitRequest(&out, addr, 1, 2, "bf16/trunc", probeTimeout); err != nil {
+	if err := admitRequest(&out, addr, 1, 2, "bf16/trunc", "", probeTimeout); err != nil {
 		t.Fatalf("profiled admit: %v", err)
 	}
-	if !strings.Contains(out.String(), "job 1 admitted (weight 2, profile bf16/trunc, epoch 0)") {
+	if !strings.Contains(out.String(), "job 1 admitted (weight 2, profile bf16/trunc, class training, epoch 0)") {
 		t.Fatalf("profiled admit output: %q", out.String())
 	}
 	if got := sw.JobProfile(1); got.String() != "bf16/trunc" {
@@ -168,12 +168,74 @@ func TestAdmitWithProfile(t *testing.T) {
 	// switch would refuse it with AckErrBadProfile anyway; the admit
 	// fuzzer and aggservice's rejection tests cover that wire path).
 	out.Reset()
-	err := admitRequest(&out, addr, 0, 1, "f16/rne", time.Millisecond)
+	err := admitRequest(&out, addr, 0, 1, "f16/rne", "", time.Millisecond)
 	if err == nil || !strings.Contains(err.Error(), "guard") {
 		t.Fatalf("invalid profile not refused locally: %v", err)
 	}
-	if err := admitRequest(&out, addr, 0, 1, "f8/chop", time.Millisecond); err == nil {
+	if err := admitRequest(&out, addr, 0, 1, "f8/chop", "", time.Millisecond); err == nil {
 		t.Fatal("garbage profile accepted")
+	}
+}
+
+// TestAdmitWithClassAndDrain drives a class-carrying admission over real
+// UDP: the ack must echo the provisioned workload class, the stats probe
+// must report it, and the operator drain must harvest the analytics
+// registers the class provisioned. A malformed -class string fails
+// locally before any datagram, as does an unknown -kind.
+func TestAdmitWithClassAndDrain(t *testing.T) {
+	cfg := dynConfig()
+	sw, addr := startSwitch(t, cfg)
+	const probeTimeout = 500 * time.Millisecond
+
+	var out strings.Builder
+	if err := admitRequest(&out, addr, 1, 1, "", "query:4:64", probeTimeout); err != nil {
+		t.Fatalf("class admit: %v", err)
+	}
+	if !strings.Contains(out.String(), "class query(topn=4,groups=64)") {
+		t.Fatalf("class admit output: %q", out.String())
+	}
+	want := aggservice.AdmitClass{Class: aggservice.ClassQuery, TopN: 4, Groups: 64}
+	if got := sw.JobClass(1); got != want {
+		t.Fatalf("switch applied class %v, want %v", got, want)
+	}
+	out.Reset()
+	if err := queryJobStats(&out, addr, 1, probeTimeout); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !strings.Contains(out.String(), "workload class") || !strings.Contains(out.String(), "query(topn=4,groups=64)") {
+		t.Fatalf("stats output lacks the class: %q", out.String())
+	}
+
+	// Fold a few grouped tuples in-process, then harvest them with the
+	// operator drain over the wire: read-and-reset, so a second drain
+	// comes back empty.
+	batch := aggservice.EncodeTuples(1, 0, sw.JobEpoch(1), aggservice.OpQueryAgg,
+		[]uint32{3, 3, 7}, []float32{10, 5, 2})
+	if replies := sw.Handle(cfg.Port(1, 0), batch); len(replies) == 0 {
+		t.Fatal("tuple batch produced no ack")
+	}
+	out.Reset()
+	if err := drainRequest(&out, addr, 1, "groups", false, probeTimeout); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "drained 2 groups entries") ||
+		!strings.Contains(out.String(), "15") || !strings.Contains(out.String(), "2") {
+		t.Fatalf("drain output: %q", out.String())
+	}
+	out.Reset()
+	if err := drainRequest(&out, addr, 1, "groups", false, probeTimeout); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if !strings.Contains(out.String(), "drained 0 groups entries") {
+		t.Fatalf("drain is not read-and-reset: %q", out.String())
+	}
+
+	// Local refusals, before any datagram leaves.
+	if err := admitRequest(&out, addr, 2, 1, "", "query:banana", time.Millisecond); err == nil {
+		t.Fatal("malformed class accepted")
+	}
+	if err := drainRequest(&out, addr, 1, "bogus", false, time.Millisecond); err == nil || !strings.Contains(err.Error(), "want groups") {
+		t.Fatalf("unknown drain kind not refused locally: %v", err)
 	}
 }
 
@@ -205,7 +267,7 @@ func TestLifecycleDisabledOverWire(t *testing.T) {
 	cfg.Dynamic = false
 	_, addr := startSwitch(t, cfg)
 	var out strings.Builder
-	err := admitRequest(&out, addr, 1, 1, "", 500*time.Millisecond)
+	err := admitRequest(&out, addr, 1, 1, "", "", 500*time.Millisecond)
 	if !errors.Is(err, aggservice.ErrLifecycleDisabled) {
 		t.Fatalf("disabled admit: %v", err)
 	}

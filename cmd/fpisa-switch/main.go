@@ -5,11 +5,18 @@
 // completions to every registered worker, or to the owning job's ports
 // when several jobs share the switch).
 //
-// The switch is multi-tenant: -jobs admits that many training jobs at
-// start, each owning a slot-pool partition through the lifecycle
-// indirection table, -workers workers (job j's worker i sends on port
-// j·workers+i) and its own stats, with -quota capping each job's
-// outstanding slots. Pipeline time is shared by a per-job deficit-round-
+// The switch is multi-tenant: -jobs admits that many jobs at start, each
+// owning a slot-pool partition through the lifecycle indirection table,
+// -workers workers (job j's worker i sends on port j·workers+i) and its
+// own stats, with -quota capping each job's outstanding slots. Tenants
+// need not be training jobs: -classes assigns comma-separated workload
+// classes to the initial jobs (e.g. -jobs 3 -classes
+// training,query:10:1024,telemetry:16; missing entries default to
+// training), provisioning per-range pruning registers and group
+// accumulators for query tenants or LPM-classified utilization,
+// heavy-hitter and histogram sketches for telemetry tenants — all
+// scheduled by the same deficit ledger and drained with fpisa-query
+// -drain. Pipeline time is shared by a per-job deficit-round-
 // robin scheduler: -weights assigns comma-separated weights to the initial
 // jobs (e.g. -jobs 3 -weights 1,2,4; missing entries default to 1), and
 // jobs admitted at runtime carry the weight named in fpisa-query -admit
@@ -81,6 +88,7 @@ type options struct {
 	quota        int
 	weights      []int
 	profiles     []core.NumericProfile
+	classes      []aggservice.AdmitClass
 	modules      int
 	shards       int
 	dynamic      bool
@@ -106,6 +114,7 @@ func parseOptions(args []string) (*options, error) {
 	fs.IntVar(&o.quota, "quota", 0, "max outstanding slots per job (0 = unlimited)")
 	weights := fs.String("weights", "", "comma-separated fair-scheduler weights for the initial jobs, e.g. 1,2,4 (missing = 1)")
 	profiles := fs.String("profiles", "", "comma-separated numeric profiles for the initial jobs, e.g. f32/rne/g2,bf16/trunc (missing = f32/trunc)")
+	classes := fs.String("classes", "", "comma-separated workload classes for the initial jobs, e.g. training,query:10:1024,telemetry:16 (missing = training)")
 	fs.IntVar(&o.modules, "modules", 1, "vector elements per packet")
 	fs.IntVar(&o.shards, "shards", runtime.GOMAXPROCS(0), "parallel pipeline replicas (capped at capacity*2*pool)")
 	fs.BoolVar(&o.dynamic, "dynamic", false, "enable the runtime admit/evict control plane (fpisa-query -admit/-evict)")
@@ -155,6 +164,18 @@ func parseOptions(args []string) (*options, error) {
 			return nil, fmt.Errorf("-profiles names %d jobs but -jobs admits %d", len(o.profiles), o.jobs)
 		}
 	}
+	if *classes != "" {
+		for _, field := range strings.Split(*classes, ",") {
+			ac, err := aggservice.ParseClass(strings.TrimSpace(field))
+			if err != nil {
+				return nil, fmt.Errorf("-classes %q: %v", *classes, err)
+			}
+			o.classes = append(o.classes, ac)
+		}
+		if len(o.classes) > o.jobs {
+			return nil, fmt.Errorf("-classes names %d jobs but -jobs admits %d", len(o.classes), o.jobs)
+		}
+	}
 	return o, nil
 }
 
@@ -183,7 +204,7 @@ func (o *options) switchConfig() (aggservice.Config, error) {
 	cfg := aggservice.Config{
 		Workers: o.workers, Pool: o.pool, Modules: o.modules, Shards: o.shards,
 		Jobs: o.jobs, Capacity: capacity, MaxOutstanding: o.quota,
-		Weights: o.weights, Profiles: o.profiles,
+		Weights: o.weights, Profiles: o.profiles, Classes: o.classes,
 		Dynamic: o.dynamic, DrainTimeout: o.drainTimeout,
 		Mode: mode, Arch: arch,
 	}
@@ -279,8 +300,8 @@ func main() {
 	log.Printf("wire I/O backend: %s (-mmsg %s)", srv.Backend(), o.mmsg)
 	for j := 0; j < sw.Jobs(); j++ {
 		if base, n, ok := sw.JobRange(j); ok {
-			log.Printf("  job %d: ports %d..%d, slots %d..%d, weight %d, profile %s", j,
-				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1, sw.JobWeight(j), sw.JobProfile(j))
+			log.Printf("  job %d: ports %d..%d, slots %d..%d, weight %d, profile %s, class %v", j,
+				cfg.Port(j, 0), cfg.Port(j, o.workers-1), base, base+n-1, sw.JobWeight(j), sw.JobProfile(j), sw.JobClass(j))
 		}
 	}
 	log.Printf("pipeline resource report:\n%s", sw.Utilization())
@@ -300,9 +321,9 @@ func main() {
 						st.SchedDefers, st.Outstanding, st.CacheHits, st.CacheBytes, st.Coalesced)
 				}
 				r := sw.Rejects()
-				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob+r.Draining+r.Backpressure > 0 {
-					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d draining=%d backpressure=%d",
-						r.Legacy, r.Malformed, r.BadJob, r.CrossJob, r.Draining, r.Backpressure)
+				if r.Legacy+r.Malformed+r.BadJob+r.CrossJob+r.Draining+r.Backpressure+r.BadClass > 0 {
+					log.Printf("rejects: legacy=%d malformed=%d badJob=%d crossJob=%d draining=%d backpressure=%d badClass=%d",
+						r.Legacy, r.Malformed, r.BadJob, r.CrossJob, r.Draining, r.Backpressure, r.BadClass)
 				}
 				ss := srv.SyscallStats()
 				log.Printf("wire: syscalls=%d (sendmmsg=%d recvmmsg=%d fallback=%d) datagrams=%d dgrams/syscall=%.2f sendErrors=%d",

@@ -1,40 +1,327 @@
-// Dbquery: a Top-N query over floating-point ad revenue, accelerated by
-// in-switch comparison pruning (paper §6, Cheetah-style) versus the
-// ship-everything baseline.
+// Dbquery: the five evaluated database queries (paper Table 2) executed
+// IN the network — tuple streams pruned and aggregated by FPISA registers
+// on a running switch over real UDP sockets — while a training tenant
+// allreduces gradients through the same pipeline. One shared switch, two
+// workload classes, one deficit scheduler.
+//
+// The query tenant is admitted at runtime over the wire (MsgJobAdmit with
+// a workload-class descriptor: top-N pruning registers plus group
+// accumulators), streams every query's worker partitions through
+// MsgTuple batches, and harvests group sums with read-and-reset observer
+// drains. Pruning queries must finish bit-identical to the engine's exact
+// float64 Reference (comparison pruning is lossless); aggregation queries
+// must drain bit-identical to the engine's software switch plan and land
+// within accumulation tolerance of the Reference.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"fpisa/internal/aggservice"
+	"fpisa/internal/core"
+	"fpisa/internal/gradients"
+	"fpisa/internal/pisa"
 	"fpisa/internal/query"
+	"fpisa/internal/transport"
 )
 
 func main() {
-	const workers = 2
-	parts := query.Generate(query.DefaultScale(), workers, 7)
-	e := query.NewEngine(parts)
-
-	q, err := query.QueryByName("Top-N")
+	const (
+		workers = 2 // per tenant
+		vecLen  = 128
+	)
+	// Job 0 is the resident training tenant; the second slot range sits in
+	// the free list until the query tenant admits over the wire.
+	cfg := aggservice.Config{
+		Workers: workers, Pool: 8, Modules: 1, Shards: 2,
+		Jobs: 1, Capacity: 2, Dynamic: true,
+		// Full FPISA so the switch's group sums are bit-exact against the
+		// engine's software accumulator (same §3.3 register arithmetic).
+		Mode: core.ModeFull, Arch: pisa.ExtendedArch(),
+	}
+	sw, err := aggservice.NewSwitch(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	base, bCost := e.RunBaseline(q)
-	accel, sCost, err := e.RunSwitch(q)
+	fab, err := transport.NewUDP(cfg.Ports(), sw.HandleBatch)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer fab.Close()
+	addr := fab.SwitchAddr().String()
+	fmt.Printf("FPISA switch on %s: training tenant (job 0) + query tenant (job 1) share %d shards\n",
+		addr, sw.Shards())
 
-	fmt.Println("Top-10 uservisits by FP32 adRevenue:")
-	fmt.Printf("%-10s %14s %14s\n", "destURL", "baseline", "in-switch")
-	for i := range base.Entries {
-		fmt.Printf("%-10d %14.4f %14.4f\n",
-			base.Entries[i].Key, base.Entries[i].Val, accel.Entries[i].Val)
+	// The training tenant keeps allreducing in the background for the whole
+	// run — queries must not disturb it, nor it the query results.
+	var stop atomic.Bool
+	var rounds atomic.Uint64
+	var trainWG sync.WaitGroup
+	vecs := gradients.NewGenerator(gradients.VGG19, 5).WorkerGradients(workers, vecLen)
+	exact := gradients.AggregateExact(vecs)
+	trainWG.Add(1)
+	go func() {
+		defer trainWG.Done()
+		trainEpoch := uint8(0)
+		for !stop.Load() {
+			var wg sync.WaitGroup
+			outs := make([][]float32, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					wk := aggservice.NewJobWorker(0, w, fab, cfg)
+					wk.Timeout = 100 * time.Millisecond
+					wk.Epoch = trainEpoch
+					out, err := wk.Reduce(vecs[w])
+					if err != nil {
+						log.Fatalf("training worker %d: %v", w, err)
+					}
+					outs[w] = out
+				}(w)
+			}
+			wg.Wait()
+			for i := range exact {
+				if d := float64(outs[0][i]) - exact[i]; d > 1e-3 || d < -1e-3 {
+					log.Fatalf("training round %d drifted at element %d: %g vs %g",
+						rounds.Load(), i, outs[0][i], exact[i])
+				}
+			}
+			rounds.Add(1)
+			// One reduce per incarnation: recycle job 0's epoch for the next
+			// round (the tree/churn lifecycle idiom), leaving job 1 untouched.
+			if err := sw.Evict(0); err != nil {
+				log.Fatalf("training recycle evict: %v", err)
+			}
+			for sw.JobPhaseOf(0) != aggservice.PhaseVacant {
+				time.Sleep(time.Millisecond)
+			}
+			if err := sw.Admit(0); err != nil {
+				log.Fatalf("training recycle admit: %v", err)
+			}
+			trainEpoch = sw.JobEpoch(0)
+		}
+	}()
+
+	// Admit the query tenant at runtime over the observer frame. One class
+	// descriptor covers all five queries: the largest pruning register file
+	// (top-10) plus the largest group bank (1024 groups); read-and-reset
+	// drains recycle both between queries.
+	ac := aggservice.AdmitClass{Class: aggservice.ClassQuery, TopN: 10, Groups: 1024}
+	epoch, err := admitClass(addr, 1, ac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted job 1 as %v (epoch %d)\n\n", ac, epoch)
+
+	eng := query.NewEngine(query.Generate(query.DefaultScale(), workers, 7))
+	// One tuple lane per worker for the whole tenancy: the stop-and-wait
+	// sequence numbers are per-incarnation, not per-query.
+	clients := make([]*aggservice.TupleClient, workers)
+	for w := range clients {
+		clients[w] = aggservice.NewTupleClient(1, w, fab, cfg)
+		clients[w].Epoch = epoch
+	}
+	for _, q := range query.Queries() {
+		op := aggservice.OpQueryAgg
+		if q.TopN > 0 {
+			op = aggservice.OpQueryTopN
+		} else if q.Desc.Method == query.Pruning {
+			op = aggservice.OpQueryGroupMax
+		}
+
+		// Stream the worker partitions through the switch. Workers send
+		// sequentially so the fold order matches the engine's row scan
+		// (bit-exactness of sums needs it; pruning is lossless either way).
+		var survivors []query.Row
+		sent := 0
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			rows := eng.PartRows(q, w)
+			keys := make([]uint32, len(rows))
+			vals := make([]float32, len(rows))
+			for i, r := range rows {
+				keys[i], vals[i] = r.Key, r.Val
+			}
+			alive, err := clients[w].Send(op, keys, vals)
+			if err != nil {
+				log.Fatalf("%s worker %d: %v", q.Desc.Name, w, err)
+			}
+			for _, i := range alive {
+				survivors = append(survivors, rows[i])
+			}
+			sent += len(rows)
+		}
+
+		ref := eng.Reference(q)
+		var got query.Result
+		var rowsToMaster int
+		// Harvest and recycle: read-and-reset the group bank and clear the
+		// pruning registers so the next query starts from zero state.
+		entries, err := aggservice.ObserverDrain(addr, 1, aggservice.DrainGroups,
+			aggservice.DrainFlagResetPrune, time.Second)
+		if err != nil {
+			log.Fatalf("%s drain: %v", q.Desc.Name, err)
+		}
+		if op == aggservice.OpQueryAgg {
+			// The drained groups ARE the result; the master only sorts.
+			sres, _, err := eng.RunSwitch(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(entries) != len(sres.Entries) {
+				log.Fatalf("%s: %d drained groups, engine plan drained %d",
+					q.Desc.Name, len(entries), len(sres.Entries))
+			}
+			for i, e := range entries {
+				if e.Key != sres.Entries[i].Key || float64(e.Val) != sres.Entries[i].Val {
+					log.Fatalf("%s group %d: wire (%d, %v) != engine plan (%d, %v)",
+						q.Desc.Name, i, e.Key, e.Val, sres.Entries[i].Key, sres.Entries[i].Val)
+				}
+			}
+			for i, e := range entries {
+				want := ref.Entries[i]
+				if e.Key != want.Key {
+					log.Fatalf("%s: group key %d != reference %d", q.Desc.Name, e.Key, want.Key)
+				}
+				if d := math.Abs(float64(e.Val) - want.Val); d > 1e-3*math.Abs(want.Val)+1e-6 {
+					log.Fatalf("%s group %d: %v vs reference %v", q.Desc.Name, e.Key, e.Val, want.Val)
+				}
+			}
+			got = sres
+			rowsToMaster = len(entries)
+		} else {
+			// Pruning: only the register survivors cross to the master,
+			// which must still compute the EXACT answer from them.
+			got = q.Finish(survivors, q.TopN)
+			if len(got.Entries) != len(ref.Entries) {
+				log.Fatalf("%s: finish on %d survivors gave %d entries, reference %d",
+					q.Desc.Name, len(survivors), len(got.Entries), len(ref.Entries))
+			}
+			for i := range got.Entries {
+				if got.Entries[i] != ref.Entries[i] {
+					log.Fatalf("%s entry %d: %+v != reference %+v",
+						q.Desc.Name, i, got.Entries[i], ref.Entries[i])
+				}
+			}
+			rowsToMaster = len(survivors)
+		}
+
+		fmt.Printf("%s — %s via %s: %d rows -> %d to the master in %v\n",
+			q.Desc.Name, q.Desc.FPOp, q.Desc.Method, sent, rowsToMaster,
+			time.Since(start).Round(time.Millisecond))
+		n := min(3, len(got.Entries))
+		for i := 0; i < n; i++ {
+			var refVal float64
+			if i < len(ref.Entries) {
+				refVal = ref.Entries[i].Val
+			}
+			fmt.Printf("  %-12d in-network %16.4f   reference %16.4f\n",
+				got.Entries[i].Key, got.Entries[i].Val, refVal)
+		}
+		if op == aggservice.OpQueryAgg {
+			fmt.Println("  drained groups bit-identical to the engine's switch plan; within 1e-3 of float64 reference")
+		} else {
+			fmt.Printf("  lossless pruning: result from %d survivors bit-identical to the full reference\n", len(survivors))
+		}
 	}
 
-	fmt.Printf("\npruning: %d rows -> %d rows to the master (lossless: results identical)\n",
-		bCost.RowsToMaster, sCost.RowsToMaster)
-	b, s := bCost.BaselineSeconds(workers), sCost.SwitchSeconds(workers)
-	fmt.Printf("modeled execution time: %.2fs -> %.2fs (%.2fx, paper Fig. 13: 1.9-2.7x)\n", b, s, b/s)
+	stop.Store(true)
+	trainWG.Wait()
+	st1, _ := sw.JobStats(1)
+	fmt.Printf("\ntraining tenant stayed live throughout: %d allreduce rounds (job 0, one incarnation each)\n",
+		rounds.Load())
+	fmt.Printf("query tenant (%v): %d tuple batches folded (job 1)\n", st1.Class, st1.Completions)
+	if rounds.Load() == 0 {
+		log.Fatal("training tenant made no progress while queries ran")
+	}
+	if err := evictJob(addr, 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("evicted job 1 — slot range back in the free list")
+}
+
+// admitClass admits job with a workload-class descriptor over the observer
+// frame and returns the incarnation epoch to stamp into tuple batches.
+func admitClass(addr string, job int, ac aggservice.AdmitClass) (uint8, error) {
+	req := aggservice.EncodeJobAdmitClass(job, 1, core.DefaultProfile, ac)
+	var epoch uint8
+	err := observerExchange(addr, req, func(pkt []byte) (bool, error) {
+		j, status, ep, _, _, gotAC, derr := aggservice.DecodeJobAckClass(pkt)
+		if derr != nil || j != job {
+			return false, nil
+		}
+		if serr := status.Err(); serr != nil {
+			return true, fmt.Errorf("switch refuses job %d: %w", job, serr)
+		}
+		if gotAC != ac {
+			return true, fmt.Errorf("switch applied class %v, not %v", gotAC, ac)
+		}
+		epoch = ep
+		return true, nil
+	})
+	return epoch, err
+}
+
+// evictJob releases the job's slot range over the observer frame.
+func evictJob(addr string, job int) error {
+	return observerExchange(addr, aggservice.EncodeJobEvict(job), func(pkt []byte) (bool, error) {
+		j, status, _, _, derr := aggservice.DecodeJobAck(pkt)
+		if derr != nil || j != job {
+			return false, nil
+		}
+		if serr := status.Err(); serr != nil {
+			return true, fmt.Errorf("switch refuses to evict job %d: %w", job, serr)
+		}
+		return true, nil
+	})
+}
+
+// observerExchange sends one observer-framed control request and hands
+// replies to decode until it reports the exchange done, retrying on
+// timeout (the control datagram is as droppable as any other).
+func observerExchange(addr string, req []byte, decode func(pkt []byte) (bool, error)) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	frame := append([]byte{transport.ObserverID}, req...)
+	buf := make([]byte, 256)
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := conn.Write(frame); err != nil {
+			return err
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+			return err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		if done, derr := decode(buf[:n]); done {
+			return derr
+		}
+	}
+	return fmt.Errorf("no usable control reply from %s", addr)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

@@ -30,6 +30,10 @@ const (
 	MsgJobEvict   = 6 // observer → switch: evict (drain) a job at runtime
 	MsgJobAck     = 7 // switch → requester/worker: lifecycle status
 	MsgResultRun  = 8 // switch → workers: a run of consecutive aggregated chunks
+	MsgTuple      = 9 // analytics worker → switch: (key, value) rows to fold
+	MsgTupleAck   = 10 // switch → analytics worker: folded batch + survivor bitmap
+	MsgDrain      = 11 // observer → switch: harvest-and-reset analytics state
+	MsgDrainReply = 12 // switch → observer: harvested (key, value) entries
 )
 
 // MaxJobs bounds the job-id space: the wire carries a 16-bit job field.
@@ -115,6 +119,14 @@ type Config struct {
 	// Where Weights share pipeline time, Profiles share precision: each
 	// tenant's slots run the arithmetic it negotiated.
 	Profiles []core.NumericProfile
+	// Classes assigns workload classes to the initially admitted jobs:
+	// job j serves Classes[j]. Missing entries mean the zero descriptor
+	// (a training job — today's behavior); jobs admitted at runtime carry
+	// the class named in their admit request (Switch.AdmitWorkload /
+	// MsgJobAdmit). Query and telemetry jobs fold MsgTuple streams into
+	// per-range analytics registers instead of ADDs into chunk slots,
+	// scheduled by the same deficit-round-robin ledger (see analytics.go).
+	Classes []AdmitClass
 	// SchedRoundAge bounds a scheduler round's lifetime once a bind has
 	// been deferred: when a tenant that showed demand this round holds
 	// unspent deficit but stops binding (dead workers, quota-blocked),
@@ -173,6 +185,14 @@ func (c Config) Validate() error {
 	for j, p := range c.Profiles {
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("aggservice: job %d profile: %w", j, err)
+		}
+	}
+	if len(c.Classes) > c.jobs() {
+		return fmt.Errorf("aggservice: %d classes for %d initially admitted jobs", len(c.Classes), c.jobs())
+	}
+	for j, ac := range c.Classes {
+		if err := c.validateClass(ac); err != nil {
+			return fmt.Errorf("aggservice: job %d class: %w", j, err)
 		}
 	}
 	if c.Capacity < 0 {
@@ -291,12 +311,20 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
 //	reply  = [ver(1) type(1) job(2) phase(1) weight(2) fmt(1) guard(1)
-//	          round(1) adds(8) retrans(8) done(8) drops(8) defers(8)
-//	          outstanding(8) cacheHits(8) cacheBytes(8) coalesced(8)]
-//	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)]
+//	          round(1) class(1) topn(2) groups(2) adds(8) retrans(8)
+//	          done(8) drops(8) defers(8) outstanding(8) cacheHits(8)
+//	          cacheBytes(8) coalesced(8)]
+//	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)
+//	          class(1) topn(2) groups(2)]
 //	evict  = [ver(1) type(1) job(2)]
 //	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2) fmt(1)
-//	          guard(1) round(1)]
+//	          guard(1) round(1) class(1) topn(2) groups(2)]
+//	tuple  = [ver(1) type(1) job(2) seq(4) epoch(1) op(1) count(2)
+//	          { key(4) valbits(4) }·count]
+//	tack   = [ver(1) type(1) job(2) seq(4) count(2) bitmap(⌈count/8⌉)]
+//	drain  = [ver(1) type(1) job(2) kind(1) flags(1) nonce(4)]
+//	dreply = [ver(1) type(1) job(2) kind(1) count(2)
+//	          { key(4) valbits(4) }·count]
 //
 // W is the job's negotiated value width: 4 bytes under the default f32
 // profile, 2 under the 16-bit formats — so a bf16 tenant's ADDs carry half
@@ -304,7 +332,13 @@ func (c Config) Port(job, worker int) int { return job*c.Workers + worker }
 // descriptor (core.ProfileFormat, guard-bit count, core.ProfileRounding),
 // negotiated in the admit request and echoed in acks and stats replies.
 //
-// The ADD's epoch octet is the job's incarnation: it is compared against
+// The class/topn/groups octets are the job's AdmitClass descriptor — the
+// workload class the admission negotiated (training/query/telemetry) plus
+// its analytics register ask — echoed in acks and stats replies just like
+// the numeric profile.
+//
+// The ADD's (and TUPLE's) epoch octet is the job's incarnation: it is
+// compared against
 // the switch's release counter (mod 256), so a datagram buffered from an
 // evicted incarnation of a re-admitted job id is rejected as stale instead
 // of binding a chunk into the fresh range. Lifecycle acks echo the
@@ -324,11 +358,15 @@ const batchHdrBytes = 4
 // scheduler weight) and jobAckBytes size the control plane's.
 const (
 	statsReqBytes     = 4
-	statsReplyBytes   = 4 + 1 + 2 + profileBytes + 9*8
+	statsReplyBytes   = 4 + 1 + 2 + profileBytes + classBytes + 9*8
 	lifecycleReqBytes = 4
-	jobAdmitBytes     = 6 + profileBytes
-	jobAckBytes       = 8 + profileBytes
+	jobAdmitBytes     = 6 + profileBytes + classBytes
+	jobAckBytes       = 8 + profileBytes + classBytes
 )
+
+// classBytes is the wire width of an AdmitClass descriptor: the workload
+// class octet plus the two 16-bit analytics register counts.
+const classBytes = 5
 
 // runHdrBytes is the MsgResultRun header: the shared [ver type job chunk]
 // header (chunk = the run's first chunk id) plus a two-byte item count.
@@ -613,15 +651,16 @@ func DecodeStatsReply(pkt []byte) (job int, st JobStats, err error) {
 	st.Phase = JobPhase(pkt[4])
 	st.Weight = int(binary.BigEndian.Uint16(pkt[5:]))
 	st.Profile = getProfile(pkt[7:])
-	st.Adds = binary.BigEndian.Uint64(pkt[10:])
-	st.Retransmits = binary.BigEndian.Uint64(pkt[18:])
-	st.Completions = binary.BigEndian.Uint64(pkt[26:])
-	st.QuotaDrops = binary.BigEndian.Uint64(pkt[34:])
-	st.SchedDefers = binary.BigEndian.Uint64(pkt[42:])
-	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[50:]))
-	st.CacheHits = binary.BigEndian.Uint64(pkt[58:])
-	st.CacheBytes = binary.BigEndian.Uint64(pkt[66:])
-	st.Coalesced = binary.BigEndian.Uint64(pkt[74:])
+	st.Class = getAdmitClass(pkt[10:])
+	st.Adds = binary.BigEndian.Uint64(pkt[15:])
+	st.Retransmits = binary.BigEndian.Uint64(pkt[23:])
+	st.Completions = binary.BigEndian.Uint64(pkt[31:])
+	st.QuotaDrops = binary.BigEndian.Uint64(pkt[39:])
+	st.SchedDefers = binary.BigEndian.Uint64(pkt[47:])
+	st.Outstanding = int64(binary.BigEndian.Uint64(pkt[55:]))
+	st.CacheHits = binary.BigEndian.Uint64(pkt[63:])
+	st.CacheBytes = binary.BigEndian.Uint64(pkt[71:])
+	st.Coalesced = binary.BigEndian.Uint64(pkt[79:])
 	return job, st, nil
 }
 
@@ -633,15 +672,16 @@ func encodeStatsReply(job int, st JobStats) []byte {
 	pkt[4] = uint8(st.Phase)
 	binary.BigEndian.PutUint16(pkt[5:], uint16(st.Weight))
 	putProfile(pkt[7:], st.Profile)
-	binary.BigEndian.PutUint64(pkt[10:], st.Adds)
-	binary.BigEndian.PutUint64(pkt[18:], st.Retransmits)
-	binary.BigEndian.PutUint64(pkt[26:], st.Completions)
-	binary.BigEndian.PutUint64(pkt[34:], st.QuotaDrops)
-	binary.BigEndian.PutUint64(pkt[42:], st.SchedDefers)
-	binary.BigEndian.PutUint64(pkt[50:], uint64(st.Outstanding))
-	binary.BigEndian.PutUint64(pkt[58:], st.CacheHits)
-	binary.BigEndian.PutUint64(pkt[66:], st.CacheBytes)
-	binary.BigEndian.PutUint64(pkt[74:], st.Coalesced)
+	putAdmitClass(pkt[10:], st.Class)
+	binary.BigEndian.PutUint64(pkt[15:], st.Adds)
+	binary.BigEndian.PutUint64(pkt[23:], st.Retransmits)
+	binary.BigEndian.PutUint64(pkt[31:], st.Completions)
+	binary.BigEndian.PutUint64(pkt[39:], st.QuotaDrops)
+	binary.BigEndian.PutUint64(pkt[47:], st.SchedDefers)
+	binary.BigEndian.PutUint64(pkt[55:], uint64(st.Outstanding))
+	binary.BigEndian.PutUint64(pkt[63:], st.CacheHits)
+	binary.BigEndian.PutUint64(pkt[71:], st.CacheBytes)
+	binary.BigEndian.PutUint64(pkt[79:], st.Coalesced)
 	return pkt
 }
 
@@ -664,6 +704,11 @@ type JobStats struct {
 	// zero profile while vacant): the wire format, guard bits and rounding
 	// its slot range computes under.
 	Profile core.NumericProfile
+	// Class is the workload-class descriptor the job's admission
+	// negotiated (the zero descriptor — training — while vacant). For
+	// analytics jobs Adds counts tuples folded and Completions counts
+	// tuple batches.
+	Class AdmitClass
 	// Adds counts values aggregated into the pipeline for this job.
 	Adds uint64
 	// Retransmits counts duplicate ADDs observed — the switch-side view
@@ -721,6 +766,11 @@ type WireRejects struct {
 	// job's current incarnation — datagrams buffered in the network from
 	// an evicted incarnation of a re-admitted job id.
 	Stale uint64
+	// BadClass counts messages refused by the workload-class guard: ADDs
+	// sent to an analytics job, tuples sent to a training job, or tuple
+	// ops the job's class descriptor does not provision. Each is answered
+	// with an AckErrBadClass notice.
+	BadClass uint64
 }
 
 // jobState is a job's live counters plus its lifecycle state; all atomic
@@ -742,6 +792,11 @@ type jobState struct {
 	// lifeMu at admission before the range publishes, read lock-free by
 	// the hot path to size and decode ADD payloads.
 	profBits atomic.Uint32
+	// classBits is the job's packed AdmitClass descriptor (packClass
+	// form) for its current incarnation (zero — training — while vacant);
+	// set under lifeMu at admission before the range publishes, read
+	// lock-free by the hot path's workload-class guard.
+	classBits atomic.Uint64
 	// phase is the JobPhase; rangeIdx is the indirection-table entry
 	// mapping the job to its 2·Pool slot range (-1 when vacant). The
 	// admit path stores rangeIdx before flipping phase to admitted; the
@@ -793,6 +848,13 @@ type Switch struct {
 	shards []*shard
 	jobs   []jobState
 
+	// analytics holds each analytics job's register state (nil entries
+	// for training jobs and vacant ids). An entry is installed and
+	// cleared under BOTH lifeMu and the job's home shard lock; the hot
+	// path reads it only under the home shard lock after revalidating the
+	// epoch, mirroring the aggregator-bank discipline.
+	analytics []*analyticsJob
+
 	// protos caches one compiled ProfileAggregator prototype per distinct
 	// numeric profile (guarded by lifeMu): admissions replicate a cached
 	// prototype — fresh registers, shared program — so a profile compiles
@@ -825,7 +887,7 @@ type Switch struct {
 	scratchPool sync.Pool
 
 	rejLegacy, rejMalformed, rejBadJob, rejCrossJob, rejDraining, rejStale atomic.Uint64
-	rejBackpressure                                                        atomic.Uint64
+	rejBackpressure, rejClass                                              atomic.Uint64
 }
 
 // shard is a bank of per-job pipeline replicas plus the protocol state for
@@ -879,6 +941,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		cfg: cfg, nsh: nsh, njobs: njobs, ncap: ncap, perRange: perRange,
 		util:        pa0.Utilization(),
 		jobs:        make([]jobState, ncap),
+		analytics:   make([]*analyticsJob, ncap),
 		drainTimers: make([]*time.Timer, ncap),
 		protos:      map[core.NumericProfile]*core.ProfileAggregator{core.DefaultProfile: pa0},
 	}
@@ -889,6 +952,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 			s.jobs[j].rangeIdx.Store(int32(j))
 			s.jobs[j].weight.Store(int32(cfg.weightOf(j)))
 			s.jobs[j].profBits.Store(cfg.profileOf(j).Pack())
+			s.jobs[j].classBits.Store(packClass(cfg.classOf(j)))
 			s.jobs[j].phase.Store(int32(PhaseAdmitted))
 		} else {
 			s.jobs[j].rangeIdx.Store(-1)
@@ -907,7 +971,17 @@ func NewSwitch(cfg Config) (*Switch, error) {
 	}
 	// Install the initially admitted jobs' aggregator banks: distinct
 	// profiles compile once, every (job, shard) bank is a replica.
+	// Analytics jobs get their per-group register state on their home
+	// shard instead of chunk-slot banks.
 	for j := 0; j < njobs; j++ {
+		if ac := cfg.classOf(j); ac.Class != ClassTraining {
+			an, err := s.buildAnalytics(ac, cfg.profileOf(j))
+			if err != nil {
+				return nil, fmt.Errorf("aggservice: job %d class: %w", j, err)
+			}
+			s.analytics[j] = an
+			continue
+		}
 		//fpisa:ignore lockedcall constructor: s is not yet published, and locking lifeMu here would deadlock the error path through Close
 		proto, err := s.getProtoLocked(cfg.profileOf(j))
 		if err != nil {
@@ -1013,6 +1087,10 @@ func (s *Switch) HandleBatch(worker int, pkts [][]byte, out *transport.DeliveryL
 			s.handleLifecycle(worker, typ, pkt, out)
 			continue
 		}
+		if typ == MsgDrain {
+			s.handleDrain(worker, pkt, out)
+			continue
+		}
 		if worker == ObserverWorker {
 			// Observers may only drive the stats/lifecycle control
 			// plane: anything else is refused.
@@ -1044,6 +1122,8 @@ func (s *Switch) HandleBatch(worker int, pkts [][]byte, out *transport.DeliveryL
 			}
 		case MsgAdd:
 			s.classifyAdd(worker, pkt, sc, out)
+		case MsgTuple:
+			s.handleTuple(worker, pkt, out)
 		default:
 			s.rejMalformed.Add(1)
 		}
@@ -1207,6 +1287,14 @@ func (s *Switch) classifyAdd(worker int, pkt []byte, sc *batchScratch, out *tran
 		// bind a stale chunk into the fresh range (see doc.go).
 		s.rejStale.Add(1)
 		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes], 0))
+		return
+	}
+	if unpackClass(js.classBits.Load()).Class != ClassTraining {
+		// An analytics tenant owns this job id: its range holds pruning
+		// registers and group accumulators, not chunk slots — ADDs have
+		// nothing to bind into.
+		s.rejClass.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckErrBadClass, uint8(epoch), int(js.weight.Load())))
 		return
 	}
 	// Exact-length check against the incarnation's profile: an oversized
@@ -1567,6 +1655,7 @@ func (s *Switch) JobStats(job int) (st JobStats, ok bool) {
 		Phase:       JobPhase(js.phase.Load()),
 		Weight:      int(js.weight.Load()),
 		Profile:     core.UnpackProfile(js.profBits.Load()),
+		Class:       unpackClass(js.classBits.Load()),
 		Adds:        js.adds.Load(),
 		Retransmits: js.retransmits.Load(),
 		Completions: js.completions.Load(),
@@ -1589,6 +1678,7 @@ func (s *Switch) Rejects() WireRejects {
 		Draining:     s.rejDraining.Load(),
 		Stale:        s.rejStale.Load(),
 		Backpressure: s.rejBackpressure.Load(),
+		BadClass:     s.rejClass.Load(),
 	}
 }
 

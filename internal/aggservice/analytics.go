@@ -1,0 +1,1118 @@
+package aggservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fpisa/internal/core"
+	"fpisa/internal/fpnum"
+	"fpisa/internal/stats"
+	"fpisa/internal/tcam"
+	"fpisa/internal/transport"
+)
+
+// This file makes in-network query acceleration and telemetry sketches
+// first-class job types on the multi-tenant switch (paper §6–§7): a job
+// admits under a workload CLASS — training (the ADD/RESULT allreduce
+// path), query (per-range pruning registers plus FPISA group accumulators
+// driving internal/query plans), or telemetry (per-range heavy-hitter and
+// utilization sketches over internal/stats histograms and internal/tcam
+// LPM classification). Analytics tenants send MsgTuple streams instead of
+// ADDs, are charged against the SAME per-shard deficit-round-robin ledger
+// as training binds, and are harvested over observer MsgDrain frames.
+//
+// An analytics job's register state lives on one "home" shard — the shard
+// its slot range's first slot maps to — guarded by that shard's mutex, so
+// the hot path's locking discipline (epoch revalidated under the shard
+// lock, lifeMu → shard.mu order) carries over unchanged.
+
+// WorkloadClass is a job's workload class octet, negotiated at admission.
+type WorkloadClass uint8
+
+const (
+	// ClassTraining is the allreduce path: ADD/RESULT over chunked slots.
+	ClassTraining WorkloadClass = iota
+	// ClassQuery accelerates internal/query plans: ordered-key pruning
+	// registers (Top-N, group-max) and per-group FPISA sum accumulators.
+	ClassQuery
+	// ClassTelemetry runs in-switch sketches: per-class FPISA utilization
+	// accumulators behind a tcam LPM classifier, a heavy-hitter table,
+	// and a log histogram of sample sizes.
+	ClassTelemetry
+)
+
+func (c WorkloadClass) String() string {
+	switch c {
+	case ClassTraining:
+		return "training"
+	case ClassQuery:
+		return "query"
+	case ClassTelemetry:
+		return "telemetry"
+	}
+	return fmt.Sprintf("WorkloadClass(%d)", uint8(c))
+}
+
+// AdmitClass is the workload-class descriptor a job admits under: the
+// class octet plus the analytics register budget it requests. The zero
+// value is a training job (today's behavior).
+type AdmitClass struct {
+	// Class selects the job's data path.
+	Class WorkloadClass
+	// TopN sizes the Top-N pruning register array (query class only).
+	TopN int
+	// Groups sizes the per-group state: group-max pruning buckets and sum
+	// accumulator slots for query jobs; LPM classes, heavy-hitter rows
+	// and utilization slots for telemetry jobs (power of two, so classes
+	// are the key's top log2(Groups) bits).
+	Groups int
+}
+
+func (ac AdmitClass) String() string {
+	switch ac.Class {
+	case ClassQuery:
+		return fmt.Sprintf("query(topn=%d,groups=%d)", ac.TopN, ac.Groups)
+	case ClassTelemetry:
+		return fmt.Sprintf("telemetry(classes=%d)", ac.Groups)
+	}
+	return ac.Class.String()
+}
+
+// ParseClass parses an operator-facing workload-class descriptor in
+// flag-friendly colon form: "training" (or ""), "query:TOPN:GROUPS", or
+// "telemetry:GROUPS". Range validation is the admission path's job
+// (validateClass) — this only rejects shapes no admission could mean.
+func ParseClass(s string) (AdmitClass, error) {
+	parts := strings.Split(s, ":")
+	bad := func() (AdmitClass, error) {
+		return AdmitClass{}, fmt.Errorf("aggservice: workload class %q: want training, query:TOPN:GROUPS or telemetry:GROUPS", s)
+	}
+	num := func(f string) (int, bool) {
+		n, err := strconv.Atoi(f)
+		return n, err == nil
+	}
+	switch parts[0] {
+	case "", "training":
+		if len(parts) != 1 {
+			return bad()
+		}
+		return AdmitClass{}, nil
+	case "query":
+		if len(parts) != 3 {
+			return bad()
+		}
+		topn, ok1 := num(parts[1])
+		groups, ok2 := num(parts[2])
+		if !ok1 || !ok2 {
+			return bad()
+		}
+		return AdmitClass{Class: ClassQuery, TopN: topn, Groups: groups}, nil
+	case "telemetry":
+		if len(parts) != 2 {
+			return bad()
+		}
+		groups, ok := num(parts[1])
+		if !ok {
+			return bad()
+		}
+		return AdmitClass{Class: ClassTelemetry, Groups: groups}, nil
+	}
+	return bad()
+}
+
+// MaxAnalyticsRegisters bounds one analytics job's register ask
+// (TopN+Groups for query, 2·Groups for telemetry) — the register budget a
+// production pipeline stage offers a single query (§6.1). It also keeps
+// every drain reply inside one datagram.
+const MaxAnalyticsRegisters = 4096
+
+// ErrBadClass marks an admit whose workload-class descriptor does not
+// validate, or an analytics message sent to a job of the wrong class.
+var ErrBadClass = errors.New("aggservice: invalid workload class for this job")
+
+// validateClass checks an admission's workload-class descriptor.
+func (c Config) validateClass(ac AdmitClass) error {
+	switch ac.Class {
+	case ClassTraining:
+		if ac.TopN != 0 || ac.Groups != 0 {
+			return fmt.Errorf("%w: training carries no analytics registers (topn=%d groups=%d)", ErrBadClass, ac.TopN, ac.Groups)
+		}
+	case ClassQuery:
+		if ac.TopN < 0 || ac.Groups < 0 || ac.TopN+ac.Groups < 1 {
+			return fmt.Errorf("%w: query needs topn or groups (topn=%d groups=%d)", ErrBadClass, ac.TopN, ac.Groups)
+		}
+		if ac.TopN+ac.Groups > MaxAnalyticsRegisters {
+			return fmt.Errorf("%w: query asks %d registers of %d", ErrBadClass, ac.TopN+ac.Groups, MaxAnalyticsRegisters)
+		}
+	case ClassTelemetry:
+		if ac.TopN != 0 {
+			return fmt.Errorf("%w: telemetry carries no top-n registers", ErrBadClass)
+		}
+		if ac.Groups < 1 || ac.Groups&(ac.Groups-1) != 0 {
+			return fmt.Errorf("%w: telemetry classes %d must be a power of two", ErrBadClass, ac.Groups)
+		}
+		if 2*ac.Groups > MaxAnalyticsRegisters {
+			return fmt.Errorf("%w: telemetry asks %d registers of %d", ErrBadClass, 2*ac.Groups, MaxAnalyticsRegisters)
+		}
+		if c.Uplink != nil {
+			// (unreachable today: the uplink check below covers all
+			// analytics classes; kept explicit for when tree roles grow.)
+			return fmt.Errorf("%w: telemetry on a tree leaf", ErrBadClass)
+		}
+	default:
+		return fmt.Errorf("%w: unknown class %d", ErrBadClass, uint8(ac.Class))
+	}
+	if ac.Class != ClassTraining && c.Uplink != nil {
+		// The tree uplink re-emits completed chunk RESULTs as parent
+		// ADDs — a training-only protocol. Analytics state drains locally
+		// and never climbs.
+		return fmt.Errorf("%w: analytics classes cannot run on a tree leaf", ErrBadClass)
+	}
+	return nil
+}
+
+// classOf returns the workload class of initially admitted job j (missing
+// entries mean training).
+func (c Config) classOf(j int) AdmitClass {
+	if j >= len(c.Classes) {
+		return AdmitClass{}
+	}
+	return c.Classes[j]
+}
+
+// packClass/unpackClass move an AdmitClass through jobState.classBits: the
+// class octet plus two 16-bit register counts, packed so the hot path
+// reads a job's class with one atomic load.
+func packClass(ac AdmitClass) uint64 {
+	return uint64(ac.Class) | uint64(uint16(ac.TopN))<<8 | uint64(uint16(ac.Groups))<<24
+}
+
+func unpackClass(bits uint64) AdmitClass {
+	return AdmitClass{
+		Class:  WorkloadClass(bits),
+		TopN:   int(uint16(bits >> 8)),
+		Groups: int(uint16(bits >> 24)),
+	}
+}
+
+// putAdmitClass/getAdmitClass move a class descriptor through its five
+// wire octets ([class topn(2) groups(2)]). Like getProfile, the decoder
+// returns the octets as carried — round trips stay byte-exact; the
+// admission path validates.
+func putAdmitClass(dst []byte, ac AdmitClass) {
+	dst[0] = uint8(ac.Class)
+	binary.BigEndian.PutUint16(dst[1:], uint16(ac.TopN))
+	binary.BigEndian.PutUint16(dst[3:], uint16(ac.Groups))
+}
+
+func getAdmitClass(src []byte) AdmitClass {
+	return AdmitClass{
+		Class:  WorkloadClass(src[0]),
+		TopN:   int(binary.BigEndian.Uint16(src[1:])),
+		Groups: int(binary.BigEndian.Uint16(src[3:])),
+	}
+}
+
+// TupleOp selects the register program a MsgTuple batch folds into.
+type TupleOp uint8
+
+const (
+	// OpQueryTopN folds tuples into the Top-N ordered-key pruning
+	// registers; the ack's survivor bitmap marks rows still in the running.
+	OpQueryTopN TupleOp = iota
+	// OpQueryGroupMax folds tuples into the per-bucket group-max pruning
+	// registers (bucket = key mod Groups, owner-key tagged — the same
+	// collision-safe program as the fixed engine pruner).
+	OpQueryGroupMax
+	// OpQueryAgg folds tuples into the per-group FPISA sum accumulators
+	// (group = key mod Groups); no survivors — results drain.
+	OpQueryAgg
+	// OpTelemetry classifies the key through the LPM table and folds the
+	// value into the class's utilization accumulator, the heavy-hitter
+	// table and the size histogram.
+	OpTelemetry
+)
+
+func (op TupleOp) String() string {
+	switch op {
+	case OpQueryTopN:
+		return "query-topn"
+	case OpQueryGroupMax:
+		return "query-groupmax"
+	case OpQueryAgg:
+		return "query-agg"
+	case OpTelemetry:
+		return "telemetry"
+	}
+	return fmt.Sprintf("TupleOp(%d)", uint8(op))
+}
+
+// DrainKind selects which analytics state a MsgDrain harvests.
+type DrainKind uint8
+
+const (
+	// DrainGroups reads-and-resets the per-group accumulators: query sum
+	// groups, or telemetry per-class utilization.
+	DrainGroups DrainKind = iota
+	// DrainHeavyHitters reads-and-resets the telemetry heavy-hitter table
+	// (entries sorted by descending weight).
+	DrainHeavyHitters
+	// DrainHistogram reads-and-resets the telemetry size histogram
+	// (entry key = bin exponent, value = count).
+	DrainHistogram
+)
+
+func (k DrainKind) String() string {
+	switch k {
+	case DrainGroups:
+		return "groups"
+	case DrainHeavyHitters:
+		return "heavy-hitters"
+	case DrainHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("DrainKind(%d)", uint8(k))
+}
+
+// DrainFlagResetPrune, set in a MsgDrain's flags octet, additionally
+// resets the query pruning registers (Top-N and group-max) so the next
+// query starts clean.
+const DrainFlagResetPrune = 1
+
+// Analytics wire sizes. The tuple header rides the shared [ver type job(2)
+// seq(4)] header plus [epoch op count(2)]; its ack echoes the seq and adds
+// a survivor bitmap. Drains are observer frames carrying a client nonce so
+// a lost reply can be replayed instead of re-executing the read-and-reset.
+const (
+	tupleHdrBytes      = hdrBytes + 4
+	tupleAckHdrBytes   = hdrBytes + 2
+	drainReqBytes      = 10 // [ver type job(2) kind flags nonce(4)]
+	drainReplyHdrBytes = 7  // [ver type job(2) kind count(2)]
+)
+
+// MaxTuplesPerBatch is how many 8-byte (key, value) tuples fit one
+// datagram after the tuple header.
+const MaxTuplesPerBatch = (maxDatagram - tupleHdrBytes) / 8
+
+// DrainEntry is one harvested register: a key (group index, heavy-hitter
+// key, or histogram bin exponent) and its FP32 value.
+type DrainEntry struct {
+	Key uint32
+	Val float32
+}
+
+// EncodeTuples builds an analytics MsgTuple batch: up to MaxTuplesPerBatch
+// (key, value) rows folded under one op, stamped with the job's
+// incarnation epoch and a stop-and-wait sequence number.
+func EncodeTuples(job int, seq uint32, epoch uint8, op TupleOp, keys []uint32, vals []float32) []byte {
+	pkt := make([]byte, tupleHdrBytes+8*len(keys))
+	putHeader(pkt, MsgTuple, job, seq)
+	pkt[hdrBytes] = epoch
+	pkt[hdrBytes+1] = uint8(op)
+	binary.BigEndian.PutUint16(pkt[hdrBytes+2:], uint16(len(keys)))
+	for i, k := range keys {
+		off := tupleHdrBytes + 8*i
+		binary.BigEndian.PutUint32(pkt[off:], k)
+		binary.BigEndian.PutUint32(pkt[off+4:], math.Float32bits(vals[i]))
+	}
+	return pkt
+}
+
+// DecodeTuples parses a MsgTuple batch. Safe on arbitrary input: the count
+// is validated against the packet length before any row is read, and
+// truncation returns a wire error wrapping ErrTruncated. The op octet is
+// returned as carried (the switch, not the decoder, validates it against
+// the job's class), so a round trip is byte-exact.
+func DecodeTuples(pkt []byte) (job int, seq uint32, epoch uint8, op TupleOp, keys []uint32, vals []float32, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("bad tuple batch: %w", terr)
+	} else if typ != MsgTuple {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("aggservice: bad tuple batch type")
+	}
+	if len(pkt) < tupleHdrBytes {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("tuple batch %d of %d header bytes: %w", len(pkt), tupleHdrBytes, ErrTruncated)
+	}
+	count := int(binary.BigEndian.Uint16(pkt[hdrBytes+2:]))
+	if count < 1 || len(pkt) != tupleHdrBytes+8*count {
+		return 0, 0, 0, 0, nil, nil, fmt.Errorf("aggservice: bad tuple batch (%d rows, %d bytes)", count, len(pkt))
+	}
+	job = int(binary.BigEndian.Uint16(pkt[2:]))
+	seq = binary.BigEndian.Uint32(pkt[4:])
+	epoch = pkt[hdrBytes]
+	op = TupleOp(pkt[hdrBytes+1])
+	keys = make([]uint32, count)
+	vals = make([]float32, count)
+	for i := 0; i < count; i++ {
+		off := tupleHdrBytes + 8*i
+		keys[i] = binary.BigEndian.Uint32(pkt[off:])
+		vals[i] = math.Float32frombits(binary.BigEndian.Uint32(pkt[off+4:]))
+	}
+	return job, seq, epoch, op, keys, vals, nil
+}
+
+// encodeTupleAck builds the MsgTupleAck for one folded batch: the echoed
+// sequence number plus the survivor bitmap (bit i set = row i survived
+// pruning; all-zero for fold-only ops).
+func encodeTupleAck(job int, seq uint32, count int, survive func(i int) bool) []byte {
+	pkt := make([]byte, tupleAckHdrBytes+(count+7)/8)
+	putHeader(pkt, MsgTupleAck, job, seq)
+	binary.BigEndian.PutUint16(pkt[hdrBytes:], uint16(count))
+	for i := 0; i < count; i++ {
+		if survive(i) {
+			pkt[tupleAckHdrBytes+i/8] |= 1 << (i % 8)
+		}
+	}
+	return pkt
+}
+
+// DecodeTupleAck parses a MsgTupleAck. Safe on arbitrary input; padding
+// bits past the row count must be zero (so a round trip is byte-exact).
+func DecodeTupleAck(pkt []byte) (job int, seq uint32, survivors []bool, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, nil, fmt.Errorf("bad tuple ack: %w", terr)
+	} else if typ != MsgTupleAck {
+		return 0, 0, nil, fmt.Errorf("aggservice: bad tuple ack type")
+	}
+	if len(pkt) < tupleAckHdrBytes {
+		return 0, 0, nil, fmt.Errorf("tuple ack %d of %d header bytes: %w", len(pkt), tupleAckHdrBytes, ErrTruncated)
+	}
+	count := int(binary.BigEndian.Uint16(pkt[hdrBytes:]))
+	if count < 1 || len(pkt) != tupleAckHdrBytes+(count+7)/8 {
+		return 0, 0, nil, fmt.Errorf("aggservice: bad tuple ack (%d rows, %d bytes)", count, len(pkt))
+	}
+	survivors = make([]bool, count)
+	for i := range survivors {
+		survivors[i] = pkt[tupleAckHdrBytes+i/8]&(1<<(i%8)) != 0
+	}
+	if pad := count % 8; pad != 0 {
+		if pkt[len(pkt)-1]>>pad != 0 {
+			return 0, 0, nil, fmt.Errorf("aggservice: nonzero padding in tuple ack bitmap")
+		}
+	}
+	return int(binary.BigEndian.Uint16(pkt[2:])), binary.BigEndian.Uint32(pkt[4:]), survivors, nil
+}
+
+// EncodeDrain builds an observer request to harvest one kind of analytics
+// state. The nonce identifies the request: the switch caches the last
+// reply per job, so a retry with the same nonce replays the harvest
+// instead of re-executing the read-and-reset (drains are not idempotent).
+func EncodeDrain(job int, kind DrainKind, flags uint8, nonce uint32) []byte {
+	pkt := make([]byte, drainReqBytes)
+	pkt[0] = WireVersion
+	pkt[1] = MsgDrain
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	pkt[4] = uint8(kind)
+	pkt[5] = flags
+	binary.BigEndian.PutUint32(pkt[6:], nonce)
+	return pkt
+}
+
+// encodeDrainReply builds the MsgDrainReply carrying the harvested
+// entries.
+func encodeDrainReply(job int, kind DrainKind, entries []DrainEntry) []byte {
+	pkt := make([]byte, drainReplyHdrBytes+8*len(entries))
+	pkt[0] = WireVersion
+	pkt[1] = MsgDrainReply
+	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
+	pkt[4] = uint8(kind)
+	binary.BigEndian.PutUint16(pkt[5:], uint16(len(entries)))
+	for i, e := range entries {
+		off := drainReplyHdrBytes + 8*i
+		binary.BigEndian.PutUint32(pkt[off:], e.Key)
+		binary.BigEndian.PutUint32(pkt[off+4:], math.Float32bits(e.Val))
+	}
+	return pkt
+}
+
+// DecodeDrainReply parses a MsgDrainReply. Safe on arbitrary input: the
+// entry count is validated against the packet length, truncation wraps
+// ErrTruncated, and an unknown kind octet is rejected.
+func DecodeDrainReply(pkt []byte) (job int, kind DrainKind, entries []DrainEntry, err error) {
+	if typ, terr := wireType(pkt); terr != nil {
+		return 0, 0, nil, fmt.Errorf("bad drain reply: %w", terr)
+	} else if typ != MsgDrainReply {
+		return 0, 0, nil, fmt.Errorf("aggservice: bad drain reply type")
+	}
+	if len(pkt) < drainReplyHdrBytes {
+		return 0, 0, nil, fmt.Errorf("drain reply %d of %d header bytes: %w", len(pkt), drainReplyHdrBytes, ErrTruncated)
+	}
+	if pkt[4] > uint8(DrainHistogram) {
+		return 0, 0, nil, fmt.Errorf("aggservice: unknown drain kind %d", pkt[4])
+	}
+	count := int(binary.BigEndian.Uint16(pkt[5:]))
+	if len(pkt) != drainReplyHdrBytes+8*count {
+		return 0, 0, nil, fmt.Errorf("aggservice: bad drain reply (%d entries, %d bytes)", count, len(pkt))
+	}
+	entries = make([]DrainEntry, count)
+	for i := range entries {
+		off := drainReplyHdrBytes + 8*i
+		entries[i].Key = binary.BigEndian.Uint32(pkt[off:])
+		entries[i].Val = math.Float32frombits(binary.BigEndian.Uint32(pkt[off+4:]))
+	}
+	return int(binary.BigEndian.Uint16(pkt[2:])), DrainKind(pkt[4]), entries, nil
+}
+
+// gmaxReg is one group-max pruning bucket: the ordered-key max tagged with
+// the key that owns it — the collision-safe register program shared with
+// the fixed engine pruner (see internal/query.Engine's runPruning).
+type gmaxReg struct {
+	key uint32
+	max uint32
+}
+
+// hhRow is one heavy-hitter table row (a direct-mapped space-saving
+// variant: same key adds, an empty row claims, a colliding key decays the
+// incumbent and takes over once it outweighs it).
+type hhRow struct {
+	key  uint32
+	hits float32
+	used bool
+}
+
+// analyticsJob is one analytics tenant's register state, homed on the
+// shard its slot range's first slot maps to and guarded by that shard's
+// mutex. Per-worker stop-and-wait lanes make tuple folding idempotent
+// under retransmission: a batch folds exactly once, and its ack is cached
+// for replay.
+type analyticsJob struct {
+	ac AdmitClass
+
+	// Stop-and-wait lanes, one per worker-in-job.
+	expect  []uint32
+	lastAck [][]byte
+
+	// Query state: Top-N ordered-key registers and group-max buckets.
+	topReg []uint32
+	topLen int
+	gmax   map[uint32]gmaxReg
+
+	// Per-group FPISA sum accumulators (query sums / telemetry per-class
+	// utilization): one scalar slot per group, running the job's
+	// negotiated arithmetic on the compiled pipeline for the default
+	// profile. seen marks touched groups so drains skip cold ones.
+	acc  aggregator
+	seen []bool
+
+	// Telemetry state: the LPM classifier over the key's top bits, the
+	// heavy-hitter table and the sample-size histogram.
+	lpm        *tcam.LPM[int]
+	prefixBits int
+	hh         []hhRow
+	hist       *stats.LogHistogram
+
+	// Drain replay cache: the last reply sent, keyed by the client nonce.
+	lastDrainNonce uint32
+	lastDrainPkt   []byte
+
+	val [1]float32 // scratch for single-value accumulator adds
+}
+
+// telemetry histogram shape: power-of-two bins over the positive float32
+// sample range.
+const (
+	telemetryHistBase   = 2
+	telemetryHistMinExp = 0
+	telemetryHistMaxExp = 32
+)
+
+// newAnalyticsJob builds one analytics tenant's register state; build
+// supplies the per-group accumulator bank (compiled under the job's
+// numeric profile, one scalar slot per group).
+func newAnalyticsJob(ac AdmitClass, workers int, build func(slots int) (aggregator, error)) (*analyticsJob, error) {
+	an := &analyticsJob{
+		ac:      ac,
+		expect:  make([]uint32, workers),
+		lastAck: make([][]byte, workers),
+	}
+	if ac.TopN > 0 {
+		an.topReg = make([]uint32, ac.TopN)
+	}
+	if ac.Groups > 0 {
+		an.gmax = make(map[uint32]gmaxReg, ac.Groups)
+		acc, err := build(ac.Groups)
+		if err != nil {
+			return nil, err
+		}
+		an.acc = acc
+		an.seen = make([]bool, ac.Groups)
+	}
+	if ac.Class == ClassTelemetry {
+		bits := 0
+		for g := ac.Groups; g > 1; g >>= 1 {
+			bits++
+		}
+		an.prefixBits = bits
+		lpm, err := tcam.NewLPM[int](32)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < ac.Groups; i++ {
+			if err := lpm.Insert(uint64(i)<<(32-bits), bits, i); err != nil {
+				return nil, err
+			}
+		}
+		an.lpm = lpm
+		an.hh = make([]hhRow, ac.Groups)
+		an.hist = stats.MustNewLogHistogram(telemetryHistBase, telemetryHistMinExp, telemetryHistMaxExp)
+	}
+	return an, nil
+}
+
+// buildAnalytics constructs one analytics job's register state, compiling
+// its per-group accumulator bank under the job's numeric profile — one
+// scalar slot per group, so the default profile runs the same compiled §4
+// pipeline arithmetic as internal/query's switch plan, bit for bit.
+func (s *Switch) buildAnalytics(ac AdmitClass, prof core.NumericProfile) (*analyticsJob, error) {
+	return newAnalyticsJob(ac, s.cfg.Workers, func(slots int) (aggregator, error) {
+		return core.NewProfileAggregator(prof, s.cfg.Mode, 1, slots, s.cfg.Arch)
+	})
+}
+
+// opAllowed reports whether the job's class descriptor provisions the
+// registers an op folds into.
+func (an *analyticsJob) opAllowed(op TupleOp) bool {
+	switch op {
+	case OpQueryTopN:
+		return an.ac.Class == ClassQuery && an.ac.TopN > 0
+	case OpQueryGroupMax, OpQueryAgg:
+		return an.ac.Class == ClassQuery && an.ac.Groups > 0
+	case OpTelemetry:
+		return an.ac.Class == ClassTelemetry
+	}
+	return false
+}
+
+// foldTopN runs one row through the Top-N pruning registers; it reports
+// whether the row survives. Ties at the boundary are admitted — the
+// master's Finish tiebreaks equal values by key, so a tied row may belong
+// in the exact result.
+func (an *analyticsJob) foldTopN(_ uint32, val float32) bool {
+	k := fpnum.OrderedKey32(val)
+	if an.topLen < len(an.topReg) {
+		an.topReg[an.topLen] = k
+		an.topLen++
+		return true
+	}
+	mi := 0
+	for i := range an.topReg[:an.topLen] {
+		if an.topReg[i] < an.topReg[mi] {
+			mi = i
+		}
+	}
+	if k >= an.topReg[mi] {
+		an.topReg[mi] = k
+		return true
+	}
+	return false
+}
+
+// foldGroupMax runs one row through the owner-key-tagged group-max
+// buckets; a row is pruned only when the bucket max belongs to the row's
+// own key, so a colliding weaker group's max always survives.
+func (an *analyticsJob) foldGroupMax(key uint32, val float32) bool {
+	k := fpnum.OrderedKey32(val)
+	b := key % uint32(an.ac.Groups)
+	cur, ok := an.gmax[b]
+	switch {
+	case !ok:
+		an.gmax[b] = gmaxReg{key: key, max: k}
+		return true
+	case cur.key == key:
+		if k > cur.max {
+			an.gmax[b] = gmaxReg{key: key, max: k}
+			return true
+		}
+		return false
+	default:
+		if k > cur.max {
+			an.gmax[b] = gmaxReg{key: key, max: k}
+		}
+		return true
+	}
+}
+
+// foldAgg adds one row into its group's FPISA sum accumulator.
+func (an *analyticsJob) foldAgg(key uint32, val float32) {
+	g := key % uint32(an.ac.Groups)
+	an.val[0] = val
+	an.acc.Add(int(g), an.val[:]) //nolint:errcheck // slot index is in range by construction
+	an.seen[g] = true
+}
+
+// foldTelemetry classifies one sample through the LPM table, adds its
+// size to the class's utilization accumulator, and feeds the heavy-hitter
+// table and the size histogram.
+func (an *analyticsJob) foldTelemetry(key uint32, val float32) {
+	class := 0
+	if an.prefixBits > 0 {
+		if c, ok := an.lpm.Lookup(uint64(key)); ok {
+			class = c
+		}
+	}
+	an.val[0] = val
+	an.acc.Add(class, an.val[:]) //nolint:errcheck // class index is in range by construction
+	an.seen[class] = true
+	row := &an.hh[key%uint32(len(an.hh))]
+	switch {
+	case !row.used:
+		*row = hhRow{key: key, hits: val, used: true}
+	case row.key == key:
+		row.hits += val
+	default:
+		row.hits -= val
+		if row.hits < 0 {
+			*row = hhRow{key: key, hits: -row.hits, used: true}
+		}
+	}
+	an.hist.Observe(float64(val))
+}
+
+// fold runs one validated tuple batch through the op's register program
+// and returns the ack to cache and send. Caller holds the home shard's
+// lock.
+func (an *analyticsJob) fold(job int, seq uint32, op TupleOp, pkt []byte, count int) []byte {
+	survived := make([]bool, count)
+	for i := 0; i < count; i++ {
+		off := tupleHdrBytes + 8*i
+		key := binary.BigEndian.Uint32(pkt[off:])
+		val := math.Float32frombits(binary.BigEndian.Uint32(pkt[off+4:]))
+		switch op {
+		case OpQueryTopN:
+			survived[i] = an.foldTopN(key, val)
+		case OpQueryGroupMax:
+			survived[i] = an.foldGroupMax(key, val)
+		case OpQueryAgg:
+			an.foldAgg(key, val)
+		case OpTelemetry:
+			an.foldTelemetry(key, val)
+		}
+	}
+	return encodeTupleAck(job, seq, count, func(i int) bool { return survived[i] })
+}
+
+// drain harvests (and resets) one kind of analytics state. Caller holds
+// the home shard's lock.
+func (an *analyticsJob) drain(kind DrainKind, resetPrune bool) []DrainEntry {
+	var entries []DrainEntry
+	switch kind {
+	case DrainGroups:
+		for g := range an.seen {
+			if !an.seen[g] {
+				continue
+			}
+			r, err := an.acc.ReadReset(g)
+			if err != nil || len(r.Values) == 0 {
+				continue
+			}
+			entries = append(entries, DrainEntry{Key: uint32(g), Val: r.Values[0]})
+			an.seen[g] = false
+		}
+	case DrainHeavyHitters:
+		for i := range an.hh {
+			if an.hh[i].used {
+				entries = append(entries, DrainEntry{Key: an.hh[i].key, Val: an.hh[i].hits})
+				an.hh[i] = hhRow{}
+			}
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Val != entries[j].Val {
+				return entries[i].Val > entries[j].Val
+			}
+			return entries[i].Key < entries[j].Key
+		})
+	case DrainHistogram:
+		for _, b := range an.hist.Bins() {
+			if b.Count > 0 {
+				entries = append(entries, DrainEntry{Key: uint32(b.Exp), Val: float32(b.Count)})
+			}
+		}
+		an.hist = stats.MustNewLogHistogram(telemetryHistBase, telemetryHistMinExp, telemetryHistMaxExp)
+	}
+	if resetPrune {
+		an.topLen = 0
+		if an.gmax != nil {
+			an.gmax = make(map[uint32]gmaxReg, an.ac.Groups)
+		}
+	}
+	return entries
+}
+
+// handleTuple serves one analytics MsgTuple batch: tenancy, incarnation
+// and class checks mirror classifyAdd's, then the batch folds under the
+// job's home shard lock — charged against the same deficit-round-robin
+// ledger as a training bind, one charge per batch.
+func (s *Switch) handleTuple(worker int, pkt []byte, out *transport.DeliveryList) {
+	if len(pkt) < tupleHdrBytes {
+		s.rejMalformed.Add(1)
+		return
+	}
+	job := int(binary.BigEndian.Uint16(pkt[2:]))
+	if job >= s.ncap {
+		s.rejBadJob.Add(1)
+		return
+	}
+	if worker/s.cfg.Workers != job {
+		s.rejCrossJob.Add(1)
+		return
+	}
+	js := &s.jobs[job]
+	epoch := js.epoch.Load()
+	ri := int(js.rangeIdx.Load())
+	if JobPhase(js.phase.Load()) == PhaseVacant || ri < 0 {
+		s.rejBadJob.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes], 0))
+		return
+	}
+	if pkt[hdrBytes] != uint8(epoch) {
+		s.rejStale.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, pkt[hdrBytes], 0))
+		return
+	}
+	count := int(binary.BigEndian.Uint16(pkt[hdrBytes+2:]))
+	if count < 1 || count > MaxTuplesPerBatch || len(pkt) != tupleHdrBytes+8*count {
+		s.rejMalformed.Add(1)
+		return
+	}
+	op := TupleOp(pkt[hdrBytes+1])
+	seq := binary.BigEndian.Uint32(pkt[4:])
+	wij := worker % s.cfg.Workers
+	sh := s.shards[s.homeShard(ri)]
+	sh.mu.Lock()
+	if js.epoch.Load() != epoch {
+		sh.mu.Unlock()
+		s.rejBadJob.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckEvicted, uint8(epoch), 0))
+		return
+	}
+	an := s.analytics[job]
+	if an == nil || !an.opAllowed(op) {
+		sh.mu.Unlock()
+		s.rejClass.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckErrBadClass, uint8(epoch), int(js.weight.Load())))
+		return
+	}
+	switch {
+	case seq == an.expect[wij]:
+		// A NEW batch spends scheduler budget exactly like a training
+		// new-chunk bind: over-deficit tenants defer (the client retries
+		// after the round turns over), so mixed-class fairness rides the
+		// same per-shard DRR ledger.
+		if !sh.sched.charge(job, js.quantum()) {
+			sh.mu.Unlock()
+			js.schedDefers.Add(1)
+			s.rejBackpressure.Add(1)
+			out.Unicast(worker, EncodeJobAck(job, AckBackpressure, uint8(epoch), int(js.weight.Load())))
+			return
+		}
+		ack := an.fold(job, seq, op, pkt, count)
+		an.lastAck[wij] = ack
+		an.expect[wij] = seq + 1
+		sh.mu.Unlock()
+		js.adds.Add(uint64(count))
+		js.completions.Add(1)
+		out.Unicast(worker, ack)
+	case seq+1 == an.expect[wij]:
+		// Retransmission of the last folded batch: replay its cached ack
+		// without folding again.
+		ack := an.lastAck[wij]
+		sh.mu.Unlock()
+		js.retransmits.Add(1)
+		if ack != nil {
+			js.cacheHits.Add(1)
+			out.Unicast(worker, ack)
+		}
+	default:
+		sh.mu.Unlock()
+		s.rejMalformed.Add(1)
+	}
+}
+
+// handleDrain serves an observer MsgDrain: harvest-and-reset one kind of
+// analytics state, with nonce-keyed replay so a lost reply does not cost
+// the harvested interval.
+func (s *Switch) handleDrain(worker int, pkt []byte, out *transport.DeliveryList) {
+	if worker != ObserverWorker || len(pkt) != drainReqBytes {
+		s.rejMalformed.Add(1)
+		return
+	}
+	job := int(binary.BigEndian.Uint16(pkt[2:]))
+	kind := DrainKind(pkt[4])
+	if kind > DrainHistogram {
+		s.rejMalformed.Add(1)
+		return
+	}
+	if job >= s.ncap {
+		s.rejBadJob.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckErrUnknownJob, 0, 0))
+		return
+	}
+	js := &s.jobs[job]
+	epoch := js.epoch.Load()
+	ri := int(js.rangeIdx.Load())
+	if JobPhase(js.phase.Load()) == PhaseVacant || ri < 0 {
+		s.rejBadJob.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckErrNotAdmitted, 0, 0))
+		return
+	}
+	flags := pkt[5]
+	nonce := binary.BigEndian.Uint32(pkt[6:])
+	sh := s.shards[s.homeShard(ri)]
+	sh.mu.Lock()
+	if js.epoch.Load() != epoch {
+		sh.mu.Unlock()
+		s.rejBadJob.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckErrNotAdmitted, 0, 0))
+		return
+	}
+	an := s.analytics[job]
+	if an == nil {
+		sh.mu.Unlock()
+		s.rejClass.Add(1)
+		out.Unicast(worker, EncodeJobAck(job, AckErrBadClass, uint8(epoch), int(js.weight.Load())))
+		return
+	}
+	if an.lastDrainPkt != nil && an.lastDrainNonce == nonce {
+		reply := an.lastDrainPkt
+		sh.mu.Unlock()
+		js.cacheHits.Add(1)
+		out.Unicast(worker, reply)
+		return
+	}
+	entries := an.drain(kind, flags&DrainFlagResetPrune != 0)
+	reply := encodeDrainReply(job, kind, entries)
+	an.lastDrainNonce = nonce
+	an.lastDrainPkt = reply
+	sh.mu.Unlock()
+	out.Unicast(worker, reply)
+}
+
+// homeShard maps a slot range to the shard holding its analytics state:
+// the shard its first slot stripes to.
+func (s *Switch) homeShard(ri int) int {
+	return (ri * 2 * s.cfg.Pool) % s.nsh
+}
+
+// JobClass reports a job id's workload-class descriptor (training for
+// vacant ids and ids outside the capacity).
+func (s *Switch) JobClass(job int) AdmitClass {
+	if job < 0 || job >= s.ncap {
+		return AdmitClass{}
+	}
+	return unpackClass(s.jobs[job].classBits.Load())
+}
+
+// TupleClient is an analytics tenant's worker-side sender: a stop-and-wait
+// MsgTuple stream with cached-ack retransmission, the analytics
+// counterpart of Worker.Reduce.
+type TupleClient struct {
+	// Job and ID locate the tenant lane: the transport port is
+	// Cfg.Port(Job, ID).
+	Job, ID int
+	Fabric  transport.Fabric
+	Cfg     Config
+	// Epoch is the job's incarnation octet (see Worker.Epoch).
+	Epoch uint8
+	// Timeout and Retries bound one batch's delivery; defaults as Worker.
+	Timeout time.Duration
+	Retries int
+
+	// SentBatches, Retransmits and BackpressureAcks count the client's
+	// protocol activity.
+	SentBatches, Retransmits, BackpressureAcks uint64
+
+	seq  uint32
+	bufs [][]byte
+}
+
+// NewTupleClient builds an analytics sender with the default tuning.
+func NewTupleClient(job, id int, fabric transport.Fabric, cfg Config) *TupleClient {
+	return &TupleClient{
+		Job: job, ID: id, Fabric: fabric, Cfg: cfg,
+		Timeout: DefaultTimeout, Retries: DefaultRetries,
+	}
+}
+
+// Send folds a row stream into the switch under one op, splitting it into
+// wire batches transparently. It returns the indices of rows the switch's
+// pruning registers kept alive (for fold-only ops the slice is empty).
+func (c *TupleClient) Send(op TupleOp, keys []uint32, vals []float32) ([]int, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("aggservice: %d keys for %d values", len(keys), len(vals))
+	}
+	var survivors []int
+	for base := 0; base < len(keys); base += MaxTuplesPerBatch {
+		end := base + MaxTuplesPerBatch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		alive, err := c.sendOne(op, keys[base:end], vals[base:end])
+		if err != nil {
+			return survivors, err
+		}
+		for _, i := range alive {
+			survivors = append(survivors, base+i)
+		}
+	}
+	return survivors, nil
+}
+
+// sendOne delivers one wire batch stop-and-wait, retrying on loss and
+// backing off on scheduler backpressure.
+func (c *TupleClient) sendOne(op TupleOp, keys []uint32, vals []float32) ([]int, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	retries := c.Retries
+	if retries < 0 {
+		retries = DefaultRetries
+	}
+	port := c.Cfg.Port(c.Job, c.ID)
+	pkt := EncodeTuples(c.Job, c.seq, c.Epoch, op, keys, vals)
+	if c.bufs == nil {
+		c.bufs = make([][]byte, recvVec)
+	}
+	first := true
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := c.Fabric.SendBatch(port, [][]byte{pkt}); err != nil {
+			return nil, err
+		}
+		if first {
+			c.SentBatches++
+			first = false
+		} else {
+			c.Retransmits++
+		}
+		deadline := time.Now().Add(timeout)
+		for {
+			left := time.Until(deadline)
+			if left <= 0 {
+				break
+			}
+			n, err := c.Fabric.RecvBatch(port, c.bufs, left)
+			if err == transport.ErrTimeout {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, msg := range c.bufs[:n] {
+				typ, terr := wireType(msg)
+				if terr != nil {
+					continue
+				}
+				switch typ {
+				case MsgTupleAck:
+					j, seq, alive, aerr := DecodeTupleAck(msg)
+					if aerr != nil || j != c.Job || seq != c.seq {
+						continue
+					}
+					c.seq++
+					var out []int
+					for i, s := range alive {
+						if i < len(keys) && s {
+							out = append(out, i)
+						}
+					}
+					return out, nil
+				case MsgJobAck:
+					j, status, ep, _, aerr := DecodeJobAck(msg)
+					if aerr != nil || j != c.Job {
+						continue
+					}
+					switch status {
+					case AckBackpressure:
+						// Transient: the DRR round turns over on the
+						// switch; fall through to the retransmit clock.
+						c.BackpressureAcks++
+					case AckEvicted, AckDraining:
+						if ep == c.Epoch {
+							return nil, fmt.Errorf("aggservice: job %d tuple stream: %w", c.Job, ErrJobEvicted)
+						}
+					case AckErrBadClass:
+						return nil, fmt.Errorf("aggservice: job %d tuple stream: %w", c.Job, ErrBadClass)
+					}
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("aggservice: job %d worker %d tuple batch %d undelivered after %d attempts", c.Job, c.ID, c.seq, retries+1)
+}
+
+// drainNonce seeds ObserverDrain's replay nonces; mixing the process start
+// time keeps a restarted observer from replaying a predecessor's cache.
+var drainNonce atomic.Uint32
+
+func init() {
+	drainNonce.Store(uint32(time.Now().UnixNano()))
+}
+
+// ObserverDrain harvests one kind of analytics state from a switch over
+// its UDP observer frame (read-and-reset on the switch; lost replies are
+// replayed by nonce, so the interval is never silently dropped). flags is
+// 0 or DrainFlagResetPrune.
+func ObserverDrain(addr string, job int, kind DrainKind, flags uint8, timeout time.Duration) ([]DrainEntry, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := EncodeDrain(job, kind, flags, drainNonce.Add(1))
+	frame := append([]byte{transport.ObserverID}, req...)
+	buf := make([]byte, maxDatagram)
+	const attempts = 5
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if _, err := conn.Write(frame); err != nil {
+			lastErr = err
+			continue
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		msg := buf[:n]
+		typ, terr := wireType(msg)
+		if terr != nil {
+			lastErr = terr
+			continue
+		}
+		switch typ {
+		case MsgDrainReply:
+			j, k, entries, derr := DecodeDrainReply(msg)
+			if derr != nil || j != job || k != kind {
+				lastErr = derr
+				continue
+			}
+			return entries, nil
+		case MsgJobAck:
+			j, status, _, _, aerr := DecodeJobAck(msg)
+			if aerr != nil || j != job {
+				continue
+			}
+			if serr := status.Err(); serr != nil {
+				return nil, fmt.Errorf("aggservice: drain job %d: %w", job, serr)
+			}
+		}
+	}
+	return nil, fmt.Errorf("aggservice: drain job %d from %s: no reply after %d attempts (last: %v)", job, addr, attempts, lastErr)
+}

@@ -156,13 +156,19 @@
 //	batch  = [ver(1) type(1) count(2) { len(2) msg }·count]
 //	stats  = [ver(1) type(1) job(2)]
 //	reply  = [ver(1) type(1) job(2) phase(1) weight(2) fmt(1) guard(1)
-//	          round(1) adds(8) retransmits(8) completions(8) quotaDrops(8)
-//	          schedDefers(8) outstanding(8) cacheHits(8) cacheBytes(8)
-//	          coalesced(8)]
-//	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)]
+//	          round(1) class(1) topn(2) groups(2) adds(8) retransmits(8)
+//	          completions(8) quotaDrops(8) schedDefers(8) outstanding(8)
+//	          cacheHits(8) cacheBytes(8) coalesced(8)]
+//	admit  = [ver(1) type(1) job(2) weight(2) fmt(1) guard(1) round(1)
+//	          class(1) topn(2) groups(2)]
 //	evict  = [ver(1) type(1) job(2)]
 //	ack    = [ver(1) type(1) job(2) status(1) epoch(1) weight(2) fmt(1)
-//	          guard(1) round(1)]
+//	          guard(1) round(1) class(1) topn(2) groups(2)]
+//	tuple  = [ver(1) type(1) job(2) seq(4) epoch(1) op(1) count(2)
+//	          { key(4) val(4) }·count]
+//	tupack = [ver(1) type(1) job(2) seq(4) count(2) bitmap(⌈count/8⌉)]
+//	drain  = [ver(1) type(1) job(2) kind(1) flags(1) nonce(4)]
+//	dreply = [ver(1) type(1) job(2) kind(1) count(2) { key(4) val(4) }·count]
 //
 // The run reply (MsgResultRun) is the range-coalesced downlink: when one
 // batch completes consecutive chunks of a job, the switch answers a single
@@ -174,13 +180,14 @@
 // W is the job's negotiated value width: 4 bytes under the f32 profile, 2
 // under f16/bf16 — an ADD whose length disagrees with its job's profile is
 // rejected as malformed. The admit request names the tenant's scheduler
-// weight and numeric profile (the fmt/guard/round octets), and every ack
-// echoes the job's live weight and profile next to its incarnation epoch —
-// a successful admit's ack is the operator's receipt for what the switch
+// weight, numeric profile (the fmt/guard/round octets) and workload class
+// (the class/topn/groups octets, see below), and every ack echoes the
+// job's live weight, profile and class next to its incarnation epoch — a
+// successful admit's ack is the operator's receipt for what the switch
 // will actually enforce (a requested weight 0 comes back as the clamped
-// 1). Decoders return the profile octets exactly as carried; validation is
-// the admission path's job, so a decode/encode round trip is byte-exact
-// even for frames the switch would refuse.
+// 1). Decoders return the profile and class octets exactly as carried;
+// validation is the admission path's job, so a decode/encode round trip is
+// byte-exact even for frames the switch would refuse.
 //
 // A batch frames complete messages (each with its own version octet); a
 // batch framed inside a batch is rejected (ErrNestedBatch), so decoding
@@ -188,7 +195,8 @@
 // downlink messages (reply, ack) are decoded with full bounds checks: a
 // truncated frame returns a wire error wrapping ErrTruncated rather than
 // panicking the client, and the decoders are fuzzed alongside the batch
-// framing (FuzzDecodeStatsReply, FuzzDecodeJobAck, FuzzDecodeJobAdmit).
+// framing (FuzzDecodeStatsReply, FuzzDecodeJobAck, FuzzDecodeJobAdmit,
+// FuzzDecodeTuples, FuzzDecodeTupleAck, FuzzDecodeDrainReply).
 //
 // MsgBatch remains the in-protocol coalescing format for compatibility,
 // but the hot path no longer needs it: packets cross the transport as
@@ -198,10 +206,60 @@
 //
 // The v2 layouts are versioned against v1, not against each other: they
 // evolve with the repository (this revision widened the stats reply, the
-// admit request and the ack with the numeric-profile octets, after the
-// previous revision added the scheduler's weight fields), and peers are
-// expected to be built from the same commit — mixed-commit deployments are
-// not supported.
+// admit request and the ack with the workload-class octets, after earlier
+// revisions added the numeric-profile octets and the scheduler's weight
+// fields), and peers are expected to be built from the same commit —
+// mixed-commit deployments are not supported.
+//
+// # Workload classes (query & telemetry tenants)
+//
+// Training is no longer the only first-class workload: an admission
+// carries an AdmitClass descriptor (the class/topn/groups wire octets;
+// Config.Classes for initial jobs, fpisa-switch -classes, fpisa-query
+// -admit -class, or ParseClass's "query:TOPN:GROUPS" / "telemetry:GROUPS"
+// operator syntax) that selects the job's data path:
+//
+//   - training (the zero descriptor): the gradient ADD/RESULT protocol
+//     above, unchanged.
+//   - query: in-network query acceleration (§6). The range provisions
+//     TopN ordered-key pruning registers, Groups group-max pruning
+//     buckets and Groups FPISA sum accumulators; workers stream
+//     key/value rows as MsgTuple batches under OpQueryTopN /
+//     OpQueryGroupMax (the ack's survivor bitmap tells the worker which
+//     rows still matter) or OpQueryAgg (rows fold into per-group FPISA
+//     sums and never cross to the master).
+//   - telemetry: in-switch traffic sketches (§7). Groups (a power of
+//     two) LPM traffic classes over the key's top bits (internal/tcam),
+//     a Groups-row space-saving heavy-hitter table, per-class FP32
+//     utilization accumulators and a log2 size histogram
+//     (internal/stats), all fed by OpTelemetry samples.
+//
+// The descriptor is validated at admission (AckErrBadClass/ErrBadClass on
+// refusal — analytics classes are also refused on tree leaves, since
+// their state drains locally and never climbs an uplink), echoed in the
+// ack and reported by MsgStatsReply. Class membership is enforced on
+// every data-plane message: an ADD to an analytics job, a tuple to a
+// training job, or a tuple op the class did not provision bounces with an
+// AckErrBadClass notice (WireRejects.BadClass). Analytics batches spend
+// scheduler budget exactly like training chunk binds — one DRR unit per
+// NEW tuple batch, deferral answered with AckBackpressure — so
+// mixed-class tenants share the pipeline under the same fairness ledger
+// (the property test pins mixed training/query/telemetry throughput at
+// 1:2:4 within 10%, Jain ≥ 0.95).
+//
+// Analytics state leaves the switch through observer drain frames
+// (MsgDrain/MsgDrainReply; ObserverDrain client-side, fpisa-query
+// -drain): kind selects the grouped registers (query sums, telemetry
+// per-class utilization), the heavy-hitter table or the histogram bins,
+// each read-and-reset. The nonce makes the non-idempotent harvest safe
+// under retries — the switch caches the last reply per job and replays it
+// when the same nonce returns (JobStats.CacheHits counts replays). The
+// DrainFlagResetPrune flag additionally recycles the pruning registers
+// and tuple sequence lanes, the between-queries reset a query tenant
+// uses. Incremental drains compose exactly because FPISA registers
+// read-and-reset atomically; draining every interval also keeps §3.3
+// sticky-overflow inside the register's dynamic range — the drain cadence
+// is the telemetry accuracy contract.
 //
 // # Sharded switch
 //

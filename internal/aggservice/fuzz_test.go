@@ -62,22 +62,26 @@ func FuzzDecodeStatsReply(f *testing.F) {
 	valid := encodeStatsReply(3, JobStats{
 		Phase: PhaseAdmitted, Weight: 4,
 		Profile: core.NumericProfile{Format: core.FormatBF16, Guard: 2, Rounding: core.RoundingRNE},
+		Class:   AdmitClass{Class: ClassQuery, TopN: 10, Groups: 1024},
 		Adds:    1, Retransmits: 2, Completions: 3,
 		QuotaDrops: 4, SchedDefers: 9, Outstanding: 5, CacheHits: 6, CacheBytes: 7,
 		Coalesced: 8,
 	})
 	f.Add(valid)
-	f.Add(valid[:10])                                                                    // truncated counters
-	f.Add(valid[:4+1+2+profileBytes+8*8])                                                // the pre-coalesced width
-	f.Add(valid[:4+1+2+8*8])                                                             // the pre-profile width
-	f.Add(valid[:4+1+7*8])                                                               // the pre-scheduler width
-	f.Add(append(append([]byte(nil), valid...), 0xaa))                                   // trailing byte
-	f.Add([]byte{WireVersion, MsgStatsReply})                                            // header only
-	f.Add([]byte{MsgResult, 0, 0, 0})                                                    // legacy framing
-	f.Add(append([]byte(nil), valid[:4]...))                                             // fields missing entirely
-	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }())    // bad phase
-	f.Add(func() []byte { p := append([]byte(nil), valid...); p[7] = 0xEE; return p }()) // junk format octet: carried, not clamped
-	f.Add(encodeStatsReply(0, JobStats{Weight: MaxWeight, SchedDefers: 1 << 40}))        // extreme scheduler fields
+	f.Add(valid[:10])                                                                     // truncated counters
+	f.Add(valid[:statsReplyBytes-classBytes])                                             // the pre-class width
+	f.Add(valid[:4+1+2+profileBytes+8*8])                                                 // the pre-coalesced width
+	f.Add(valid[:4+1+2+8*8])                                                              // the pre-profile width
+	f.Add(valid[:4+1+7*8])                                                                // the pre-scheduler width
+	f.Add(append(append([]byte(nil), valid...), 0xaa))                                    // trailing byte
+	f.Add([]byte{WireVersion, MsgStatsReply})                                             // header only
+	f.Add([]byte{MsgResult, 0, 0, 0})                                                     // legacy framing
+	f.Add(append([]byte(nil), valid[:4]...))                                              // fields missing entirely
+	f.Add(func() []byte { p := append([]byte(nil), valid...); p[4] = 9; return p }())     // bad phase
+	f.Add(func() []byte { p := append([]byte(nil), valid...); p[7] = 0xEE; return p }())  // junk format octet: carried, not clamped
+	f.Add(func() []byte { p := append([]byte(nil), valid...); p[10] = 0xEE; return p }()) // junk class octet: carried, not clamped
+	f.Add(encodeStatsReply(0, JobStats{Weight: MaxWeight, SchedDefers: 1 << 40}))         // extreme scheduler fields
+	f.Add(encodeStatsReply(1, JobStats{Class: AdmitClass{Class: ClassTelemetry, Groups: 16}}))
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		job, st, err := DecodeStatsReply(pkt)
@@ -99,24 +103,28 @@ func FuzzDecodeStatsReply(f *testing.F) {
 
 // FuzzDecodeJobAck fuzzes the lifecycle ack codec with the same
 // invariants: no panics, truncation identified, accepted acks round-trip.
-// The ack was widened twice — first for the scheduler weight, then for the
-// echoed numeric profile — so the seeds cover both prior (now truncated)
-// layouts alongside the current one.
+// The ack was widened three times — for the scheduler weight, the echoed
+// numeric profile, then the echoed workload class — so the seeds cover
+// every prior (now truncated) layout alongside the current one.
 func FuzzDecodeJobAck(f *testing.F) {
 	rne := core.NumericProfile{Format: core.FormatF16, Guard: 3, Rounding: core.RoundingRNE}
 	f.Add(EncodeJobAck(1, AckAdmitted, 0, 1))
 	f.Add(EncodeJobAckProfile(65535, AckErrDisabled, 255, MaxWeight, rne))
 	f.Add(EncodeJobAckProfile(7, AckBackpressure, 3, 4, core.NumericProfile{Format: core.FormatBF16}))
 	f.Add(EncodeJobAckProfile(2, AckErrBadProfile, 0, 1, core.NumericProfile{Format: 0xFF, Guard: 0xFF, Rounding: 0xFF})) // junk octets: carried, not clamped
+	f.Add(EncodeJobAckClass(3, AckAdmitted, 1, 2, rne, AdmitClass{Class: ClassQuery, TopN: 10, Groups: 1024}))
+	f.Add(EncodeJobAckClass(4, AckAdmitted, 0, 1, rne, AdmitClass{Class: ClassTelemetry, Groups: 16}))
+	f.Add(EncodeJobAckClass(5, AckErrBadClass, 0, 1, rne, AdmitClass{Class: 0xEE, TopN: 65535, Groups: 65535})) // junk class: carried, refused later
 	f.Add(EncodeJobAck(0, AckEvicted, 1, 0)[:3])
-	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:6]) // the pre-weight 6-byte layout
-	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:8]) // the pre-profile 8-byte layout
+	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:6])  // the pre-weight 6-byte layout
+	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:8])  // the pre-profile 8-byte layout
+	f.Add(EncodeJobAck(0, AckAdmitted, 0, 9)[:11]) // the pre-class 11-byte layout
 	f.Add(append(EncodeJobAckProfile(0, AckDraining, 2, 1, rne), 1, 2))
 	f.Add([]byte{WireVersion, MsgJobAck, 0, 0, 200, 0, 0, 0, 0, 0, 0}) // status out of range
 	f.Add([]byte{MsgAdd, 0, 0, 0, 0})                                  // legacy framing
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
-		job, status, epoch, weight, prof, err := DecodeJobAckProfile(pkt)
+		job, status, epoch, weight, prof, class, err := DecodeJobAckClass(pkt)
 		if err != nil {
 			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAck &&
 				len(pkt) < jobAckBytes && !errors.Is(err, ErrTruncated) {
@@ -124,7 +132,7 @@ func FuzzDecodeJobAck(f *testing.F) {
 			}
 			return
 		}
-		if re := EncodeJobAckProfile(job, status, epoch, weight, prof); !bytes.Equal(re, pkt) {
+		if re := EncodeJobAckClass(job, status, epoch, weight, prof, class); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 		if status.Err() == nil && status != AckAdmitted && status != AckEvicting {
@@ -146,16 +154,20 @@ func FuzzDecodeJobAdmit(f *testing.F) {
 		core.NumericProfile{Format: core.FormatBF16, Guard: 4, Rounding: core.RoundingRNE}))
 	f.Add(EncodeJobAdmitProfile(5, 1, core.NumericProfile{Format: core.FormatF16}))
 	f.Add(EncodeJobAdmitProfile(6, 1, core.NumericProfile{Format: 0x7F, Guard: 0xFF, Rounding: 9})) // invalid: carried, refused later
-	f.Add(EncodeJobAdmitWeight(2, 0))                                                               // weight 0: carried, clamped later
-	f.Add(EncodeJobAdmit(3)[:4])                                                                    // the old weightless layout
-	f.Add(EncodeJobAdmit(3)[:6])                                                                    // the pre-profile layout
-	f.Add(EncodeJobAdmit(0)[:1])                                                                    // short v2
-	f.Add(append(EncodeJobAdmit(0), 7))                                                             // trailing byte
-	f.Add(EncodeJobEvict(1))                                                                        // wrong type
-	f.Add([]byte{MsgAdd, 0, 0, 0})                                                                  // legacy framing
+	f.Add(EncodeJobAdmitClass(7, 2, core.DefaultProfile, AdmitClass{Class: ClassQuery, TopN: 10, Groups: 1024}))
+	f.Add(EncodeJobAdmitClass(8, 1, core.DefaultProfile, AdmitClass{Class: ClassTelemetry, Groups: 16}))
+	f.Add(EncodeJobAdmitClass(9, 1, core.DefaultProfile, AdmitClass{Class: 0xEE, TopN: 65535, Groups: 65535})) // junk class: carried, refused later
+	f.Add(EncodeJobAdmitWeight(2, 0))                                                                          // weight 0: carried, clamped later
+	f.Add(EncodeJobAdmit(3)[:4])                                                                               // the old weightless layout
+	f.Add(EncodeJobAdmit(3)[:6])                                                                               // the pre-profile layout
+	f.Add(EncodeJobAdmit(3)[:9])                                                                               // the pre-class layout
+	f.Add(EncodeJobAdmit(0)[:1])                                                                               // short v2
+	f.Add(append(EncodeJobAdmit(0), 7))                                                                        // trailing byte
+	f.Add(EncodeJobEvict(1))                                                                                   // wrong type
+	f.Add([]byte{MsgAdd, 0, 0, 0})                                                                             // legacy framing
 
 	f.Fuzz(func(t *testing.T, pkt []byte) {
-		job, weight, prof, err := DecodeJobAdmitProfile(pkt)
+		job, weight, prof, class, err := DecodeJobAdmitClass(pkt)
 		if err != nil {
 			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgJobAdmit &&
 				len(pkt) < jobAdmitBytes && !errors.Is(err, ErrTruncated) {
@@ -166,7 +178,141 @@ func FuzzDecodeJobAdmit(f *testing.F) {
 		if len(pkt) != jobAdmitBytes {
 			t.Fatalf("accepted a %d-byte admit", len(pkt))
 		}
-		if re := EncodeJobAdmitProfile(job, weight, prof); !bytes.Equal(re, pkt) {
+		if re := EncodeJobAdmitClass(job, weight, prof, class); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+	})
+}
+
+// FuzzDecodeTuples fuzzes the analytics tuple-batch codec: no panics on
+// arbitrary input, header-level truncation identified as ErrTruncated, a
+// count that disagrees with the packet length rejected, and every
+// accepted batch re-encodes byte for byte (the op octet is carried as-is —
+// the switch, not the decoder, validates it against the job's class).
+func FuzzDecodeTuples(f *testing.F) {
+	valid := EncodeTuples(1, 7, 2, OpQueryAgg, []uint32{3, 3, 9}, []float32{1.5, -2, 0.25})
+	f.Add(valid)
+	f.Add(EncodeTuples(0, 0, 0, OpQueryTopN, []uint32{0xFFFFFFFF}, []float32{float32(1e38)}))
+	f.Add(EncodeTuples(65535, 0xFFFFFFFF, 255, OpTelemetry, []uint32{1, 2}, []float32{64, 1500}))
+	f.Add(EncodeTuples(2, 1, 0, TupleOp(0xEE), []uint32{5}, []float32{1})) // junk op: carried, refused later
+	f.Add(valid[:len(valid)-3])                                            // truncated final row
+	f.Add(valid[:tupleHdrBytes-1])                                         // truncated header
+	f.Add(valid[:tupleHdrBytes])                                           // header only, count 3, no rows
+	f.Add(append(append([]byte(nil), valid...), 0xcc))                     // trailing byte
+	f.Add(func() []byte {                                                  // count 0
+		p := append([]byte(nil), valid...)
+		p[hdrBytes+2] = 0
+		p[hdrBytes+3] = 0
+		return p
+	}())
+	f.Add([]byte{WireVersion, MsgTuple}) // short v2
+	f.Add([]byte{MsgAdd, 0, 0, 0})       // legacy framing
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		job, seq, epoch, op, keys, vals, err := DecodeTuples(pkt)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgTuple &&
+				len(pkt) < tupleHdrBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short tuple batch error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if len(keys) < 1 || len(keys) != len(vals) {
+			t.Fatalf("accepted batch with %d keys, %d vals", len(keys), len(vals))
+		}
+		if len(pkt) != tupleHdrBytes+8*len(keys) {
+			t.Fatalf("accepted a %d-byte batch for %d rows", len(pkt), len(keys))
+		}
+		if re := EncodeTuples(job, seq, epoch, op, keys, vals); !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+	})
+}
+
+// FuzzDecodeTupleAck fuzzes the survivor-bitmap ack codec: no panics,
+// header truncation identified, nonzero padding bits past the row count
+// rejected (so every accepted ack re-encodes byte for byte).
+func FuzzDecodeTupleAck(f *testing.F) {
+	mk := func(job int, seq uint32, survivors []bool) []byte {
+		return encodeTupleAck(job, seq, len(survivors), func(i int) bool { return survivors[i] })
+	}
+	valid := mk(1, 9, []bool{true, false, true, true, false, true, false, false, true})
+	f.Add(valid)
+	f.Add(mk(0, 0, []bool{false}))
+	f.Add(mk(65535, 0xFFFFFFFF, make([]bool, 64)))
+	f.Add(valid[:len(valid)-1])                        // truncated bitmap
+	f.Add(valid[:tupleAckHdrBytes-1])                  // truncated header
+	f.Add(append(append([]byte(nil), valid...), 0x01)) // trailing byte
+	f.Add(func() []byte {                              // nonzero padding past the count
+		p := mk(2, 3, []bool{true, true, false})
+		p[len(p)-1] |= 0xF0
+		return p
+	}())
+	f.Add(func() []byte { // count 0
+		p := append([]byte(nil), valid...)
+		p[hdrBytes] = 0
+		p[hdrBytes+1] = 0
+		return p
+	}())
+	f.Add([]byte{WireVersion, MsgTupleAck}) // short v2
+	f.Add([]byte{MsgResult, 0, 0, 0})       // legacy framing
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		job, seq, survivors, err := DecodeTupleAck(pkt)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgTupleAck &&
+				len(pkt) < tupleAckHdrBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short tuple ack error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if len(survivors) < 1 {
+			t.Fatal("accepted an ack with no rows")
+		}
+		re := encodeTupleAck(job, seq, len(survivors), func(i int) bool { return survivors[i] })
+		if !bytes.Equal(re, pkt) {
+			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
+		}
+	})
+}
+
+// FuzzDecodeDrainReply fuzzes the observer harvest codec: no panics,
+// header truncation identified, an unknown kind octet rejected, and every
+// accepted reply re-encodes byte for byte.
+func FuzzDecodeDrainReply(f *testing.F) {
+	valid := encodeDrainReply(1, DrainGroups, []DrainEntry{{Key: 3, Val: 15}, {Key: 9, Val: -2.5}})
+	f.Add(valid)
+	f.Add(encodeDrainReply(0, DrainHeavyHitters, []DrainEntry{{Key: 0x10000001, Val: 600000}}))
+	f.Add(encodeDrainReply(65535, DrainHistogram, nil)) // empty harvest is a valid reply
+	f.Add(valid[:len(valid)-5])                         // truncated final entry
+	f.Add(valid[:drainReplyHdrBytes-1])                 // truncated header
+	f.Add(append(append([]byte(nil), valid...), 0xdd))  // trailing byte
+	f.Add(func() []byte {                               // unknown kind octet
+		p := append([]byte(nil), valid...)
+		p[4] = 9
+		return p
+	}())
+	f.Add(func() []byte { // count overstates entries
+		p := append([]byte(nil), valid...)
+		p[6] = 0xFF
+		return p
+	}())
+	f.Add([]byte{WireVersion, MsgDrainReply}) // short v2
+	f.Add([]byte{MsgResult, 0, 0, 0})         // legacy framing
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		job, kind, entries, err := DecodeDrainReply(pkt)
+		if err != nil {
+			if len(pkt) >= 2 && pkt[0] == WireVersion && pkt[1] == MsgDrainReply &&
+				len(pkt) < drainReplyHdrBytes && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("short drain reply error %v does not wrap ErrTruncated", err)
+			}
+			return
+		}
+		if len(pkt) != drainReplyHdrBytes+8*len(entries) {
+			t.Fatalf("accepted a %d-byte reply for %d entries", len(pkt), len(entries))
+		}
+		if re := encodeDrainReply(job, kind, entries); !bytes.Equal(re, pkt) {
 			t.Fatalf("re-encode mismatch:\n got %v\nwant %v", re, pkt)
 		}
 	})

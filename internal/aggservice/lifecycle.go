@@ -147,6 +147,11 @@ const (
 	// AckErrBadProfile: the admit carried a numeric profile that does not
 	// validate (unknown octet, no headroom, or RNE without guard bits).
 	AckErrBadProfile
+	// AckErrBadClass: the admit carried a workload-class descriptor that
+	// does not validate — or, as an unsolicited notice, a data-plane
+	// message reached a job of the wrong class (an ADD to an analytics
+	// job, a tuple to a training job, or an unprovisioned tuple op).
+	AckErrBadClass
 )
 
 func (a AckStatus) String() string {
@@ -175,6 +180,8 @@ func (a AckStatus) String() string {
 		return "backpressure"
 	case AckErrBadProfile:
 		return "error: bad numeric profile"
+	case AckErrBadClass:
+		return "error: bad workload class"
 	}
 	return fmt.Sprintf("AckStatus(%d)", uint8(a))
 }
@@ -205,6 +212,8 @@ func (a AckStatus) Err() error {
 		return ErrBackpressure
 	case AckErrBadProfile:
 		return ErrBadProfile
+	case AckErrBadClass:
+		return ErrBadClass
 	}
 	return fmt.Errorf("aggservice: unknown ack status %d", uint8(a))
 }
@@ -222,43 +231,62 @@ func EncodeJobAdmitWeight(job, weight int) []byte {
 }
 
 // EncodeJobAdmitProfile builds an operator request to admit job with a
-// scheduler weight and a numeric profile. The switch validates the profile
-// at admission (AckErrBadProfile on refusal) and echoes the applied profile
-// in the ack, so the operator learns exactly what arithmetic the job got.
+// scheduler weight and a numeric profile, as a training job. The switch
+// validates the profile at admission (AckErrBadProfile on refusal) and
+// echoes the applied profile in the ack, so the operator learns exactly
+// what arithmetic the job got.
 func EncodeJobAdmitProfile(job, weight int, prof core.NumericProfile) []byte {
+	return EncodeJobAdmitClass(job, weight, prof, AdmitClass{})
+}
+
+// EncodeJobAdmitClass builds an operator request to admit job under a
+// workload class: training (the zero descriptor), query or telemetry. The
+// switch validates the descriptor at admission (AckErrBadClass on refusal)
+// and echoes the applied class in the ack.
+func EncodeJobAdmitClass(job, weight int, prof core.NumericProfile, ac AdmitClass) []byte {
 	pkt := make([]byte, jobAdmitBytes)
 	pkt[0] = WireVersion
 	pkt[1] = MsgJobAdmit
 	binary.BigEndian.PutUint16(pkt[2:], uint16(job))
 	binary.BigEndian.PutUint16(pkt[4:], uint16(weight))
 	putProfile(pkt[6:], prof)
+	putAdmitClass(pkt[6+profileBytes:], ac)
 	return pkt
 }
 
-// DecodeJobAdmit parses a MsgJobAdmit, dropping the profile descriptor.
+// DecodeJobAdmit parses a MsgJobAdmit, dropping the profile and class
+// descriptors.
 func DecodeJobAdmit(pkt []byte) (job, weight int, err error) {
-	job, weight, _, err = DecodeJobAdmitProfile(pkt)
+	job, weight, _, _, err = DecodeJobAdmitClass(pkt)
 	return job, weight, err
 }
 
-// DecodeJobAdmitProfile parses a MsgJobAdmit. Safe on arbitrary input:
-// truncation returns a wire error wrapping ErrTruncated, oversized frames
-// are rejected. The weight and profile are returned as carried — the
-// admission path, not the decoder, clamps weight 0 to 1 and validates the
-// profile, so a round trip is byte-exact.
+// DecodeJobAdmitProfile parses a MsgJobAdmit, dropping the class
+// descriptor.
 func DecodeJobAdmitProfile(pkt []byte) (job, weight int, prof core.NumericProfile, err error) {
+	job, weight, prof, _, err = DecodeJobAdmitClass(pkt)
+	return job, weight, prof, err
+}
+
+// DecodeJobAdmitClass parses a MsgJobAdmit. Safe on arbitrary input:
+// truncation returns a wire error wrapping ErrTruncated, oversized frames
+// are rejected. The weight, profile and class are returned as carried —
+// the admission path, not the decoder, clamps weight 0 to 1 and validates
+// the profile and class, so a round trip is byte-exact.
+func DecodeJobAdmitClass(pkt []byte) (job, weight int, prof core.NumericProfile, ac AdmitClass, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
-		return 0, 0, prof, fmt.Errorf("bad job admit: %w", terr)
+		return 0, 0, prof, ac, fmt.Errorf("bad job admit: %w", terr)
 	} else if typ != MsgJobAdmit {
-		return 0, 0, prof, fmt.Errorf("aggservice: bad job admit type")
+		return 0, 0, prof, ac, fmt.Errorf("aggservice: bad job admit type")
 	}
 	if len(pkt) < jobAdmitBytes {
-		return 0, 0, prof, fmt.Errorf("job admit %d of %d bytes: %w", len(pkt), jobAdmitBytes, ErrTruncated)
+		return 0, 0, prof, ac, fmt.Errorf("job admit %d of %d bytes: %w", len(pkt), jobAdmitBytes, ErrTruncated)
 	}
 	if len(pkt) > jobAdmitBytes {
-		return 0, 0, prof, fmt.Errorf("aggservice: %d trailing bytes after job admit", len(pkt)-jobAdmitBytes)
+		return 0, 0, prof, ac, fmt.Errorf("aggservice: %d trailing bytes after job admit", len(pkt)-jobAdmitBytes)
 	}
-	return int(binary.BigEndian.Uint16(pkt[2:])), int(binary.BigEndian.Uint16(pkt[4:])), getProfile(pkt[6:]), nil
+	return int(binary.BigEndian.Uint16(pkt[2:])), int(binary.BigEndian.Uint16(pkt[4:])),
+		getProfile(pkt[6:]), getAdmitClass(pkt[6+profileBytes:]), nil
 }
 
 // EncodeJobEvict builds an operator request to evict (drain) job.
@@ -282,8 +310,16 @@ func EncodeJobAck(job int, status AckStatus, epoch uint8, weight int) []byte {
 
 // EncodeJobAckProfile builds a lifecycle status message that also echoes
 // the job's numeric profile — on a successful admit, the profile actually
-// applied, which the operator hands to the job's workers (Worker.Profile).
+// applied, which the operator hands to the job's workers (Worker.Profile) —
+// with the zero (training) class descriptor.
 func EncodeJobAckProfile(job int, status AckStatus, epoch uint8, weight int, prof core.NumericProfile) []byte {
+	return EncodeJobAckClass(job, status, epoch, weight, prof, AdmitClass{})
+}
+
+// EncodeJobAckClass builds a lifecycle status message that also echoes the
+// job's workload-class descriptor — on a successful admit, the class
+// actually applied, which the operator hands to the job's tuple clients.
+func EncodeJobAckClass(job int, status AckStatus, epoch uint8, weight int, prof core.NumericProfile, ac AdmitClass) []byte {
 	pkt := make([]byte, jobAckBytes)
 	pkt[0] = WireVersion
 	pkt[1] = MsgJobAck
@@ -292,36 +328,45 @@ func EncodeJobAckProfile(job int, status AckStatus, epoch uint8, weight int, pro
 	pkt[5] = epoch
 	binary.BigEndian.PutUint16(pkt[6:], uint16(weight))
 	putProfile(pkt[8:], prof)
+	putAdmitClass(pkt[8+profileBytes:], ac)
 	return pkt
 }
 
-// DecodeJobAck parses a MsgJobAck, dropping the profile descriptor.
+// DecodeJobAck parses a MsgJobAck, dropping the profile and class
+// descriptors.
 func DecodeJobAck(pkt []byte) (job int, status AckStatus, epoch uint8, weight int, err error) {
-	job, status, epoch, weight, _, err = DecodeJobAckProfile(pkt)
+	job, status, epoch, weight, _, _, err = DecodeJobAckClass(pkt)
 	return job, status, epoch, weight, err
 }
 
-// DecodeJobAckProfile parses a MsgJobAck. Like DecodeStatsReply it is safe
-// on arbitrary input: truncation returns a wire error wrapping ErrTruncated.
-// The profile octets are returned as carried (never validated or clamped),
-// so a round trip is byte-exact.
+// DecodeJobAckProfile parses a MsgJobAck, dropping the class descriptor.
 func DecodeJobAckProfile(pkt []byte) (job int, status AckStatus, epoch uint8, weight int, prof core.NumericProfile, err error) {
+	job, status, epoch, weight, prof, _, err = DecodeJobAckClass(pkt)
+	return job, status, epoch, weight, prof, err
+}
+
+// DecodeJobAckClass parses a MsgJobAck. Like DecodeStatsReply it is safe
+// on arbitrary input: truncation returns a wire error wrapping ErrTruncated.
+// The profile and class octets are returned as carried (never validated or
+// clamped), so a round trip is byte-exact.
+func DecodeJobAckClass(pkt []byte) (job int, status AckStatus, epoch uint8, weight int, prof core.NumericProfile, ac AdmitClass, err error) {
 	if typ, terr := wireType(pkt); terr != nil {
-		return 0, 0, 0, 0, prof, fmt.Errorf("bad job ack: %w", terr)
+		return 0, 0, 0, 0, prof, ac, fmt.Errorf("bad job ack: %w", terr)
 	} else if typ != MsgJobAck {
-		return 0, 0, 0, 0, prof, fmt.Errorf("aggservice: bad job ack type")
+		return 0, 0, 0, 0, prof, ac, fmt.Errorf("aggservice: bad job ack type")
 	}
 	if len(pkt) < jobAckBytes {
-		return 0, 0, 0, 0, prof, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
+		return 0, 0, 0, 0, prof, ac, fmt.Errorf("job ack %d of %d bytes: %w", len(pkt), jobAckBytes, ErrTruncated)
 	}
 	if len(pkt) > jobAckBytes {
-		return 0, 0, 0, 0, prof, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
+		return 0, 0, 0, 0, prof, ac, fmt.Errorf("aggservice: %d trailing bytes after job ack", len(pkt)-jobAckBytes)
 	}
 	status = AckStatus(pkt[4])
-	if status > AckErrBadProfile {
-		return 0, 0, 0, 0, prof, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
+	if status > AckErrBadClass {
+		return 0, 0, 0, 0, prof, ac, fmt.Errorf("aggservice: unknown ack status %d", pkt[4])
 	}
-	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], int(binary.BigEndian.Uint16(pkt[6:])), getProfile(pkt[8:]), nil
+	return int(binary.BigEndian.Uint16(pkt[2:])), status, pkt[5], int(binary.BigEndian.Uint16(pkt[6:])),
+		getProfile(pkt[8:]), getAdmitClass(pkt[8+profileBytes:]), nil
 }
 
 // handleLifecycle serves a wire MsgJobAdmit/MsgJobEvict. Only the
@@ -335,9 +380,10 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 	}
 	var job, weight int
 	var prof core.NumericProfile
+	var ac AdmitClass
 	if typ == MsgJobAdmit {
 		var derr error
-		if job, weight, prof, derr = DecodeJobAdmitProfile(pkt); derr != nil {
+		if job, weight, prof, ac, derr = DecodeJobAdmitClass(pkt); derr != nil {
 			s.rejMalformed.Add(1)
 			return
 		}
@@ -349,13 +395,13 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 		job = int(binary.BigEndian.Uint16(pkt[2:]))
 	}
 	ack := func(status AckStatus) {
-		// The echoed epoch, weight and profile are the incarnation the
-		// request landed on: for a successful admit that is the NEW
+		// The echoed epoch, weight, profile and class are the incarnation
+		// the request landed on: for a successful admit that is the NEW
 		// incarnation's octet — which the operator hands to the job's
-		// workers — plus the weight and profile actually applied (a
+		// workers — plus the weight, profile and class actually applied (a
 		// requested weight 0 comes back as the clamped 1, so the client
 		// can detect the clamp).
-		out.Unicast(worker, EncodeJobAckProfile(job, status, s.JobEpoch(job), s.JobWeight(job), s.JobProfile(job)))
+		out.Unicast(worker, EncodeJobAckClass(job, status, s.JobEpoch(job), s.JobWeight(job), s.JobProfile(job), s.JobClass(job)))
 	}
 	if !s.cfg.Dynamic {
 		ack(AckErrDisabled)
@@ -364,7 +410,7 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 	var err error
 	ok := AckAdmitted
 	if typ == MsgJobAdmit {
-		err = s.AdmitProfile(job, weight, prof)
+		err = s.AdmitWorkload(job, weight, prof, ac)
 	} else {
 		ok = AckEvicting
 		err = s.Evict(job)
@@ -384,6 +430,8 @@ func (s *Switch) handleLifecycle(worker int, typ byte, pkt []byte, out *transpor
 		ack(AckErrNoCapacity)
 	case errors.Is(err, ErrBadProfile):
 		ack(AckErrBadProfile)
+	case errors.Is(err, ErrBadClass):
+		ack(AckErrBadClass)
 	default:
 		ack(AckErrUnknownJob)
 	}
@@ -416,6 +464,19 @@ func (s *Switch) AdmitWeighted(job, weight int) error {
 // BEFORE the range and phase publish, so the hot path can never observe an
 // admitted job without its arithmetic.
 func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
+	return s.AdmitWorkload(job, weight, prof, AdmitClass{})
+}
+
+// AdmitWorkload brings a vacant job id live under a workload class. The
+// zero descriptor admits a training tenant exactly like AdmitProfile; a
+// query or telemetry descriptor provisions the job's analytics state — the
+// pruning registers, FPISA group accumulators, LPM classifier, heavy-hitter
+// rows and latency histogram the class calls for — on the job's home shard
+// instead of per-shard training banks. A descriptor that does not validate
+// (see Config.validateClass) is refused with ErrBadClass before any state
+// moves. Analytics classes are refused on tree leaves: tuples carry keys,
+// not slot-addressed partial sums, so they cannot climb an aggregation tree.
+func (s *Switch) AdmitWorkload(job, weight int, prof core.NumericProfile, ac AdmitClass) error {
 	if job < 0 || job >= s.ncap {
 		return fmt.Errorf("%w: job %d of %d", ErrUnknownJob, job, s.ncap)
 	}
@@ -427,6 +488,12 @@ func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
 	}
 	if err := prof.Validate(); err != nil {
 		return fmt.Errorf("%w: job %d: %v", ErrBadProfile, job, err)
+	}
+	if err := s.cfg.validateClass(ac); err != nil {
+		return fmt.Errorf("job %d: %w", job, err)
+	}
+	if ac.Class != ClassTraining && s.cfg.Uplink != nil {
+		return fmt.Errorf("%w: job %d: analytics classes cannot run on a tree leaf", ErrBadClass, job)
 	}
 	// A tree leaf negotiates the admission UP the tree before it takes
 	// effect locally: the parent must run the same job under the same
@@ -442,6 +509,16 @@ func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
 		}
 		parentEpoch = pe
 	}
+	// Analytics state (pruning registers, accumulators, LPM, sketch rows)
+	// is built before any lock: the FPISA compile is the slow part and must
+	// not stall other tenants' lifecycle transitions.
+	var an *analyticsJob
+	if ac.Class != ClassTraining {
+		var berr error
+		if an, berr = s.buildAnalytics(ac, prof); berr != nil {
+			return fmt.Errorf("%w: job %d: %v", ErrBadClass, job, berr)
+		}
+	}
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
 	js := &s.jobs[job]
@@ -454,23 +531,36 @@ func (s *Switch) AdmitProfile(job, weight int, prof core.NumericProfile) error {
 	if len(s.freeRanges) == 0 {
 		return fmt.Errorf("%w: job %d", ErrNoCapacity, job)
 	}
-	proto, err := s.getProtoLocked(prof)
-	if err != nil {
-		return fmt.Errorf("%w: job %d: %v", ErrBadProfile, job, err)
+	var proto *core.ProfileAggregator
+	if an == nil {
+		var perr error
+		if proto, perr = s.getProtoLocked(prof); perr != nil {
+			return fmt.Errorf("%w: job %d: %v", ErrBadProfile, job, perr)
+		}
 	}
 	ri := s.freeRanges[len(s.freeRanges)-1]
 	s.freeRanges = s.freeRanges[:len(s.freeRanges)-1]
 	js.reset()
 	js.weight.Store(int32(weight))
 	js.profBits.Store(prof.Pack())
-	// Install the range's aggregator banks before the range publishes: the
-	// hot path loads phase, then the profile, then the range, and
-	// revalidates the epoch under the shard lock — so once it can see the
-	// range it is guaranteed to find the bank behind it.
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		sh.agg[ri] = proto.Replicate()
-		sh.mu.Unlock()
+	js.classBits.Store(packClass(ac))
+	// Install the range's state before the range publishes: the hot path
+	// loads phase, then the profile, then the range, and revalidates the
+	// epoch under the shard lock — so once it can see the range it is
+	// guaranteed to find the bank (or analytics state) behind it. A
+	// training job gets per-shard aggregator banks; an analytics job's
+	// state lives on its home shard alone, guarded by that shard's lock.
+	if an != nil {
+		hs := s.shards[s.homeShard(ri)]
+		hs.mu.Lock()
+		s.analytics[job] = an
+		hs.mu.Unlock()
+	} else {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.agg[ri] = proto.Replicate()
+			sh.mu.Unlock()
+		}
 	}
 	// Publish range before phase: the hot path loads phase first, so it
 	// never sees an admitted job without its range.
@@ -578,17 +668,23 @@ func (s *Switch) release(job int) {
 	// Return the job's unspent scheduler deficit on every shard, and tear
 	// down the range's aggregator banks — the compiled program stays cached
 	// on the switch (keyed by profile), only this incarnation's per-slot
-	// state is dropped. Safe against racing binds — the epoch moved above,
-	// so no ADD for this incarnation can charge after this pass.
-	for _, sh := range s.shards {
+	// state is dropped. An analytics incarnation's state is cleared under
+	// its home shard's lock in the same pass, for the same reason the
+	// banks are: the epoch moved above, so no tuple or drain for this
+	// incarnation can fold after its shard section here.
+	for si, sh := range s.shards {
 		sh.mu.Lock()
 		sh.sched.forfeit(job)
 		if ri >= 0 {
 			sh.agg[ri] = nil
+			if si == s.homeShard(ri) {
+				s.analytics[job] = nil
+			}
 		}
 		sh.mu.Unlock()
 	}
 	js.profBits.Store(0)
+	js.classBits.Store(0)
 	js.weight.Store(0)
 	js.outstanding.Store(0)
 	js.cacheBytes.Store(0)

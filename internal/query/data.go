@@ -9,12 +9,18 @@
 // and Q20, at a configurable scale (DESIGN.md §1); `adRevenue` and
 // `l_extendedprice` are FP32, the paper's datatype conversion.
 //
-// Integration status: the engine aggregates through the raw FPISA
-// accumulator (internal/core) on a single simulated switch — it predates
-// and bypasses the multi-tenant aggservice wire path, so queries see no
-// job lifecycle, fair scheduling, numeric profiles, or aggregation trees.
-// Consumed by cmd/fpisa-bench (Table 2 / Fig. 13 regeneration),
-// cmd/fpisa-query's -query mode, examples/dbquery, and bench_test.go.
+// Integration status: wired into the multi-tenant switch. A query tenant
+// admits on aggservice with a ClassQuery workload descriptor and streams
+// Engine.PartRows as MsgTuple batches — Top-N and group-max pruning run
+// against the switch's ordered-key registers (the same collision-aware
+// program as runPruning), aggregation folds into per-group FPISA
+// accumulators drained over observer frames — under the shared DRR
+// scheduler, concurrently with training tenants (examples/dbquery runs
+// all five Table 2 queries this way over real UDP and checks them
+// bit-identical against RunSwitch and Reference). The in-process engine
+// here remains the reference executor and cost model. Consumed by
+// cmd/fpisa-bench (Table 2 / Fig. 13 regeneration), cmd/fpisa-query's
+// -query mode, examples/dbquery, and bench_test.go.
 package query
 
 import "math/rand"

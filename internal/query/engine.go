@@ -1,11 +1,17 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"fpisa/internal/core"
 )
+
+// ErrNoGroups reports a grouped plan configured with a zero register
+// budget: both the group-max pruner and the hash aggregator bucket rows by
+// Key % Groups, which is undefined at Groups == 0.
+var ErrNoGroups = errors.New("query: grouped plan has zero groups")
 
 // Cost records the work a plan performed; the deterministic time model
 // turns it into Fig. 13's execution-time bars.
@@ -90,6 +96,16 @@ func (e *Engine) workerView(w int) *Dataset {
 	}
 }
 
+// PartRows returns the rows query q produces on worker w's partition view
+// (its fact-table slice plus broadcast dimension tables) — the stream a
+// wire client sends toward an in-network pruning or aggregation stage.
+func (e *Engine) PartRows(q Query, w int) []Row {
+	return q.WorkerRows(e.workerView(w))
+}
+
+// Workers returns the partition count.
+func (e *Engine) Workers() int { return len(e.Parts) }
+
 // Reference computes the query's exact answer over all data (float64
 // master arithmetic, no switch).
 func (e *Engine) Reference(q Query) Result {
@@ -154,22 +170,53 @@ func (e *Engine) runPruning(q Query) (Result, Cost, error) {
 					continue
 				}
 				mi := minIdx()
-				if k > reg[mi] {
+				// Admit ties at the boundary (k == reg[mi]): the baseline's
+				// sortResult breaks equal values by ascending key, so a tied
+				// row may belong in the exact result; Finish resolves it.
+				if k >= reg[mi] {
 					reg[mi] = k
 					survivors = append(survivors, r)
 				}
 			}
 		}
 	} else {
-		// Group-max pruner: one ordered-key register per group.
-		reg := make(map[uint32]uint32, q.Groups)
+		if q.Groups <= 0 {
+			return Result{}, cost, fmt.Errorf("group-max pruning: %w", ErrNoGroups)
+		}
+		// Group-max pruner: one ordered-key register per bucket, tagged with
+		// the key that owns the current bucket max. Distinct keys can collide
+		// in a bucket (Key % Groups); a row is pruned only when the bucket
+		// max belongs to the row's OWN key, so a colliding weaker group's
+		// max always survives to the master.
+		type maxReg struct {
+			key uint32 // key owning the bucket max
+			max uint32 // ordered-key max for that key
+		}
+		reg := make(map[uint32]maxReg, q.Groups)
 		for w := range e.Parts {
 			rows := q.WorkerRows(e.workerView(w))
 			cost.WorkerRows += len(rows)
 			for _, r := range rows {
 				k := orderedKey(r.Val)
-				if cur, ok := reg[r.Key%uint32(q.Groups)]; !ok || k > cur {
-					reg[r.Key%uint32(q.Groups)] = k
+				b := r.Key % uint32(q.Groups)
+				cur, ok := reg[b]
+				switch {
+				case !ok:
+					reg[b] = maxReg{key: r.Key, max: k}
+					survivors = append(survivors, r)
+				case cur.key == r.Key:
+					// Same key owns the bucket: the usual group-max prune.
+					if k > cur.max {
+						reg[b] = maxReg{key: r.Key, max: k}
+						survivors = append(survivors, r)
+					}
+				default:
+					// Collision: the register cannot distinguish this row's
+					// group from the owner's, so prune conservatively — the
+					// row survives, and a larger value takes over the bucket.
+					if k > cur.max {
+						reg[b] = maxReg{key: r.Key, max: k}
+					}
 					survivors = append(survivors, r)
 				}
 			}
@@ -185,6 +232,9 @@ func (e *Engine) runPruning(q Query) (Result, Cost, error) {
 // master drains the registers at the end.
 func (e *Engine) runAggregation(q Query) (Result, Cost, error) {
 	var cost Cost
+	if q.Groups <= 0 {
+		return Result{}, cost, fmt.Errorf("hash aggregation: %w", ErrNoGroups)
+	}
 	acc, err := core.NewAccumulator(core.DefaultFP32(core.ModeFull), q.Groups)
 	if err != nil {
 		return Result{}, cost, err

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -216,5 +217,147 @@ func TestQ3JoinSemantics(t *testing.T) {
 	}
 	if math.Abs(float64(rows[0].Val)-140) > 1e-4 {
 		t.Errorf("revenue = %g, want 140", rows[0].Val)
+	}
+}
+
+// rowQuery builds a synthetic query over literal rows so the pruner's
+// register behavior is testable row by row: each worker partition packs its
+// rows into UserVisits (SourceIP=Key, AdRevenue=Val).
+func rowQuery(desc Descriptor, topN, groups int, finish func([]Row, int) Result, parts ...[]Row) (Query, *Engine) {
+	ds := make([]Dataset, len(parts))
+	for w, rows := range parts {
+		for _, r := range rows {
+			ds[w].UserVisits = append(ds[w].UserVisits, UserVisit{SourceIP: r.Key, AdRevenue: r.Val})
+		}
+	}
+	q := Query{
+		Desc: desc, TopN: topN, Groups: groups,
+		WorkerRows: func(d *Dataset) []Row {
+			rows := make([]Row, len(d.UserVisits))
+			for i, uv := range d.UserVisits {
+				rows[i] = Row{Key: uv.SourceIP, Val: uv.AdRevenue}
+			}
+			return rows
+		},
+		Finish: finish,
+	}
+	return q, NewEngine(ds)
+}
+
+// TestGroupMaxPruningCollision is the regression test for the lossy
+// group-max pruner: with Groups < key cardinality, distinct keys share a
+// register bucket (Key % Groups), and the old pruner dropped every row of
+// a colliding weaker group once a stronger group owned the bucket — the
+// weaker group's max vanished from the "lossless" result entirely. The
+// collision-aware pruner must reproduce the exact per-key maxima.
+func TestGroupMaxPruningCollision(t *testing.T) {
+	// Keys 1 and 3 collide in bucket 1 (Groups=2); key 1 dominates. Key 3's
+	// rows arrive strictly after key 1's max, the order the bug ate them in.
+	q, e := rowQuery(Descriptor{Name: "collision", Method: Pruning}, 0, 2, finishGroupMax,
+		[]Row{{Key: 1, Val: 100}, {Key: 1, Val: 50}, {Key: 3, Val: 5}},
+		[]Row{{Key: 3, Val: 4}, {Key: 2, Val: 8}, {Key: 1, Val: 70}, {Key: 3, Val: 6}},
+	)
+	got, cost, err := e.RunSwitch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Reference(q)
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("pruned result has %d groups, reference %d: %v vs %v",
+			len(got.Entries), len(want.Entries), got.Entries, want.Entries)
+	}
+	for i, en := range want.Entries {
+		if got.Entries[i] != en {
+			t.Fatalf("entry %d: got %v, want %v", i, got.Entries[i], en)
+		}
+	}
+	// The weaker colliding group (key 3, max 6) must be present.
+	found := false
+	for _, en := range got.Entries {
+		if en.Key == 3 && en.Val == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("colliding group 3 lost: %v", got.Entries)
+	}
+	// The pruner still prunes: key 3's shadowed first rows need not all
+	// cross, and same-key duplicates below the max are dropped.
+	if cost.RowsToMaster >= cost.WorkerRows {
+		t.Fatalf("no pruning happened: %d of %d rows crossed", cost.RowsToMaster, cost.WorkerRows)
+	}
+}
+
+// TestGroupMaxPruningCollisionRandomized cross-checks the collision-aware
+// pruner against the exact reference over many keys squeezed into few
+// buckets — every bucket collides.
+func TestGroupMaxPruningCollisionRandomized(t *testing.T) {
+	var parts [][]Row
+	// 64 keys over 4 buckets, deterministic pseudo-random values.
+	v := uint32(12345)
+	for w := 0; w < 3; w++ {
+		var rows []Row
+		for i := 0; i < 400; i++ {
+			v = v*1664525 + 1013904223
+			rows = append(rows, Row{Key: v % 64, Val: float32(v%100000) / 7})
+		}
+		parts = append(parts, rows)
+	}
+	q, e := rowQuery(Descriptor{Name: "collision-rand", Method: Pruning}, 0, 4, finishGroupMax, parts...)
+	got, cost, err := e.RunSwitch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Reference(q)
+	if len(got.Entries) != len(want.Entries) {
+		t.Fatalf("pruned result has %d groups, reference %d", len(got.Entries), len(want.Entries))
+	}
+	for i, en := range want.Entries {
+		if got.Entries[i] != en {
+			t.Fatalf("entry %d: got %v, want %v", i, got.Entries[i], en)
+		}
+	}
+	if cost.RowsToMaster >= cost.WorkerRows {
+		t.Fatal("no pruning happened")
+	}
+}
+
+// TestTopNBoundaryTie is the regression test for the boundary-tie
+// divergence: the old pruner dropped rows whose ordered key equaled the
+// register minimum, but the baseline's sortResult breaks equal values by
+// ascending key — so a tied row with a smaller key belongs in the exact
+// result and was lost.
+func TestTopNBoundaryTie(t *testing.T) {
+	// After (5,10),(2,7) the registers hold {10,7}; (1,10) evicts the 7;
+	// then (3,10) ties the boundary. Exact top-2 is keys 1 and 3 (ascending
+	// key among the three 10s) — the old pruner answered keys 1 and 5.
+	q, e := rowQuery(Descriptor{Name: "tie", Method: Pruning}, 2, 0, finishTopN,
+		[]Row{{Key: 5, Val: 10}, {Key: 2, Val: 7}, {Key: 1, Val: 10}, {Key: 3, Val: 10}},
+	)
+	got, _, err := e.RunSwitch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Reference(q)
+	if len(got.Entries) != 2 || got.Entries[0] != want.Entries[0] || got.Entries[1] != want.Entries[1] {
+		t.Fatalf("top-2 with boundary ties: got %v, want %v", got.Entries, want.Entries)
+	}
+	if want.Entries[0] != (KV{Key: 1, Val: 10}) || want.Entries[1] != (KV{Key: 3, Val: 10}) {
+		t.Fatalf("reference itself wrong: %v", want.Entries)
+	}
+}
+
+// TestGroupedPlansRefuseZeroGroups: both grouped plans fail fast with the
+// typed sentinel instead of dividing by zero.
+func TestGroupedPlansRefuseZeroGroups(t *testing.T) {
+	qp, e := rowQuery(Descriptor{Name: "nogroups", Method: Pruning}, 0, 0, finishGroupMax,
+		[]Row{{Key: 1, Val: 1}})
+	if _, _, err := e.RunSwitch(qp); !errors.Is(err, ErrNoGroups) {
+		t.Fatalf("group-max pruning with 0 groups: %v", err)
+	}
+	qa, ea := rowQuery(Descriptor{Name: "nogroups-agg", Method: Aggregation}, 0, 0, finishGroupSum,
+		[]Row{{Key: 1, Val: 1}})
+	if _, _, err := ea.RunSwitch(qa); !errors.Is(err, ErrNoGroups) {
+		t.Fatalf("aggregation with 0 groups: %v", err)
 	}
 }

@@ -3,11 +3,14 @@
 // distributions, Fig. 8; max/min-ratio distributions, Fig. 7) and labelled
 // (x, y) series (goodput curves, accuracy curves).
 //
-// Integration status: a pure presentation layer with no dependency on the
-// aggregation service — it never sees wire packets, jobs, or trees.
-// Consumed by cmd/fpisa-bench and examples/allreduce for figure output,
-// and by internal/gradients, internal/train, and internal/perfmodel to
-// shape their analysis results.
+// Integration status: on the data path as well as the presentation layer.
+// A telemetry tenant on the multi-tenant switch (aggservice's
+// ClassTelemetry) maintains a LogHistogram of sample sizes per job and
+// drains its bins over observer frames (examples/telemetry checks the
+// drained bins exactly against a host-side mirror), alongside the figure
+// output consumed by cmd/fpisa-bench and examples/allreduce and the
+// analysis shaping in internal/gradients, internal/train, and
+// internal/perfmodel.
 package stats
 
 import (
@@ -52,12 +55,19 @@ func MustNewLogHistogram(base float64, minExp, maxExp int) *LogHistogram {
 	return h
 }
 
-// Observe adds one sample. Non-positive samples land in the zero bucket
-// (exact zeros are common in error distributions and reported separately).
+// Observe adds one sample. Non-positive and NaN samples land in the zero
+// bucket (exact zeros are common in error distributions and reported
+// separately); +Inf lands in the overflow bucket.
 func (h *LogHistogram) Observe(v float64) {
 	h.total++
 	if v <= 0 || math.IsNaN(v) {
 		h.zeros++
+		return
+	}
+	if math.IsInf(v, 1) {
+		// math.Log(+Inf) = +Inf, and float64->int conversion of +Inf is
+		// platform-dependent (min-int on amd64) — bucket it explicitly.
+		h.over++
 		return
 	}
 	e := int(math.Floor(math.Log(v) / math.Log(h.Base)))
@@ -104,18 +114,21 @@ func (h *LogHistogram) Bins() []Bin {
 
 // FractionBelow returns the fraction of positive samples below base^exp
 // (the Fig. 7 "≈83% of ratios below 2^7" statistic), counting underflows.
+// Non-positive and NaN samples are excluded from both the numerator and
+// the denominator.
 func (h *LogHistogram) FractionBelow(exp int) float64 {
-	if h.total == 0 {
+	pos := h.total - h.zeros
+	if pos == 0 {
 		return 0
 	}
-	sum := h.under + h.zeros
+	sum := h.under
 	for i, c := range h.bins {
 		if h.MinExp+i >= exp {
 			break
 		}
 		sum += c
 	}
-	return float64(sum) / float64(h.total)
+	return float64(sum) / float64(pos)
 }
 
 // FractionBetween returns the mass with values in [base^lo, base^hi).

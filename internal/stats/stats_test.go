@@ -111,3 +111,78 @@ func TestMeanQuantile(t *testing.T) {
 		t.Error("Quantile sorted the caller's slice")
 	}
 }
+
+// TestLogHistogramInfNaN is the regression test for Observe(+Inf):
+// math.Log(+Inf) is +Inf and float64→int conversion of +Inf is
+// platform-dependent (min-int on amd64), so +Inf used to land in the
+// UNDERflow counter. It must land in overflow; NaN and -Inf join the zero
+// bucket like every other non-positive/unordered sample.
+func TestLogHistogramInfNaN(t *testing.T) {
+	h := MustNewLogHistogram(2, 0, 8)
+	h.Observe(math.Inf(1))
+	if h.over != 1 || h.under != 0 {
+		t.Fatalf("+Inf: over=%d under=%d, want over=1 under=0", h.over, h.under)
+	}
+	h.Observe(math.Inf(-1))
+	h.Observe(math.NaN())
+	if h.zeros != 2 {
+		t.Fatalf("-Inf and NaN: zeros=%d, want 2", h.zeros)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total=%d, want 3", h.Total())
+	}
+	// +Inf is above every finite threshold: it must never count as below.
+	if got := h.FractionBelow(8); got != 0 {
+		t.Fatalf("FractionBelow(8) with only +Inf positive = %v, want 0", got)
+	}
+	// None of the unordered samples reach a finite bin.
+	for _, b := range h.Bins() {
+		if b.Count != 0 {
+			t.Fatalf("bin 2^%d has count %d from non-finite samples", b.Exp, b.Count)
+		}
+	}
+}
+
+// TestFractionBelowExcludesNonPositive pins the reconciled contract: the
+// statistic is the fraction of POSITIVE samples below base^exp, so zeros,
+// negatives and NaN appear in neither the numerator nor the denominator.
+func TestFractionBelowExcludesNonPositive(t *testing.T) {
+	h := MustNewLogHistogram(2, 0, 8)
+	h.Observe(1) // 2^0 — below 2^4
+	h.Observe(2) // 2^1 — below 2^4
+	h.Observe(32)
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	if got := h.FractionBelow(4); got != 2.0/3.0 {
+		t.Fatalf("FractionBelow(4) = %v, want 2/3 (zeros excluded both sides)", got)
+	}
+	// Underflows are positive and count as below.
+	h.Observe(0.25)
+	if got := h.FractionBelow(4); got != 3.0/4.0 {
+		t.Fatalf("FractionBelow(4) with underflow = %v, want 3/4", got)
+	}
+}
+
+// TestLogHistogramEmpty: an empty histogram answers every statistic with
+// zero instead of dividing by zero.
+func TestLogHistogramEmpty(t *testing.T) {
+	h := MustNewLogHistogram(2, 0, 8)
+	if got := h.FractionBelow(4); got != 0 {
+		t.Fatalf("empty FractionBelow = %v", got)
+	}
+	if got := h.FractionBetween(0, 8); got != 0 {
+		t.Fatalf("empty FractionBetween = %v", got)
+	}
+	if h.Total() != 0 || h.Zeros() != 0 {
+		t.Fatalf("empty totals: %d/%d", h.Total(), h.Zeros())
+	}
+	for _, b := range h.Bins() {
+		if b.Count != 0 || b.Frequency != 0 {
+			t.Fatalf("empty bin 2^%d: %+v", b.Exp, b)
+		}
+	}
+	if s := h.String(); s != "" {
+		t.Fatalf("empty histogram renders %q", s)
+	}
+}
